@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Interactive walkthrough of the Table 2 ablation at demo scale: how
+ * much saved-for-backward memory each eDKM technique removes for one
+ * weight matrix, and what it costs in simulated time.
+ *
+ * The full-scale reproduction (attention-layer geometry, projections to
+ * the paper's 7B setting) lives in bench/bench_table2_ablation; this
+ * example keeps the output small and annotated.
+ *
+ * Build & run:  ./build/examples/ablation_demo
+ */
+
+#include <iomanip>
+#include <iostream>
+#include <string>
+
+#include "autograd/engine.h"
+#include "autograd/functional.h"
+#include "core/dkm.h"
+#include "core/edkm.h"
+#include "device/device_manager.h"
+#include "marshal/marshal.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+using namespace edkm;
+
+namespace {
+
+struct Row
+{
+    std::string name;
+    int64_t bytes;
+    double seconds;
+};
+
+constexpr int64_t kSide = 160;
+
+DkmConfig
+dkmConfig()
+{
+    DkmConfig cfg;
+    cfg.bits = 3;
+    cfg.maxIters = 3;
+    cfg.convergenceEps = 0.0f;
+    return cfg;
+}
+
+Tensor
+makeWeights()
+{
+    Rng rng(3);
+    return Tensor::randn({kSide, kSide}, rng, Device::cpu(), 0.02f)
+        .to(DType::kBf16)
+        .to(DType::kF32)
+        .to(Device::gpu(0));
+}
+
+/** One DKM fwd+bwd step through the composed dense layer. */
+Row
+runComposed(const std::string &name, MarshalConfig::Detection det)
+{
+    DeviceManager &mgr = DeviceManager::instance();
+    mgr.resetStats();
+    MarshalConfig mc;
+    mc.detection = det;
+    mc.minOffloadBytes = 1;
+    MarshalContext ctx(mc);
+    DkmLayer layer(dkmConfig());
+    Variable w(makeWeights(), true);
+    Variable loss;
+    {
+        SavedTensorHooksGuard guard(&ctx);
+        loss = af::sumAll(af::square(layer.forward(w)));
+    }
+    int64_t resident = ctx.residentBytes();
+    backward(loss);
+    return {name, resident, mgr.simulatedSeconds()};
+}
+
+/** One step through the fused eDKM layer. */
+Row
+runFused(const std::string &name, bool uniquify, bool shard)
+{
+    DeviceManager &mgr = DeviceManager::instance();
+    mgr.resetStats();
+    MarshalConfig mc;
+    mc.minOffloadBytes = 1;
+    MarshalContext ctx(mc);
+    auto group = std::make_shared<LearnerGroup>(8);
+    EdkmConfig cfg;
+    cfg.dkm = dkmConfig();
+    cfg.uniquify = uniquify;
+    cfg.shard = shard;
+    EdkmLayer layer(cfg, group);
+    Variable w(makeWeights(), true);
+    Variable loss;
+    {
+        SavedTensorHooksGuard guard(&ctx);
+        loss = af::sumAll(af::square(layer.forward(w)));
+    }
+    int64_t resident = ctx.residentBytes();
+    backward(loss);
+    return {name, resident, mgr.simulatedSeconds()};
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Table 2-style ablation on one " << kSide << "x"
+              << kSide << " bf16 weight matrix (3-bit DKM, 3 "
+              << "iterations, 8 simulated learners)\n\n";
+
+    std::vector<Row> rows;
+    rows.push_back(runComposed("baseline (offload only)",
+                               MarshalConfig::Detection::kNone));
+    rows.push_back(runComposed("+ marshaling (M)",
+                               MarshalConfig::Detection::kGraphWalk));
+    rows.push_back(runFused("+ M + sharding (S)", false, true));
+    rows.push_back(runFused("+ M + uniquification (U)", true, false));
+    rows.push_back(runFused("+ M + U + S (full eDKM)", true, true));
+
+    double base = static_cast<double>(rows[0].bytes);
+    std::cout << std::left << std::setw(28) << "configuration"
+              << std::right << std::setw(12) << "saved KiB"
+              << std::setw(12) << "reduction" << std::setw(14)
+              << "sim time ms" << "\n";
+    for (const Row &r : rows) {
+        std::cout << std::left << std::setw(28) << r.name << std::right
+                  << std::setw(12) << std::fixed << std::setprecision(1)
+                  << r.bytes / 1024.0 << std::setw(11)
+                  << std::setprecision(1) << base / r.bytes << "x"
+                  << std::setw(14) << std::setprecision(3)
+                  << r.seconds * 1e3 << "\n";
+    }
+    std::cout << "\nReductions grow with |W| (the unique-value count "
+                 "saturates at 2^16); the paper reports 130x for a "
+                 "67M-weight attention layer.\n";
+    return 0;
+}

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The headline experiment at laptop scale: fine-tune and compress a
+ * LLaMA-style model to 3 bits/weight with eDKM (paper section 3).
+ *
+ * Pipeline:
+ *   1. "pretrain" a MiniLlama on the synthetic corpus,
+ *   2. attach eDKM train-time clustering to every Linear and fine-tune
+ *      on the instruction data (the Alpaca stand-in),
+ *   3. freeze the clustered weights into the palettized format
+ *      (embeddings at 8 bits, as the paper does),
+ *   4. evaluate the compressed model on the 7-task benchmark suite and
+ *      report sizes.
+ *
+ * Build & run:  ./build/examples/compress_llm
+ */
+
+#include <iomanip>
+#include <iostream>
+
+#include "data/synthetic.h"
+#include "eval/compress.h"
+#include "eval/mc_harness.h"
+#include "eval/train.h"
+
+using namespace edkm;
+
+int
+main()
+{
+    // Model: LLaMA architecture at laptop scale.
+    nn::LlamaConfig mcfg;
+    mcfg.vocab = 256;
+    mcfg.dim = 48;
+    mcfg.heads = 4;
+    mcfg.layers = 2;
+    nn::MiniLlama model(mcfg);
+    std::cout << "MiniLlama: " << model.parameterCount()
+              << " parameters, " << mcfg.layers << " layers, dim "
+              << mcfg.dim << "\n";
+
+    data::SyntheticCorpus corpus(7);
+    data::ByteTokenizer tok;
+    auto pretrain_stream =
+        corpus.buildStream(corpus.generate(1500, 11), tok);
+    auto alpaca_stream =
+        corpus.buildStream(corpus.generate(800, 23), tok);
+
+    // 1. Pretrain.
+    eval::TrainConfig pre;
+    pre.steps = 250;
+    pre.batch = 8;
+    pre.seq = 48;
+    pre.optimizer.lr = 3e-3f;
+    std::cout << "\n[1/4] pretraining...\n";
+    eval::TrainReport pr = eval::trainLm(model, pretrain_stream, pre);
+    std::cout << "  loss " << pr.firstLoss << " -> " << pr.lastLoss
+              << "\n";
+
+    auto suite = eval::buildSyntheticSuite(corpus, 25, 99);
+    eval::SuiteResult fp_acc = eval::evaluateSuite(model, tok, suite);
+    eval::SizeReport fp_size = eval::fp16Size(model);
+
+    // 2. Attach eDKM (3-bit) and fine-tune on instructions -- the
+    // paper's setup: AdamW lr 5e-5..., here scaled up for the tiny
+    // model, gradient clipping 1.0.
+    std::cout << "[2/4] eDKM fine-tuning (3 bit/weight)...\n";
+    EdkmConfig ecfg;
+    ecfg.dkm.bits = 3;
+    ecfg.dkm.maxIters = 4;
+    auto layers = eval::attachEdkm(model, ecfg);
+    eval::TrainConfig ft;
+    ft.steps = 120;
+    ft.batch = 8;
+    ft.seq = 48;
+    ft.optimizer.lr = 5e-4f;
+    eval::TrainReport fr = eval::trainLm(model, alpaca_stream, ft);
+    std::cout << "  loss " << fr.firstLoss << " -> " << fr.lastLoss
+              << "\n";
+
+    // 3. Freeze into the deployable format.
+    std::cout << "[3/4] palettizing (weights 3 bit, embeddings 8 bit)"
+              << "...\n";
+    eval::SizeReport edkm_size = eval::freezeEdkm(model, layers, 8);
+
+    // 4. Evaluate the compressed model.
+    std::cout << "[4/4] evaluating...\n\n";
+    eval::SuiteResult edkm_acc = eval::evaluateSuite(model, tok, suite);
+
+    std::cout << std::fixed << std::setprecision(1);
+    std::cout << "task                 fp16    eDKM-3bit\n";
+    for (size_t i = 0; i < suite.size(); ++i) {
+        std::cout << "  " << std::left << std::setw(18)
+                  << suite[i].name << std::right << std::setw(6)
+                  << 100.0 * fp_acc.taskAccuracy[i].second
+                  << std::setw(10)
+                  << 100.0 * edkm_acc.taskAccuracy[i].second << "\n";
+    }
+    std::cout << "  " << std::left << std::setw(18) << "average"
+              << std::right << std::setw(6) << 100.0 * fp_acc.average
+              << std::setw(10) << 100.0 * edkm_acc.average << "\n\n";
+
+    std::cout << std::setprecision(2);
+    std::cout << "model size: " << fp_size.payloadBytes / 1024.0
+              << " KiB (fp16) -> " << edkm_size.payloadBytes / 1024.0
+              << " KiB (eDKM), " << edkm_size.bitsPerWeight
+              << " bits/weight\n"
+              << "at LLaMA-7B scale this rate gives "
+              << edkm_size.projectedGb7B << " GB (paper: 12.6 GB -> 2.5 "
+              << "GB)\n";
+    return 0;
+}

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Walkthrough of the paper's Table 1 and Fig 2: how PyTorch-style
+ * storage/metadata tensors duplicate data when offloaded to CPU, and how
+ * the cross-device marshaling layer removes the redundancy.
+ *
+ * Build & run:  ./build/examples/marshaling_demo
+ */
+
+#include <iomanip>
+#include <iostream>
+
+#include "autograd/engine.h"
+#include "autograd/functional.h"
+#include "device/device_manager.h"
+#include "marshal/marshal.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+using namespace edkm;
+
+namespace {
+
+double
+mb(int64_t bytes)
+{
+    return static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
+
+void
+printRow(const std::string &code, int64_t gpu, int64_t cpu)
+{
+    std::cout << "  " << std::left << std::setw(34) << code << std::right
+              << std::setw(6) << mb(gpu) << std::setw(6) << mb(cpu)
+              << "\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    DeviceManager &mgr = DeviceManager::instance();
+    Rng rng(7);
+
+    std::cout << "=== Table 1: naive cross-device copies ===\n";
+    std::cout << "  " << std::left << std::setw(34) << "code"
+              << std::right << std::setw(6) << "GPU" << std::setw(6)
+              << "CPU" << "  (MB)\n";
+    {
+        Tensor x0 = Tensor::rand({1024, 1024}, rng, Device::gpu(0));
+        printRow("x0 = rand(1024,1024) on gpu",
+                 mgr.stats(Device::gpu(0)).currentBytes,
+                 mgr.stats(Device::cpu()).currentBytes);
+        Tensor x1 = x0.view({-1, 1});
+        printRow("x1 = x0.view(-1,1)",
+                 mgr.stats(Device::gpu(0)).currentBytes,
+                 mgr.stats(Device::cpu()).currentBytes);
+        Tensor y0 = x0.to(Device::cpu());
+        printRow("y0 = x0.to(cpu)",
+                 mgr.stats(Device::gpu(0)).currentBytes,
+                 mgr.stats(Device::cpu()).currentBytes);
+        Tensor y1 = x1.to(Device::cpu());
+        printRow("y1 = x1.to(cpu)   <-- duplicate!",
+                 mgr.stats(Device::gpu(0)).currentBytes,
+                 mgr.stats(Device::cpu()).currentBytes);
+        std::cout << "  x0/x1 share storage on GPU, but y0/y1 do not on "
+                     "CPU: 8 MB where 4 MB suffices.\n\n";
+    }
+    mgr.resetAll();
+
+    std::cout << "=== Fig 2: the same saves through the marshaling "
+                 "layer ===\n";
+    MarshalConfig mc;
+    mc.minOffloadBytes = 1;
+    MarshalContext ctx(mc);
+    Variable x0(Tensor::rand({1024, 1024}, rng, Device::gpu(0)), true);
+    Variable loss;
+    {
+        SavedTensorHooksGuard guard(&ctx);
+        Variable x1 = af::view(x0, {-1, 1});
+        // Two ops save x1 and x0 for backward (as a training graph
+        // would); the marshaling layer detects that they share storage.
+        Variable a = af::square(x1);
+        Variable b = af::square(x0);
+        loss = af::add(af::sumAll(a), af::sumAll(b));
+    }
+    const MarshalStats &s = ctx.stats();
+    std::cout << "  tensors entering hook : " << s.packs << "\n"
+              << "  actual copies to CPU  : " << s.copies << "\n"
+              << "  duplicates avoided    : " << s.duplicatesAvoided
+              << "\n"
+              << "  CPU bytes resident    : " << mb(ctx.residentBytes())
+              << " MB (naive: "
+              << mb(s.bytesCopied + s.bytesAvoided) << " MB)\n"
+              << "  GPU->CPU traffic      : "
+              << mb(mgr.ledger().d2hBytes) << " MB\n";
+
+    backward(loss);
+    std::cout << "  backward OK; gradient restored through the op-trace "
+                 "replay (max|grad - 4x| = "
+              << maxAbsDiff(x0.grad(), mulScalar(x0.data(), 4.0f))
+              << ")\n";
+    return 0;
+}

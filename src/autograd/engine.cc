@@ -1,0 +1,96 @@
+#include "autograd/engine.h"
+
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "autograd/node.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace edkm {
+
+void
+backward(const Variable &root, Tensor seed)
+{
+    EDKM_CHECK(root.defined(), "backward() on undefined variable");
+    EDKM_CHECK(root.requiresGrad(),
+               "backward(): root does not require grad");
+
+    if (!seed.defined()) {
+        seed = Tensor::ones(root.data().shape(), DType::kF32,
+                            root.data().device());
+    }
+
+    if (root.isLeaf()) {
+        gradAccumulator(root.impl())->backward(seed);
+        return;
+    }
+
+    std::shared_ptr<Node> root_fn = root.gradFn();
+    EDKM_ASSERT(root_fn != nullptr, "non-leaf without grad_fn");
+
+    // Phase 1: discover the reachable graph and count, for every node,
+    // how many gradient contributions it will receive.
+    std::unordered_map<Node *, int> deps;
+    std::unordered_set<Node *> visited;
+    std::deque<Node *> stack{root_fn.get()};
+    visited.insert(root_fn.get());
+    while (!stack.empty()) {
+        Node *n = stack.back();
+        stack.pop_back();
+        for (const Edge &e : n->nextEdges) {
+            if (!e.fn) {
+                continue;
+            }
+            deps[e.fn.get()] += 1;
+            if (visited.insert(e.fn.get()).second) {
+                stack.push_back(e.fn.get());
+            }
+        }
+    }
+
+    // Phase 2: propagate in topological order (Kahn).
+    std::unordered_map<Node *, Tensor> grads;
+    grads[root_fn.get()] = std::move(seed);
+    std::deque<Node *> ready{root_fn.get()};
+
+    while (!ready.empty()) {
+        Node *n = ready.front();
+        ready.pop_front();
+
+        auto git = grads.find(n);
+        if (git == grads.end()) {
+            continue; // no gradient flowed here
+        }
+        Tensor g = std::move(git->second);
+        grads.erase(git);
+
+        std::vector<Tensor> input_grads = n->backward(g);
+        EDKM_ASSERT(input_grads.size() == n->nextEdges.size() ||
+                        n->nextEdges.empty(),
+                    "node ", n->opName(), " returned ", input_grads.size(),
+                    " grads for ", n->nextEdges.size(), " inputs");
+
+        for (size_t i = 0; i < n->nextEdges.size(); ++i) {
+            const Edge &e = n->nextEdges[i];
+            if (!e.fn) {
+                continue;
+            }
+            if (i < input_grads.size() && input_grads[i].defined()) {
+                auto it = grads.find(e.fn.get());
+                if (it == grads.end()) {
+                    grads[e.fn.get()] = input_grads[i];
+                } else {
+                    it->second = add(it->second, input_grads[i]);
+                }
+            }
+            if (--deps[e.fn.get()] == 0) {
+                ready.push_back(e.fn.get());
+            }
+        }
+    }
+}
+
+} // namespace edkm

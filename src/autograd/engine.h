@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Reverse-mode backward engine.
+ */
+
+#ifndef EDKM_AUTOGRAD_ENGINE_H_
+#define EDKM_AUTOGRAD_ENGINE_H_
+
+#include "autograd/variable.h"
+#include "tensor/tensor.h"
+
+namespace edkm {
+
+/**
+ * Run the backward pass from @p root, accumulating gradients into every
+ * reachable leaf variable that requires grad.
+ *
+ * @param root  result of a differentiable computation.
+ * @param seed  initial gradient; defaults to ones of root's shape (for a
+ *              scalar loss this is the usual 1.0).
+ */
+void backward(const Variable &root, Tensor seed = Tensor());
+
+} // namespace edkm
+
+#endif // EDKM_AUTOGRAD_ENGINE_H_

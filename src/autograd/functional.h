@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Differentiable operations on Variables.
+ *
+ * Each function computes the forward result with the tensor kernels and,
+ * when gradients are required, attaches a backward node. Tensors needed
+ * for backward are stashed via SavedTensor and therefore flow through the
+ * active saved-tensor hooks — with eDKM's MarshalContext installed, every
+ * big saved tensor (e.g. the DKM attention map) is offloaded to CPU with
+ * duplicate detection, exactly as in the paper.
+ *
+ * View ops (view/transpose/permute/slice/select/squeeze/unsqueeze) keep
+ * PyTorch semantics: the output Variable's tensor shares the input's data
+ * storage, and the node carries a ViewSpec so the marshaling layer can
+ * navigate across them.
+ */
+
+#ifndef EDKM_AUTOGRAD_FUNCTIONAL_H_
+#define EDKM_AUTOGRAD_FUNCTIONAL_H_
+
+#include "autograd/variable.h"
+#include "tensor/tensor.h"
+
+namespace edkm {
+namespace af {
+
+// Elementwise binary (numpy broadcasting; gradients reduced back).
+Variable add(const Variable &a, const Variable &b);
+Variable sub(const Variable &a, const Variable &b);
+Variable mul(const Variable &a, const Variable &b);
+Variable div(const Variable &a, const Variable &b);
+
+// Scalar / unary.
+Variable addScalar(const Variable &a, float s);
+Variable mulScalar(const Variable &a, float s);
+Variable neg(const Variable &a);
+Variable exp(const Variable &a);
+Variable log(const Variable &a);
+Variable sqrt(const Variable &a);
+Variable square(const Variable &a);
+Variable silu(const Variable &a);
+Variable sigmoid(const Variable &a);
+Variable relu(const Variable &a);
+
+// Linear algebra.
+Variable matmul(const Variable &a, const Variable &b);
+
+// Softmax family (last dim).
+Variable softmaxLastDim(const Variable &a);
+Variable logSoftmaxLastDim(const Variable &a);
+
+// Reductions.
+Variable sumAll(const Variable &a);
+Variable meanAll(const Variable &a);
+Variable sumDim(const Variable &a, int64_t d, bool keepdim = false);
+Variable meanDim(const Variable &a, int64_t d, bool keepdim = false);
+
+// View ops (share storage with the input).
+Variable view(const Variable &a, Shape shape);
+Variable reshape(const Variable &a, Shape shape);
+Variable transpose(const Variable &a, int64_t d0, int64_t d1);
+Variable permute(const Variable &a, const Shape &dims);
+Variable slice(const Variable &a, int64_t d, int64_t start, int64_t end);
+Variable select(const Variable &a, int64_t d, int64_t idx);
+Variable squeeze(const Variable &a, int64_t d);
+Variable unsqueeze(const Variable &a, int64_t d);
+
+// Materialising copy (row-major layout).
+Variable contiguous(const Variable &a);
+
+// Indexing.
+/** Rows of @p table (2-d, differentiable) selected by integer
+ *  @p indices (1-d, constant). Used for embeddings and eDKM's
+ *  uniquified-attention reconstruction. */
+Variable gatherRows(const Variable &table, const Tensor &indices);
+
+/**
+ * Fused mean cross-entropy over rows: @p logits [n, classes],
+ * @p targets 1-d integer class ids. Returns a scalar.
+ */
+Variable crossEntropy(const Variable &logits, const Tensor &targets);
+
+/**
+ * Fused rotary position embedding: out = x*cos + rotateHalf(x)*sin,
+ * with @p x of shape [..., seq, head_dim] and cos/sin [seq, head_dim]
+ * constants. head_dim must be even.
+ */
+Variable rope(const Variable &x, const Tensor &cos, const Tensor &sin);
+
+/** Wrap a tensor as a non-differentiable Variable. */
+Variable constant(const Tensor &t);
+
+} // namespace af
+} // namespace edkm
+
+#endif // EDKM_AUTOGRAD_FUNCTIONAL_H_

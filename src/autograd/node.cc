@@ -1,0 +1,255 @@
+#include "autograd/node.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace edkm {
+
+// ----------------------------------------------------------------------
+// ViewSpec
+// ----------------------------------------------------------------------
+
+Tensor
+ViewSpec::apply(const Tensor &t) const
+{
+    switch (kind) {
+      case Kind::kView:
+        return t.isContiguous() ? t.view(shapeArg)
+                                : t.contiguous().view(shapeArg);
+      case Kind::kTranspose:
+        return t.transpose(d0, d1);
+      case Kind::kPermute:
+        return t.permute(shapeArg);
+      case Kind::kSlice:
+        return t.slice(d0, start, end);
+      case Kind::kSelect:
+        return t.select(d0, start);
+      case Kind::kSqueeze:
+        return t.squeeze(d0);
+      case Kind::kUnsqueeze:
+        return t.unsqueeze(d0);
+    }
+    panic("ViewSpec::apply: bad kind");
+}
+
+bool
+ViewSpec::invertible() const
+{
+    return kind != Kind::kSlice && kind != Kind::kSelect;
+}
+
+ViewSpec
+ViewSpec::inverse() const
+{
+    EDKM_ASSERT(invertible(), "inverse() of lossy view op");
+    ViewSpec inv;
+    switch (kind) {
+      case Kind::kView:
+        inv.kind = Kind::kView;
+        inv.shapeArg = inputShape;
+        break;
+      case Kind::kTranspose:
+        inv = *this; // self-inverse
+        break;
+      case Kind::kPermute: {
+        inv.kind = Kind::kPermute;
+        inv.shapeArg.resize(shapeArg.size());
+        for (size_t i = 0; i < shapeArg.size(); ++i) {
+            inv.shapeArg[static_cast<size_t>(shapeArg[i])] =
+                static_cast<int64_t>(i);
+        }
+        break;
+      }
+      case Kind::kSqueeze:
+        inv.kind = Kind::kUnsqueeze;
+        inv.d0 = d0;
+        break;
+      case Kind::kUnsqueeze:
+        inv.kind = Kind::kSqueeze;
+        inv.d0 = d0;
+        break;
+      default:
+        panic("ViewSpec::inverse: bad kind");
+    }
+    return inv;
+}
+
+std::string
+ViewSpec::toString() const
+{
+    std::ostringstream oss;
+    switch (kind) {
+      case Kind::kView: {
+        oss << "view(";
+        for (size_t i = 0; i < shapeArg.size(); ++i) {
+            oss << (i ? "," : "") << shapeArg[i];
+        }
+        oss << ")";
+        break;
+      }
+      case Kind::kTranspose:
+        oss << "transpose(" << d0 << "," << d1 << ")";
+        break;
+      case Kind::kPermute:
+        oss << "permute";
+        break;
+      case Kind::kSlice:
+        oss << "slice(" << d0 << "," << start << ":" << end << ")";
+        break;
+      case Kind::kSelect:
+        oss << "select(" << d0 << "," << start << ")";
+        break;
+      case Kind::kSqueeze:
+        oss << "squeeze(" << d0 << ")";
+        break;
+      case Kind::kUnsqueeze:
+        oss << "unsqueeze(" << d0 << ")";
+        break;
+    }
+    return oss.str();
+}
+
+// ----------------------------------------------------------------------
+// Saved tensors and hooks
+// ----------------------------------------------------------------------
+
+namespace {
+thread_local std::vector<SavedTensorHooks *> g_hook_stack;
+} // namespace
+
+SavedTensorHooksGuard::SavedTensorHooksGuard(SavedTensorHooks *hooks)
+{
+    EDKM_CHECK(hooks != nullptr, "null hooks");
+    g_hook_stack.push_back(hooks);
+}
+
+SavedTensorHooksGuard::~SavedTensorHooksGuard()
+{
+    g_hook_stack.pop_back();
+}
+
+SavedTensorHooks *
+SavedTensorHooksGuard::active()
+{
+    return g_hook_stack.empty() ? nullptr : g_hook_stack.back();
+}
+
+SavedTensor::SavedTensor(const Tensor &t, std::shared_ptr<VarImpl> source)
+    : is_set_(true)
+{
+    SavedTensorHooks *hooks = SavedTensorHooksGuard::active();
+    if (hooks) {
+        hooks_ = hooks;
+        handle_ = hooks->pack(SavedSource{t, std::move(source)});
+    } else {
+        plain_ = t;
+    }
+}
+
+Tensor
+SavedTensor::unpack() const
+{
+    EDKM_CHECK(is_set_, "unpack() of empty SavedTensor");
+    if (hooks_) {
+        return hooks_->unpack(handle_);
+    }
+    return plain_;
+}
+
+// ----------------------------------------------------------------------
+// Node
+// ----------------------------------------------------------------------
+
+Node::Node(std::string op_name, std::optional<ViewSpec> view_spec)
+    : op_name_(std::move(op_name)), view_spec_(std::move(view_spec))
+{
+}
+
+void
+Node::postBuild(const Variable &output)
+{
+    (void)output;
+}
+
+AccumulateGrad::AccumulateGrad(std::weak_ptr<VarImpl> target)
+    : Node("accumulate_grad"), target_(std::move(target))
+{
+}
+
+std::vector<Tensor>
+AccumulateGrad::backward(const Tensor &grad_out)
+{
+    std::shared_ptr<VarImpl> t = target_.lock();
+    if (!t) {
+        return {}; // leaf died before backward: nothing to accumulate
+    }
+    if (!t->grad.defined()) {
+        t->grad = grad_out.clone();
+    } else {
+        t->grad = add(t->grad, grad_out);
+    }
+    return {};
+}
+
+std::shared_ptr<Node>
+gradAccumulator(const std::shared_ptr<VarImpl> &leaf)
+{
+    EDKM_ASSERT(leaf != nullptr, "gradAccumulator: null leaf");
+    if (!leaf->gradAccumulator) {
+        leaf->gradAccumulator = std::make_shared<AccumulateGrad>(leaf);
+    }
+    return leaf->gradAccumulator;
+}
+
+Variable
+makeResult(Tensor data, const std::vector<Variable> &inputs,
+           const std::function<std::shared_ptr<Node>()> &make_node)
+{
+    bool needs_grad = false;
+    if (gradModeEnabled()) {
+        for (const Variable &v : inputs) {
+            if (v.defined() && v.requiresGrad()) {
+                needs_grad = true;
+                break;
+            }
+        }
+    }
+    if (!needs_grad) {
+        return Variable(std::move(data), false);
+    }
+
+    std::shared_ptr<Node> node = make_node();
+    node->nextEdges.clear();
+    node->inputImpls.clear();
+    for (const Variable &v : inputs) {
+        Edge e;
+        if (v.defined() && v.requiresGrad()) {
+            if (v.isLeaf()) {
+                e.fn = gradAccumulator(v.impl());
+            } else {
+                e.fn = v.gradFn();
+            }
+        }
+        node->nextEdges.push_back(std::move(e));
+        node->inputImpls.push_back(
+            v.defined() ? std::weak_ptr<VarImpl>(v.impl())
+                        : std::weak_ptr<VarImpl>());
+        if (v.defined()) {
+            v.impl()->consumers.push_back(node);
+        }
+    }
+
+    auto out_impl = std::make_shared<VarImpl>();
+    out_impl->data = std::move(data);
+    out_impl->requiresGrad = true;
+    out_impl->gradFn = node;
+    Variable out = Variable::fromImpl(out_impl);
+    node->outputImpl = out_impl;
+    node->postBuild(out);
+    return out;
+}
+
+} // namespace edkm

@@ -1,0 +1,117 @@
+#include "autograd/variable.h"
+
+#include <atomic>
+
+#include "autograd/node.h"
+#include "util/logging.h"
+
+namespace edkm {
+
+namespace {
+std::atomic<uint64_t> g_next_var_id{1};
+thread_local bool g_grad_mode = true;
+} // namespace
+
+Variable::Variable(Tensor data, bool requires_grad, std::string name)
+    : impl_(std::make_shared<VarImpl>())
+{
+    impl_->data = std::move(data);
+    impl_->requiresGrad = requires_grad;
+    impl_->id = g_next_var_id.fetch_add(1, std::memory_order_relaxed);
+    impl_->name = std::move(name);
+}
+
+Variable
+Variable::fromImpl(std::shared_ptr<VarImpl> impl)
+{
+    Variable v;
+    if (impl && impl->id == 0) {
+        impl->id = g_next_var_id.fetch_add(1, std::memory_order_relaxed);
+    }
+    v.impl_ = std::move(impl);
+    return v;
+}
+
+const Tensor &
+Variable::data() const
+{
+    EDKM_CHECK(defined(), "data() on undefined variable");
+    return impl_->data;
+}
+
+Tensor &
+Variable::mutableData()
+{
+    EDKM_CHECK(defined(), "mutableData() on undefined variable");
+    return impl_->data;
+}
+
+const Tensor &
+Variable::grad() const
+{
+    EDKM_CHECK(defined(), "grad() on undefined variable");
+    return impl_->grad;
+}
+
+void
+Variable::zeroGrad()
+{
+    EDKM_CHECK(defined(), "zeroGrad() on undefined variable");
+    impl_->grad = Tensor();
+}
+
+bool
+Variable::requiresGrad() const
+{
+    return impl_ && impl_->requiresGrad;
+}
+
+std::shared_ptr<Node>
+Variable::gradFn() const
+{
+    return impl_ ? impl_->gradFn : nullptr;
+}
+
+bool
+Variable::isLeaf() const
+{
+    return impl_ && impl_->gradFn == nullptr;
+}
+
+uint64_t
+Variable::id() const
+{
+    return impl_ ? impl_->id : 0;
+}
+
+const std::string &
+Variable::name() const
+{
+    static const std::string empty;
+    return impl_ ? impl_->name : empty;
+}
+
+Variable
+Variable::detach() const
+{
+    EDKM_CHECK(defined(), "detach() on undefined variable");
+    return Variable(impl_->data, false, impl_->name);
+}
+
+bool
+gradModeEnabled()
+{
+    return g_grad_mode;
+}
+
+NoGradGuard::NoGradGuard() : prev_(g_grad_mode)
+{
+    g_grad_mode = false;
+}
+
+NoGradGuard::~NoGradGuard()
+{
+    g_grad_mode = prev_;
+}
+
+} // namespace edkm

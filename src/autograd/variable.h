@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Autograd variable: a tensor plus gradient metadata and graph linkage.
+ *
+ * Mirrors PyTorch's design: the autograd graph is made of Nodes connected
+ * node-to-node (next_edges); Variables only point at their producing node
+ * (gradFn). Tensor *data* of intermediates is kept alive only when a Node
+ * explicitly saves it for backward — and saves go through the
+ * saved-tensor-hooks extension point, which is where eDKM's marshaling
+ * layer intercepts (paper section 2.1).
+ */
+
+#ifndef EDKM_AUTOGRAD_VARIABLE_H_
+#define EDKM_AUTOGRAD_VARIABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace edkm {
+
+class Node;
+
+/**
+ * Shared state of a Variable. Public so the marshaling layer can inspect
+ * graph linkage; library users should stay on the Variable interface.
+ */
+struct VarImpl
+{
+    Tensor data;
+    Tensor grad; ///< undefined until first accumulation
+    bool requiresGrad = false;
+    std::shared_ptr<Node> gradFn; ///< producer node (null for leaves)
+    std::shared_ptr<Node> gradAccumulator; ///< lazily created leaf sink
+    std::vector<std::weak_ptr<Node>> consumers; ///< nodes consuming this
+    uint64_t id = 0; ///< process-unique variable id
+    std::string name; ///< optional debug name
+};
+
+/** Value-semantic handle to a VarImpl (copies share state). */
+class Variable
+{
+  public:
+    /** Undefined variable. */
+    Variable() = default;
+
+    /** Wrap @p data as a leaf. @p requires_grad marks it as a parameter. */
+    explicit Variable(Tensor data, bool requires_grad = false,
+                      std::string name = "");
+
+    bool defined() const { return impl_ != nullptr; }
+
+    /** The forward value. */
+    const Tensor &data() const;
+
+    /** Mutable access to the forward value (optimizer updates). */
+    Tensor &mutableData();
+
+    /** Accumulated gradient (undefined until backward reaches it). */
+    const Tensor &grad() const;
+
+    /** Drop the accumulated gradient. */
+    void zeroGrad();
+
+    bool requiresGrad() const;
+
+    /** Producer node; null for leaves. */
+    std::shared_ptr<Node> gradFn() const;
+
+    /** True when this variable was not produced by an op. */
+    bool isLeaf() const;
+
+    uint64_t id() const;
+
+    const std::string &name() const;
+
+    /** A new leaf variable sharing this data, detached from the graph. */
+    Variable detach() const;
+
+    /** Internal: shared implementation pointer. */
+    const std::shared_ptr<VarImpl> &impl() const { return impl_; }
+
+    /** Internal: construct from an implementation pointer. */
+    static Variable fromImpl(std::shared_ptr<VarImpl> impl);
+
+  private:
+    std::shared_ptr<VarImpl> impl_;
+};
+
+/** True when autograd graph construction is enabled (thread-local). */
+bool gradModeEnabled();
+
+/** RAII guard disabling graph construction (inference/eval paths). */
+class NoGradGuard
+{
+  public:
+    NoGradGuard();
+    ~NoGradGuard();
+
+  private:
+    bool prev_;
+};
+
+} // namespace edkm
+
+#endif // EDKM_AUTOGRAD_VARIABLE_H_

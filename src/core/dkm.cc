@@ -1,0 +1,220 @@
+#include "core/dkm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "autograd/engine.h"
+#include "autograd/functional.h"
+#include "autograd/node.h"
+#include "core/kmeans.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace edkm {
+
+namespace {
+
+/**
+ * Pairwise absolute distance |a_i - b_j| for column vectors a [n,1],
+ * b [k,1]. Mirrors torch.cdist for 1-d points: saves both inputs and its
+ * output for backward (the original DKM computes cdist(W,C)**2, so the
+ * downstream square re-saves this node's output — the duplicate the
+ * marshaling layer detects at 0 hops).
+ */
+class Cdist1dNode : public Node
+{
+  public:
+    Cdist1dNode(const Variable &a, const Variable &b)
+        : Node("cdist"), a_(save(a)), b_(save(b))
+    {
+    }
+
+    void
+    postBuild(const Variable &out) override
+    {
+        out_ = save(out);
+    }
+
+    std::vector<Tensor>
+    backward(const Tensor &g) override
+    {
+        Tensor a = a_.unpack();   // [n,1]
+        Tensor b = b_.unpack();   // [k,1]
+        Tensor d = out_.unpack(); // [n,k]
+        int64_t n = a.size(0), k = b.size(0);
+        Tensor ga = Tensor::zeros({n, 1}, DType::kF32, g.device());
+        Tensor gb = Tensor::zeros({k, 1}, DType::kF32, g.device());
+        const float *pa = a.isContiguous() ? a.rawData<float>() : nullptr;
+        Tensor gc = g.isContiguous() ? g : g.contiguous();
+        Tensor dc = d.isContiguous() ? d : d.contiguous();
+        const float *pg = gc.rawData<float>();
+        const float *pd = dc.rawData<float>();
+        float *pga = ga.rawData<float>();
+        float *pgb = gb.rawData<float>();
+        std::vector<float> bv = b.toVector();
+        for (int64_t i = 0; i < n; ++i) {
+            float av = pa ? pa[i] : a.flatAt(i);
+            for (int64_t j = 0; j < k; ++j) {
+                float dist = pd[i * k + j];
+                if (dist == 0.0f) {
+                    continue; // subgradient 0 at the kink
+                }
+                float s = (av - bv[static_cast<size_t>(j)]) / dist;
+                float gij = pg[i * k + j];
+                pga[i] += gij * s;
+                pgb[j] -= gij * s;
+            }
+        }
+        return {ga, gb};
+    }
+
+  private:
+    SavedTensor a_, b_, out_;
+};
+
+Variable
+cdist1d(const Variable &a, const Variable &b)
+{
+    Tensor ad = a.data(), bd = b.data();
+    EDKM_CHECK(ad.dim() == 2 && ad.size(1) == 1 && bd.dim() == 2 &&
+                   bd.size(1) == 1,
+               "cdist1d: expects [n,1] and [k,1]");
+    // |a_i - b_j| dense kernel.
+    int64_t n = ad.size(0), k = bd.size(0);
+    Tensor out = Tensor::empty({n, k}, DType::kF32, ad.device());
+    Tensor ac = ad.isContiguous() ? ad : ad.contiguous();
+    std::vector<float> bv = bd.toVector();
+    const float *pa = ac.rawData<float>();
+    float *po = out.rawData<float>();
+    for (int64_t i = 0; i < n; ++i) {
+        for (int64_t j = 0; j < k; ++j) {
+            po[i * k + j] =
+                std::fabs(pa[i] - bv[static_cast<size_t>(j)]);
+        }
+    }
+    return makeResult(std::move(out), {a, b}, [&] {
+        return std::make_shared<Cdist1dNode>(a, b);
+    });
+}
+
+} // namespace
+
+DkmLayer::DkmLayer(DkmConfig config) : config_(config)
+{
+    EDKM_CHECK(config_.bits >= 1 && config_.bits <= 8,
+               "DKM: bits must be in [1,8]");
+    EDKM_CHECK(config_.maxIters >= 1, "DKM: maxIters must be >= 1");
+}
+
+std::vector<float>
+DkmLayer::initCentroids(const std::vector<float> &values,
+                        const std::vector<float> &counts,
+                        const DkmConfig &config)
+{
+    Rng rng(config.seed);
+    KMeansResult km = kmeans1d(values, counts, 1 << config.bits, rng,
+                               config.initLloydIters);
+    return km.centroids;
+}
+
+float
+DkmLayer::resolveTemperature(const DkmConfig &config,
+                             const std::vector<float> &values,
+                             const std::vector<float> &counts)
+{
+    if (config.temperature > 0.0f) {
+        return config.temperature;
+    }
+    // Variance heuristic: tau = 2 var / k^2 separates adjacent clusters
+    // of a roughly uniform spread into near-hard assignments.
+    double mass = 0.0, mean = 0.0;
+    for (size_t i = 0; i < values.size(); ++i) {
+        double c = counts.empty() ? 1.0 : counts[i];
+        mass += c;
+        mean += c * values[i];
+    }
+    mean /= std::max(mass, 1.0);
+    double var = 0.0;
+    for (size_t i = 0; i < values.size(); ++i) {
+        double c = counts.empty() ? 1.0 : counts[i];
+        double d = values[i] - mean;
+        var += c * d * d;
+    }
+    var /= std::max(mass, 1.0);
+    double k = static_cast<double>(1 << config.bits);
+    return static_cast<float>(std::max(2.0 * var / (k * k), 1e-12));
+}
+
+Variable
+DkmLayer::forward(const Variable &w)
+{
+    const Tensor &wd = w.data();
+    EDKM_CHECK(wd.defined() && wd.numel() > 0, "DKM: empty weight");
+    int64_t n = wd.numel();
+    int64_t k = 1 << config_.bits;
+    Shape orig_shape = wd.shape();
+
+    // Warm start + temperature (non-differentiable, on host data).
+    std::vector<float> values = wd.toVector();
+    std::vector<float> init = initCentroids(values, {}, config_);
+    temperature_used_ = resolveTemperature(config_, values, {});
+    float inv_tau = -1.0f / temperature_used_;
+
+    Variable w1 = af::view(af::contiguous(w), {n, 1});
+    Variable c = af::constant(
+        Tensor::fromVector(init, {k, 1}, wd.device()));
+
+    Variable attention; // A of the last executed iteration
+    last_iters_ = 0;
+    for (int iter = 0; iter < config_.maxIters; ++iter) {
+        // dist -> squared dist -> scaled scores -> attention map.
+        Variable dist = cdist1d(w1, c);
+        Variable dist_sq = af::square(dist);
+        Variable scores = af::mulScalar(dist_sq, inv_tau);
+        attention = af::softmaxLastDim(scores); // [n,k]
+
+        // Attention-pooled centroid update.
+        Variable at = af::transpose(attention, 0, 1); // view of A
+        Variable numer = af::matmul(at, w1);          // [k,1]
+        Variable denom =
+            af::unsqueeze(af::sumDim(attention, 0, false), 1); // [k,1]
+        Variable c_new = af::div(numer, af::addScalar(denom, 1e-12f));
+
+        float delta;
+        {
+            NoGradGuard ng;
+            delta = maxAbsDiff(c_new.data(), c.data());
+        }
+        c = c_new;
+        last_iters_ = iter + 1;
+        if (delta < config_.convergenceEps) {
+            break;
+        }
+    }
+
+    centroids_ = c.data().clone().view({k});
+
+    // W~ = A * C with the final centroids (A is re-saved by this matmul;
+    // the marshaling layer resolves it to the softmax's existing copy).
+    Variable clustered = af::matmul(attention, c);
+    return af::view(clustered, orig_shape);
+}
+
+PalettizedTensor
+DkmLayer::palettize(const Tensor &w) const
+{
+    EDKM_CHECK(centroids_.defined(),
+               "palettize: call forward() first");
+    std::vector<float> lut = centroids_.toVector();
+    std::sort(lut.begin(), lut.end()); // nearestCentroid needs order
+    std::vector<float> values = w.toVector();
+    std::vector<int32_t> assign(values.size());
+    for (size_t i = 0; i < values.size(); ++i) {
+        assign[i] = nearestCentroid(lut, values[i]);
+    }
+    return PalettizedTensor::fromAssignments(w.shape(), lut, assign,
+                                             config_.bits);
+}
+
+} // namespace edkm

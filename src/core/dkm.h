@@ -1,0 +1,118 @@
+/**
+ * @file
+ * DKM: differentiable k-means clustering layer (Cho et al., ICLR 2022) —
+ * the dense reference implementation that eDKM optimises.
+ *
+ * The layer softly clusters a weight tensor around 2^bits centroids by
+ * iterating
+ *
+ *     A   = softmax_rows( -|w_i - c_j|^2 / tau )     (attention map)
+ *     c_j = (sum_i A_ij w_i) / (sum_i A_ij)          (attention pooling)
+ *
+ * until the centroids stop moving, then emits W~ = A * C. The whole loop
+ * is built from differentiable ops, so gradients flow from W~ back to W
+ * through every iteration — and every iteration's attention map is saved
+ * for backward, giving the O(|W| * |C| * iters) memory complexity that
+ * motivates eDKM (the map alone needs ~224 GB for LLaMA-7B at 4 bits).
+ *
+ * The forward graph mirrors the original PyTorch implementation
+ * (cdist -> square -> softmax -> attention pooling), including the saved-
+ * tensor duplication patterns the marshaling layer exploits: the square's
+ * input re-saves cdist's output (0 hops), attention pooling saves A^T (a
+ * transpose view of the softmax output, 1 hop), and W is re-saved every
+ * iteration (0 hops).
+ */
+
+#ifndef EDKM_CORE_DKM_H_
+#define EDKM_CORE_DKM_H_
+
+#include <cstdint>
+
+#include "autograd/variable.h"
+#include "core/palettize.h"
+#include "tensor/tensor.h"
+
+namespace edkm {
+
+/** Hyper-parameters shared by DkmLayer and EdkmLayer. */
+struct DkmConfig
+{
+    /** Bits per weight; 2^bits centroids. */
+    int bits = 3;
+
+    /**
+     * Softmax temperature tau. <= 0 selects the variance heuristic
+     * tau = 2*var(W)/k^2 (sharp enough to separate adjacent clusters).
+     */
+    float temperature = 0.0f;
+
+    /** Cap on differentiable iterations. */
+    int maxIters = 8;
+
+    /** Converged when no centroid moves more than this. */
+    float convergenceEps = 1e-6f;
+
+    /** Lloyd iterations for the (non-differentiable) warm start. */
+    int initLloydIters = 3;
+
+    /** Seed for kmeans++ initialisation. */
+    uint64_t seed = 1234;
+};
+
+/**
+ * Dense differentiable weight-clustering layer.
+ *
+ * Stateless across calls except for diagnostics of the last forward
+ * (centroids, iteration count, temperature used).
+ */
+class DkmLayer
+{
+  public:
+    explicit DkmLayer(DkmConfig config);
+
+    /**
+     * Differentiable soft clustering of @p w (any shape). Returns W~ with
+     * the same shape; gradients flow to @p w through all iterations.
+     */
+    Variable forward(const Variable &w);
+
+    /**
+     * Hard-assign @p w to the centroids of the last forward() and pack
+     * into the deployable palettized format.
+     */
+    PalettizedTensor palettize(const Tensor &w) const;
+
+    /** Centroids after the last forward ([k] f32 on the input device). */
+    const Tensor &centroids() const { return centroids_; }
+
+    /** Differentiable iterations executed in the last forward. */
+    int lastIterations() const { return last_iters_; }
+
+    /** Temperature used in the last forward (after auto-selection). */
+    float temperatureUsed() const { return temperature_used_; }
+
+    const DkmConfig &config() const { return config_; }
+
+    /**
+     * Shared heuristic: initial centroids for @p w via weighted
+     * kmeans++/Lloyd on (optionally unique) values.
+     */
+    static std::vector<float> initCentroids(
+        const std::vector<float> &values, const std::vector<float> &counts,
+        const DkmConfig &config);
+
+    /** Shared heuristic: resolve tau (auto when config.temperature<=0). */
+    static float resolveTemperature(const DkmConfig &config,
+                                    const std::vector<float> &values,
+                                    const std::vector<float> &counts);
+
+  private:
+    DkmConfig config_;
+    Tensor centroids_;
+    int last_iters_ = 0;
+    float temperature_used_ = 0.0f;
+};
+
+} // namespace edkm
+
+#endif // EDKM_CORE_DKM_H_

@@ -1,0 +1,123 @@
+#include "core/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace edkm {
+
+int32_t
+nearestCentroid(const std::vector<float> &centroids, float v)
+{
+    // Centroids are kept sorted: binary search then compare neighbours.
+    auto it = std::lower_bound(centroids.begin(), centroids.end(), v);
+    size_t hi = static_cast<size_t>(it - centroids.begin());
+    if (hi == 0) {
+        return 0;
+    }
+    if (hi == centroids.size()) {
+        return static_cast<int32_t>(centroids.size() - 1);
+    }
+    float dlo = v - centroids[hi - 1];
+    float dhi = centroids[hi] - v;
+    return static_cast<int32_t>(dlo <= dhi ? hi - 1 : hi);
+}
+
+KMeansResult
+kmeans1d(const std::vector<float> &values,
+         const std::vector<float> &weights, int k, Rng &rng, int max_iters,
+         double tol)
+{
+    EDKM_CHECK(k >= 1, "kmeans1d: k must be >= 1");
+    EDKM_CHECK(!values.empty(), "kmeans1d: empty input");
+    EDKM_CHECK(weights.empty() || weights.size() == values.size(),
+               "kmeans1d: weight count mismatch");
+
+    size_t n = values.size();
+    auto weight_at = [&](size_t i) {
+        return weights.empty() ? 1.0f : weights[i];
+    };
+
+    // kmeans++ seeding.
+    std::vector<float> centroids;
+    centroids.reserve(static_cast<size_t>(k));
+    {
+        std::vector<double> probs(n);
+        for (size_t i = 0; i < n; ++i) {
+            probs[i] = weight_at(i);
+        }
+        centroids.push_back(values[rng.categorical(probs)]);
+        std::vector<double> d2(n);
+        while (centroids.size() < static_cast<size_t>(k)) {
+            double total = 0.0;
+            for (size_t i = 0; i < n; ++i) {
+                double best = std::numeric_limits<double>::max();
+                for (float c : centroids) {
+                    double d = static_cast<double>(values[i]) - c;
+                    best = std::min(best, d * d);
+                }
+                d2[i] = best * weight_at(i);
+                total += d2[i];
+            }
+            if (total <= 0.0) {
+                // All points coincide with centroids: pad with extremes.
+                centroids.push_back(
+                    *std::max_element(values.begin(), values.end()));
+                continue;
+            }
+            centroids.push_back(values[rng.categorical(d2)]);
+        }
+        std::sort(centroids.begin(), centroids.end());
+    }
+
+    // Lloyd iterations.
+    KMeansResult result;
+    result.assignments.resize(n);
+    std::vector<double> sum(static_cast<size_t>(k));
+    std::vector<double> mass(static_cast<size_t>(k));
+    for (int iter = 0; iter < max_iters; ++iter) {
+        std::fill(sum.begin(), sum.end(), 0.0);
+        std::fill(mass.begin(), mass.end(), 0.0);
+        for (size_t i = 0; i < n; ++i) {
+            int32_t a = nearestCentroid(centroids, values[i]);
+            result.assignments[i] = a;
+            sum[static_cast<size_t>(a)] +=
+                static_cast<double>(values[i]) * weight_at(i);
+            mass[static_cast<size_t>(a)] += weight_at(i);
+        }
+        double max_move = 0.0;
+        for (int c = 0; c < k; ++c) {
+            if (mass[static_cast<size_t>(c)] <= 0.0) {
+                continue; // empty cluster: keep previous position
+            }
+            float next = static_cast<float>(sum[static_cast<size_t>(c)] /
+                                            mass[static_cast<size_t>(c)]);
+            max_move = std::max(
+                max_move,
+                std::fabs(static_cast<double>(next) -
+                          centroids[static_cast<size_t>(c)]));
+            centroids[static_cast<size_t>(c)] = next;
+        }
+        std::sort(centroids.begin(), centroids.end());
+        result.iterations = iter + 1;
+        if (max_move < tol) {
+            break;
+        }
+    }
+
+    // Final assignment + inertia.
+    result.inertia = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        int32_t a = nearestCentroid(centroids, values[i]);
+        result.assignments[i] = a;
+        double d = static_cast<double>(values[i]) -
+                   centroids[static_cast<size_t>(a)];
+        result.inertia += d * d * weight_at(i);
+    }
+    result.centroids = std::move(centroids);
+    return result;
+}
+
+} // namespace edkm

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Weighted 1-D k-means (kmeans++ seeding + Lloyd iterations).
+ *
+ * Serves three roles: warm-start initialisation of DKM's centroids,
+ * the hard-assignment step of palettization, and a classic non-
+ * differentiable clustering baseline for tests.
+ *
+ * Weight clustering operates on scalar weight values, so only the 1-D
+ * case is needed; multiplicity weights let the uniquified path cluster
+ * unique values exactly as the dense path clusters all values.
+ */
+
+#ifndef EDKM_CORE_KMEANS_H_
+#define EDKM_CORE_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace edkm {
+
+/** Output of a k-means run. */
+struct KMeansResult
+{
+    std::vector<float> centroids;     ///< k cluster centers (sorted)
+    std::vector<int32_t> assignments; ///< nearest-centroid id per value
+    double inertia = 0.0;             ///< weighted sum of squared error
+    int iterations = 0;               ///< Lloyd iterations executed
+};
+
+/**
+ * Weighted 1-D k-means.
+ *
+ * @param values     data points.
+ * @param weights    non-negative multiplicity per point (empty = all 1).
+ * @param k          number of clusters (>=1). If fewer distinct values
+ *                   than k exist, surplus centroids duplicate extremes.
+ * @param rng        seeding source (kmeans++ is stochastic).
+ * @param max_iters  Lloyd iteration cap.
+ * @param tol        stop when no centroid moves more than this.
+ */
+KMeansResult kmeans1d(const std::vector<float> &values,
+                      const std::vector<float> &weights, int k, Rng &rng,
+                      int max_iters = 25, double tol = 1e-7);
+
+/** Index of the centroid nearest to @p v. */
+int32_t nearestCentroid(const std::vector<float> &centroids, float v);
+
+} // namespace edkm
+
+#endif // EDKM_CORE_KMEANS_H_

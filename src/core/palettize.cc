@@ -1,0 +1,216 @@
+#include "core/palettize.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "core/kmeans.h"
+#include "util/half.h"
+#include "util/logging.h"
+
+namespace edkm {
+
+std::vector<uint8_t>
+packBits(const std::vector<int32_t> &values, int bits)
+{
+    EDKM_CHECK(bits >= 1 && bits <= 16, "packBits: bits out of range");
+    std::vector<uint8_t> out((values.size() * bits + 7) / 8, 0);
+    size_t bitpos = 0;
+    for (int32_t v : values) {
+        EDKM_CHECK(v >= 0 && v < (1 << bits), "packBits: value ", v,
+                   " does not fit in ", bits, " bits");
+        uint32_t u = static_cast<uint32_t>(v);
+        for (int b = 0; b < bits; ++b) {
+            if (u & (1u << b)) {
+                out[bitpos >> 3] |=
+                    static_cast<uint8_t>(1u << (bitpos & 7));
+            }
+            ++bitpos;
+        }
+    }
+    return out;
+}
+
+std::vector<int32_t>
+unpackBits(const std::vector<uint8_t> &stream, int bits, int64_t n)
+{
+    EDKM_CHECK(bits >= 1 && bits <= 16, "unpackBits: bits out of range");
+    EDKM_CHECK(static_cast<int64_t>(stream.size()) * 8 >= n * bits,
+               "unpackBits: stream too short");
+    std::vector<int32_t> out(static_cast<size_t>(n), 0);
+    size_t bitpos = 0;
+    for (int64_t i = 0; i < n; ++i) {
+        uint32_t v = 0;
+        for (int b = 0; b < bits; ++b) {
+            if (stream[bitpos >> 3] & (1u << (bitpos & 7))) {
+                v |= 1u << b;
+            }
+            ++bitpos;
+        }
+        out[static_cast<size_t>(i)] = static_cast<int32_t>(v);
+    }
+    return out;
+}
+
+PalettizedTensor
+PalettizedTensor::fromDense(const Tensor &w, int bits, Rng &rng,
+                            int kmeans_iters)
+{
+    std::vector<float> values = w.toVector();
+    KMeansResult km = kmeans1d(values, {}, 1 << bits, rng, kmeans_iters);
+    return fromAssignments(w.shape(), km.centroids, km.assignments, bits);
+}
+
+PalettizedTensor
+PalettizedTensor::fromAssignments(Shape shape,
+                                  const std::vector<float> &lut,
+                                  const std::vector<int32_t> &assignments,
+                                  int bits)
+{
+    EDKM_CHECK(static_cast<int>(lut.size()) == (1 << bits),
+               "palettize: LUT must have 2^bits entries, got ", lut.size());
+    PalettizedTensor p;
+    p.shape_ = std::move(shape);
+    p.bits_ = bits;
+    // Round the LUT through FP16 — that is the precision it ships in.
+    p.lut_.reserve(lut.size());
+    for (float c : lut) {
+        p.lut_.push_back(roundToFp16(c));
+    }
+    p.packed_ = packBits(assignments, bits);
+    EDKM_CHECK(static_cast<int64_t>(assignments.size()) == p.numel(),
+               "palettize: one assignment per element");
+    return p;
+}
+
+int64_t
+PalettizedTensor::numel() const
+{
+    int64_t n = 1;
+    for (int64_t d : shape_) {
+        n *= d;
+    }
+    return shape_.empty() ? 0 : n;
+}
+
+Tensor
+PalettizedTensor::decompress(Device dev) const
+{
+    std::vector<int32_t> idx = unpackBits(packed_, bits_, numel());
+    Tensor out = Tensor::empty(shape_, DType::kF32, dev);
+    float *po = out.rawData<float>();
+    for (size_t i = 0; i < idx.size(); ++i) {
+        po[i] = lut_[static_cast<size_t>(idx[i])];
+    }
+    return out;
+}
+
+int64_t
+PalettizedTensor::payloadBytes() const
+{
+    // Packed indices + FP16 LUT + 16-byte header (bits, rank, dims).
+    return static_cast<int64_t>(packed_.size()) +
+           static_cast<int64_t>(lut_.size()) * 2 + 16 +
+           static_cast<int64_t>(shape_.size()) * 8;
+}
+
+double
+PalettizedTensor::bitsPerWeight() const
+{
+    return 8.0 * static_cast<double>(payloadBytes()) /
+           static_cast<double>(numel());
+}
+
+namespace {
+
+template <typename T>
+void
+appendPod(std::vector<uint8_t> &buf, T v)
+{
+    size_t at = buf.size();
+    buf.resize(at + sizeof(T));
+    std::memcpy(buf.data() + at, &v, sizeof(T));
+}
+
+template <typename T>
+T
+readPod(const std::vector<uint8_t> &buf, size_t &at)
+{
+    EDKM_CHECK(at + sizeof(T) <= buf.size(),
+               "deserialize: truncated buffer");
+    T v;
+    std::memcpy(&v, buf.data() + at, sizeof(T));
+    at += sizeof(T);
+    return v;
+}
+
+constexpr uint32_t kMagic = 0x454b4d50u; // "PMKE"
+
+} // namespace
+
+std::vector<uint8_t>
+PalettizedTensor::serialize() const
+{
+    std::vector<uint8_t> buf;
+    appendPod(buf, kMagic);
+    appendPod(buf, static_cast<uint32_t>(bits_));
+    appendPod(buf, static_cast<uint32_t>(shape_.size()));
+    for (int64_t d : shape_) {
+        appendPod(buf, d);
+    }
+    appendPod(buf, static_cast<uint32_t>(lut_.size()));
+    for (float c : lut_) {
+        appendPod(buf, floatToFp16(c));
+    }
+    appendPod(buf, static_cast<uint64_t>(packed_.size()));
+    buf.insert(buf.end(), packed_.begin(), packed_.end());
+    return buf;
+}
+
+PalettizedTensor
+PalettizedTensor::deserialize(const std::vector<uint8_t> &bytes)
+{
+    size_t at = 0;
+    EDKM_CHECK(readPod<uint32_t>(bytes, at) == kMagic,
+               "deserialize: bad magic");
+    PalettizedTensor p;
+    p.bits_ = static_cast<int>(readPod<uint32_t>(bytes, at));
+    uint32_t rank = readPod<uint32_t>(bytes, at);
+    p.shape_.resize(rank);
+    for (uint32_t i = 0; i < rank; ++i) {
+        p.shape_[i] = readPod<int64_t>(bytes, at);
+    }
+    uint32_t lut_n = readPod<uint32_t>(bytes, at);
+    EDKM_CHECK(lut_n == (1u << p.bits_), "deserialize: LUT size mismatch");
+    p.lut_.resize(lut_n);
+    for (uint32_t i = 0; i < lut_n; ++i) {
+        p.lut_[i] = fp16ToFloat(readPod<uint16_t>(bytes, at));
+    }
+    uint64_t packed_n = readPod<uint64_t>(bytes, at);
+    EDKM_CHECK(at + packed_n <= bytes.size(),
+               "deserialize: truncated payload");
+    p.packed_.assign(bytes.begin() + static_cast<int64_t>(at),
+                     bytes.begin() + static_cast<int64_t>(at + packed_n));
+    return p;
+}
+
+void
+PalettizedTensor::save(const std::string &path) const
+{
+    std::vector<uint8_t> buf = serialize();
+    std::ofstream f(path, std::ios::binary);
+    EDKM_CHECK(f.good(), "cannot open ", path, " for writing");
+    f.write(reinterpret_cast<const char *>(buf.data()),
+            static_cast<std::streamsize>(buf.size()));
+}
+
+PalettizedTensor
+PalettizedTensor::load(const std::string &path)
+{
+    std::ifstream f(path, std::ios::binary);
+    EDKM_CHECK(f.good(), "cannot open ", path);
+    std::vector<uint8_t> buf((std::istreambuf_iterator<char>(f)),
+                             std::istreambuf_iterator<char>());
+    return deserialize(buf);
+}
+
+} // namespace edkm

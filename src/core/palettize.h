@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Palettized (weight-clustered) tensor format.
+ *
+ * The deployable artifact of weight clustering: a lookup table of
+ * centroids plus a bitstream of n-bit indices, the format consumed by
+ * mobile inference accelerators (the paper cites Core ML's training-time
+ * palettization). Includes (de)serialisation so compressed models can be
+ * written to disk and reloaded for inference.
+ */
+
+#ifndef EDKM_CORE_PALETTIZE_H_
+#define EDKM_CORE_PALETTIZE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace edkm {
+
+/** Pack @p values (each < 2^bits) into a dense little-endian bitstream. */
+std::vector<uint8_t> packBits(const std::vector<int32_t> &values, int bits);
+
+/** Inverse of packBits for @p n values. */
+std::vector<int32_t> unpackBits(const std::vector<uint8_t> &stream,
+                                int bits, int64_t n);
+
+/**
+ * A weight tensor compressed to `bits` per weight via clustering:
+ * lookup table (stored in FP16, as deployed) + packed index bitstream.
+ */
+class PalettizedTensor
+{
+  public:
+    PalettizedTensor() = default;
+
+    /**
+     * Hard-cluster @p w to 2^bits centroids with k-means and palettize.
+     */
+    static PalettizedTensor fromDense(const Tensor &w, int bits, Rng &rng,
+                                      int kmeans_iters = 25);
+
+    /**
+     * Palettize with externally computed clustering (e.g. DKM/eDKM
+     * centroids and assignments).
+     */
+    static PalettizedTensor fromAssignments(
+        Shape shape, const std::vector<float> &lut,
+        const std::vector<int32_t> &assignments, int bits);
+
+    /** Reconstruct the dense tensor on @p dev. */
+    Tensor decompress(Device dev = Device::cpu()) const;
+
+    int bits() const { return bits_; }
+    const Shape &shape() const { return shape_; }
+    int64_t numel() const;
+    const std::vector<float> &lut() const { return lut_; }
+
+    /** Serialized size: packed indices + FP16 LUT + header. */
+    int64_t payloadBytes() const;
+
+    /** Effective bits per weight including LUT overhead. */
+    double bitsPerWeight() const;
+
+    /** Binary serialisation (stable little-endian format). */
+    std::vector<uint8_t> serialize() const;
+    static PalettizedTensor deserialize(const std::vector<uint8_t> &bytes);
+
+    /** File convenience wrappers around (de)serialize. */
+    void save(const std::string &path) const;
+    static PalettizedTensor load(const std::string &path);
+
+  private:
+    Shape shape_;
+    int bits_ = 0;
+    std::vector<float> lut_;       ///< 2^bits centroids (f32 mirror)
+    std::vector<uint8_t> packed_;  ///< n-bit index bitstream
+};
+
+} // namespace edkm
+
+#endif // EDKM_CORE_PALETTIZE_H_

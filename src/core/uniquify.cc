@@ -1,0 +1,70 @@
+#include "core/uniquify.h"
+
+#include <array>
+
+#include "device/device_manager.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace edkm {
+
+UniqueDecomposition
+uniquify(const Tensor &w, HalfKind kind)
+{
+    EDKM_CHECK(w.defined(), "uniquify: undefined tensor");
+    UniqueDecomposition out;
+    out.halfKind = kind;
+    out.numel = w.numel();
+    out.indexList = Tensor::empty({w.numel()}, DType::kU16, w.device());
+
+    // Direct-mapped table over all 2^16 patterns: row id per pattern,
+    // -1 = unseen. One pass, O(n).
+    std::array<int32_t, 65536> row_of_pattern;
+    row_of_pattern.fill(-1);
+
+    uint16_t *idx = out.indexList.rawData<uint16_t>();
+    int64_t n = w.numel();
+    bool fast = w.isContiguous() && w.dtype() == DType::kF32;
+    const float *pw = fast ? w.rawData<float>() : nullptr;
+    for (int64_t i = 0; i < n; ++i) {
+        float v = fast ? pw[i] : w.flatAt(i);
+        uint16_t bits = floatToHalfBits(v, kind);
+        int32_t &row = row_of_pattern[bits];
+        if (row < 0) {
+            row = static_cast<int32_t>(out.values.size());
+            out.values.push_back(halfBitsToFloat(bits, kind));
+            out.counts.push_back(0.0f);
+        }
+        out.counts[static_cast<size_t>(row)] += 1.0f;
+        idx[i] = static_cast<uint16_t>(row);
+    }
+    // One bucketing pass: ~3 ops per element (convert, lookup, count).
+    DeviceManager &mgr = DeviceManager::instance();
+    mgr.recordComputeSeconds(
+        mgr.costModel().computeSeconds(3.0 * n, w.device()));
+    return out;
+}
+
+Tensor
+UniqueDecomposition::reconstruct(Device dev) const
+{
+    Tensor out = Tensor::empty({numel}, DType::kF32, dev);
+    float *po = out.rawData<float>();
+    const uint16_t *idx = indexList.rawData<const uint16_t>();
+    for (int64_t i = 0; i < numel; ++i) {
+        po[i] = values[idx[i]];
+    }
+    return out;
+}
+
+double
+UniqueDecomposition::mapCompressionRatio(int64_t num_centroids) const
+{
+    double dense = static_cast<double>(numel) * num_centroids * 4.0;
+    double packed = static_cast<double>(uniqueCount()) * num_centroids *
+                        4.0 +           // attention table (f32)
+                    numel * 2.0;        // index list (u16)
+    return dense / packed;
+}
+
+} // namespace edkm

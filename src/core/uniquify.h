@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Weight uniquification (paper section 2.2).
+ *
+ * 16-bit weights (BF16/FP16) can take at most 2^16 distinct bit patterns,
+ * so the |W| x |C| attention map factorises losslessly into an *attention
+ * table* with one row per unique pattern (O(|C|) memory, at most 65,536
+ * rows) and an *index list* mapping each weight to its table row
+ * (O(|W|), 16-bit entries). This module builds that decomposition.
+ */
+
+#ifndef EDKM_CORE_UNIQUIFY_H_
+#define EDKM_CORE_UNIQUIFY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/half.h"
+
+namespace edkm {
+
+/**
+ * The unique-value decomposition of a weight tensor under a 16-bit
+ * bucketing. reconstruct() is exact for weights already representable in
+ * the chosen 16-bit format (the LLM fine-tuning case).
+ */
+struct UniqueDecomposition
+{
+    /** Unique values (decoded to f32), in first-seen order. */
+    std::vector<float> values;
+
+    /** Multiplicity of each unique value. */
+    std::vector<float> counts;
+
+    /** Row index per original element (kU16 tensor of @ref numel). */
+    Tensor indexList;
+
+    /** Bucketing precision used. */
+    HalfKind halfKind = HalfKind::kBf16;
+
+    /** Total number of original elements. */
+    int64_t numel = 0;
+
+    int64_t
+    uniqueCount() const
+    {
+        return static_cast<int64_t>(values.size());
+    }
+
+    /** Gather back the (bucketed) dense values as a 1-D f32 tensor. */
+    Tensor reconstruct(Device dev = Device::cpu()) const;
+
+    /** Compression ratio of table+index vs a dense |W|x|C| f32 map. */
+    double mapCompressionRatio(int64_t num_centroids) const;
+};
+
+/**
+ * Decompose @p w (any shape, any float dtype) by bucketing every element
+ * to its 16-bit @p kind pattern.
+ */
+UniqueDecomposition uniquify(const Tensor &w, HalfKind kind);
+
+} // namespace edkm
+
+#endif // EDKM_CORE_UNIQUIFY_H_

@@ -1,0 +1,162 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace edkm {
+namespace data {
+
+namespace {
+
+const char *kConsonants = "bcdfgklmnprstvz";
+const char *kVowels = "aeiou";
+const char *kColors[] = {"red",  "blue", "green", "gold",
+                         "gray", "pink", "teal",  "brown"};
+
+std::string
+makeWord(Rng &rng, int syllables)
+{
+    std::string w;
+    for (int s = 0; s < syllables; ++s) {
+        w.push_back(kConsonants[rng.randint(0, 14)]);
+        w.push_back(kVowels[rng.randint(0, 4)]);
+    }
+    return w;
+}
+
+} // namespace
+
+SyntheticCorpus::SyntheticCorpus(uint64_t seed, int vocab_words)
+{
+    Rng rng(seed);
+    // Distinct word table.
+    while (static_cast<int>(words_.size()) < vocab_words) {
+        std::string w = makeWord(rng, 2 + static_cast<int>(rng.randint(0, 1)));
+        if (std::find(words_.begin(), words_.end(), w) == words_.end()) {
+            words_.push_back(w);
+        }
+    }
+    // Fixed fact table: entity -> color.
+    for (int i = 0; i < 16; ++i) {
+        facts_.emplace_back(words_[static_cast<size_t>(i)],
+                            kColors[rng.randint(0, 7)]);
+    }
+}
+
+Example
+SyntheticCorpus::makeExample(TaskFamily family, Rng &rng) const
+{
+    if (family == TaskFamily::kMixed) {
+        family = static_cast<TaskFamily>(rng.randint(0, 5));
+    }
+    Example ex;
+    ex.family = family;
+    switch (family) {
+      case TaskFamily::kCopy: {
+        const std::string &w =
+            words_[static_cast<size_t>(rng.randint(0, static_cast<int64_t>(
+                                                          words_.size()) -
+                                                          1))];
+        ex.prompt = "Instruction: repeat the word " + w + "\nResponse: ";
+        ex.response = w + "\n";
+        break;
+      }
+      case TaskFamily::kComplete: {
+        // Fixed idioms: "<w1> goes with <w2>" where w2 = next word in
+        // the table (a learnable deterministic pairing).
+        int64_t i = rng.randint(0, static_cast<int64_t>(words_.size()) - 2);
+        ex.prompt = "Instruction: complete: " +
+                    words_[static_cast<size_t>(i)] + " goes with" +
+                    "\nResponse: ";
+        ex.response = words_[static_cast<size_t>(i + 1)] + "\n";
+        break;
+      }
+      case TaskFamily::kLastLetter: {
+        const std::string &w =
+            words_[static_cast<size_t>(rng.randint(0, static_cast<int64_t>(
+                                                          words_.size()) -
+                                                          1))];
+        ex.prompt =
+            "Instruction: last letter of " + w + "\nResponse: ";
+        ex.response = std::string(1, w.back()) + "\n";
+        break;
+      }
+      case TaskFamily::kArithEasy: {
+        int64_t a = rng.randint(0, 4), b = rng.randint(0, 4);
+        ex.prompt = "Instruction: add " + std::to_string(a) + " and " +
+                    std::to_string(b) + "\nResponse: ";
+        ex.response = std::to_string(a + b) + "\n";
+        break;
+      }
+      case TaskFamily::kArithHard: {
+        int64_t a = rng.randint(10, 49), b = rng.randint(10, 49);
+        ex.prompt = "Instruction: add " + std::to_string(a) + " and " +
+                    std::to_string(b) + "\nResponse: ";
+        ex.response = std::to_string(a + b) + "\n";
+        break;
+      }
+      case TaskFamily::kFactRecall: {
+        const auto &[entity, color] = facts_[static_cast<size_t>(
+            rng.randint(0, static_cast<int64_t>(facts_.size()) - 1))];
+        ex.prompt =
+            "Instruction: color of " + entity + "\nResponse: ";
+        ex.response = color + std::string("\n");
+        break;
+      }
+      case TaskFamily::kMixed:
+        panic("unreachable");
+    }
+    return ex;
+}
+
+std::vector<Example>
+SyntheticCorpus::generate(int n, uint64_t seed) const
+{
+    Rng rng(seed);
+    std::vector<Example> out;
+    out.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        out.push_back(makeExample(TaskFamily::kMixed, rng));
+    }
+    return out;
+}
+
+std::vector<int64_t>
+SyntheticCorpus::buildStream(const std::vector<Example> &examples,
+                             const ByteTokenizer &tok) const
+{
+    std::vector<int64_t> stream;
+    for (const Example &ex : examples) {
+        std::vector<int64_t> t = tok.encode(ex.prompt + ex.response);
+        stream.insert(stream.end(), t.begin(), t.end());
+    }
+    return stream;
+}
+
+LmBatch
+SyntheticCorpus::sampleBatch(const std::vector<int64_t> &stream,
+                             int64_t batch, int64_t seq, Rng &rng)
+{
+    EDKM_CHECK(static_cast<int64_t>(stream.size()) > seq + 1,
+               "sampleBatch: stream shorter than sequence length");
+    LmBatch out;
+    std::vector<int64_t> toks(static_cast<size_t>(batch * seq));
+    std::vector<int64_t> tgts(static_cast<size_t>(batch * seq));
+    for (int64_t b = 0; b < batch; ++b) {
+        int64_t start = rng.randint(
+            0, static_cast<int64_t>(stream.size()) - seq - 2);
+        for (int64_t s = 0; s < seq; ++s) {
+            toks[static_cast<size_t>(b * seq + s)] =
+                stream[static_cast<size_t>(start + s)];
+            tgts[static_cast<size_t>(b * seq + s)] =
+                stream[static_cast<size_t>(start + s + 1)];
+        }
+    }
+    out.tokens = Tensor::fromIndices(toks, {batch, seq});
+    out.targets = Tensor::fromIndices(tgts, {batch * seq});
+    return out;
+}
+
+} // namespace data
+} // namespace edkm

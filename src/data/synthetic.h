@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Synthetic text corpora: the offline stand-ins for LLaMA's pretraining
+ * data and the Alpaca instruction set (see DESIGN.md substitutions).
+ *
+ * The instruction corpus is generated from seven task families (copy,
+ * reverse, uppercase, easy/hard arithmetic, letter selection, fact
+ * recall) over a seeded vocabulary, giving a learnable but non-trivial
+ * signal; the evaluation suite (src/eval) draws held-out items from the
+ * same families so compression-induced accuracy loss is measurable.
+ */
+
+#ifndef EDKM_DATA_SYNTHETIC_H_
+#define EDKM_DATA_SYNTHETIC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/tokenizer.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace edkm {
+namespace data {
+
+/** The task families shared by the corpus and the evaluation suite. */
+enum class TaskFamily {
+    kCopy = 0,      ///< repeat a word            (~PIQA difficulty slot)
+    kComplete,      ///< finish a known sentence  (~HellaSwag slot)
+    kLastLetter,    ///< pick a letter            (~WinoGrande slot)
+    kArithEasy,     ///< 1-digit addition         (~ARC-e slot)
+    kArithHard,     ///< 2-digit addition         (~ARC-c slot)
+    kFactRecall,    ///< attribute lookup         (~TriviaQA slot)
+    kMixed,         ///< mixture of all           (~MMLU slot)
+};
+
+/** Number of distinct families. */
+constexpr int kNumTaskFamilies = 7;
+
+/** One instruction/response pair. */
+struct Example
+{
+    std::string prompt;   ///< "Instruction: ...\nResponse: "
+    std::string response; ///< completion (answer text + newline)
+    TaskFamily family;
+};
+
+/** A [B,S] token batch with shifted next-token targets. */
+struct LmBatch
+{
+    Tensor tokens;  ///< kI64 [B, S]
+    Tensor targets; ///< kI64 [B*S] (next token per position)
+};
+
+/** Seeded generator of synthetic instruction data. */
+class SyntheticCorpus
+{
+  public:
+    /**
+     * @param seed       generation seed (fixed word/fact tables derive
+     *                   from it).
+     * @param vocab_words size of the synthetic word list.
+     */
+    explicit SyntheticCorpus(uint64_t seed = 7, int vocab_words = 48);
+
+    /** Draw one example of @p family (uniform family if kMixed). */
+    Example makeExample(TaskFamily family, Rng &rng) const;
+
+    /** Generate a corpus of @p n examples over all families. */
+    std::vector<Example> generate(int n, uint64_t seed) const;
+
+    /** Concatenate examples into a token stream for LM training. */
+    std::vector<int64_t> buildStream(const std::vector<Example> &examples,
+                                     const ByteTokenizer &tok) const;
+
+    /** Random [B,S] window batch from @p stream. */
+    static LmBatch sampleBatch(const std::vector<int64_t> &stream,
+                               int64_t batch, int64_t seq, Rng &rng);
+
+    /** The word table (exposed for the evaluation suite). */
+    const std::vector<std::string> &words() const { return words_; }
+
+    /** Fact table: entity -> attribute (exposed for evaluation). */
+    const std::vector<std::pair<std::string, std::string>> &
+    facts() const
+    {
+        return facts_;
+    }
+
+  private:
+    std::vector<std::string> words_;
+    std::vector<std::pair<std::string, std::string>> facts_;
+};
+
+} // namespace data
+} // namespace edkm
+
+#endif // EDKM_DATA_SYNTHETIC_H_

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Byte-level tokenizer: every byte is a token (vocab 256). Keeps the
+ * data pipeline dependency-free while exercising the same LM mechanics
+ * (sequence modelling, likelihood scoring) as a subword tokenizer.
+ */
+
+#ifndef EDKM_DATA_TOKENIZER_H_
+#define EDKM_DATA_TOKENIZER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace edkm {
+namespace data {
+
+/** Stateless byte <-> token mapping. */
+class ByteTokenizer
+{
+  public:
+    static constexpr int64_t kVocabSize = 256;
+
+    /** UTF-8/ASCII bytes to token ids. */
+    std::vector<int64_t>
+    encode(const std::string &text) const
+    {
+        std::vector<int64_t> out;
+        out.reserve(text.size());
+        for (unsigned char c : text) {
+            out.push_back(static_cast<int64_t>(c));
+        }
+        return out;
+    }
+
+    /** Token ids back to bytes. */
+    std::string
+    decode(const std::vector<int64_t> &tokens) const
+    {
+        std::string out;
+        out.reserve(tokens.size());
+        for (int64_t t : tokens) {
+            out.push_back(static_cast<char>(t & 0xff));
+        }
+        return out;
+    }
+};
+
+} // namespace data
+} // namespace edkm
+
+#endif // EDKM_DATA_TOKENIZER_H_

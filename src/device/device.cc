@@ -1,0 +1,14 @@
+#include "device/device.h"
+
+namespace edkm {
+
+std::string
+Device::toString() const
+{
+    if (isCpu()) {
+        return "cpu";
+    }
+    return "gpu:" + std::to_string(index);
+}
+
+} // namespace edkm

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Simulated device model.
+ *
+ * The paper's experiments run on 8x A100-80GB GPUs plus host CPU memory.
+ * eDKM's contribution is a memory/traffic optimisation, so what the
+ * reproduction must get right is *where bytes live* and *what crosses the
+ * bus* — not the arithmetic throughput of real silicon. This module
+ * provides named devices with byte-accurate accounting:
+ *
+ *  - MemoryStats per device (current / peak bytes, allocation counts),
+ *  - a TransferLedger counting cross-device transactions and bytes,
+ *  - a CostModel converting compute flops and transfer bytes into
+ *    simulated seconds (documented constants; only *ratios* are meaningful).
+ *
+ * See DESIGN.md section 2 for the substitution rationale.
+ */
+
+#ifndef EDKM_DEVICE_DEVICE_H_
+#define EDKM_DEVICE_DEVICE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace edkm {
+
+/** Kind of simulated device. */
+enum class DeviceType : uint8_t { kCpu = 0, kGpu = 1 };
+
+/** A named device: CPU (one) or GPU (indexed, simulating learners). */
+struct Device
+{
+    DeviceType type = DeviceType::kCpu;
+    int index = 0;
+
+    constexpr Device() = default;
+    constexpr Device(DeviceType t, int i) : type(t), index(i) {}
+
+    /** The host CPU device. */
+    static constexpr Device
+    cpu()
+    {
+        return Device(DeviceType::kCpu, 0);
+    }
+
+    /** Simulated GPU @p i. */
+    static constexpr Device
+    gpu(int i = 0)
+    {
+        return Device(DeviceType::kGpu, i);
+    }
+
+    bool
+    operator==(const Device &o) const
+    {
+        return type == o.type && index == o.index;
+    }
+    bool operator!=(const Device &o) const { return !(*this == o); }
+
+    bool isCpu() const { return type == DeviceType::kCpu; }
+    bool isGpu() const { return type == DeviceType::kGpu; }
+
+    /** Human-readable name, e.g. "cpu" or "gpu:2". */
+    std::string toString() const;
+
+    /** Dense key for table lookups inside DeviceManager. */
+    int key() const { return isCpu() ? 0 : 1 + index; }
+};
+
+} // namespace edkm
+
+#endif // EDKM_DEVICE_DEVICE_H_

@@ -1,0 +1,176 @@
+#include "device/device_manager.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace edkm {
+
+DeviceManager &
+DeviceManager::instance()
+{
+    static DeviceManager mgr;
+    return mgr;
+}
+
+MemoryStats &
+DeviceManager::statsFor(Device dev)
+{
+    size_t key = static_cast<size_t>(dev.key());
+    if (per_device_.size() <= key) {
+        per_device_.resize(key + 1);
+    }
+    return per_device_[key];
+}
+
+void
+DeviceManager::recordAlloc(Device dev, int64_t bytes)
+{
+    EDKM_ASSERT(bytes >= 0, "negative allocation");
+    std::lock_guard<std::mutex> lock(mutex_);
+    MemoryStats &s = statsFor(dev);
+    s.currentBytes += bytes;
+    s.peakBytes = std::max(s.peakBytes, s.currentBytes);
+    s.totalAllocs += 1;
+    if (s.capacityBytes > 0 && s.currentBytes > s.capacityBytes) {
+        s.capacityExceeded = true;
+    }
+}
+
+void
+DeviceManager::recordFree(Device dev, int64_t bytes)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    MemoryStats &s = statsFor(dev);
+    s.currentBytes -= bytes;
+    s.totalFrees += 1;
+    EDKM_ASSERT(s.currentBytes >= 0,
+                "device ", dev.toString(), " freed more than allocated");
+}
+
+void
+DeviceManager::recordTransfer(Device src, Device dst, int64_t bytes)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (src.isGpu() && dst.isCpu()) {
+        ledger_.d2hTransactions += 1;
+        ledger_.d2hBytes += bytes;
+    } else if (src.isCpu() && dst.isGpu()) {
+        ledger_.h2dTransactions += 1;
+        ledger_.h2dBytes += bytes;
+    } else if (src.isGpu() && dst.isGpu()) {
+        ledger_.d2dTransactions += 1;
+        ledger_.d2dBytes += bytes;
+    }
+    // CPU->CPU copies are not bus traffic; ignored by the ledger.
+    if (src != dst) {
+        transfer_seconds_ += cost_model_.transferSeconds(bytes);
+    }
+}
+
+void
+DeviceManager::recordComputeSeconds(double secs)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    compute_seconds_ += secs;
+}
+
+void
+DeviceManager::recordExtraSeconds(double secs)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    extra_seconds_ += secs;
+}
+
+MemoryStats
+DeviceManager::stats(Device dev) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    size_t key = static_cast<size_t>(dev.key());
+    if (per_device_.size() <= key) {
+        return MemoryStats{};
+    }
+    return per_device_[key];
+}
+
+TransferLedger
+DeviceManager::ledger() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return ledger_;
+}
+
+double
+DeviceManager::simulatedSeconds() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return compute_seconds_ + transfer_seconds_ + extra_seconds_;
+}
+
+void
+DeviceManager::setCapacity(Device dev, int64_t bytes)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    MemoryStats &s = statsFor(dev);
+    s.capacityBytes = bytes;
+    s.capacityExceeded =
+        bytes > 0 && s.currentBytes > bytes;
+}
+
+void
+DeviceManager::resetStats()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (MemoryStats &s : per_device_) {
+        s.peakBytes = s.currentBytes;
+        s.totalAllocs = 0;
+        s.totalFrees = 0;
+        s.capacityExceeded =
+            s.capacityBytes > 0 && s.currentBytes > s.capacityBytes;
+    }
+    ledger_ = TransferLedger{};
+    compute_seconds_ = 0.0;
+    transfer_seconds_ = 0.0;
+    extra_seconds_ = 0.0;
+}
+
+void
+DeviceManager::resetAll()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (MemoryStats &s : per_device_) {
+        s.peakBytes = s.currentBytes;
+        s.totalAllocs = 0;
+        s.totalFrees = 0;
+        s.capacityBytes = 0;
+        s.capacityExceeded = false;
+    }
+    ledger_ = TransferLedger{};
+    compute_seconds_ = 0.0;
+    transfer_seconds_ = 0.0;
+    extra_seconds_ = 0.0;
+}
+
+StatsScope::StatsScope(Device dev) : dev_(dev)
+{
+    DeviceManager &mgr = DeviceManager::instance();
+    start_current_ = mgr.stats(dev).currentBytes;
+    // Restart the peak from the current level so peakDelta() measures
+    // only this scope.
+    mgr.resetStats();
+}
+
+int64_t
+StatsScope::peakDelta() const
+{
+    return DeviceManager::instance().stats(dev_).peakBytes - start_current_;
+}
+
+int64_t
+StatsScope::currentDelta() const
+{
+    return DeviceManager::instance().stats(dev_).currentBytes -
+           start_current_;
+}
+
+} // namespace edkm

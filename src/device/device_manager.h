@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Byte-accurate memory accounting and cross-device transfer ledger for
+ * the simulated devices.
+ */
+
+#ifndef EDKM_DEVICE_DEVICE_MANAGER_H_
+#define EDKM_DEVICE_DEVICE_MANAGER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "device/device.h"
+
+namespace edkm {
+
+/** Running memory statistics for one device. */
+struct MemoryStats
+{
+    int64_t currentBytes = 0; ///< bytes currently allocated
+    int64_t peakBytes = 0;    ///< high-water mark since last reset
+    int64_t totalAllocs = 0;  ///< number of allocations
+    int64_t totalFrees = 0;   ///< number of frees
+    int64_t capacityBytes = 0; ///< 0 = unlimited; else simulated DRAM size
+    bool capacityExceeded = false; ///< peak ever crossed capacity
+};
+
+/** Aggregate counters for traffic between CPU and GPUs. */
+struct TransferLedger
+{
+    int64_t d2hTransactions = 0; ///< GPU -> CPU copies
+    int64_t d2hBytes = 0;
+    int64_t h2dTransactions = 0; ///< CPU -> GPU copies
+    int64_t h2dBytes = 0;
+    int64_t d2dTransactions = 0; ///< GPU -> GPU copies
+    int64_t d2dBytes = 0;
+
+    int64_t
+    totalTransactions() const
+    {
+        return d2hTransactions + h2dTransactions + d2dTransactions;
+    }
+    int64_t totalBytes() const { return d2hBytes + h2dBytes + d2dBytes; }
+};
+
+/**
+ * Simulated time model. Constants approximate one PCIe-4.0-attached
+ * accelerator; absolute values are not calibrated to the paper's testbed,
+ * only the relative costs matter (see DESIGN.md).
+ */
+struct CostModel
+{
+    double gpuFlopsPerSec = 20e12;     ///< sustained simulated GPU flops
+    double cpuFlopsPerSec = 200e9;     ///< sustained simulated CPU flops
+    double busBytesPerSec = 25e9;      ///< PCIe-like bandwidth
+    double transferLatencySec = 10e-6; ///< per-transaction fixed cost
+    double collectiveLatencySec = 20e-6; ///< per all-gather/reduce call
+
+    /** Seconds to move @p bytes in one transaction. */
+    double
+    transferSeconds(int64_t bytes) const
+    {
+        return transferLatencySec +
+               static_cast<double>(bytes) / busBytesPerSec;
+    }
+
+    /** Seconds to execute @p flops on @p dev. */
+    double
+    computeSeconds(double flops, Device dev) const
+    {
+        return flops / (dev.isGpu() ? gpuFlopsPerSec : cpuFlopsPerSec);
+    }
+};
+
+/**
+ * Process-wide registry of simulated devices.
+ *
+ * Storage allocation/free and cross-device copies report here; benches and
+ * tests read the statistics. Thread-safe. Reset between experiments with
+ * resetStats().
+ */
+class DeviceManager
+{
+  public:
+    /** @return the singleton instance. */
+    static DeviceManager &instance();
+
+    /** Record an allocation of @p bytes on @p dev. */
+    void recordAlloc(Device dev, int64_t bytes);
+
+    /** Record a free of @p bytes on @p dev. */
+    void recordFree(Device dev, int64_t bytes);
+
+    /** Record a copy of @p bytes from @p src to @p dst. */
+    void recordTransfer(Device src, Device dst, int64_t bytes);
+
+    /** Record simulated compute time (seconds). */
+    void recordComputeSeconds(double secs);
+
+    /** @return a snapshot of stats for @p dev. */
+    MemoryStats stats(Device dev) const;
+
+    /** @return snapshot of the transfer ledger. */
+    TransferLedger ledger() const;
+
+    /** Total simulated seconds (compute + transfers + collectives). */
+    double simulatedSeconds() const;
+
+    /** Record extra simulated seconds (e.g. collective latency). */
+    void recordExtraSeconds(double secs);
+
+    /** Set the simulated DRAM capacity of @p dev (0 = unlimited). */
+    void setCapacity(Device dev, int64_t bytes);
+
+    /** Mutable cost model (adjust before an experiment). */
+    CostModel &costModel() { return cost_model_; }
+    const CostModel &costModel() const { return cost_model_; }
+
+    /**
+     * Reset counters: zeroes peaks/ledger/sim-time. Current bytes are
+     * preserved (live allocations remain live); peaks restart from the
+     * current level.
+     */
+    void resetStats();
+
+    /** Reset everything including capacities (for test isolation). */
+    void resetAll();
+
+  private:
+    DeviceManager() = default;
+
+    MemoryStats &statsFor(Device dev);
+
+    mutable std::mutex mutex_;
+    std::vector<MemoryStats> per_device_;
+    TransferLedger ledger_;
+    CostModel cost_model_;
+    double compute_seconds_ = 0.0;
+    double extra_seconds_ = 0.0;
+    double transfer_seconds_ = 0.0;
+};
+
+/**
+ * RAII helper that snapshots device stats on construction and exposes
+ * deltas; used by benches to measure one phase in isolation.
+ */
+class StatsScope
+{
+  public:
+    explicit StatsScope(Device dev);
+
+    /** Peak bytes on the device since construction. */
+    int64_t peakDelta() const;
+
+    /** Bytes currently allocated minus at construction. */
+    int64_t currentDelta() const;
+
+  private:
+    Device dev_;
+    int64_t start_current_ = 0;
+};
+
+} // namespace edkm
+
+#endif // EDKM_DEVICE_DEVICE_MANAGER_H_

@@ -1,0 +1,285 @@
+#include "eval/compress.h"
+
+#include "autograd/variable.h"
+#include "core/palettize.h"
+#include "quant/affine.h"
+#include "quant/qat.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace edkm {
+namespace eval {
+
+namespace {
+
+/** Run one forward pass so capture-enabled linears stash inputs. */
+void
+runCalibration(nn::MiniLlama &model, const Tensor &calib_tokens)
+{
+    NoGradGuard ng;
+    model.forward(calib_tokens);
+}
+
+/** Non-linear (norm/embedding) parameter bytes at FP16. */
+int64_t
+fp16SideBytes(nn::MiniLlama &model, bool include_embedding)
+{
+    int64_t bytes = 0;
+    for (const auto &[name, p] : model.namedParameters()) {
+        bool is_linear_weight =
+            name.find("wq") != std::string::npos ||
+            name.find("wk") != std::string::npos ||
+            name.find("wv") != std::string::npos ||
+            name.find("wo") != std::string::npos ||
+            name.find("w1") != std::string::npos ||
+            name.find("w2") != std::string::npos ||
+            name.find("w3") != std::string::npos ||
+            name.find("lm_head") != std::string::npos;
+        bool is_embedding = name.find("embed") != std::string::npos;
+        if (!is_linear_weight && (include_embedding || !is_embedding)) {
+            bytes += p.data().numel() * 2; // FP16
+        }
+    }
+    return bytes;
+}
+
+/**
+ * @param linear_bits  effective bits/weight over Linear parameters
+ * @param embed_bits   effective bits/weight over embedding parameters
+ */
+SizeReport
+makeReport(const std::string &scheme, int64_t payload_bytes,
+           int64_t total_params, double linear_bits, double embed_bits)
+{
+    SizeReport r;
+    r.scheme = scheme;
+    r.payloadBytes = payload_bytes;
+    r.bitsPerWeight = 8.0 * static_cast<double>(payload_bytes) /
+                      static_cast<double>(total_params);
+    r.projectedGb7B = projectedGbComposed(linear_bits, embed_bits);
+    return r;
+}
+
+/** Effective bits/weight of the Linear parameters under @p payload. */
+double
+linearBits(nn::MiniLlama &model, int64_t linear_payload_bytes)
+{
+    int64_t linear_params = 0;
+    for (auto &[name, linear] : model.allLinears()) {
+        (void)name;
+        linear_params += linear->weight().data().numel();
+    }
+    return 8.0 * static_cast<double>(linear_payload_bytes) /
+           static_cast<double>(linear_params);
+}
+
+} // namespace
+
+double
+projectedGb(double bits_per_weight, double params)
+{
+    return bits_per_weight / 8.0 * params / (1024.0 * 1024.0 * 1024.0);
+}
+
+double
+projectedGbComposed(double linear_bits_per_weight,
+                    double embed_bits_per_weight)
+{
+    double linear_params = kLlama7bParams - kLlama7bEmbedParams;
+    double bytes = linear_bits_per_weight / 8.0 * linear_params +
+                   embed_bits_per_weight / 8.0 * kLlama7bEmbedParams;
+    return bytes / (1024.0 * 1024.0 * 1024.0);
+}
+
+SizeReport
+fp16Size(nn::MiniLlama &model)
+{
+    int64_t params = model.parameterCount();
+    return makeReport("fp16", params * 2, params, 16.0, 16.0);
+}
+
+SizeReport
+applyRtn(nn::MiniLlama &model, int bits, int64_t group_size)
+{
+    int64_t payload = fp16SideBytes(model, /*include_embedding=*/true);
+    int64_t linear_payload = 0;
+    for (auto &[name, linear] : model.allLinears()) {
+        (void)name;
+        quant::QuantizedMatrix q =
+            quant::quantizeAffine(linear->weight().data(), bits,
+                                  group_size);
+        linear->weight().mutableData() = q.dequantize();
+        linear_payload += q.payloadBytes();
+    }
+    payload += linear_payload;
+    return makeReport("RTN", payload, model.parameterCount(),
+                      linearBits(model, linear_payload), 16.0);
+}
+
+SizeReport
+applyGptq(nn::MiniLlama &model, const Tensor &calib_tokens,
+          const quant::GptqConfig &config)
+{
+    for (auto &[name, linear] : model.allLinears()) {
+        (void)name;
+        linear->setCaptureInputs(true);
+    }
+    runCalibration(model, calib_tokens);
+    int64_t payload = fp16SideBytes(model, /*include_embedding=*/true);
+    int64_t linear_payload = 0;
+    for (auto &[name, linear] : model.allLinears()) {
+        (void)name;
+        linear->setCaptureInputs(false);
+        EDKM_CHECK(linear->capturedInput().defined(),
+                   "gptq: calibration did not reach layer");
+        quant::QuantizedMatrix q;
+        Tensor dq = quant::gptqQuantize(linear->weight().data(),
+                                        linear->capturedInput(), config,
+                                        &q);
+        linear->weight().mutableData() = dq;
+        linear_payload += q.payloadBytes();
+    }
+    payload += linear_payload;
+    return makeReport("GPTQ", payload, model.parameterCount(),
+                      linearBits(model, linear_payload), 16.0);
+}
+
+SizeReport
+applyAwq(nn::MiniLlama &model, const Tensor &calib_tokens,
+         const quant::AwqConfig &config)
+{
+    for (auto &[name, linear] : model.allLinears()) {
+        (void)name;
+        linear->setCaptureInputs(true);
+    }
+    runCalibration(model, calib_tokens);
+    int64_t payload = fp16SideBytes(model, /*include_embedding=*/true);
+    int64_t linear_payload = 0;
+    for (auto &[name, linear] : model.allLinears()) {
+        (void)name;
+        linear->setCaptureInputs(false);
+        Tensor dq = quant::awqQuantize(linear->weight().data(),
+                                       linear->capturedInput(), config);
+        linear->weight().mutableData() = dq;
+        // Payload matches RTN plus FP16 per-channel AWQ scales.
+        quant::QuantizedMatrix q = quant::quantizeAffine(
+            dq, config.bits, config.groupSize);
+        linear_payload += q.payloadBytes() + linear->inFeatures() * 2;
+    }
+    payload += linear_payload;
+    return makeReport("AWQ", payload, model.parameterCount(),
+                      linearBits(model, linear_payload), 16.0);
+}
+
+SizeReport
+applySmoothQuant(nn::MiniLlama &model, const Tensor &calib_tokens,
+                 const quant::SmoothQuantConfig &config)
+{
+    for (auto &[name, linear] : model.allLinears()) {
+        (void)name;
+        linear->setCaptureInputs(true);
+    }
+    runCalibration(model, calib_tokens);
+    int64_t payload = fp16SideBytes(model, /*include_embedding=*/true);
+    int64_t linear_payload = 0;
+    for (auto &[name, linear] : model.allLinears()) {
+        (void)name;
+        linear->setCaptureInputs(false);
+        quant::SmoothedLayer s = quant::smoothQuantize(
+            linear->weight().data(), linear->capturedInput(), config);
+        linear->weight().mutableData() = s.weight;
+        linear_payload +=
+            linear->weight().data().numel() * config.weightBits / 8 +
+            linear->inFeatures() * 2;
+    }
+    payload += linear_payload;
+    return makeReport("SmoothQuant", payload, model.parameterCount(),
+                      linearBits(model, linear_payload), 16.0);
+}
+
+std::vector<std::shared_ptr<EdkmLayer>>
+attachEdkm(nn::MiniLlama &model, const EdkmConfig &config,
+           std::shared_ptr<LearnerGroup> group)
+{
+    std::vector<std::shared_ptr<EdkmLayer>> layers;
+    for (auto &[name, linear] : model.allLinears()) {
+        (void)name;
+        auto layer = std::make_shared<EdkmLayer>(config, group);
+        layers.push_back(layer);
+        linear->setWeightTransform(
+            [layer](const Variable &w) { return layer->forward(w); });
+    }
+    return layers;
+}
+
+void
+attachQat(nn::MiniLlama &model, int bits, int64_t group_size)
+{
+    for (auto &[name, linear] : model.allLinears()) {
+        (void)name;
+        linear->setWeightTransform([bits, group_size](const Variable &w) {
+            return quant::fakeQuantize(w, bits, group_size);
+        });
+    }
+}
+
+void
+clearTransforms(nn::MiniLlama &model)
+{
+    for (auto &[name, linear] : model.allLinears()) {
+        (void)name;
+        linear->setWeightTransform(nullptr);
+    }
+}
+
+SizeReport
+freezeEdkm(nn::MiniLlama &model,
+           const std::vector<std::shared_ptr<EdkmLayer>> &layers,
+           int embedding_bits)
+{
+    auto linears = model.allLinears();
+    EDKM_CHECK(linears.size() == layers.size(),
+               "freezeEdkm: layer/linear count mismatch");
+    int64_t payload = fp16SideBytes(model, /*include_embedding=*/false);
+    int64_t linear_payload = 0;
+    for (size_t i = 0; i < linears.size(); ++i) {
+        nn::Linear *linear = linears[i].second;
+        PalettizedTensor p =
+            layers[i]->palettize(linear->weight().data());
+        linear->weight().mutableData() = p.decompress();
+        linear->setWeightTransform(nullptr);
+        linear_payload += p.payloadBytes();
+    }
+    payload += linear_payload;
+    // Embedding palettized at 8 bits (paper: "we also compressed the
+    // embedding layers with 8 bits").
+    Rng rng(99);
+    PalettizedTensor emb = PalettizedTensor::fromDense(
+        model.embedding().weight().data(), embedding_bits, rng, 10);
+    model.embedding().weight().mutableData() = emb.decompress();
+    payload += emb.payloadBytes();
+    double embed_bits =
+        8.0 * static_cast<double>(emb.payloadBytes()) /
+        static_cast<double>(model.embedding().weight().data().numel());
+    return makeReport("eDKM", payload, model.parameterCount(),
+                      linearBits(model, linear_payload), embed_bits);
+}
+
+SizeReport
+qatSize(nn::MiniLlama &model, int bits)
+{
+    int64_t payload = fp16SideBytes(model, /*include_embedding=*/true);
+    int64_t linear_payload = 0;
+    for (auto &[name, linear] : model.allLinears()) {
+        (void)name;
+        int64_t n = linear->weight().data().numel();
+        // Symmetric per-channel: n*bits payload + FP16 scale per row.
+        linear_payload += n * bits / 8 + linear->outFeatures() * 2;
+    }
+    payload += linear_payload;
+    return makeReport("LLM-QAT", payload, model.parameterCount(),
+                      linearBits(model, linear_payload), 16.0);
+}
+
+} // namespace eval
+} // namespace edkm

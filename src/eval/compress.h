@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Model-level compression harness: applies each Table 3 scheme to a
+ * MiniLlama and accounts the resulting model size (actual bytes and the
+ * size the same bits-per-weight would give LLaMA-7B, the paper's
+ * column).
+ */
+
+#ifndef EDKM_EVAL_COMPRESS_H_
+#define EDKM_EVAL_COMPRESS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/edkm.h"
+#include "nn/transformer.h"
+#include "quant/awq.h"
+#include "quant/gptq.h"
+#include "quant/smoothquant.h"
+
+namespace edkm {
+namespace eval {
+
+/** Size accounting for one compressed model. */
+struct SizeReport
+{
+    std::string scheme;
+    int64_t payloadBytes = 0;  ///< all parameters, serialized format
+    double bitsPerWeight = 0.0;
+    double projectedGb7B = 0.0; ///< GiB for 6.74e9 params at that rate
+};
+
+/** Parameters LLaMA-7B has (for the projected size column). */
+constexpr double kLlama7bParams = 6.74e9;
+
+/** Of which input embedding + output head (the "embedding layers"). */
+constexpr double kLlama7bEmbedParams = 2.62e8;
+
+/** GiB a model of @p params at @p bits_per_weight occupies. */
+double projectedGb(double bits_per_weight, double params = kLlama7bParams);
+
+/**
+ * Composition-corrected 7B projection: mini models are embedding-heavy
+ * (30%+ of parameters vs ~4% at 7B), so projecting the blended rate
+ * overstates the embedding contribution. This projects the *linear*
+ * rate and the *embedding* rate onto LLaMA-7B's composition.
+ */
+double projectedGbComposed(double linear_bits_per_weight,
+                           double embed_bits_per_weight);
+
+/** Size of the uncompressed FP16 model. */
+SizeReport fp16Size(nn::MiniLlama &model);
+
+/**
+ * RTN: round-to-nearest quantise every Linear weight in place.
+ * Embeddings stay FP16 (matching the paper's baselines).
+ */
+SizeReport applyRtn(nn::MiniLlama &model, int bits, int64_t group_size);
+
+/** GPTQ with activations captured from @p calib_tokens. */
+SizeReport applyGptq(nn::MiniLlama &model, const Tensor &calib_tokens,
+                     const quant::GptqConfig &config);
+
+/** AWQ with activations captured from @p calib_tokens. */
+SizeReport applyAwq(nn::MiniLlama &model, const Tensor &calib_tokens,
+                    const quant::AwqConfig &config);
+
+/** SmoothQuant (W8A8-style; weight side applied in place). */
+SizeReport applySmoothQuant(nn::MiniLlama &model,
+                            const Tensor &calib_tokens,
+                            const quant::SmoothQuantConfig &config);
+
+/**
+ * Attach eDKM train-time clustering to every Linear (weight-transform
+ * hook). Returns the layers so callers can inspect reports and later
+ * freeze. Keep the vector alive while training.
+ */
+std::vector<std::shared_ptr<EdkmLayer>> attachEdkm(
+    nn::MiniLlama &model, const EdkmConfig &config,
+    std::shared_ptr<LearnerGroup> group = nullptr);
+
+/** Attach LLM-QAT fake-quant to every Linear. */
+void attachQat(nn::MiniLlama &model, int bits, int64_t group_size);
+
+/** Remove any weight transforms (model becomes plain FP again). */
+void clearTransforms(nn::MiniLlama &model);
+
+/**
+ * Freeze eDKM: palettize every Linear weight with its layer's final
+ * centroids, install the dequantised weights, and account the size
+ * (Linear weights at cluster bits; embeddings palettized at
+ * @p embedding_bits, the paper uses 8).
+ */
+SizeReport freezeEdkm(nn::MiniLlama &model,
+                      const std::vector<std::shared_ptr<EdkmLayer>> &layers,
+                      int embedding_bits = 8);
+
+/** Size for a QAT-trained model (symmetric per-channel storage). */
+SizeReport qatSize(nn::MiniLlama &model, int bits);
+
+} // namespace eval
+} // namespace edkm
+
+#endif // EDKM_EVAL_COMPRESS_H_

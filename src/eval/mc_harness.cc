@@ -1,0 +1,210 @@
+#include "eval/mc_harness.h"
+
+#include <algorithm>
+#include <set>
+
+#include "autograd/functional.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace edkm {
+namespace eval {
+
+namespace {
+
+using data::Example;
+using data::SyntheticCorpus;
+using data::TaskFamily;
+
+/** Generate distractor responses for @p ex. */
+std::vector<std::string>
+makeDistractors(const SyntheticCorpus &corpus, const Example &ex, Rng &rng,
+                int count)
+{
+    std::set<std::string> taken{ex.response};
+    std::vector<std::string> out;
+    auto add_unique = [&](const std::string &cand) {
+        if (taken.insert(cand).second) {
+            out.push_back(cand);
+        }
+    };
+    int guard = 0;
+    while (static_cast<int>(out.size()) < count && ++guard < 500) {
+        switch (ex.family) {
+          case TaskFamily::kCopy:
+          case TaskFamily::kComplete: {
+            const auto &words = corpus.words();
+            add_unique(words[static_cast<size_t>(rng.randint(
+                           0, static_cast<int64_t>(words.size()) - 1))] +
+                       "\n");
+            break;
+          }
+          case TaskFamily::kLastLetter: {
+            add_unique(std::string(1, static_cast<char>(
+                                          'a' + rng.randint(0, 25))) +
+                       "\n");
+            break;
+          }
+          case TaskFamily::kArithEasy:
+          case TaskFamily::kArithHard: {
+            // Perturb the correct sum.
+            int64_t correct = std::stoll(ex.response);
+            int64_t delta = rng.randint(1, 5) *
+                            (rng.bernoulli(0.5) ? 1 : -1);
+            if (correct + delta >= 0) {
+                add_unique(std::to_string(correct + delta) + "\n");
+            }
+            break;
+          }
+          case TaskFamily::kFactRecall: {
+            static const char *colors[] = {"red",  "blue", "green",
+                                           "gold", "gray", "pink",
+                                           "teal", "brown"};
+            add_unique(std::string(colors[rng.randint(0, 7)]) + "\n");
+            break;
+          }
+          case TaskFamily::kMixed:
+            panic("mixed family items are drawn from concrete families");
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<McTask>
+buildSyntheticSuite(const SyntheticCorpus &corpus, int items_per_task,
+                    uint64_t seed)
+{
+    struct Slot
+    {
+        const char *name;
+        TaskFamily family;
+        int fewshot;
+    };
+    // Benchmark-slot mapping (see DESIGN.md): common-sense tasks are
+    // zero-shot, TriviaQA one-shot, MMLU-like five-shot (paper's
+    // few-shot column).
+    const Slot slots[] = {
+        {"synth_piqa", TaskFamily::kCopy, 0},
+        {"synth_hellaswag", TaskFamily::kComplete, 0},
+        {"synth_winogrande", TaskFamily::kLastLetter, 0},
+        {"synth_arc_e", TaskFamily::kArithEasy, 0},
+        {"synth_arc_c", TaskFamily::kArithHard, 0},
+        {"synth_triviaqa", TaskFamily::kFactRecall, 1},
+        {"synth_mmlu", TaskFamily::kMixed, 5},
+    };
+
+    Rng rng(seed);
+    std::vector<McTask> tasks;
+    for (const Slot &slot : slots) {
+        McTask task;
+        task.name = slot.name;
+        task.family = slot.family;
+        task.fewshot = slot.fewshot;
+        for (int i = 0; i < items_per_task; ++i) {
+            Example ex = corpus.makeExample(slot.family, rng);
+            McItem item;
+            // Few-shot prefix: independent solved examples of the same
+            // family.
+            std::string prefix;
+            for (int f = 0; f < slot.fewshot; ++f) {
+                Example shot = corpus.makeExample(ex.family, rng);
+                prefix += shot.prompt + shot.response;
+            }
+            item.context = prefix + ex.prompt;
+            std::vector<std::string> distractors =
+                makeDistractors(corpus, ex, rng, 3);
+            // Assemble options with the answer at a random position.
+            int answer_pos = static_cast<int>(
+                rng.randint(0, static_cast<int64_t>(distractors.size())));
+            for (int o = 0, d = 0;
+                 o < static_cast<int>(distractors.size()) + 1; ++o) {
+                if (o == answer_pos) {
+                    item.options.push_back(ex.response);
+                } else {
+                    item.options.push_back(
+                        distractors[static_cast<size_t>(d++)]);
+                }
+            }
+            item.answer = answer_pos;
+            task.items.push_back(std::move(item));
+        }
+        tasks.push_back(std::move(task));
+    }
+    return tasks;
+}
+
+double
+scoreOption(nn::MiniLlama &model, const data::ByteTokenizer &tok,
+            const std::string &context, const std::string &option)
+{
+    NoGradGuard ng;
+    std::vector<int64_t> ctx = tok.encode(context);
+    std::vector<int64_t> full = tok.encode(context + option);
+    int64_t total = static_cast<int64_t>(full.size());
+    EDKM_CHECK(total >= 2, "scoreOption: sequence too short");
+
+    // Inputs predict the next token: feed full[0..L-2].
+    std::vector<int64_t> inputs(full.begin(), full.end() - 1);
+    Tensor tokens = Tensor::fromIndices(
+        inputs, {1, static_cast<int64_t>(inputs.size())});
+    Variable logits = model.forward(tokens); // [L-1, vocab]
+    Tensor logp = logSoftmaxLastDim(logits.data());
+
+    int64_t start = static_cast<int64_t>(ctx.size());
+    double acc = 0.0;
+    int64_t count = 0;
+    for (int64_t pos = start; pos < total; ++pos) {
+        // Token at `pos` is predicted by logits row `pos - 1`.
+        acc += logp.at({pos - 1, full[static_cast<size_t>(pos)]});
+        ++count;
+    }
+    return acc / static_cast<double>(std::max<int64_t>(count, 1));
+}
+
+double
+evaluateTask(nn::MiniLlama &model, const data::ByteTokenizer &tok,
+             const McTask &task)
+{
+    int correct = 0;
+    for (const McItem &item : task.items) {
+        double best = -1e30;
+        int best_idx = 0;
+        for (size_t o = 0; o < item.options.size(); ++o) {
+            double s = scoreOption(model, tok, item.context,
+                                   item.options[o]);
+            if (s > best) {
+                best = s;
+                best_idx = static_cast<int>(o);
+            }
+        }
+        if (best_idx == item.answer) {
+            ++correct;
+        }
+    }
+    return task.items.empty()
+               ? 0.0
+               : static_cast<double>(correct) /
+                     static_cast<double>(task.items.size());
+}
+
+SuiteResult
+evaluateSuite(nn::MiniLlama &model, const data::ByteTokenizer &tok,
+              const std::vector<McTask> &tasks)
+{
+    SuiteResult result;
+    double sum = 0.0;
+    for (const McTask &task : tasks) {
+        double acc = evaluateTask(model, tok, task);
+        result.taskAccuracy.emplace_back(task.name, acc);
+        sum += acc;
+    }
+    result.average =
+        tasks.empty() ? 0.0 : sum / static_cast<double>(tasks.size());
+    return result;
+}
+
+} // namespace eval
+} // namespace edkm

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Multiple-choice likelihood evaluation harness.
+ *
+ * Implements the lm-eval-harness mechanics the paper's Table 3 relies
+ * on: each option of an item is scored by the length-normalised
+ * log-likelihood the model assigns to the option tokens given the
+ * context, and the argmax option is compared with the answer. The seven
+ * synthetic tasks stand in for PIQA / HellaSwag / WinoGrande / ARC-e /
+ * ARC-c / TriviaQA / MMLU (see DESIGN.md substitutions); TriviaQA- and
+ * MMLU-slot tasks are evaluated few-shot like the paper's few-shot
+ * column.
+ */
+
+#ifndef EDKM_EVAL_MC_HARNESS_H_
+#define EDKM_EVAL_MC_HARNESS_H_
+
+#include <string>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "data/tokenizer.h"
+#include "nn/transformer.h"
+
+namespace edkm {
+namespace eval {
+
+/** One multiple-choice item. */
+struct McItem
+{
+    std::string context;              ///< prompt (plus few-shot prefix)
+    std::vector<std::string> options; ///< candidate completions
+    int answer = 0;                   ///< index of the correct option
+};
+
+/** A named task (one benchmark slot). */
+struct McTask
+{
+    std::string name;
+    data::TaskFamily family;
+    int fewshot = 0;
+    std::vector<McItem> items;
+};
+
+/** Accuracy results for a suite run. */
+struct SuiteResult
+{
+    std::vector<std::pair<std::string, double>> taskAccuracy;
+    double average = 0.0;
+};
+
+/**
+ * Build the 7-task synthetic suite from the same generator families the
+ * training corpus uses (items drawn with an evaluation-only seed).
+ */
+std::vector<McTask> buildSyntheticSuite(const data::SyntheticCorpus &corpus,
+                                        int items_per_task, uint64_t seed);
+
+/** Mean per-token log-likelihood of @p option given @p context. */
+double scoreOption(nn::MiniLlama &model, const data::ByteTokenizer &tok,
+                   const std::string &context, const std::string &option);
+
+/** Accuracy of @p model on one task. */
+double evaluateTask(nn::MiniLlama &model, const data::ByteTokenizer &tok,
+                    const McTask &task);
+
+/** Accuracy on every task plus the average. */
+SuiteResult evaluateSuite(nn::MiniLlama &model,
+                          const data::ByteTokenizer &tok,
+                          const std::vector<McTask> &tasks);
+
+} // namespace eval
+} // namespace edkm
+
+#endif // EDKM_EVAL_MC_HARNESS_H_

@@ -1,0 +1,70 @@
+#include "eval/train.h"
+
+#include <cmath>
+
+#include "autograd/engine.h"
+#include "autograd/functional.h"
+#include "data/synthetic.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace edkm {
+namespace eval {
+
+TrainReport
+trainLm(nn::MiniLlama &model, const std::vector<int64_t> &stream,
+        const TrainConfig &config)
+{
+    Rng rng(config.seed);
+    nn::AdamW opt(model.parameters(), config.optimizer);
+    TrainReport report;
+    for (int step = 0; step < config.steps; ++step) {
+        data::LmBatch batch = data::SyntheticCorpus::sampleBatch(
+            stream, config.batch, config.seq, rng);
+        Variable logits = model.forward(batch.tokens);
+        Variable loss = af::crossEntropy(logits, batch.targets);
+        float loss_val = loss.data().item();
+        report.losses.push_back(loss_val);
+
+        opt.zeroGrad();
+        backward(loss);
+        nn::AdamW::clipGradNorm(model.parameters(), config.gradClip);
+        opt.step();
+
+        if (config.logEvery > 0 && step % config.logEvery == 0) {
+            inform("step ", step, " loss ", loss_val);
+        }
+    }
+    if (!report.losses.empty()) {
+        report.firstLoss = report.losses.front();
+        report.lastLoss = report.losses.back();
+    }
+    return report;
+}
+
+float
+evalLoss(nn::MiniLlama &model, const std::vector<int64_t> &stream,
+         int64_t batch, int64_t seq, int windows)
+{
+    NoGradGuard ng;
+    Rng rng(0xe7a1); // fixed: deterministic eval windows
+    double total = 0.0;
+    for (int w = 0; w < windows; ++w) {
+        data::LmBatch b =
+            data::SyntheticCorpus::sampleBatch(stream, batch, seq, rng);
+        Variable logits = model.forward(b.tokens);
+        Variable loss = af::crossEntropy(logits, b.targets);
+        total += loss.data().item();
+    }
+    return static_cast<float>(total / std::max(windows, 1));
+}
+
+float
+perplexity(nn::MiniLlama &model, const std::vector<int64_t> &stream,
+           int64_t batch, int64_t seq, int windows)
+{
+    return std::exp(evalLoss(model, stream, batch, seq, windows));
+}
+
+} // namespace eval
+} // namespace edkm

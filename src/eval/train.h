@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Language-model training loop (pretraining and fine-tuning driver).
+ *
+ * Uses the paper's optimizer settings by default: AdamW with lr 5e-5,
+ * betas (0.9, 0.95), weight decay 0, global-norm gradient clipping 1.0.
+ */
+
+#ifndef EDKM_EVAL_TRAIN_H_
+#define EDKM_EVAL_TRAIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/adamw.h"
+#include "nn/transformer.h"
+
+namespace edkm {
+namespace eval {
+
+/** Training-run configuration. */
+struct TrainConfig
+{
+    int steps = 200;
+    int64_t batch = 8;
+    int64_t seq = 64;
+    float gradClip = 1.0f;
+    uint64_t seed = 17;
+    nn::AdamWConfig optimizer; ///< paper defaults
+    int logEvery = 0;          ///< 0 = silent
+};
+
+/** Result of a training run. */
+struct TrainReport
+{
+    std::vector<float> losses;
+    float firstLoss = 0.0f;
+    float lastLoss = 0.0f;
+};
+
+/** Train @p model on random windows of @p stream. */
+TrainReport trainLm(nn::MiniLlama &model,
+                    const std::vector<int64_t> &stream,
+                    const TrainConfig &config);
+
+/** Mean next-token loss of @p model over deterministic windows. */
+float evalLoss(nn::MiniLlama &model, const std::vector<int64_t> &stream,
+               int64_t batch, int64_t seq, int windows);
+
+/** Perplexity (exp of evalLoss). */
+float perplexity(nn::MiniLlama &model, const std::vector<int64_t> &stream,
+                 int64_t batch, int64_t seq, int windows);
+
+} // namespace eval
+} // namespace edkm
+
+#endif // EDKM_EVAL_TRAIN_H_

@@ -1,0 +1,95 @@
+#include "nn/adamw.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace edkm {
+namespace nn {
+
+AdamW::AdamW(std::vector<Variable> params, AdamWConfig config)
+    : params_(std::move(params)), config_(config)
+{
+    for (const Variable &p : params_) {
+        EDKM_CHECK(p.defined() && p.requiresGrad(),
+                   "AdamW: parameters must require grad");
+        m_.push_back(Tensor::zeros(p.data().shape()));
+        v_.push_back(Tensor::zeros(p.data().shape()));
+    }
+}
+
+void
+AdamW::step()
+{
+    ++t_;
+    float bc1 = 1.0f - std::pow(config_.beta1, static_cast<float>(t_));
+    float bc2 = 1.0f - std::pow(config_.beta2, static_cast<float>(t_));
+    for (size_t i = 0; i < params_.size(); ++i) {
+        Variable &p = params_[i];
+        if (!p.grad().defined()) {
+            continue;
+        }
+        Tensor &data = p.mutableData();
+        const Tensor &g = p.grad();
+        float *pd = data.rawData<float>();
+        float *pm = m_[i].rawData<float>();
+        float *pv = v_[i].rawData<float>();
+        int64_t n = data.numel();
+        EDKM_ASSERT(data.isContiguous() && data.dtype() == DType::kF32,
+                    "AdamW: parameters must be contiguous f32");
+        for (int64_t j = 0; j < n; ++j) {
+            float gj = g.flatAt(j);
+            pm[j] = config_.beta1 * pm[j] + (1.0f - config_.beta1) * gj;
+            pv[j] = config_.beta2 * pv[j] +
+                    (1.0f - config_.beta2) * gj * gj;
+            float mhat = pm[j] / bc1;
+            float vhat = pv[j] / bc2;
+            pd[j] -= config_.lr *
+                     (mhat / (std::sqrt(vhat) + config_.eps) +
+                      config_.weightDecay * pd[j]);
+        }
+    }
+}
+
+void
+AdamW::zeroGrad()
+{
+    for (Variable &p : params_) {
+        p.zeroGrad();
+    }
+}
+
+float
+AdamW::clipGradNorm(const std::vector<Variable> &params, float max_norm)
+{
+    double total = 0.0;
+    for (const Variable &p : params) {
+        if (!p.grad().defined()) {
+            continue;
+        }
+        const Tensor &g = p.grad();
+        int64_t n = g.numel();
+        for (int64_t j = 0; j < n; ++j) {
+            float v = g.flatAt(j);
+            total += static_cast<double>(v) * v;
+        }
+    }
+    float norm = static_cast<float>(std::sqrt(total));
+    if (norm > max_norm && norm > 0.0f) {
+        float scale = max_norm / norm;
+        for (const Variable &p : params) {
+            if (!p.grad().defined()) {
+                continue;
+            }
+            Tensor g = p.grad();
+            int64_t n = g.numel();
+            for (int64_t j = 0; j < n; ++j) {
+                g.setFlatAt(j, g.flatAt(j) * scale);
+            }
+        }
+    }
+    return norm;
+}
+
+} // namespace nn
+} // namespace edkm

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * AdamW optimizer with decoupled weight decay and global-norm gradient
+ * clipping — the paper's fine-tuning setup (lr 5e-5, betas (0.9, 0.95),
+ * weight decay 0, clip 1.0).
+ */
+
+#ifndef EDKM_NN_ADAMW_H_
+#define EDKM_NN_ADAMW_H_
+
+#include <vector>
+
+#include "autograd/variable.h"
+#include "tensor/tensor.h"
+
+namespace edkm {
+namespace nn {
+
+/** AdamW hyper-parameters (defaults = the paper's). */
+struct AdamWConfig
+{
+    float lr = 5e-5f;
+    float beta1 = 0.9f;
+    float beta2 = 0.95f;
+    float eps = 1e-8f;
+    float weightDecay = 0.0f;
+};
+
+/** Decoupled-weight-decay Adam over a fixed parameter list. */
+class AdamW
+{
+  public:
+    AdamW(std::vector<Variable> params, AdamWConfig config = {});
+
+    /** Apply one update from the accumulated gradients. */
+    void step();
+
+    /** Clear gradients of all managed parameters. */
+    void zeroGrad();
+
+    /**
+     * Scale gradients so their global L2 norm is at most @p max_norm.
+     * @return the pre-clip norm.
+     */
+    static float clipGradNorm(const std::vector<Variable> &params,
+                              float max_norm);
+
+    const AdamWConfig &config() const { return config_; }
+    int64_t stepCount() const { return t_; }
+
+  private:
+    std::vector<Variable> params_;
+    std::vector<Tensor> m_, v_;
+    AdamWConfig config_;
+    int64_t t_ = 0;
+};
+
+} // namespace nn
+} // namespace edkm
+
+#endif // EDKM_NN_ADAMW_H_

@@ -1,0 +1,102 @@
+#include "nn/attention.h"
+
+#include <cmath>
+
+#include "autograd/functional.h"
+#include "util/logging.h"
+
+namespace edkm {
+namespace nn {
+
+MultiHeadAttention::MultiHeadAttention(int64_t dim, int64_t heads, Rng &rng)
+    : dim_(dim), heads_(heads), head_dim_(dim / heads)
+{
+    EDKM_CHECK(dim % heads == 0, "attention: heads must divide dim");
+    EDKM_CHECK(head_dim_ % 2 == 0, "attention: head dim must be even");
+    wq_ = registerModule("wq", std::make_shared<Linear>(dim, dim, rng));
+    wk_ = registerModule("wk", std::make_shared<Linear>(dim, dim, rng));
+    wv_ = registerModule("wv", std::make_shared<Linear>(dim, dim, rng));
+    wo_ = registerModule("wo", std::make_shared<Linear>(dim, dim, rng));
+}
+
+void
+MultiHeadAttention::ensureCaches(int64_t s)
+{
+    if (cached_seq_ == s) {
+        return;
+    }
+    // RoPE frequencies: theta_i = 10000^{-2i/d}, cos/sin per position.
+    rope_cos_ = Tensor::empty({s, head_dim_});
+    rope_sin_ = Tensor::empty({s, head_dim_});
+    float *pc = rope_cos_.rawData<float>();
+    float *ps = rope_sin_.rawData<float>();
+    int64_t half = head_dim_ / 2;
+    for (int64_t pos = 0; pos < s; ++pos) {
+        for (int64_t i = 0; i < half; ++i) {
+            double freq = std::pow(
+                10000.0, -2.0 * static_cast<double>(i) / head_dim_);
+            double angle = static_cast<double>(pos) * freq;
+            float c = static_cast<float>(std::cos(angle));
+            float sn = static_cast<float>(std::sin(angle));
+            // Halves share the angle (rotate-half convention).
+            pc[pos * head_dim_ + i] = c;
+            pc[pos * head_dim_ + half + i] = c;
+            ps[pos * head_dim_ + i] = sn;
+            ps[pos * head_dim_ + half + i] = sn;
+        }
+    }
+    causal_mask_ = Tensor::zeros({1, s, s});
+    float *pm = causal_mask_.rawData<float>();
+    for (int64_t i = 0; i < s; ++i) {
+        for (int64_t j = i + 1; j < s; ++j) {
+            pm[i * s + j] = -1e9f;
+        }
+    }
+    cached_seq_ = s;
+}
+
+Variable
+MultiHeadAttention::forward(const Variable &x)
+{
+    const Shape &shape = x.data().shape();
+    EDKM_CHECK(shape.size() == 3 && shape[2] == dim_,
+               "attention: expected [B,S,", dim_, "]");
+    int64_t b = shape[0], s = shape[1];
+    ensureCaches(s);
+
+    // Project, split heads: [B,S,D] -> [B*H, S, hd].
+    auto split_heads = [&](Linear &proj) {
+        Variable flat = af::view(x, {b * s, dim_});
+        Variable y = proj.forward(flat); // [B*S, D]
+        y = af::view(y, {b, s, heads_, head_dim_});
+        y = af::transpose(y, 1, 2); // [B, H, S, hd] (view)
+        y = af::contiguous(y);
+        return af::view(y, {b * heads_, s, head_dim_});
+    };
+    Variable q = split_heads(*wq_);
+    Variable k = split_heads(*wk_);
+    Variable v = split_heads(*wv_);
+
+    // Rotary position embedding on q/k.
+    q = af::rope(q, rope_cos_, rope_sin_);
+    k = af::rope(k, rope_cos_, rope_sin_);
+
+    // Scaled dot-product attention with the causal mask.
+    float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+    Variable att = af::matmul(q, af::transpose(k, -2, -1)); // [B*H,S,S]
+    att = af::mulScalar(att, scale);
+    att = af::add(att, af::constant(causal_mask_));
+    att = af::softmaxLastDim(att);
+    Variable ctx = af::matmul(att, v); // [B*H, S, hd]
+
+    // Merge heads and project out.
+    ctx = af::view(ctx, {b, heads_, s, head_dim_});
+    ctx = af::transpose(ctx, 1, 2); // [B,S,H,hd]
+    ctx = af::contiguous(ctx);
+    ctx = af::view(ctx, {b * s, dim_});
+    Variable out = wo_->forward(ctx);
+    return af::view(out, {b, s, dim_});
+}
+
+} // namespace nn
+} // namespace edkm

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Multi-head self-attention with rotary position embeddings and causal
+ * masking (the LLaMA decoder's attention block).
+ */
+
+#ifndef EDKM_NN_ATTENTION_H_
+#define EDKM_NN_ATTENTION_H_
+
+#include <memory>
+
+#include "nn/layers.h"
+#include "nn/module.h"
+
+namespace edkm {
+namespace nn {
+
+/** Causal RoPE multi-head attention over [B, S, D] inputs. */
+class MultiHeadAttention : public Module
+{
+  public:
+    /**
+     * @param dim    model width (must divide by heads; head dim even).
+     * @param heads  number of attention heads.
+     */
+    MultiHeadAttention(int64_t dim, int64_t heads, Rng &rng);
+
+    /** @p x [B, S, D] -> [B, S, D] with causal masking. */
+    Variable forward(const Variable &x);
+
+    std::string kind() const override { return "attention"; }
+
+    Linear &wq() { return *wq_; }
+    Linear &wk() { return *wk_; }
+    Linear &wv() { return *wv_; }
+    Linear &wo() { return *wo_; }
+
+  private:
+    /** Precompute (cached) RoPE cos/sin and the causal mask for @p s. */
+    void ensureCaches(int64_t s);
+
+    int64_t dim_, heads_, head_dim_;
+    std::shared_ptr<Linear> wq_, wk_, wv_, wo_;
+    Tensor rope_cos_, rope_sin_; ///< [S, head_dim]
+    Tensor causal_mask_;         ///< [1, S, S] (0 / -1e9)
+    int64_t cached_seq_ = -1;
+};
+
+} // namespace nn
+} // namespace edkm
+
+#endif // EDKM_NN_ATTENTION_H_

@@ -1,0 +1,43 @@
+#include "nn/clustered_linear.h"
+
+#include "autograd/functional.h"
+#include "util/logging.h"
+
+namespace edkm {
+namespace nn {
+
+ClusteredLinear::ClusteredLinear(std::shared_ptr<Linear> inner,
+                                 EdkmConfig config,
+                                 std::shared_ptr<LearnerGroup> group)
+    : inner_(registerModule("inner", std::move(inner))),
+      clusterer_(config, std::move(group))
+{
+}
+
+Variable
+ClusteredLinear::forward(const Variable &x)
+{
+    if (!enabled_) {
+        return inner_->forward(x);
+    }
+    Variable w_clustered = clusterer_.forward(inner_->weight());
+    Variable out = af::matmul(x, af::transpose(w_clustered, 0, 1));
+    if (inner_->bias().defined()) {
+        out = af::add(out, inner_->bias());
+    }
+    return out;
+}
+
+PalettizedTensor
+ClusteredLinear::palettize()
+{
+    if (!clusterer_.centroids().defined()) {
+        // Run one clustering pass if forward was never called.
+        NoGradGuard ng;
+        clusterer_.forward(inner_->weight().detach());
+    }
+    return clusterer_.palettize(inner_->weight().data());
+}
+
+} // namespace nn
+} // namespace edkm

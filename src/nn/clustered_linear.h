@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Train-time weight-clustered Linear: the integration point between the
+ * transformer substrate and the DKM/eDKM clustering core.
+ *
+ * Each forward pass clusters the FP weight with an EdkmLayer and uses the
+ * soft-clustered W~ for the matmul, so the task loss backpropagates
+ * through the clustering into the full-precision weights — the train-time
+ * compression setup of the paper's headline experiment. After fine-
+ * tuning, palettize() freezes the weight into the deployable LUT+index
+ * format.
+ */
+
+#ifndef EDKM_NN_CLUSTERED_LINEAR_H_
+#define EDKM_NN_CLUSTERED_LINEAR_H_
+
+#include <memory>
+
+#include "core/edkm.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+
+namespace edkm {
+namespace nn {
+
+/** Linear whose weight passes through differentiable clustering. */
+class ClusteredLinear : public Module
+{
+  public:
+    /**
+     * Wrap @p inner (shares its weight parameter). @p config controls
+     * the clustering; @p group enables sharding accounting.
+     */
+    ClusteredLinear(std::shared_ptr<Linear> inner, EdkmConfig config,
+                    std::shared_ptr<LearnerGroup> group = nullptr);
+
+    /** Cluster the weight, then y = x W~^T (+ b). */
+    Variable forward(const Variable &x);
+
+    std::string kind() const override { return "clustered_linear"; }
+
+    Linear &inner() { return *inner_; }
+    EdkmLayer &clusterer() { return clusterer_; }
+
+    /** Freeze the current weight into the palettized format. */
+    PalettizedTensor palettize();
+
+    /**
+     * When true (default), clustering runs every forward; when false the
+     * layer behaves as a plain Linear (e.g. during evaluation of the
+     * uncompressed reference).
+     */
+    void setClusteringEnabled(bool on) { enabled_ = on; }
+
+  private:
+    std::shared_ptr<Linear> inner_;
+    EdkmLayer clusterer_;
+    bool enabled_ = true;
+};
+
+} // namespace nn
+} // namespace edkm
+
+#endif // EDKM_NN_CLUSTERED_LINEAR_H_

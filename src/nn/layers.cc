@@ -1,0 +1,75 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+#include "autograd/functional.h"
+#include "util/logging.h"
+
+namespace edkm {
+namespace nn {
+
+Linear::Linear(int64_t in_features, int64_t out_features, Rng &rng,
+               bool bias)
+    : in_(in_features), out_(out_features)
+{
+    float std = 1.0f / std::sqrt(static_cast<float>(in_features));
+    weight_ = registerParameter(
+        "weight",
+        Variable(Tensor::randn({out_features, in_features}, rng,
+                               Device::cpu(), std),
+                 /*requires_grad=*/true, "linear.weight"));
+    if (bias) {
+        bias_ = registerParameter(
+            "bias", Variable(Tensor::zeros({out_features}),
+                             /*requires_grad=*/true, "linear.bias"));
+    }
+}
+
+Variable
+Linear::forward(const Variable &x)
+{
+    EDKM_CHECK(x.data().dim() == 2 && x.data().size(1) == in_,
+               "Linear: expected [n,", in_, "], got ", x.data().toString());
+    if (capture_) {
+        captured_ = x.data().clone();
+    }
+    Variable w = transform_ ? transform_(weight_) : weight_;
+    Variable out = af::matmul(x, af::transpose(w, 0, 1));
+    if (bias_.defined()) {
+        out = af::add(out, bias_);
+    }
+    return out;
+}
+
+Embedding::Embedding(int64_t vocab, int64_t dim, Rng &rng)
+{
+    weight_ = registerParameter(
+        "weight", Variable(Tensor::randn({vocab, dim}, rng, Device::cpu(),
+                                         0.02f),
+                           /*requires_grad=*/true, "embedding.weight"));
+}
+
+Variable
+Embedding::forward(const Tensor &tokens)
+{
+    EDKM_CHECK(tokens.dim() == 1, "Embedding: tokens must be 1-D");
+    return af::gatherRows(weight_, tokens);
+}
+
+RMSNorm::RMSNorm(int64_t dim, float eps) : eps_(eps)
+{
+    weight_ = registerParameter(
+        "weight", Variable(Tensor::ones({dim}), /*requires_grad=*/true,
+                           "rmsnorm.weight"));
+}
+
+Variable
+RMSNorm::forward(const Variable &x)
+{
+    Variable ms = af::meanDim(af::square(x), -1, /*keepdim=*/true);
+    Variable inv = af::div(x, af::sqrt(af::addScalar(ms, eps_)));
+    return af::mul(inv, weight_);
+}
+
+} // namespace nn
+} // namespace edkm

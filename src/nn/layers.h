@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Basic layers: Linear, Embedding, RMSNorm.
+ */
+
+#ifndef EDKM_NN_LAYERS_H_
+#define EDKM_NN_LAYERS_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace edkm {
+namespace nn {
+
+/**
+ * Affine map y = x W^T (+ b). Weight shape [out, in] (PyTorch layout).
+ * Supports optional capture of the last input batch for post-training
+ * quantisation calibration (GPTQ/AWQ need per-layer activations).
+ */
+class Linear : public Module
+{
+  public:
+    /**
+     * Weight-optimization hook (paper Fig 1): a transform applied to the
+     * weight on every forward, e.g. eDKM clustering or QAT fake-quant.
+     * The transform output is used for the matmul while gradients flow
+     * back into the raw parameter.
+     */
+    using WeightTransform = std::function<Variable(const Variable &)>;
+
+    Linear(int64_t in_features, int64_t out_features, Rng &rng,
+           bool bias = false);
+
+    /** @p x shape [n, in] -> [n, out]. */
+    Variable forward(const Variable &x);
+
+    /** Install (or clear, with nullptr) the weight transform. */
+    void setWeightTransform(WeightTransform transform)
+    {
+        transform_ = std::move(transform);
+    }
+
+    bool hasWeightTransform() const { return transform_ != nullptr; }
+
+    std::string kind() const override { return "linear"; }
+
+    Variable &weight() { return weight_; }
+    Variable &bias() { return bias_; }
+
+    /** Enable stashing of forward inputs (calibration capture). */
+    void setCaptureInputs(bool on) { capture_ = on; }
+
+    /** Last captured input ([n, in], data only); undefined if none. */
+    const Tensor &capturedInput() const { return captured_; }
+
+    int64_t inFeatures() const { return in_; }
+    int64_t outFeatures() const { return out_; }
+
+  private:
+    int64_t in_, out_;
+    Variable weight_;
+    Variable bias_;
+    bool capture_ = false;
+    Tensor captured_;
+    WeightTransform transform_;
+};
+
+/** Token embedding: rows of a [vocab, dim] table. */
+class Embedding : public Module
+{
+  public:
+    Embedding(int64_t vocab, int64_t dim, Rng &rng);
+
+    /** @p tokens 1-D integer tensor [n] -> [n, dim]. */
+    Variable forward(const Tensor &tokens);
+
+    std::string kind() const override { return "embedding"; }
+
+    Variable &weight() { return weight_; }
+
+  private:
+    Variable weight_;
+};
+
+/** Root-mean-square layer norm (LLaMA style, no bias). */
+class RMSNorm : public Module
+{
+  public:
+    explicit RMSNorm(int64_t dim, float eps = 1e-5f);
+
+    /** Normalise the last dimension of @p x. */
+    Variable forward(const Variable &x);
+
+    std::string kind() const override { return "rmsnorm"; }
+
+    Variable &weight() { return weight_; }
+
+  private:
+    Variable weight_;
+    float eps_;
+};
+
+} // namespace nn
+} // namespace edkm
+
+#endif // EDKM_NN_LAYERS_H_

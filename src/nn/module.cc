@@ -1,0 +1,58 @@
+#include "nn/module.h"
+
+#include "util/logging.h"
+
+namespace edkm {
+namespace nn {
+
+Variable
+Module::registerParameter(const std::string &name, Variable param)
+{
+    EDKM_CHECK(param.defined(), "registerParameter: undefined variable");
+    params_.emplace_back(name, param);
+    return param;
+}
+
+void
+Module::collect(const std::string &prefix,
+                std::vector<std::pair<std::string, Variable>> &out) const
+{
+    for (const auto &[name, p] : params_) {
+        out.emplace_back(prefix.empty() ? name : prefix + "." + name, p);
+    }
+    for (const auto &[name, child] : children_) {
+        child->collect(prefix.empty() ? name : prefix + "." + name, out);
+    }
+}
+
+std::vector<std::pair<std::string, Variable>>
+Module::namedParameters() const
+{
+    std::vector<std::pair<std::string, Variable>> out;
+    collect("", out);
+    return out;
+}
+
+std::vector<Variable>
+Module::parameters() const
+{
+    std::vector<Variable> out;
+    for (auto &[name, p] : namedParameters()) {
+        (void)name;
+        out.push_back(p);
+    }
+    return out;
+}
+
+int64_t
+Module::parameterCount() const
+{
+    int64_t n = 0;
+    for (const Variable &p : parameters()) {
+        n += p.data().numel();
+    }
+    return n;
+}
+
+} // namespace nn
+} // namespace edkm

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Module tree: parameter registration and traversal.
+ *
+ * Mirrors torch.nn.Module at the granularity this project needs: modules
+ * own named parameters and child modules; parameters() flattens the tree
+ * for the optimizer, and namedParameters() gives stable dotted paths used
+ * by the compression passes (which must find every Linear weight).
+ */
+
+#ifndef EDKM_NN_MODULE_H_
+#define EDKM_NN_MODULE_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace edkm {
+namespace nn {
+
+/** Base class of all network components. */
+class Module
+{
+  public:
+    virtual ~Module() = default;
+
+    /** All parameters of this module and its descendants. */
+    std::vector<Variable> parameters() const;
+
+    /** Parameters with dotted-path names ("blocks.0.attn.wq.weight"). */
+    std::vector<std::pair<std::string, Variable>> namedParameters() const;
+
+    /** Direct children with names. */
+    const std::vector<std::pair<std::string, std::shared_ptr<Module>>> &
+    children() const
+    {
+        return children_;
+    }
+
+    /** Short type tag ("linear", "rmsnorm", ...). */
+    virtual std::string kind() const = 0;
+
+    /** Total parameter count. */
+    int64_t parameterCount() const;
+
+  protected:
+    /** Register an owned parameter (requires_grad is expected true). */
+    Variable registerParameter(const std::string &name, Variable param);
+
+    /** Register an owned child module. */
+    template <typename M>
+    std::shared_ptr<M>
+    registerModule(const std::string &name, std::shared_ptr<M> child)
+    {
+        children_.emplace_back(name, child);
+        return child;
+    }
+
+  private:
+    void collect(const std::string &prefix,
+                 std::vector<std::pair<std::string, Variable>> &out) const;
+
+    std::vector<std::pair<std::string, Variable>> params_;
+    std::vector<std::pair<std::string, std::shared_ptr<Module>>> children_;
+};
+
+} // namespace nn
+} // namespace edkm
+
+#endif // EDKM_NN_MODULE_H_

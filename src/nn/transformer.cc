@@ -1,0 +1,105 @@
+#include "nn/transformer.h"
+
+#include "autograd/functional.h"
+#include "util/logging.h"
+
+namespace edkm {
+namespace nn {
+
+SwiGluMlp::SwiGluMlp(int64_t dim, int64_t hidden, Rng &rng)
+{
+    w1_ = registerModule("w1", std::make_shared<Linear>(dim, hidden, rng));
+    w2_ = registerModule("w2", std::make_shared<Linear>(hidden, dim, rng));
+    w3_ = registerModule("w3", std::make_shared<Linear>(dim, hidden, rng));
+}
+
+Variable
+SwiGluMlp::forward(const Variable &x)
+{
+    Variable gate = af::silu(w1_->forward(x));
+    Variable up = w3_->forward(x);
+    return w2_->forward(af::mul(gate, up));
+}
+
+TransformerBlock::TransformerBlock(int64_t dim, int64_t heads,
+                                   int64_t hidden, Rng &rng)
+{
+    norm1_ = registerModule("norm1", std::make_shared<RMSNorm>(dim));
+    attn_ = registerModule(
+        "attn", std::make_shared<MultiHeadAttention>(dim, heads, rng));
+    norm2_ = registerModule("norm2", std::make_shared<RMSNorm>(dim));
+    mlp_ = registerModule(
+        "mlp", std::make_shared<SwiGluMlp>(dim, hidden, rng));
+}
+
+Variable
+TransformerBlock::forward(const Variable &x)
+{
+    const Shape &s = x.data().shape();
+    int64_t b = s[0], seq = s[1], d = s[2];
+    Variable h = af::add(x, attn_->forward(norm1_->forward(x)));
+    // MLP operates on flattened rows.
+    Variable flat = af::view(norm2_->forward(h), {b * seq, d});
+    Variable m = mlp_->forward(flat);
+    return af::add(h, af::view(m, {b, seq, d}));
+}
+
+MiniLlama::MiniLlama(LlamaConfig config) : config_(config)
+{
+    Rng rng(config.seed);
+    embed_ = registerModule(
+        "embed",
+        std::make_shared<Embedding>(config.vocab, config.dim, rng));
+    for (int64_t i = 0; i < config.layers; ++i) {
+        blocks_.push_back(registerModule(
+            "blocks." + std::to_string(i),
+            std::make_shared<TransformerBlock>(
+                config.dim, config.heads, config.resolvedHidden(), rng)));
+    }
+    final_norm_ = registerModule("final_norm",
+                                 std::make_shared<RMSNorm>(config.dim));
+    lm_head_ = registerModule(
+        "lm_head",
+        std::make_shared<Linear>(config.dim, config.vocab, rng));
+}
+
+Variable
+MiniLlama::forward(const Tensor &tokens)
+{
+    EDKM_CHECK(tokens.dim() == 2, "MiniLlama: tokens must be [B,S]");
+    int64_t b = tokens.size(0), s = tokens.size(1);
+    Tensor flat_tokens =
+        tokens.isContiguous() ? tokens.view({b * s})
+                              : tokens.contiguous().view({b * s});
+    Variable h = embed_->forward(flat_tokens); // [B*S, D]
+    h = af::view(h, {b, s, config_.dim});
+    for (auto &block : blocks_) {
+        h = block->forward(h);
+    }
+    h = final_norm_->forward(h);
+    h = af::view(h, {b * s, config_.dim});
+    return lm_head_->forward(h); // [B*S, vocab]
+}
+
+std::vector<std::pair<std::string, Linear *>>
+MiniLlama::allLinears()
+{
+    std::vector<std::pair<std::string, Linear *>> out;
+    for (size_t i = 0; i < blocks_.size(); ++i) {
+        std::string p = "blocks." + std::to_string(i) + ".";
+        MultiHeadAttention &a = blocks_[i]->attention();
+        out.emplace_back(p + "attn.wq", &a.wq());
+        out.emplace_back(p + "attn.wk", &a.wk());
+        out.emplace_back(p + "attn.wv", &a.wv());
+        out.emplace_back(p + "attn.wo", &a.wo());
+        SwiGluMlp &m = blocks_[i]->mlp();
+        out.emplace_back(p + "mlp.w1", &m.w1());
+        out.emplace_back(p + "mlp.w2", &m.w2());
+        out.emplace_back(p + "mlp.w3", &m.w3());
+    }
+    out.emplace_back("lm_head", lm_head_.get());
+    return out;
+}
+
+} // namespace nn
+} // namespace edkm

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * LLaMA-style decoder-only transformer at configurable scale.
+ *
+ * MiniLlama reproduces the LLaMA-7B architecture (RMSNorm pre-norm, RoPE
+ * attention, SwiGLU MLP, untied output head) at laptop scale; benches can
+ * also instantiate single layers at true 7B geometry for memory
+ * accounting. See DESIGN.md for the substitution rationale.
+ */
+
+#ifndef EDKM_NN_TRANSFORMER_H_
+#define EDKM_NN_TRANSFORMER_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/attention.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+
+namespace edkm {
+namespace nn {
+
+/** SwiGLU feed-forward: w2( silu(w1 x) * (w3 x) ). */
+class SwiGluMlp : public Module
+{
+  public:
+    SwiGluMlp(int64_t dim, int64_t hidden, Rng &rng);
+
+    /** @p x [n, dim] -> [n, dim]. */
+    Variable forward(const Variable &x);
+
+    std::string kind() const override { return "swiglu"; }
+
+    Linear &w1() { return *w1_; }
+    Linear &w2() { return *w2_; }
+    Linear &w3() { return *w3_; }
+
+  private:
+    std::shared_ptr<Linear> w1_, w2_, w3_;
+};
+
+/** One pre-norm decoder block. */
+class TransformerBlock : public Module
+{
+  public:
+    TransformerBlock(int64_t dim, int64_t heads, int64_t hidden, Rng &rng);
+
+    /** @p x [B, S, D] -> [B, S, D]. */
+    Variable forward(const Variable &x);
+
+    std::string kind() const override { return "block"; }
+
+    MultiHeadAttention &attention() { return *attn_; }
+    SwiGluMlp &mlp() { return *mlp_; }
+
+  private:
+    std::shared_ptr<RMSNorm> norm1_, norm2_;
+    std::shared_ptr<MultiHeadAttention> attn_;
+    std::shared_ptr<SwiGluMlp> mlp_;
+};
+
+/** Model geometry. */
+struct LlamaConfig
+{
+    int64_t vocab = 256;   ///< byte-level tokenizer default
+    int64_t dim = 64;
+    int64_t heads = 4;
+    int64_t layers = 2;
+    int64_t hidden = 0;    ///< 0 = LLaMA's 8/3 * dim rounded to 8
+    uint64_t seed = 42;
+
+    int64_t
+    resolvedHidden() const
+    {
+        if (hidden > 0) {
+            return hidden;
+        }
+        int64_t h = dim * 8 / 3;
+        return ((h + 7) / 8) * 8;
+    }
+
+    /** Geometry of one LLaMA-7B layer, for memory-accounting benches. */
+    static LlamaConfig
+    llama7bShape()
+    {
+        LlamaConfig c;
+        c.vocab = 32000;
+        c.dim = 4096;
+        c.heads = 32;
+        c.layers = 32;
+        c.hidden = 11008;
+        return c;
+    }
+};
+
+/** Decoder-only language model. */
+class MiniLlama : public Module
+{
+  public:
+    explicit MiniLlama(LlamaConfig config);
+
+    /**
+     * @p tokens [B, S] integer tensor.
+     * @return logits [B*S, vocab].
+     */
+    Variable forward(const Tensor &tokens);
+
+    std::string kind() const override { return "llama"; }
+
+    const LlamaConfig &config() const { return config_; }
+
+    std::vector<std::shared_ptr<TransformerBlock>> &blocks()
+    {
+        return blocks_;
+    }
+    Embedding &embedding() { return *embed_; }
+    Linear &lmHead() { return *lm_head_; }
+
+    /** All Linear submodules with dotted names (compression targets). */
+    std::vector<std::pair<std::string, Linear *>> allLinears();
+
+  private:
+    LlamaConfig config_;
+    std::shared_ptr<Embedding> embed_;
+    std::vector<std::shared_ptr<TransformerBlock>> blocks_;
+    std::shared_ptr<RMSNorm> final_norm_;
+    std::shared_ptr<Linear> lm_head_;
+};
+
+} // namespace nn
+} // namespace edkm
+
+#endif // EDKM_NN_TRANSFORMER_H_

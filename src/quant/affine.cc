@@ -1,0 +1,146 @@
+#include "quant/affine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/palettize.h" // packBits/unpackBits
+#include "util/half.h"
+#include "util/logging.h"
+
+namespace edkm {
+namespace quant {
+
+namespace {
+
+int64_t
+resolveGroup(int64_t in, int64_t group_size)
+{
+    if (group_size <= 0 || group_size > in) {
+        return in; // per-channel (one group per row)
+    }
+    return group_size;
+}
+
+} // namespace
+
+QuantizedMatrix
+quantizeAffine(const Tensor &w, int bits, int64_t group_size)
+{
+    EDKM_CHECK(w.dim() == 2, "quantizeAffine: expects a 2-D matrix");
+    EDKM_CHECK(bits >= 1 && bits <= 8, "quantizeAffine: bits in [1,8]");
+    int64_t out = w.size(0), in = w.size(1);
+    int64_t g = resolveGroup(in, group_size);
+
+    QuantizedMatrix q;
+    q.shape = w.shape();
+    q.bits = bits;
+    q.groupSize = g;
+    int64_t qmax = (1 << bits) - 1;
+    std::vector<int32_t> idx(static_cast<size_t>(out * in));
+
+    std::vector<float> vals = w.toVector();
+    for (int64_t r = 0; r < out; ++r) {
+        for (int64_t g0 = 0; g0 < in; g0 += g) {
+            int64_t glen = std::min(g, in - g0); // ragged last group
+            const float *block = vals.data() + r * in + g0;
+            float lo = block[0], hi = block[0];
+            for (int64_t i = 1; i < glen; ++i) {
+                lo = std::min(lo, block[i]);
+                hi = std::max(hi, block[i]);
+            }
+            float scale = (hi - lo) / static_cast<float>(qmax);
+            if (scale <= 0.0f) {
+                scale = 1.0f;
+            }
+            // Store scale/zero in FP16 as deployed.
+            scale = roundToFp16(scale);
+            float zero = roundToFp16(lo);
+            q.scales.push_back(scale);
+            q.zeros.push_back(zero);
+            for (int64_t i = 0; i < glen; ++i) {
+                float v = std::round((block[i] - zero) / scale);
+                int32_t u = static_cast<int32_t>(
+                    std::clamp(v, 0.0f, static_cast<float>(qmax)));
+                idx[static_cast<size_t>(r * in + g0 + i)] = u;
+            }
+        }
+    }
+    q.packed = packBits(idx, bits);
+    return q;
+}
+
+Tensor
+QuantizedMatrix::dequantize(Device dev) const
+{
+    int64_t out = shape[0], in = shape[1];
+    std::vector<int32_t> idx = unpackBits(packed, bits, out * in);
+    Tensor t = Tensor::empty(shape, DType::kF32, dev);
+    float *p = t.rawData<float>();
+    int64_t groups_per_row = (in + groupSize - 1) / groupSize;
+    for (int64_t r = 0; r < out; ++r) {
+        for (int64_t i = 0; i < in; ++i) {
+            int64_t gidx = r * groups_per_row + i / groupSize;
+            p[r * in + i] =
+                zeros[static_cast<size_t>(gidx)] +
+                scales[static_cast<size_t>(gidx)] *
+                    static_cast<float>(idx[static_cast<size_t>(r * in + i)]);
+        }
+    }
+    return t;
+}
+
+int64_t
+QuantizedMatrix::payloadBytes() const
+{
+    // Packed indices + FP16 scale + FP16 zero per group.
+    return static_cast<int64_t>(packed.size()) +
+           static_cast<int64_t>(scales.size()) * 2 +
+           static_cast<int64_t>(zeros.size()) * 2;
+}
+
+double
+QuantizedMatrix::bitsPerWeight() const
+{
+    int64_t n = shape[0] * shape[1];
+    return 8.0 * static_cast<double>(payloadBytes()) /
+           static_cast<double>(n);
+}
+
+Tensor
+rtnQuantize(const Tensor &w, int bits, int64_t group_size)
+{
+    return quantizeAffine(w, bits, group_size).dequantize(w.device());
+}
+
+Tensor
+fakeQuantizeData(const Tensor &w, int bits, int64_t group_size)
+{
+    EDKM_CHECK(w.dim() == 2, "fakeQuantizeData: expects 2-D");
+    int64_t out = w.size(0), in = w.size(1);
+    int64_t g = resolveGroup(in, group_size);
+    // Symmetric: levels in [-2^{b-1}+1, 2^{b-1}-1] scaled by max|w|.
+    float qmax = static_cast<float>((1 << (bits - 1)) - 1);
+    std::vector<float> vals = w.toVector();
+    Tensor t = Tensor::empty(w.shape(), DType::kF32, w.device());
+    float *p = t.rawData<float>();
+    for (int64_t r = 0; r < out; ++r) {
+        for (int64_t g0 = 0; g0 < in; g0 += g) {
+            int64_t glen = std::min(g, in - g0);
+            const float *block = vals.data() + r * in + g0;
+            float mx = 0.0f;
+            for (int64_t i = 0; i < glen; ++i) {
+                mx = std::max(mx, std::fabs(block[i]));
+            }
+            float scale = mx > 0.0f ? mx / qmax : 1.0f;
+            for (int64_t i = 0; i < glen; ++i) {
+                float v = std::round(block[i] / scale);
+                v = std::clamp(v, -qmax, qmax);
+                p[r * in + g0 + i] = v * scale;
+            }
+        }
+    }
+    return t;
+}
+
+} // namespace quant
+} // namespace edkm

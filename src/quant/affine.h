@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Group-wise affine (uniform) quantisation and the RTN baseline.
+ *
+ * Round-to-nearest (RTN) with per-group scale/zero-point is the simplest
+ * Table 3 baseline and the inner quantiser of GPTQ/AWQ. Groups of
+ * `groupSize` consecutive elements along each row share a scale and
+ * zero-point (the paper's baselines use g128); groupSize <= 0 selects
+ * one group per row (per-channel).
+ */
+
+#ifndef EDKM_QUANT_AFFINE_H_
+#define EDKM_QUANT_AFFINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace edkm {
+namespace quant {
+
+/** A uniform-quantised 2-D weight matrix (storage format). */
+struct QuantizedMatrix
+{
+    Shape shape;            ///< original [out, in]
+    int bits = 4;
+    int64_t groupSize = 128;
+    std::vector<uint8_t> packed;  ///< bit-packed indices, row-major
+    std::vector<float> scales;    ///< one per group
+    std::vector<float> zeros;     ///< one per group (asymmetric)
+
+    /** Reconstruct the dense matrix. */
+    Tensor dequantize(Device dev = Device::cpu()) const;
+
+    /** Serialized bytes: packed payload + FP16 scale/zero per group. */
+    int64_t payloadBytes() const;
+
+    /** Effective bits per weight including metadata. */
+    double bitsPerWeight() const;
+};
+
+/**
+ * Quantise @p w (2-D) with round-to-nearest to @p bits per weight using
+ * asymmetric per-group min/max scaling.
+ */
+QuantizedMatrix quantizeAffine(const Tensor &w, int bits,
+                               int64_t group_size);
+
+/** RTN baseline: quantise then dequantise in one call. */
+Tensor rtnQuantize(const Tensor &w, int bits, int64_t group_size);
+
+/** Elementwise fake-quant (quantise-dequantise) used by QAT; symmetric
+ *  per-group max scaling, matching LLM-QAT's MinMax quantiser. */
+Tensor fakeQuantizeData(const Tensor &w, int bits, int64_t group_size);
+
+} // namespace quant
+} // namespace edkm
+
+#endif // EDKM_QUANT_AFFINE_H_

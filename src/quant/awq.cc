@@ -1,0 +1,96 @@
+#include "quant/awq.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace edkm {
+namespace quant {
+
+Tensor
+awqQuantize(const Tensor &w, const Tensor &x, const AwqConfig &config,
+            AwqResult *result)
+{
+    EDKM_CHECK(w.dim() == 2, "awq: weight must be 2-D");
+    EDKM_CHECK(x.dim() == 2 && x.size(1) == w.size(1),
+               "awq: calibration inputs must be [n, in]");
+    int64_t in = w.size(1);
+
+    // Per-input-channel activation magnitude.
+    std::vector<float> xv = x.toVector();
+    int64_t nsamp = x.size(0);
+    std::vector<float> act(static_cast<size_t>(in), 0.0f);
+    for (int64_t s = 0; s < nsamp; ++s) {
+        for (int64_t c = 0; c < in; ++c) {
+            act[static_cast<size_t>(c)] +=
+                std::fabs(xv[static_cast<size_t>(s * in + c)]);
+        }
+    }
+    for (float &a : act) {
+        a = std::max(a / static_cast<float>(nsamp), 1e-8f);
+    }
+
+    // Reference output W X^T (transposed layout: per-sample rows).
+    Tensor ref = matmul(x, w.transpose(0, 1)); // [n, out]
+
+    auto quantize_with_alpha = [&](float alpha, float *err_out) {
+        // Scale columns, RTN, unscale.
+        std::vector<float> s(static_cast<size_t>(in));
+        for (int64_t c = 0; c < in; ++c) {
+            s[static_cast<size_t>(c)] =
+                std::pow(act[static_cast<size_t>(c)], alpha);
+        }
+        std::vector<float> wv = w.toVector();
+        int64_t out = w.size(0);
+        for (int64_t r = 0; r < out; ++r) {
+            for (int64_t c = 0; c < in; ++c) {
+                wv[static_cast<size_t>(r * in + c)] *=
+                    s[static_cast<size_t>(c)];
+            }
+        }
+        Tensor scaled = Tensor::fromVector(wv, w.shape(), w.device());
+        Tensor dq = rtnQuantize(scaled, config.bits, config.groupSize);
+        std::vector<float> dqv = dq.toVector();
+        for (int64_t r = 0; r < out; ++r) {
+            for (int64_t c = 0; c < in; ++c) {
+                dqv[static_cast<size_t>(r * in + c)] /=
+                    s[static_cast<size_t>(c)];
+            }
+        }
+        Tensor deq = Tensor::fromVector(dqv, w.shape(), w.device());
+        if (err_out) {
+            Tensor got = matmul(x, deq.transpose(0, 1));
+            Tensor diff = sub(got, ref);
+            *err_out = sumAll(square(diff)).item();
+        }
+        return deq;
+    };
+
+    float best_alpha = 0.0f;
+    float best_err = 0.0f;
+    float rtn_err = 0.0f;
+    for (int gi = 0; gi < config.gridPoints; ++gi) {
+        float alpha = static_cast<float>(gi) /
+                      static_cast<float>(config.gridPoints);
+        float err = 0.0f;
+        quantize_with_alpha(alpha, &err);
+        if (gi == 0) {
+            rtn_err = err;
+        }
+        if (gi == 0 || err < best_err) {
+            best_err = err;
+            best_alpha = alpha;
+        }
+    }
+    if (result) {
+        result->bestAlpha = best_alpha;
+        result->bestError = best_err;
+        result->rtnError = rtn_err;
+    }
+    return quantize_with_alpha(best_alpha, nullptr);
+}
+
+} // namespace quant
+} // namespace edkm

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * AWQ (Lin et al., 2023): activation-aware weight quantisation — a
+ * Table 3 baseline.
+ *
+ * Observes that a small fraction of weight channels matters most, in
+ * proportion to activation magnitude. Scales input channels by
+ * s_c = mean(|X_c|)^alpha before RTN quantisation and folds 1/s back
+ * after, grid-searching alpha to minimise the layer output error on
+ * calibration data.
+ */
+
+#ifndef EDKM_QUANT_AWQ_H_
+#define EDKM_QUANT_AWQ_H_
+
+#include "quant/affine.h"
+#include "tensor/tensor.h"
+
+namespace edkm {
+namespace quant {
+
+/** AWQ hyper-parameters. */
+struct AwqConfig
+{
+    int bits = 4;
+    int64_t groupSize = 128;
+    int gridPoints = 20; ///< alpha grid resolution over [0,1)
+};
+
+/** Result of the alpha search (for diagnostics/tests). */
+struct AwqResult
+{
+    float bestAlpha = 0.0f;
+    float bestError = 0.0f;
+    float rtnError = 0.0f; ///< error at alpha=0 (plain RTN)
+};
+
+/**
+ * Quantise @p w [out,in] using calibration inputs @p x [n,in].
+ * @param[out] result optional search diagnostics.
+ * @return dequantised weight (scales folded back).
+ */
+Tensor awqQuantize(const Tensor &w, const Tensor &x,
+                   const AwqConfig &config, AwqResult *result = nullptr);
+
+} // namespace quant
+} // namespace edkm
+
+#endif // EDKM_QUANT_AWQ_H_

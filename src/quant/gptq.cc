@@ -1,0 +1,130 @@
+#include "quant/gptq.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/palettize.h"
+#include "util/half.h"
+#include "util/linalg.h"
+#include "util/logging.h"
+
+namespace edkm {
+namespace quant {
+
+Tensor
+gptqQuantize(const Tensor &w, const Tensor &x, const GptqConfig &config,
+             QuantizedMatrix *quantized)
+{
+    EDKM_CHECK(w.dim() == 2, "gptq: weight must be 2-D");
+    EDKM_CHECK(x.dim() == 2 && x.size(1) == w.size(1),
+               "gptq: calibration inputs must be [n, in]");
+    int64_t out = w.size(0);
+    size_t in = static_cast<size_t>(w.size(1));
+    int64_t g = (config.groupSize <= 0 ||
+                 config.groupSize > static_cast<int64_t>(in))
+                    ? static_cast<int64_t>(in)
+                    : config.groupSize;
+    int64_t qmax = (1 << config.bits) - 1;
+
+    // H = 2 X^T X + damp I.
+    std::vector<float> xv = x.toVector();
+    size_t nsamp = static_cast<size_t>(x.size(0));
+    std::vector<float> h(in * in, 0.0f);
+    for (size_t s = 0; s < nsamp; ++s) {
+        const float *row = xv.data() + s * in;
+        for (size_t i = 0; i < in; ++i) {
+            float xi = 2.0f * row[i];
+            for (size_t j = i; j < in; ++j) {
+                h[i * in + j] += xi * row[j];
+            }
+        }
+    }
+    for (size_t i = 0; i < in; ++i) {
+        for (size_t j = 0; j < i; ++j) {
+            h[i * in + j] = h[j * in + i];
+        }
+    }
+    double mean_diag = 0.0;
+    for (size_t i = 0; i < in; ++i) {
+        mean_diag += h[i * in + i];
+    }
+    mean_diag /= static_cast<double>(in);
+    float damp =
+        config.percdamp * static_cast<float>(std::max(mean_diag, 1e-8));
+    for (size_t i = 0; i < in; ++i) {
+        h[i * in + i] += damp;
+        if (h[i * in + i] <= 0.0f) {
+            // Dead input channel: make it inert.
+            h[i * in + i] = 1.0f;
+        }
+    }
+
+    // Hinv via Cholesky; the algorithm uses U = chol(H^-1)^T (upper).
+    std::vector<float> hinv;
+    EDKM_CHECK(spdInverse(h, in, hinv), "gptq: Hessian not invertible");
+    // Cholesky of hinv (lower L), then use U = L^T.
+    EDKM_CHECK(choleskyInPlace(hinv, in),
+               "gptq: inverse Hessian not positive definite");
+    // hinv now holds L (lower); U[i][j] = L[j][i] for j>=i.
+    auto uat = [&](size_t i, size_t j) { return hinv[j * in + i]; };
+
+    std::vector<float> wv = w.toVector(); // mutated in place
+    std::vector<int32_t> idx(static_cast<size_t>(out) * in, 0);
+    std::vector<float> scales, zeros;
+    int64_t groups_per_row =
+        (static_cast<int64_t>(in) + g - 1) / g;
+    scales.resize(static_cast<size_t>(out * groups_per_row));
+    zeros.resize(static_cast<size_t>(out * groups_per_row));
+
+    for (int64_t r = 0; r < out; ++r) {
+        float *row = wv.data() + static_cast<size_t>(r) * in;
+        float scale = 1.0f, zero = 0.0f;
+        for (size_t j = 0; j < in; ++j) {
+            if (static_cast<int64_t>(j) % g == 0) {
+                // New group: derive affine params from the *current*
+                // (error-compensated) values of the group.
+                int64_t glen = std::min(
+                    g, static_cast<int64_t>(in - j)); // ragged tail
+                float lo = row[j], hi = row[j];
+                for (int64_t t = 1; t < glen; ++t) {
+                    lo = std::min(lo, row[j + static_cast<size_t>(t)]);
+                    hi = std::max(hi, row[j + static_cast<size_t>(t)]);
+                }
+                scale = roundToFp16((hi - lo) /
+                                    static_cast<float>(qmax));
+                if (scale <= 0.0f) {
+                    scale = 1.0f;
+                }
+                zero = roundToFp16(lo);
+                size_t gid = static_cast<size_t>(
+                    r * groups_per_row + static_cast<int64_t>(j) / g);
+                scales[gid] = scale;
+                zeros[gid] = zero;
+            }
+            float q = std::round((row[j] - zero) / scale);
+            q = std::clamp(q, 0.0f, static_cast<float>(qmax));
+            idx[static_cast<size_t>(r) * in + j] =
+                static_cast<int32_t>(q);
+            float dq = zero + scale * q;
+            float err = (row[j] - dq) / uat(j, j);
+            row[j] = dq;
+            // Distribute the rounding error to later columns.
+            for (size_t jj = j + 1; jj < in; ++jj) {
+                row[jj] -= err * uat(j, jj);
+            }
+        }
+    }
+
+    if (quantized) {
+        quantized->shape = w.shape();
+        quantized->bits = config.bits;
+        quantized->groupSize = g;
+        quantized->packed = packBits(idx, config.bits);
+        quantized->scales = scales;
+        quantized->zeros = zeros;
+    }
+    return Tensor::fromVector(wv, w.shape(), w.device());
+}
+
+} // namespace quant
+} // namespace edkm

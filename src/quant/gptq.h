@@ -1,0 +1,46 @@
+/**
+ * @file
+ * GPTQ (Frantar et al., 2023): post-training quantisation with
+ * second-order error compensation — a Table 3 baseline.
+ *
+ * Quantises a weight matrix column by column; after each column the
+ * remaining (not yet quantised) columns absorb the rounding error scaled
+ * by the inverse Hessian of the layer reconstruction problem
+ * H = 2 X^T X, estimated from calibration activations.
+ */
+
+#ifndef EDKM_QUANT_GPTQ_H_
+#define EDKM_QUANT_GPTQ_H_
+
+#include <cstdint>
+
+#include "quant/affine.h"
+#include "tensor/tensor.h"
+
+namespace edkm {
+namespace quant {
+
+/** GPTQ hyper-parameters. */
+struct GptqConfig
+{
+    int bits = 4;
+    int64_t groupSize = 128;
+    /** Dampening fraction of mean diag(H) added before inversion. */
+    float percdamp = 0.01f;
+};
+
+/**
+ * Quantise @p w [out, in] given calibration inputs @p x [n, in].
+ *
+ * @param[out] quantized  optional storage-format output (for size
+ *                        accounting).
+ * @return the dequantised weight to install in the layer.
+ */
+Tensor gptqQuantize(const Tensor &w, const Tensor &x,
+                    const GptqConfig &config,
+                    QuantizedMatrix *quantized = nullptr);
+
+} // namespace quant
+} // namespace edkm
+
+#endif // EDKM_QUANT_GPTQ_H_

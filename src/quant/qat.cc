@@ -1,0 +1,55 @@
+#include "quant/qat.h"
+
+#include "autograd/functional.h"
+#include "autograd/node.h"
+#include "quant/affine.h"
+
+namespace edkm {
+namespace quant {
+
+namespace {
+
+/** STE: gradient passes through the rounding unchanged. */
+class FakeQuantNode : public Node
+{
+  public:
+    FakeQuantNode() : Node("fake_quant") {}
+
+    std::vector<Tensor>
+    backward(const Tensor &g) override
+    {
+        return {g};
+    }
+};
+
+} // namespace
+
+Variable
+fakeQuantize(const Variable &w, int bits, int64_t group_size)
+{
+    Tensor dq = fakeQuantizeData(w.data(), bits, group_size);
+    return makeResult(std::move(dq), {w},
+                      [&] { return std::make_shared<FakeQuantNode>(); });
+}
+
+QatLinear::QatLinear(std::shared_ptr<nn::Linear> inner, int bits,
+                     int64_t group_size)
+    : inner_(registerModule("inner", std::move(inner))),
+      bits_(bits),
+      group_size_(group_size)
+{
+}
+
+Variable
+QatLinear::forward(const Variable &x)
+{
+    Variable wq = fakeQuantize(inner_->weight(), bits_, group_size_);
+    Variable out = af::matmul(x, af::transpose(wq, 0, 1));
+    if (inner_->bias().defined()) {
+        out = af::add(out, inner_->bias());
+    }
+    return out;
+}
+
+} // namespace quant
+} // namespace edkm

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * LLM-QAT-style quantisation-aware training — a Table 3 baseline.
+ *
+ * Weights pass through a fake-quantiser (symmetric MinMax, matching
+ * LLM-QAT) during the forward pass; the straight-through estimator (STE)
+ * passes gradients unchanged, so fine-tuning adapts the full-precision
+ * weights to the quantisation grid.
+ */
+
+#ifndef EDKM_QUANT_QAT_H_
+#define EDKM_QUANT_QAT_H_
+
+#include <memory>
+
+#include "autograd/variable.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+
+namespace edkm {
+namespace quant {
+
+/**
+ * Differentiable fake-quantisation: forward rounds @p w to a @p bits
+ * symmetric per-group grid; backward is the identity (STE).
+ */
+Variable fakeQuantize(const Variable &w, int bits, int64_t group_size);
+
+/** Linear whose weight is fake-quantised every forward (QAT). */
+class QatLinear : public nn::Module
+{
+  public:
+    QatLinear(std::shared_ptr<nn::Linear> inner, int bits,
+              int64_t group_size = -1);
+
+    Variable forward(const Variable &x);
+
+    std::string kind() const override { return "qat_linear"; }
+
+    nn::Linear &inner() { return *inner_; }
+
+  private:
+    std::shared_ptr<nn::Linear> inner_;
+    int bits_;
+    int64_t group_size_;
+};
+
+} // namespace quant
+} // namespace edkm
+
+#endif // EDKM_QUANT_QAT_H_

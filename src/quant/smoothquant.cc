@@ -1,0 +1,90 @@
+#include "quant/smoothquant.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "quant/affine.h"
+#include "util/logging.h"
+
+namespace edkm {
+namespace quant {
+
+SmoothedLayer
+smoothQuantize(const Tensor &w, const Tensor &x,
+               const SmoothQuantConfig &config)
+{
+    EDKM_CHECK(w.dim() == 2 && x.dim() == 2 && x.size(1) == w.size(1),
+               "smoothquant: shape mismatch");
+    int64_t out = w.size(0), in = w.size(1);
+
+    // Per-channel maxima.
+    std::vector<float> xv = x.toVector();
+    std::vector<float> wv = w.toVector();
+    std::vector<float> xmax(static_cast<size_t>(in), 1e-8f);
+    std::vector<float> wmax(static_cast<size_t>(in), 1e-8f);
+    int64_t nsamp = x.size(0);
+    for (int64_t s = 0; s < nsamp; ++s) {
+        for (int64_t c = 0; c < in; ++c) {
+            xmax[static_cast<size_t>(c)] =
+                std::max(xmax[static_cast<size_t>(c)],
+                         std::fabs(xv[static_cast<size_t>(s * in + c)]));
+        }
+    }
+    for (int64_t r = 0; r < out; ++r) {
+        for (int64_t c = 0; c < in; ++c) {
+            wmax[static_cast<size_t>(c)] =
+                std::max(wmax[static_cast<size_t>(c)],
+                         std::fabs(wv[static_cast<size_t>(r * in + c)]));
+        }
+    }
+
+    SmoothedLayer result;
+    result.scales.resize(static_cast<size_t>(in));
+    for (int64_t c = 0; c < in; ++c) {
+        float s = std::pow(xmax[static_cast<size_t>(c)], config.alpha) /
+                  std::pow(wmax[static_cast<size_t>(c)],
+                           1.0f - config.alpha);
+        result.scales[static_cast<size_t>(c)] = std::max(s, 1e-5f);
+    }
+    // Fold s into W columns, then quantise the smoothed weight.
+    for (int64_t r = 0; r < out; ++r) {
+        for (int64_t c = 0; c < in; ++c) {
+            wv[static_cast<size_t>(r * in + c)] *=
+                result.scales[static_cast<size_t>(c)];
+        }
+    }
+    Tensor smoothed = Tensor::fromVector(wv, w.shape(), w.device());
+    Tensor dq = fakeQuantizeData(smoothed, config.weightBits, -1);
+    // Fold the scales back out so callers can drop the layer in place
+    // (activation side handled by quantizeActivations at run time).
+    std::vector<float> dqv = dq.toVector();
+    for (int64_t r = 0; r < out; ++r) {
+        for (int64_t c = 0; c < in; ++c) {
+            dqv[static_cast<size_t>(r * in + c)] /=
+                result.scales[static_cast<size_t>(c)];
+        }
+    }
+    result.weight = Tensor::fromVector(dqv, w.shape(), w.device());
+    return result;
+}
+
+Tensor
+quantizeActivations(const Tensor &x, int bits)
+{
+    float qmax = static_cast<float>((1 << (bits - 1)) - 1);
+    float mx = 0.0f;
+    int64_t n = x.numel();
+    for (int64_t i = 0; i < n; ++i) {
+        mx = std::max(mx, std::fabs(x.flatAt(i)));
+    }
+    float scale = mx > 0.0f ? mx / qmax : 1.0f;
+    Tensor out = Tensor::empty(x.shape(), DType::kF32, x.device());
+    for (int64_t i = 0; i < n; ++i) {
+        float v = std::round(x.flatAt(i) / scale);
+        out.setFlatAt(i, std::clamp(v, -qmax, qmax) * scale);
+    }
+    return out;
+}
+
+} // namespace quant
+} // namespace edkm

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * SmoothQuant (Xiao et al., 2023): activation-outlier smoothing for
+ * joint weight+activation quantisation (mentioned alongside the paper's
+ * Table 3 baselines).
+ *
+ * Migrates quantisation difficulty from activations to weights with a
+ * per-channel scale s_c = max|X_c|^alpha / max|W_c|^(1-alpha); the layer
+ * computes (X diag(1/s)) (diag(s) W^T) so the product is unchanged, but
+ * both factors quantise with less clipping error.
+ */
+
+#ifndef EDKM_QUANT_SMOOTHQUANT_H_
+#define EDKM_QUANT_SMOOTHQUANT_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace edkm {
+namespace quant {
+
+/** SmoothQuant hyper-parameters. */
+struct SmoothQuantConfig
+{
+    float alpha = 0.5f; ///< migration strength
+    int weightBits = 8;
+    int activationBits = 8;
+};
+
+/** Output of the smoothing transform. */
+struct SmoothedLayer
+{
+    Tensor weight;             ///< diag(s) folded into W (quantised)
+    std::vector<float> scales; ///< per-channel s to fold into X (1/s)
+};
+
+/**
+ * Smooth and quantise @p w [out,in] given calibration @p x [n,in].
+ * Activations are quantised dynamically per-tensor at @p
+ * config.activationBits when simulateActivationQuant runs them through
+ * quantizeActivations().
+ */
+SmoothedLayer smoothQuantize(const Tensor &w, const Tensor &x,
+                             const SmoothQuantConfig &config);
+
+/** Dynamic per-tensor symmetric activation fake-quant. */
+Tensor quantizeActivations(const Tensor &x, int bits);
+
+} // namespace quant
+} // namespace edkm
+
+#endif // EDKM_QUANT_SMOOTHQUANT_H_

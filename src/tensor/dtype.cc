@@ -1,0 +1,20 @@
+#include "tensor/dtype.h"
+
+namespace edkm {
+
+std::string
+dtypeName(DType dt)
+{
+    switch (dt) {
+      case DType::kF32: return "f32";
+      case DType::kBf16: return "bf16";
+      case DType::kF16: return "f16";
+      case DType::kI64: return "i64";
+      case DType::kI32: return "i32";
+      case DType::kU16: return "u16";
+      case DType::kU8: return "u8";
+    }
+    return "?";
+}
+
+} // namespace edkm

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Element types supported by the tensor library.
+ *
+ * F32 is the compute type. BF16/F16 are storage types with bit-exact
+ * software conversion (util/half.h); they matter because eDKM's
+ * uniquification buckets weights by their 16-bit pattern. Integer types
+ * back token ids, cluster indices (U16, at most 2^16 unique rows) and
+ * packed palettized payloads (U8).
+ */
+
+#ifndef EDKM_TENSOR_DTYPE_H_
+#define EDKM_TENSOR_DTYPE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace edkm {
+
+/** Supported element types. */
+enum class DType : uint8_t {
+    kF32 = 0,
+    kBf16,
+    kF16,
+    kI64,
+    kI32,
+    kU16,
+    kU8,
+};
+
+/** @return size of one element of @p dt in bytes. */
+constexpr int64_t
+dtypeSize(DType dt)
+{
+    switch (dt) {
+      case DType::kF32: return 4;
+      case DType::kBf16: return 2;
+      case DType::kF16: return 2;
+      case DType::kI64: return 8;
+      case DType::kI32: return 4;
+      case DType::kU16: return 2;
+      case DType::kU8: return 1;
+    }
+    return 0;
+}
+
+/** @return true for the floating-point types. */
+constexpr bool
+dtypeIsFloat(DType dt)
+{
+    return dt == DType::kF32 || dt == DType::kBf16 || dt == DType::kF16;
+}
+
+/** @return human-readable name, e.g. "f32". */
+std::string dtypeName(DType dt);
+
+} // namespace edkm
+
+#endif // EDKM_TENSOR_DTYPE_H_

@@ -1,0 +1,625 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "device/device_manager.h"
+#include "util/logging.h"
+
+namespace edkm {
+
+namespace {
+
+/** Record @p flops of simulated compute on @p dev. */
+void
+recordFlops(double flops, Device dev)
+{
+    DeviceManager &mgr = DeviceManager::instance();
+    mgr.recordComputeSeconds(mgr.costModel().computeSeconds(flops, dev));
+}
+
+Tensor
+toF32Contig(const Tensor &t)
+{
+    Tensor c = t.isContiguous() ? t : t.contiguous();
+    return c.dtype() == DType::kF32 ? c : c.to(DType::kF32);
+}
+
+/** Apply @p f elementwise over a broadcast pair into a fresh tensor. */
+Tensor
+binaryOp(const Tensor &a, const Tensor &b,
+         const std::function<float(float, float)> &f)
+{
+    Shape out_shape = broadcastShape(a.shape(), b.shape());
+    Tensor out = Tensor::empty(out_shape, DType::kF32, a.device());
+    int64_t n = out.numel();
+    Tensor ac = toF32Contig(a);
+    Tensor bc = toF32Contig(b);
+    const float *pa = ac.rawData<float>();
+    const float *pb = bc.rawData<float>();
+    float *po = out.rawData<float>();
+
+    // Fast path: identical shapes.
+    if (a.shape() == b.shape()) {
+        for (int64_t i = 0; i < n; ++i) {
+            po[i] = f(pa[i], pb[i]);
+        }
+        recordFlops(static_cast<double>(n), a.device());
+        return out;
+    }
+
+    // General broadcast path: odometer walk with per-dim stride deltas
+    // (stride 0 on broadcast dimensions).
+    int64_t rank = static_cast<int64_t>(out_shape.size());
+    std::vector<int64_t> sa(rank, 0), sb(rank, 0), idx(rank, 0);
+    int64_t acc_a = 1, acc_b = 1;
+    for (int64_t d = rank - 1; d >= 0; --d) {
+        int64_t off_a = d - (rank - ac.dim());
+        int64_t off_b = d - (rank - bc.dim());
+        int64_t dim_a = off_a >= 0 ? ac.shape()[off_a] : 1;
+        int64_t dim_b = off_b >= 0 ? bc.shape()[off_b] : 1;
+        sa[d] = (dim_a == 1) ? 0 : acc_a;
+        sb[d] = (dim_b == 1) ? 0 : acc_b;
+        acc_a *= dim_a;
+        acc_b *= dim_b;
+    }
+    int64_t oa = 0, ob = 0;
+    for (int64_t i = 0; i < n; ++i) {
+        po[i] = f(pa[oa], pb[ob]);
+        for (int64_t d = rank - 1; d >= 0; --d) {
+            oa += sa[d];
+            ob += sb[d];
+            if (++idx[d] < out_shape[d]) {
+                break;
+            }
+            idx[d] = 0;
+            oa -= sa[d] * out_shape[d];
+            ob -= sb[d] * out_shape[d];
+        }
+    }
+    recordFlops(static_cast<double>(n), a.device());
+    return out;
+}
+
+/** Apply @p f elementwise into a fresh f32 tensor. */
+Tensor
+unaryOp(const Tensor &a, const std::function<float(float)> &f)
+{
+    Tensor out = Tensor::empty(a.shape(), DType::kF32, a.device());
+    int64_t n = a.numel();
+    float *po = out.rawData<float>();
+    if (a.isContiguous() && a.dtype() == DType::kF32) {
+        const float *pa = a.rawData<float>();
+        for (int64_t i = 0; i < n; ++i) {
+            po[i] = f(pa[i]);
+        }
+    } else {
+        for (int64_t i = 0; i < n; ++i) {
+            po[i] = f(a.flatAt(i));
+        }
+    }
+    recordFlops(static_cast<double>(n), a.device());
+    return out;
+}
+
+} // namespace
+
+Shape
+broadcastShape(const Shape &a, const Shape &b)
+{
+    size_t rank = std::max(a.size(), b.size());
+    Shape out(rank);
+    for (size_t i = 0; i < rank; ++i) {
+        int64_t da = (i < rank - a.size()) ? 1 : a[i - (rank - a.size())];
+        int64_t db = (i < rank - b.size()) ? 1 : b[i - (rank - b.size())];
+        if (da == db || da == 1 || db == 1) {
+            out[i] = std::max(da, db);
+        } else {
+            fatal("broadcastShape: incompatible dims ", da, " vs ", db);
+        }
+    }
+    return out;
+}
+
+Tensor
+add(const Tensor &a, const Tensor &b)
+{
+    return binaryOp(a, b, [](float x, float y) { return x + y; });
+}
+
+Tensor
+sub(const Tensor &a, const Tensor &b)
+{
+    return binaryOp(a, b, [](float x, float y) { return x - y; });
+}
+
+Tensor
+mul(const Tensor &a, const Tensor &b)
+{
+    return binaryOp(a, b, [](float x, float y) { return x * y; });
+}
+
+Tensor
+div(const Tensor &a, const Tensor &b)
+{
+    return binaryOp(a, b, [](float x, float y) { return x / y; });
+}
+
+Tensor
+addScalar(const Tensor &a, float s)
+{
+    return unaryOp(a, [s](float x) { return x + s; });
+}
+
+Tensor
+mulScalar(const Tensor &a, float s)
+{
+    return unaryOp(a, [s](float x) { return x * s; });
+}
+
+Tensor
+powScalar(const Tensor &a, float p)
+{
+    return unaryOp(a, [p](float x) { return std::pow(x, p); });
+}
+
+Tensor
+neg(const Tensor &a)
+{
+    return unaryOp(a, [](float x) { return -x; });
+}
+
+Tensor
+expT(const Tensor &a)
+{
+    return unaryOp(a, [](float x) { return std::exp(x); });
+}
+
+Tensor
+logT(const Tensor &a)
+{
+    return unaryOp(a, [](float x) { return std::log(x); });
+}
+
+Tensor
+sqrtT(const Tensor &a)
+{
+    return unaryOp(a, [](float x) { return std::sqrt(x); });
+}
+
+Tensor
+absT(const Tensor &a)
+{
+    return unaryOp(a, [](float x) { return std::fabs(x); });
+}
+
+Tensor
+square(const Tensor &a)
+{
+    return unaryOp(a, [](float x) { return x * x; });
+}
+
+Tensor
+reciprocal(const Tensor &a)
+{
+    return unaryOp(a, [](float x) { return 1.0f / x; });
+}
+
+Tensor
+clampT(const Tensor &a, float lo, float hi)
+{
+    return unaryOp(a, [lo, hi](float x) { return std::clamp(x, lo, hi); });
+}
+
+Tensor
+silu(const Tensor &a)
+{
+    return unaryOp(a, [](float x) { return x / (1.0f + std::exp(-x)); });
+}
+
+Tensor
+relu(const Tensor &a)
+{
+    return unaryOp(a, [](float x) { return x > 0.0f ? x : 0.0f; });
+}
+
+Tensor
+sigmoid(const Tensor &a)
+{
+    return unaryOp(a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); });
+}
+
+namespace {
+
+/** Core 2-D matmul on contiguous f32 buffers. */
+void
+matmul2d(const float *a, const float *b, float *c, int64_t m, int64_t k,
+         int64_t n)
+{
+    std::fill(c, c + m * n, 0.0f);
+    for (int64_t i = 0; i < m; ++i) {
+        for (int64_t p = 0; p < k; ++p) {
+            float av = a[i * k + p];
+            if (av == 0.0f) {
+                continue;
+            }
+            const float *brow = b + p * n;
+            float *crow = c + i * n;
+            for (int64_t j = 0; j < n; ++j) {
+                crow[j] += av * brow[j];
+            }
+        }
+    }
+}
+
+Tensor
+asF32Contiguous(const Tensor &t)
+{
+    Tensor c = t.isContiguous() ? t : t.contiguous();
+    return c.dtype() == DType::kF32 ? c : c.to(DType::kF32);
+}
+
+} // namespace
+
+Tensor
+matmul(const Tensor &a, const Tensor &b)
+{
+    EDKM_CHECK(a.dim() >= 2 && b.dim() >= 2, "matmul: need >=2-d operands");
+    Tensor ac = asF32Contiguous(a);
+    Tensor bc = asF32Contiguous(b);
+
+    if (ac.dim() == 2 && bc.dim() == 2) {
+        int64_t m = ac.size(0), k = ac.size(1);
+        EDKM_CHECK(bc.size(0) == k, "matmul: inner dims ", k, " vs ",
+                   bc.size(0));
+        int64_t n = bc.size(1);
+        Tensor out = Tensor::empty({m, n}, DType::kF32, ac.device());
+        matmul2d(ac.rawData<float>(), bc.rawData<float>(),
+                 out.rawData<float>(), m, k, n);
+        recordFlops(2.0 * m * k * n, ac.device());
+        return out;
+    }
+
+    // Batched: [b,m,k] x [b,k,n] or [b,m,k] x [k,n].
+    EDKM_CHECK(ac.dim() == 3, "matmul: unsupported ranks");
+    int64_t bs = ac.size(0), m = ac.size(1), k = ac.size(2);
+    bool b_batched = bc.dim() == 3;
+    int64_t n = b_batched ? bc.size(2) : bc.size(1);
+    EDKM_CHECK((b_batched ? bc.size(1) : bc.size(0)) == k,
+               "matmul: inner dim mismatch");
+    if (b_batched) {
+        EDKM_CHECK(bc.size(0) == bs, "matmul: batch mismatch");
+    }
+    Tensor out = Tensor::empty({bs, m, n}, DType::kF32, ac.device());
+    const float *pa = ac.rawData<float>();
+    const float *pb = bc.rawData<float>();
+    float *po = out.rawData<float>();
+    for (int64_t i = 0; i < bs; ++i) {
+        matmul2d(pa + i * m * k, b_batched ? pb + i * k * n : pb,
+                 po + i * m * n, m, k, n);
+    }
+    recordFlops(2.0 * bs * m * k * n, ac.device());
+    return out;
+}
+
+Tensor
+sumAll(const Tensor &a)
+{
+    double acc = 0.0;
+    int64_t n = a.numel();
+    if (a.isContiguous() && a.dtype() == DType::kF32) {
+        const float *p = a.rawData<float>();
+        for (int64_t i = 0; i < n; ++i) {
+            acc += p[i];
+        }
+    } else {
+        for (int64_t i = 0; i < n; ++i) {
+            acc += a.flatAt(i);
+        }
+    }
+    recordFlops(static_cast<double>(n), a.device());
+    return Tensor::full({1}, static_cast<float>(acc), DType::kF32,
+                        a.device());
+}
+
+Tensor
+meanAll(const Tensor &a)
+{
+    Tensor s = sumAll(a);
+    return mulScalar(s, 1.0f / static_cast<float>(a.numel()));
+}
+
+Tensor
+sumDim(const Tensor &a, int64_t d, bool keepdim)
+{
+    if (d < 0) d += a.dim();
+    EDKM_CHECK(d >= 0 && d < a.dim(), "sumDim: dim out of range");
+    Shape out_shape = a.shape();
+    out_shape[d] = 1;
+    Tensor out = Tensor::zeros(out_shape, DType::kF32, a.device());
+
+    // outer x reduce x inner decomposition over a contiguous copy.
+    Tensor ac = toF32Contig(a);
+    int64_t reduce = a.shape()[d];
+    int64_t inner = 1;
+    for (int64_t dd = d + 1; dd < a.dim(); ++dd) {
+        inner *= a.shape()[dd];
+    }
+    int64_t outer = a.numel() / (reduce * inner);
+    const float *pa = ac.rawData<float>();
+    float *po = out.rawData<float>();
+    for (int64_t o = 0; o < outer; ++o) {
+        const float *block = pa + o * reduce * inner;
+        float *orow = po + o * inner;
+        for (int64_t r = 0; r < reduce; ++r) {
+            const float *row = block + r * inner;
+            for (int64_t i = 0; i < inner; ++i) {
+                orow[i] += row[i];
+            }
+        }
+    }
+    recordFlops(static_cast<double>(a.numel()), a.device());
+    return keepdim ? out : out.squeeze(d);
+}
+
+Tensor
+meanDim(const Tensor &a, int64_t d, bool keepdim)
+{
+    int64_t dd = d < 0 ? d + a.dim() : d;
+    Tensor s = sumDim(a, d, keepdim);
+    return mulScalar(s, 1.0f / static_cast<float>(a.shape()[dd]));
+}
+
+std::pair<Tensor, Tensor>
+maxLastDim(const Tensor &a)
+{
+    EDKM_CHECK(a.dim() >= 1, "maxLastDim: needs >=1-d");
+    int64_t cols = a.size(-1);
+    int64_t rows = a.numel() / cols;
+    Tensor ac = a.isContiguous() ? a : a.contiguous();
+    Shape out_shape(a.shape().begin(), a.shape().end() - 1);
+    if (out_shape.empty()) {
+        out_shape = {1};
+    }
+    Tensor values = Tensor::empty(out_shape, DType::kF32, a.device());
+    Tensor indices = Tensor::empty(out_shape, DType::kI64, a.device());
+    for (int64_t r = 0; r < rows; ++r) {
+        float best = ac.flatAt(r * cols);
+        int64_t best_i = 0;
+        for (int64_t c = 1; c < cols; ++c) {
+            float v = ac.flatAt(r * cols + c);
+            if (v > best) {
+                best = v;
+                best_i = c;
+            }
+        }
+        values.setFlatAt(r, best);
+        indices.setFlatAtInt(r, best_i);
+    }
+    recordFlops(static_cast<double>(a.numel()), a.device());
+    return {values, indices};
+}
+
+Tensor
+argmaxLastDim(const Tensor &a)
+{
+    return maxLastDim(a).second;
+}
+
+Tensor
+softmaxLastDim(const Tensor &a)
+{
+    int64_t cols = a.size(-1);
+    int64_t rows = a.numel() / cols;
+    Tensor ac = asF32Contiguous(a);
+    Tensor out = Tensor::empty(a.shape(), DType::kF32, a.device());
+    const float *pi = ac.rawData<float>();
+    float *po = out.rawData<float>();
+    for (int64_t r = 0; r < rows; ++r) {
+        const float *row = pi + r * cols;
+        float *orow = po + r * cols;
+        float mx = row[0];
+        for (int64_t c = 1; c < cols; ++c) {
+            mx = std::max(mx, row[c]);
+        }
+        double denom = 0.0;
+        for (int64_t c = 0; c < cols; ++c) {
+            orow[c] = std::exp(row[c] - mx);
+            denom += orow[c];
+        }
+        float inv = static_cast<float>(1.0 / denom);
+        for (int64_t c = 0; c < cols; ++c) {
+            orow[c] *= inv;
+        }
+    }
+    recordFlops(5.0 * static_cast<double>(a.numel()), a.device());
+    return out;
+}
+
+Tensor
+logSoftmaxLastDim(const Tensor &a)
+{
+    int64_t cols = a.size(-1);
+    int64_t rows = a.numel() / cols;
+    Tensor ac = asF32Contiguous(a);
+    Tensor out = Tensor::empty(a.shape(), DType::kF32, a.device());
+    const float *pi = ac.rawData<float>();
+    float *po = out.rawData<float>();
+    for (int64_t r = 0; r < rows; ++r) {
+        const float *row = pi + r * cols;
+        float *orow = po + r * cols;
+        float mx = row[0];
+        for (int64_t c = 1; c < cols; ++c) {
+            mx = std::max(mx, row[c]);
+        }
+        double denom = 0.0;
+        for (int64_t c = 0; c < cols; ++c) {
+            denom += std::exp(row[c] - mx);
+        }
+        float lse = mx + static_cast<float>(std::log(denom));
+        for (int64_t c = 0; c < cols; ++c) {
+            orow[c] = row[c] - lse;
+        }
+    }
+    recordFlops(5.0 * static_cast<double>(a.numel()), a.device());
+    return out;
+}
+
+Tensor
+gatherRows(const Tensor &table, const Tensor &indices)
+{
+    EDKM_CHECK(table.dim() == 2, "gatherRows: table must be 2-d");
+    EDKM_CHECK(indices.dim() == 1, "gatherRows: indices must be 1-d");
+    int64_t rows = table.size(0), cols = table.size(1);
+    int64_t n = indices.numel();
+    Tensor tc = asF32Contiguous(table);
+    Tensor out = Tensor::empty({n, cols}, DType::kF32, table.device());
+    const float *pt = tc.rawData<float>();
+    float *po = out.rawData<float>();
+    for (int64_t i = 0; i < n; ++i) {
+        int64_t r = indices.flatAtInt(i);
+        EDKM_CHECK(r >= 0 && r < rows, "gatherRows: index ", r,
+                   " out of range [0,", rows, ")");
+        std::copy(pt + r * cols, pt + (r + 1) * cols, po + i * cols);
+    }
+    recordFlops(static_cast<double>(n * cols), table.device());
+    return out;
+}
+
+Tensor
+scatterAddRows(const Tensor &src, const Tensor &indices, int64_t rows)
+{
+    EDKM_CHECK(src.dim() == 2, "scatterAddRows: src must be 2-d");
+    EDKM_CHECK(indices.dim() == 1 && indices.numel() == src.size(0),
+               "scatterAddRows: one index per src row");
+    int64_t cols = src.size(1);
+    Tensor sc = asF32Contiguous(src);
+    Tensor out = Tensor::zeros({rows, cols}, DType::kF32, src.device());
+    const float *ps = sc.rawData<float>();
+    float *po = out.rawData<float>();
+    int64_t n = src.size(0);
+    for (int64_t i = 0; i < n; ++i) {
+        int64_t r = indices.flatAtInt(i);
+        EDKM_CHECK(r >= 0 && r < rows, "scatterAddRows: index out of range");
+        const float *srow = ps + i * cols;
+        float *orow = po + r * cols;
+        for (int64_t c = 0; c < cols; ++c) {
+            orow[c] += srow[c];
+        }
+    }
+    recordFlops(static_cast<double>(n * cols), src.device());
+    return out;
+}
+
+Tensor
+cat0(const std::vector<Tensor> &parts)
+{
+    EDKM_CHECK(!parts.empty(), "cat0: no tensors");
+    Shape shape = parts[0].shape();
+    int64_t total = 0;
+    for (const Tensor &p : parts) {
+        EDKM_CHECK(p.dim() == static_cast<int64_t>(shape.size()),
+                   "cat0: rank mismatch");
+        for (int64_t d = 1; d < p.dim(); ++d) {
+            EDKM_CHECK(p.size(d) == shape[d], "cat0: trailing shape "
+                       "mismatch");
+        }
+        total += p.size(0);
+    }
+    shape[0] = total;
+    Tensor out = Tensor::empty(shape, DType::kF32, parts[0].device());
+    int64_t written = 0;
+    for (const Tensor &p : parts) {
+        Tensor pc = asF32Contiguous(p);
+        int64_t n = pc.numel();
+        std::copy(pc.rawData<float>(), pc.rawData<float>() + n,
+                  out.rawData<float>() + written);
+        written += n;
+    }
+    return out;
+}
+
+void
+copyIntoView(Tensor view, const Tensor &src)
+{
+    EDKM_CHECK(view.numel() == src.numel(),
+               "copyIntoView: numel mismatch");
+    int64_t n = view.numel();
+    for (int64_t i = 0; i < n; ++i) {
+        view.setFlatAt(i, src.flatAt(i));
+    }
+}
+
+Tensor
+broadcastTo(const Tensor &t, const Shape &shape)
+{
+    return add(Tensor::zeros(shape, DType::kF32, t.device()), t);
+}
+
+bool
+allclose(const Tensor &a, const Tensor &b, float rtol, float atol)
+{
+    if (a.shape() != b.shape()) {
+        return false;
+    }
+    int64_t n = a.numel();
+    for (int64_t i = 0; i < n; ++i) {
+        float x = a.flatAt(i), y = b.flatAt(i);
+        if (std::fabs(x - y) > atol + rtol * std::fabs(y)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+float
+maxAbsDiff(const Tensor &a, const Tensor &b)
+{
+    EDKM_CHECK(a.numel() == b.numel(), "maxAbsDiff: numel mismatch");
+    float mx = 0.0f;
+    int64_t n = a.numel();
+    for (int64_t i = 0; i < n; ++i) {
+        mx = std::max(mx, std::fabs(a.flatAt(i) - b.flatAt(i)));
+    }
+    return mx;
+}
+
+// Operator sugar on Tensor (declared in tensor.h).
+Tensor
+Tensor::operator+(const Tensor &o) const
+{
+    return edkm::add(*this, o);
+}
+Tensor
+Tensor::operator-(const Tensor &o) const
+{
+    return edkm::sub(*this, o);
+}
+Tensor
+Tensor::operator*(const Tensor &o) const
+{
+    return edkm::mul(*this, o);
+}
+Tensor
+Tensor::operator/(const Tensor &o) const
+{
+    return edkm::div(*this, o);
+}
+Tensor
+Tensor::operator*(float s) const
+{
+    return edkm::mulScalar(*this, s);
+}
+Tensor
+Tensor::operator+(float s) const
+{
+    return edkm::addScalar(*this, s);
+}
+Tensor
+Tensor::operator-() const
+{
+    return edkm::neg(*this);
+}
+
+} // namespace edkm

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Non-differentiable tensor kernels.
+ *
+ * These free functions implement the arithmetic the autograd layer and the
+ * clustering core are built from. Every kernel computes in float32
+ * regardless of storage dtype and records its flop count with the
+ * DeviceManager cost model so experiments report simulated runtimes.
+ *
+ * Broadcasting follows numpy rules (trailing dims aligned; size-1 dims
+ * stretch).
+ */
+
+#ifndef EDKM_TENSOR_OPS_H_
+#define EDKM_TENSOR_OPS_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace edkm {
+
+// ----------------------------------------------------------------------
+// Elementwise binary (broadcasting)
+// ----------------------------------------------------------------------
+
+Tensor add(const Tensor &a, const Tensor &b);
+Tensor sub(const Tensor &a, const Tensor &b);
+Tensor mul(const Tensor &a, const Tensor &b);
+Tensor div(const Tensor &a, const Tensor &b);
+
+/** Result shape of broadcasting @p a against @p b (fatal if impossible). */
+Shape broadcastShape(const Shape &a, const Shape &b);
+
+// ----------------------------------------------------------------------
+// Elementwise with scalar / unary
+// ----------------------------------------------------------------------
+
+Tensor addScalar(const Tensor &a, float s);
+Tensor mulScalar(const Tensor &a, float s);
+Tensor powScalar(const Tensor &a, float p);
+Tensor neg(const Tensor &a);
+Tensor expT(const Tensor &a);
+Tensor logT(const Tensor &a);
+Tensor sqrtT(const Tensor &a);
+Tensor absT(const Tensor &a);
+Tensor square(const Tensor &a);
+Tensor reciprocal(const Tensor &a);
+Tensor clampT(const Tensor &a, float lo, float hi);
+Tensor silu(const Tensor &a);
+Tensor relu(const Tensor &a);
+Tensor sigmoid(const Tensor &a);
+
+// ----------------------------------------------------------------------
+// Matrix multiply
+// ----------------------------------------------------------------------
+
+/**
+ * Matrix product. Supports [m,k]x[k,n] and batched [b,m,k]x[b,k,n]
+ * (or [b,m,k]x[k,n] with broadcast of the right operand).
+ */
+Tensor matmul(const Tensor &a, const Tensor &b);
+
+// ----------------------------------------------------------------------
+// Reductions
+// ----------------------------------------------------------------------
+
+/** Sum of all elements as a scalar (0-d equivalently shape {1}). */
+Tensor sumAll(const Tensor &a);
+
+/** Mean of all elements as a scalar. */
+Tensor meanAll(const Tensor &a);
+
+/** Sum along @p d (keepdim selectable). */
+Tensor sumDim(const Tensor &a, int64_t d, bool keepdim = false);
+
+/** Mean along @p d. */
+Tensor meanDim(const Tensor &a, int64_t d, bool keepdim = false);
+
+/** Row-max values and argmax indices along the last dimension. */
+std::pair<Tensor, Tensor> maxLastDim(const Tensor &a);
+
+/** Argmax along the last dimension (kI64). */
+Tensor argmaxLastDim(const Tensor &a);
+
+// ----------------------------------------------------------------------
+// Softmax family (last dimension)
+// ----------------------------------------------------------------------
+
+Tensor softmaxLastDim(const Tensor &a);
+Tensor logSoftmaxLastDim(const Tensor &a);
+
+// ----------------------------------------------------------------------
+// Indexing
+// ----------------------------------------------------------------------
+
+/** Gather rows of a [r, c] @p table by 1-D integer @p indices -> [n, c]. */
+Tensor gatherRows(const Tensor &table, const Tensor &indices);
+
+/**
+ * Accumulate rows of @p src [n, c] into a new [rows, c] tensor at
+ * positions given by @p indices (reverse of gatherRows; used by backward
+ * passes of embedding and uniquified attention).
+ */
+Tensor scatterAddRows(const Tensor &src, const Tensor &indices,
+                      int64_t rows);
+
+/** Concatenate along dimension 0 (same trailing shape). */
+Tensor cat0(const std::vector<Tensor> &parts);
+
+/** Copy @p src elementwise into @p view (same logical shape; the view
+ *  may alias another tensor's storage, e.g. a slice). */
+void copyIntoView(Tensor view, const Tensor &src);
+
+/** Materialise @p t broadcast to @p shape. */
+Tensor broadcastTo(const Tensor &t, const Shape &shape);
+
+// ----------------------------------------------------------------------
+// Comparisons / test helpers
+// ----------------------------------------------------------------------
+
+/** True when |a-b| <= atol + rtol*|b| elementwise (converted to f32). */
+bool allclose(const Tensor &a, const Tensor &b, float rtol = 1e-5f,
+              float atol = 1e-6f);
+
+/** Max absolute elementwise difference. */
+float maxAbsDiff(const Tensor &a, const Tensor &b);
+
+} // namespace edkm
+
+#endif // EDKM_TENSOR_OPS_H_

@@ -1,0 +1,35 @@
+#include "tensor/storage.h"
+
+#include <atomic>
+
+#include "device/device_manager.h"
+#include "util/logging.h"
+
+namespace edkm {
+
+namespace {
+std::atomic<uint64_t> g_next_storage_id{1};
+} // namespace
+
+Storage::Storage(int64_t bytes, Device dev)
+    : data_(new std::byte[static_cast<size_t>(bytes)]()),
+      bytes_(bytes),
+      device_(dev),
+      id_(g_next_storage_id.fetch_add(1, std::memory_order_relaxed))
+{
+    DeviceManager::instance().recordAlloc(device_, bytes_);
+}
+
+Storage::~Storage()
+{
+    DeviceManager::instance().recordFree(device_, bytes_);
+}
+
+std::shared_ptr<Storage>
+Storage::allocate(int64_t bytes, Device dev)
+{
+    EDKM_CHECK(bytes >= 0, "storage size must be non-negative");
+    return std::shared_ptr<Storage>(new Storage(bytes, dev));
+}
+
+} // namespace edkm

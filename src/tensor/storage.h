@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Reference-counted device-resident data storage.
+ *
+ * Mirrors PyTorch's split between *data storage* (the bytes) and tensor
+ * *metadata* (shape/strides/offset): many Tensor values may share one
+ * Storage (views), and moving data to another device always creates a new
+ * Storage. That split is exactly what makes the duplicate-copy problem of
+ * the paper's Table 1 possible, and what the marshaling layer (section
+ * 2.1) exploits to detect redundant offloads.
+ *
+ * Every Storage registers its allocation with the DeviceManager so benches
+ * can read byte-accurate per-device footprints.
+ */
+
+#ifndef EDKM_TENSOR_STORAGE_H_
+#define EDKM_TENSOR_STORAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "device/device.h"
+
+namespace edkm {
+
+/**
+ * A contiguous byte buffer pinned to a simulated device.
+ *
+ * Storages are created through allocate() and owned via shared_ptr; the
+ * id() is unique process-wide and never reused, which the marshaling
+ * registry relies on.
+ */
+class Storage
+{
+  public:
+    /** Allocate @p bytes on @p dev (records the allocation). */
+    static std::shared_ptr<Storage> allocate(int64_t bytes, Device dev);
+
+    ~Storage();
+
+    Storage(const Storage &) = delete;
+    Storage &operator=(const Storage &) = delete;
+
+    /** Raw pointer to the first byte. */
+    std::byte *data() { return data_.get(); }
+    const std::byte *data() const { return data_.get(); }
+
+    /** Size in bytes. */
+    int64_t bytes() const { return bytes_; }
+
+    /** Device this storage lives on. */
+    Device device() const { return device_; }
+
+    /** Process-unique, never-reused identifier. */
+    uint64_t id() const { return id_; }
+
+  private:
+    Storage(int64_t bytes, Device dev);
+
+    std::unique_ptr<std::byte[]> data_;
+    int64_t bytes_;
+    Device device_;
+    uint64_t id_;
+};
+
+} // namespace edkm
+
+#endif // EDKM_TENSOR_STORAGE_H_

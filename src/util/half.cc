@@ -1,0 +1,99 @@
+#include "util/half.h"
+
+namespace edkm {
+
+uint16_t
+floatToBf16(float f)
+{
+    uint32_t bits = floatToBits(f);
+    // Quiet-NaN: preserve NaN-ness, force a payload bit so truncation
+    // cannot turn NaN into infinity.
+    if ((bits & 0x7f800000u) == 0x7f800000u && (bits & 0x007fffffu) != 0) {
+        return static_cast<uint16_t>((bits >> 16) | 0x0040u);
+    }
+    // Round to nearest even: add 0x7fff plus the LSB of the kept part.
+    uint32_t lsb = (bits >> 16) & 1u;
+    bits += 0x7fffu + lsb;
+    return static_cast<uint16_t>(bits >> 16);
+}
+
+uint16_t
+floatToFp16(float f)
+{
+    uint32_t bits = floatToBits(f);
+    uint32_t sign = (bits >> 16) & 0x8000u;
+    uint32_t exp = (bits >> 23) & 0xffu;
+    uint32_t mant = bits & 0x007fffffu;
+
+    if (exp == 0xffu) {
+        // Inf or NaN.
+        if (mant != 0) {
+            return static_cast<uint16_t>(sign | 0x7e00u); // quiet NaN
+        }
+        return static_cast<uint16_t>(sign | 0x7c00u); // infinity
+    }
+
+    // Re-bias: f32 exponent bias 127, f16 bias 15.
+    int new_exp = static_cast<int>(exp) - 127 + 15;
+    if (new_exp >= 0x1f) {
+        // Overflow -> infinity.
+        return static_cast<uint16_t>(sign | 0x7c00u);
+    }
+    if (new_exp <= 0) {
+        // Subnormal (or underflow to zero). Shift mantissa including the
+        // implicit leading one into subnormal position.
+        if (new_exp < -10) {
+            return static_cast<uint16_t>(sign); // underflow to signed zero
+        }
+        mant |= 0x00800000u; // make implicit bit explicit
+        uint32_t shift = static_cast<uint32_t>(14 - new_exp);
+        uint32_t sub = mant >> shift;
+        // Round to nearest even on the dropped bits.
+        uint32_t dropped = mant & ((1u << shift) - 1u);
+        uint32_t halfway = 1u << (shift - 1);
+        if (dropped > halfway || (dropped == halfway && (sub & 1u))) {
+            sub += 1; // may carry into exponent: 0x0400 which is correct
+        }
+        return static_cast<uint16_t>(sign | sub);
+    }
+
+    // Normal number: round mantissa from 23 to 10 bits, nearest-even.
+    uint16_t out = static_cast<uint16_t>(
+        sign | (static_cast<uint32_t>(new_exp) << 10) | (mant >> 13));
+    uint32_t dropped = mant & 0x1fffu;
+    if (dropped > 0x1000u || (dropped == 0x1000u && (out & 1u))) {
+        out += 1; // carries into exponent correctly (1.11..1 -> 2.0)
+    }
+    return out;
+}
+
+float
+fp16ToFloat(uint16_t h)
+{
+    uint32_t sign = (static_cast<uint32_t>(h) & 0x8000u) << 16;
+    uint32_t exp = (h >> 10) & 0x1fu;
+    uint32_t mant = h & 0x03ffu;
+
+    if (exp == 0x1fu) {
+        // Inf / NaN.
+        return bitsToFloat(sign | 0x7f800000u | (mant << 13));
+    }
+    if (exp == 0) {
+        if (mant == 0) {
+            return bitsToFloat(sign); // signed zero
+        }
+        // Subnormal: normalise.
+        int e = -1;
+        do {
+            mant <<= 1;
+            ++e;
+        } while ((mant & 0x0400u) == 0);
+        mant &= 0x03ffu;
+        uint32_t new_exp = static_cast<uint32_t>(127 - 15 - e);
+        return bitsToFloat(sign | (new_exp << 23) | (mant << 13));
+    }
+    uint32_t new_exp = exp - 15 + 127;
+    return bitsToFloat(sign | (new_exp << 23) | (mant << 13));
+}
+
+} // namespace edkm

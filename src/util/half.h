@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Bit-exact software FP16 (IEEE binary16) and BF16 (bfloat16) conversion.
+ *
+ * eDKM's weight-uniquification step (paper section 2.2) relies on the fact
+ * that 16-bit weights can take at most 2^16 distinct bit patterns. These
+ * helpers provide the exact 16-bit patterns so uniquification buckets on
+ * the same keys a PyTorch BF16/FP16 run would see.
+ *
+ * All float32 -> 16-bit conversions use round-to-nearest-even, matching
+ * hardware and PyTorch semantics.
+ */
+
+#ifndef EDKM_UTIL_HALF_H_
+#define EDKM_UTIL_HALF_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace edkm {
+
+/** Reinterpret a float's bits as uint32. */
+inline uint32_t
+floatToBits(float f)
+{
+    uint32_t u;
+    std::memcpy(&u, &f, sizeof(u));
+    return u;
+}
+
+/** Reinterpret uint32 bits as a float. */
+inline float
+bitsToFloat(uint32_t u)
+{
+    float f;
+    std::memcpy(&f, &u, sizeof(f));
+    return f;
+}
+
+/**
+ * Convert float32 to bfloat16 bits with round-to-nearest-even.
+ * NaN inputs map to a quiet NaN pattern.
+ */
+uint16_t floatToBf16(float f);
+
+/** Convert bfloat16 bits to float32 (exact; bf16 is a prefix of f32). */
+inline float
+bf16ToFloat(uint16_t h)
+{
+    return bitsToFloat(static_cast<uint32_t>(h) << 16);
+}
+
+/**
+ * Convert float32 to IEEE binary16 bits with round-to-nearest-even,
+ * handling subnormals, overflow to infinity, and NaN.
+ */
+uint16_t floatToFp16(float f);
+
+/** Convert IEEE binary16 bits to float32 (exact). */
+float fp16ToFloat(uint16_t h);
+
+/** Round a float through bf16 precision (quantize-dequantize). */
+inline float
+roundToBf16(float f)
+{
+    return bf16ToFloat(floatToBf16(f));
+}
+
+/** Round a float through fp16 precision (quantize-dequantize). */
+inline float
+roundToFp16(float f)
+{
+    return fp16ToFloat(floatToFp16(f));
+}
+
+/** 16-bit float flavours used for storage and uniquification keys. */
+enum class HalfKind { kBf16, kFp16 };
+
+/** Convert float32 to the requested 16-bit pattern. */
+inline uint16_t
+floatToHalfBits(float f, HalfKind kind)
+{
+    return kind == HalfKind::kBf16 ? floatToBf16(f) : floatToFp16(f);
+}
+
+/** Convert a 16-bit pattern of the requested flavour back to float32. */
+inline float
+halfBitsToFloat(uint16_t h, HalfKind kind)
+{
+    return kind == HalfKind::kBf16 ? bf16ToFloat(h) : fp16ToFloat(h);
+}
+
+} // namespace edkm
+
+#endif // EDKM_UTIL_HALF_H_

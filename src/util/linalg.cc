@@ -1,0 +1,103 @@
+#include "util/linalg.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace edkm {
+
+bool
+choleskyInPlace(std::vector<float> &a, size_t n)
+{
+    EDKM_CHECK(a.size() == n * n, "cholesky: buffer size mismatch");
+    for (size_t j = 0; j < n; ++j) {
+        double diag = a[j * n + j];
+        for (size_t k = 0; k < j; ++k) {
+            diag -= static_cast<double>(a[j * n + k]) * a[j * n + k];
+        }
+        if (diag <= 0.0) {
+            return false;
+        }
+        float ljj = static_cast<float>(std::sqrt(diag));
+        a[j * n + j] = ljj;
+        for (size_t i = j + 1; i < n; ++i) {
+            double sum = a[i * n + j];
+            for (size_t k = 0; k < j; ++k) {
+                sum -= static_cast<double>(a[i * n + k]) * a[j * n + k];
+            }
+            a[i * n + j] = static_cast<float>(sum / ljj);
+        }
+        for (size_t i = 0; i < j; ++i) {
+            a[i * n + j] = 0.0f;
+        }
+    }
+    return true;
+}
+
+bool
+spdInverse(const std::vector<float> &a, size_t n, std::vector<float> &inv)
+{
+    std::vector<float> l = a;
+    if (!choleskyInPlace(l, n)) {
+        return false;
+    }
+    // Solve L Y = I (forward substitution), then L^T X = Y (backward).
+    inv.assign(n * n, 0.0f);
+    std::vector<double> col(n);
+    for (size_t c = 0; c < n; ++c) {
+        // Forward: y
+        for (size_t i = 0; i < n; ++i) {
+            double rhs = (i == c) ? 1.0 : 0.0;
+            for (size_t k = 0; k < i; ++k) {
+                rhs -= static_cast<double>(l[i * n + k]) * col[k];
+            }
+            col[i] = rhs / l[i * n + i];
+        }
+        // Backward: x
+        for (size_t ii = n; ii-- > 0;) {
+            double rhs = col[ii];
+            for (size_t k = ii + 1; k < n; ++k) {
+                rhs -= static_cast<double>(l[k * n + ii]) * col[k];
+            }
+            col[ii] = rhs / l[ii * n + ii];
+            inv[ii * n + c] = static_cast<float>(col[ii]);
+        }
+    }
+    return true;
+}
+
+void
+matmulF32(const std::vector<float> &a, const std::vector<float> &b,
+          std::vector<float> &c, size_t m, size_t k, size_t n)
+{
+    EDKM_CHECK(a.size() == m * k && b.size() == k * n,
+               "matmulF32: shape mismatch");
+    c.assign(m * n, 0.0f);
+    for (size_t i = 0; i < m; ++i) {
+        for (size_t p = 0; p < k; ++p) {
+            float av = a[i * k + p];
+            if (av == 0.0f) {
+                continue;
+            }
+            const float *brow = &b[p * n];
+            float *crow = &c[i * n];
+            for (size_t j = 0; j < n; ++j) {
+                crow[j] += av * brow[j];
+            }
+        }
+    }
+}
+
+float
+frobeniusDiff(const std::vector<float> &a, const std::vector<float> &b)
+{
+    EDKM_CHECK(a.size() == b.size(), "frobeniusDiff: size mismatch");
+    double acc = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+        double d = static_cast<double>(a[i]) - b[i];
+        acc += d * d;
+    }
+    return static_cast<float>(std::sqrt(acc));
+}
+
+} // namespace edkm

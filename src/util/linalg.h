@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Small dense linear-algebra helpers on row-major float buffers.
+ *
+ * Used by the GPTQ baseline (Cholesky of the damped Hessian inverse) and
+ * by tests. These operate on plain vectors to stay independent of the
+ * tensor library.
+ */
+
+#ifndef EDKM_UTIL_LINALG_H_
+#define EDKM_UTIL_LINALG_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace edkm {
+
+/**
+ * In-place Cholesky factorisation A = L L^T of a symmetric positive
+ * definite matrix stored row-major in @p a (n x n). On return the lower
+ * triangle holds L; the strict upper triangle is zeroed.
+ *
+ * @return true on success, false if the matrix is not positive definite.
+ */
+bool choleskyInPlace(std::vector<float> &a, size_t n);
+
+/**
+ * Invert a symmetric positive definite matrix via Cholesky.
+ * @param a row-major n x n input.
+ * @param n dimension.
+ * @param[out] inv row-major n x n inverse.
+ * @return true on success.
+ */
+bool spdInverse(const std::vector<float> &a, size_t n,
+                std::vector<float> &inv);
+
+/**
+ * Dense row-major matrix multiply: c[m x n] = a[m x k] * b[k x n].
+ * @p c is resized and overwritten.
+ */
+void matmulF32(const std::vector<float> &a, const std::vector<float> &b,
+               std::vector<float> &c, size_t m, size_t k, size_t n);
+
+/** Frobenius norm of the difference of two equally sized buffers. */
+float frobeniusDiff(const std::vector<float> &a, const std::vector<float> &b);
+
+} // namespace edkm
+
+#endif // EDKM_UTIL_LINALG_H_

@@ -1,0 +1,51 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace edkm {
+
+namespace {
+
+std::atomic<LogLevel> g_threshold{LogLevel::kInfo};
+std::mutex g_log_mutex;
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::kInfo: return "info";
+      case LogLevel::kWarn: return "warn";
+      case LogLevel::kFatal: return "fatal";
+      case LogLevel::kPanic: return "panic";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+setLogThreshold(LogLevel level)
+{
+    g_threshold.store(level, std::memory_order_relaxed);
+}
+
+LogLevel
+logThreshold()
+{
+    return g_threshold.load(std::memory_order_relaxed);
+}
+
+void
+logMessage(LogLevel level, const std::string &msg)
+{
+    if (static_cast<int>(level) <
+        static_cast<int>(g_threshold.load(std::memory_order_relaxed))) {
+        return;
+    }
+    std::lock_guard<std::mutex> lock(g_log_mutex);
+    std::cerr << "[edkm:" << levelName(level) << "] " << msg << "\n";
+}
+
+} // namespace edkm

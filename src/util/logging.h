@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Logging and error-reporting utilities.
+ *
+ * Follows the gem5 convention: inform()/warn() report status without
+ * stopping; fatal() terminates because of a *user* error (bad argument,
+ * bad configuration); panic() terminates because of an *internal*
+ * invariant violation (a bug in this library).
+ */
+
+#ifndef EDKM_UTIL_LOGGING_H_
+#define EDKM_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace edkm {
+
+/** Severity levels for log messages. */
+enum class LogLevel { kInfo, kWarn, kFatal, kPanic };
+
+/**
+ * Global verbosity control. Messages below the threshold are dropped.
+ * Defaults to kInfo (everything printed).
+ */
+void setLogThreshold(LogLevel level);
+
+/** @return the current log threshold. */
+LogLevel logThreshold();
+
+/** Emit a log line to stderr if @p level passes the threshold. */
+void logMessage(LogLevel level, const std::string &msg);
+
+namespace detail {
+
+/** Fold a pack of stream-able values into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+} // namespace detail
+
+/** Informational message; normal operation. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    logMessage(LogLevel::kInfo, detail::concat(std::forward<Args>(args)...));
+}
+
+/** Something may be wrong but execution can continue. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    logMessage(LogLevel::kWarn, detail::concat(std::forward<Args>(args)...));
+}
+
+/** Error raised for invalid user input or configuration. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Error raised for internal invariant violations (library bugs). */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+/**
+ * Terminate the current operation due to a user error.
+ * @throws FatalError always.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    std::string msg = detail::concat(std::forward<Args>(args)...);
+    logMessage(LogLevel::kFatal, msg);
+    throw FatalError(msg);
+}
+
+/**
+ * Terminate the current operation due to an internal bug.
+ * @throws PanicError always.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    std::string msg = detail::concat(std::forward<Args>(args)...);
+    logMessage(LogLevel::kPanic, msg);
+    throw PanicError(msg);
+}
+
+} // namespace edkm
+
+/**
+ * Precondition check for user-facing APIs: throws FatalError with file/line
+ * context when @p cond is false.
+ */
+#define EDKM_CHECK(cond, ...)                                              \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::edkm::fatal("check failed: " #cond " at ", __FILE__, ":",    \
+                          __LINE__, ": ", __VA_ARGS__);                    \
+        }                                                                  \
+    } while (0)
+
+/** Internal invariant check: throws PanicError when @p cond is false. */
+#define EDKM_ASSERT(cond, ...)                                             \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::edkm::panic("assert failed: " #cond " at ", __FILE__, ":",   \
+                          __LINE__, ": ", __VA_ARGS__);                    \
+        }                                                                  \
+    } while (0)
+
+#endif // EDKM_UTIL_LOGGING_H_

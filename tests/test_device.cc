@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Unit tests for the simulated device layer: memory accounting, transfer
+ * ledger, capacity tracking, and the cost model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "device/device_manager.h"
+#include "tensor/tensor.h"
+
+namespace edkm {
+namespace {
+
+class DeviceTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        DeviceManager::instance().resetAll();
+    }
+};
+
+TEST_F(DeviceTest, DeviceIdentity)
+{
+    EXPECT_TRUE(Device::cpu().isCpu());
+    EXPECT_TRUE(Device::gpu(3).isGpu());
+    EXPECT_EQ(Device::gpu(3).index, 3);
+    EXPECT_EQ(Device::cpu(), Device::cpu());
+    EXPECT_NE(Device::cpu(), Device::gpu(0));
+    EXPECT_NE(Device::gpu(0), Device::gpu(1));
+    EXPECT_EQ(Device::cpu().toString(), "cpu");
+    EXPECT_EQ(Device::gpu(2).toString(), "gpu:2");
+}
+
+TEST_F(DeviceTest, AllocFreeAccounting)
+{
+    DeviceManager &mgr = DeviceManager::instance();
+    int64_t base = mgr.stats(Device::gpu(0)).currentBytes;
+    mgr.recordAlloc(Device::gpu(0), 1000);
+    mgr.recordAlloc(Device::gpu(0), 500);
+    EXPECT_EQ(mgr.stats(Device::gpu(0)).currentBytes, base + 1500);
+    EXPECT_GE(mgr.stats(Device::gpu(0)).peakBytes, base + 1500);
+    mgr.recordFree(Device::gpu(0), 1000);
+    EXPECT_EQ(mgr.stats(Device::gpu(0)).currentBytes, base + 500);
+    // Peak is sticky.
+    EXPECT_GE(mgr.stats(Device::gpu(0)).peakBytes, base + 1500);
+    mgr.recordFree(Device::gpu(0), 500);
+}
+
+TEST_F(DeviceTest, StorageIntegration)
+{
+    DeviceManager &mgr = DeviceManager::instance();
+    int64_t before = mgr.stats(Device::gpu(1)).currentBytes;
+    {
+        Tensor t = Tensor::zeros({256, 256}, DType::kF32, Device::gpu(1));
+        EXPECT_EQ(mgr.stats(Device::gpu(1)).currentBytes,
+                  before + 256 * 256 * 4);
+    }
+    // Storage freed on destruction.
+    EXPECT_EQ(mgr.stats(Device::gpu(1)).currentBytes, before);
+}
+
+TEST_F(DeviceTest, TransferLedgerDirections)
+{
+    DeviceManager &mgr = DeviceManager::instance();
+    mgr.recordTransfer(Device::gpu(0), Device::cpu(), 100);
+    mgr.recordTransfer(Device::cpu(), Device::gpu(0), 200);
+    mgr.recordTransfer(Device::gpu(0), Device::gpu(1), 300);
+    TransferLedger ledger = mgr.ledger();
+    EXPECT_EQ(ledger.d2hTransactions, 1);
+    EXPECT_EQ(ledger.d2hBytes, 100);
+    EXPECT_EQ(ledger.h2dTransactions, 1);
+    EXPECT_EQ(ledger.h2dBytes, 200);
+    EXPECT_EQ(ledger.d2dTransactions, 1);
+    EXPECT_EQ(ledger.d2dBytes, 300);
+    EXPECT_EQ(ledger.totalTransactions(), 3);
+    EXPECT_EQ(ledger.totalBytes(), 600);
+}
+
+TEST_F(DeviceTest, CpuToCpuNotBusTraffic)
+{
+    DeviceManager &mgr = DeviceManager::instance();
+    mgr.recordTransfer(Device::cpu(), Device::cpu(), 1000);
+    EXPECT_EQ(mgr.ledger().totalTransactions(), 0);
+}
+
+TEST_F(DeviceTest, CapacityExceededFlag)
+{
+    DeviceManager &mgr = DeviceManager::instance();
+    mgr.setCapacity(Device::gpu(0), 1000);
+    mgr.recordAlloc(Device::gpu(0), 800);
+    EXPECT_FALSE(mgr.stats(Device::gpu(0)).capacityExceeded);
+    mgr.recordAlloc(Device::gpu(0), 800);
+    EXPECT_TRUE(mgr.stats(Device::gpu(0)).capacityExceeded);
+    mgr.recordFree(Device::gpu(0), 1600);
+}
+
+TEST_F(DeviceTest, CostModelTransferSeconds)
+{
+    CostModel cost;
+    cost.busBytesPerSec = 1e9;
+    cost.transferLatencySec = 1e-6;
+    // 1 GB at 1 GB/s = 1 s + latency.
+    EXPECT_NEAR(cost.transferSeconds(1000000000), 1.0 + 1e-6, 1e-9);
+    // Compute seconds differ per device class.
+    EXPECT_LT(cost.computeSeconds(1e9, Device::gpu(0)),
+              cost.computeSeconds(1e9, Device::cpu()));
+}
+
+TEST_F(DeviceTest, SimulatedSecondsAccumulate)
+{
+    DeviceManager &mgr = DeviceManager::instance();
+    double t0 = mgr.simulatedSeconds();
+    mgr.recordComputeSeconds(0.5);
+    mgr.recordExtraSeconds(0.25);
+    mgr.recordTransfer(Device::gpu(0), Device::cpu(), 1 << 20);
+    EXPECT_GT(mgr.simulatedSeconds(), t0 + 0.75);
+}
+
+TEST_F(DeviceTest, ResetStatsPreservesCurrent)
+{
+    DeviceManager &mgr = DeviceManager::instance();
+    mgr.recordAlloc(Device::gpu(0), 4096);
+    mgr.resetStats();
+    MemoryStats s = mgr.stats(Device::gpu(0));
+    EXPECT_EQ(s.currentBytes, 4096);
+    EXPECT_EQ(s.peakBytes, 4096); // peak restarts at current
+    EXPECT_EQ(s.totalAllocs, 0);
+    EXPECT_EQ(mgr.ledger().totalTransactions(), 0);
+    mgr.recordFree(Device::gpu(0), 4096);
+}
+
+TEST_F(DeviceTest, StatsScopeMeasuresDelta)
+{
+    StatsScope scope(Device::gpu(0));
+    {
+        Tensor t = Tensor::zeros({1024}, DType::kF32, Device::gpu(0));
+        EXPECT_EQ(scope.currentDelta(), 4096);
+    }
+    EXPECT_EQ(scope.currentDelta(), 0);
+    EXPECT_GE(scope.peakDelta(), 4096);
+}
+
+} // namespace
+} // namespace edkm

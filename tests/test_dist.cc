@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Tests for the simulated learner group: shard partitioning properties,
+ * functional collectives, and communication accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "device/device_manager.h"
+#include "dist/learner_group.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace edkm {
+namespace {
+
+class DistTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        DeviceManager::instance().resetAll();
+    }
+};
+
+TEST_F(DistTest, ShardRangesPartitionExactly)
+{
+    for (int world : {1, 2, 3, 8}) {
+        LearnerGroup g(world);
+        for (int64_t n : {int64_t(1), int64_t(7), int64_t(64),
+                          int64_t(1000), int64_t(65536)}) {
+            int64_t covered = 0;
+            int64_t prev_end = 0;
+            for (int r = 0; r < world; ++r) {
+                auto [b, e] = g.shardRange(n, r);
+                EXPECT_EQ(b, prev_end); // contiguous, ordered
+                EXPECT_LE(e, n);
+                covered += e - b;
+                prev_end = e;
+            }
+            EXPECT_EQ(covered, n) << "world=" << world << " n=" << n;
+            EXPECT_EQ(prev_end, n);
+        }
+    }
+}
+
+TEST_F(DistTest, ShardSizesBalanced)
+{
+    LearnerGroup g(8);
+    // Sizes differ by at most 1.
+    int64_t mn = 1 << 30, mx = 0;
+    for (int r = 0; r < 8; ++r) {
+        int64_t s = g.shardSize(1001, r);
+        mn = std::min(mn, s);
+        mx = std::max(mx, s);
+    }
+    EXPECT_LE(mx - mn, 1);
+}
+
+TEST_F(DistTest, BadRankFatal)
+{
+    LearnerGroup g(4);
+    EXPECT_THROW(g.shardRange(10, 4), FatalError);
+    EXPECT_THROW(g.shardRange(10, -1), FatalError);
+    EXPECT_THROW(LearnerGroup(0), FatalError);
+}
+
+TEST_F(DistTest, AllGatherConcatenatesAndAccounts)
+{
+    LearnerGroup g(4);
+    Rng rng(5);
+    std::vector<Tensor> shards;
+    for (int r = 0; r < 4; ++r) {
+        shards.push_back(Tensor::rand({2, 3}, rng));
+    }
+    Tensor full = g.allGather(shards);
+    EXPECT_EQ(full.shape(), (Shape{8, 3}));
+    EXPECT_NEAR(full.at({6, 1}), shards[3].at({0, 1}), 1e-6);
+    // Ring all-gather moves (L-1)/L of the payload.
+    EXPECT_EQ(g.stats().allGathers, 1);
+    EXPECT_EQ(g.stats().allGatherBytes, 8 * 3 * 4 * 3 / 4);
+}
+
+TEST_F(DistTest, AllReduceMeanAverages)
+{
+    LearnerGroup g(2);
+    Tensor a = Tensor::fromVector({2, 4}, {2});
+    Tensor b = Tensor::fromVector({4, 8}, {2});
+    Tensor mean = g.allReduceMean({a, b});
+    EXPECT_TRUE(allclose(mean, Tensor::fromVector({3, 6}, {2})));
+    EXPECT_EQ(g.stats().allReduces, 1);
+}
+
+TEST_F(DistTest, CollectivesAdvanceSimulatedTime)
+{
+    DeviceManager &mgr = DeviceManager::instance();
+    double t0 = mgr.simulatedSeconds();
+    LearnerGroup g(8);
+    g.recordAllGather(1 << 20);
+    EXPECT_GT(mgr.simulatedSeconds(), t0);
+    double t1 = mgr.simulatedSeconds();
+    g.recordAllReduce(1 << 20);
+    EXPECT_GT(mgr.simulatedSeconds(), t1);
+}
+
+TEST_F(DistTest, SingleLearnerMovesNothing)
+{
+    LearnerGroup g(1);
+    g.recordAllGather(1 << 20);
+    EXPECT_EQ(g.stats().allGatherBytes, 0);
+    auto [b, e] = g.shardRange(100, 0);
+    EXPECT_EQ(b, 0);
+    EXPECT_EQ(e, 100);
+}
+
+} // namespace
+} // namespace edkm

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Tests for the dense differentiable k-means layer (DKM): forward
+ * quality, gradient correctness against finite differences, convergence,
+ * and interaction with the saved-tensor machinery.
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "autograd/engine.h"
+#include "autograd/functional.h"
+#include "core/dkm.h"
+#include "core/kmeans.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace edkm {
+namespace {
+
+Tensor
+clusterableWeights(int64_t n, Rng &rng, float spread = 1.0f)
+{
+    // Mixture of 8 well-separated modes: clusterable at 3 bits.
+    Tensor w = Tensor::empty({n});
+    for (int64_t i = 0; i < n; ++i) {
+        float center = static_cast<float>(rng.randint(0, 7)) * spread -
+                       3.5f * spread;
+        w.setFlatAt(i, center + rng.normal(0.0f, 0.03f * spread));
+    }
+    return w;
+}
+
+TEST(Dkm, SoftClusteringApproximatesInput)
+{
+    Rng rng(31);
+    Tensor w = clusterableWeights(512, rng);
+    DkmConfig cfg;
+    cfg.bits = 3;
+    DkmLayer layer(cfg);
+    Variable out = layer.forward(Variable(w, true));
+    EXPECT_EQ(out.data().shape(), w.shape());
+    // Soft-clustered weights stay close to the original on clusterable
+    // data.
+    EXPECT_LT(maxAbsDiff(out.data(), w), 0.15f);
+    EXPECT_GE(layer.lastIterations(), 1);
+    EXPECT_EQ(layer.centroids().numel(), 8);
+}
+
+TEST(Dkm, BeatsUniformQuantOnClusteredData)
+{
+    // Clustered (non-uniform) weights: k-means palettization must beat
+    // a uniform grid of the same bit width (the reason weight
+    // clustering wins in Table 3).
+    Rng rng(33);
+    Tensor w = clusterableWeights(2048, rng);
+    // Perturb mode positions to be non-uniform.
+    DkmConfig cfg;
+    cfg.bits = 3;
+    DkmLayer layer(cfg);
+    layer.forward(Variable(w, false));
+    Tensor dkm_rec = layer.palettize(w).decompress();
+    Tensor d1 = sub(dkm_rec, w);
+    double dkm_mse = sumAll(mul(d1, d1)).item();
+
+    // Uniform 3-bit grid over [min, max].
+    std::vector<float> v = w.toVector();
+    float lo = *std::min_element(v.begin(), v.end());
+    float hi = *std::max_element(v.begin(), v.end());
+    double uni_mse = 0;
+    for (float x : v) {
+        float q = std::round((x - lo) / (hi - lo) * 7.0f);
+        float rec = lo + q * (hi - lo) / 7.0f;
+        uni_mse += static_cast<double>(x - rec) * (x - rec);
+    }
+    EXPECT_LT(dkm_mse, uni_mse);
+}
+
+TEST(Dkm, GradientMatchesFiniteDifference)
+{
+    Rng rng(35);
+    int64_t n = 24;
+    Tensor w0 = clusterableWeights(n, rng);
+    Tensor target = clusterableWeights(n, rng);
+    DkmConfig cfg;
+    cfg.bits = 2;
+    cfg.maxIters = 3;
+    cfg.convergenceEps = 0.0f; // fixed iteration count for FD stability
+    cfg.temperature = 0.05f;
+
+    auto loss_fn = [&](const Tensor &wt, bool grad) {
+        DkmLayer layer(cfg);
+        Variable w(wt.clone(), grad);
+        Variable out = layer.forward(w);
+        Variable diff = af::sub(out, af::constant(target));
+        Variable loss = af::sumAll(af::square(diff));
+        return std::make_pair(loss, w);
+    };
+
+    auto [loss, w] = loss_fn(w0, true);
+    backward(loss);
+    ASSERT_TRUE(w.grad().defined());
+
+    float h = 1e-3f;
+    for (int64_t i = 0; i < n; i += 5) {
+        Tensor wp = w0.clone();
+        wp.setFlatAt(i, w0.flatAt(i) + h);
+        Tensor wm = w0.clone();
+        wm.setFlatAt(i, w0.flatAt(i) - h);
+        NoGradGuard ng;
+        float lp = loss_fn(wp, false).first.data().item();
+        float lm = loss_fn(wm, false).first.data().item();
+        float fd = (lp - lm) / (2.0f * h);
+        float ag = w.grad().flatAt(i);
+        EXPECT_NEAR(ag, fd, 0.05f * std::max(1.0f, std::fabs(fd)))
+            << "element " << i;
+    }
+}
+
+TEST(Dkm, ConvergesBeforeMaxIters)
+{
+    Rng rng(37);
+    Tensor w = clusterableWeights(256, rng);
+    DkmConfig cfg;
+    cfg.bits = 3;
+    cfg.maxIters = 50;
+    cfg.convergenceEps = 1e-5f;
+    DkmLayer layer(cfg);
+    layer.forward(Variable(w, false));
+    EXPECT_LT(layer.lastIterations(), 50);
+}
+
+TEST(Dkm, AutoTemperaturePositive)
+{
+    Rng rng(39);
+    Tensor w = Tensor::randn({128}, rng, Device::cpu(), 0.02f);
+    DkmConfig cfg;
+    cfg.bits = 3;
+    cfg.temperature = 0.0f; // auto
+    DkmLayer layer(cfg);
+    layer.forward(Variable(w, false));
+    EXPECT_GT(layer.temperatureUsed(), 0.0f);
+    EXPECT_LT(layer.temperatureUsed(), 1.0f);
+}
+
+TEST(Dkm, PalettizeUsesLayerCentroids)
+{
+    Rng rng(41);
+    Tensor w = clusterableWeights(128, rng);
+    DkmConfig cfg;
+    cfg.bits = 3;
+    DkmLayer layer(cfg);
+    layer.forward(Variable(w, false));
+    PalettizedTensor p = layer.palettize(w);
+    EXPECT_EQ(p.bits(), 3);
+    EXPECT_EQ(p.numel(), 128);
+    // Every reconstructed value equals one of the centroids (fp16 LUT).
+    std::vector<float> lut = p.lut();
+    Tensor rec = p.decompress();
+    for (int64_t i = 0; i < 128; ++i) {
+        bool found = false;
+        for (float c : lut) {
+            found |= rec.flatAt(i) == c;
+        }
+        EXPECT_TRUE(found);
+    }
+    EXPECT_THROW(DkmLayer(cfg).palettize(w), FatalError); // no forward
+}
+
+TEST(Dkm, PreservesInputShape)
+{
+    Rng rng(43);
+    Tensor w = Tensor::randn({6, 5, 4}, rng);
+    DkmConfig cfg;
+    cfg.bits = 2;
+    cfg.maxIters = 2;
+    DkmLayer layer(cfg);
+    Variable out = layer.forward(Variable(w, true));
+    EXPECT_EQ(out.data().shape(), (Shape{6, 5, 4}));
+}
+
+TEST(Dkm, EvalModeBuildsNoGraph)
+{
+    Rng rng(45);
+    Tensor w = clusterableWeights(64, rng);
+    DkmConfig cfg;
+    cfg.bits = 2;
+    DkmLayer layer(cfg);
+    NoGradGuard ng;
+    Variable out = layer.forward(Variable(w, true));
+    EXPECT_EQ(out.gradFn(), nullptr);
+}
+
+TEST(Dkm, RejectsBadConfig)
+{
+    DkmConfig cfg;
+    cfg.bits = 0;
+    EXPECT_THROW(DkmLayer{cfg}, FatalError);
+    cfg.bits = 9;
+    EXPECT_THROW(DkmLayer{cfg}, FatalError);
+    cfg.bits = 3;
+    cfg.maxIters = 0;
+    EXPECT_THROW(DkmLayer{cfg}, FatalError);
+}
+
+} // namespace
+} // namespace edkm

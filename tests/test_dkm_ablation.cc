@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Ablation tests for the DKM hyper-parameters called out in DESIGN.md
+ * (design choice #4): temperature controls assignment hardness, and the
+ * convergence criterion trades iterations against centroid stability.
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "autograd/variable.h"
+#include "core/edkm.h"
+#include "core/kmeans.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace edkm {
+namespace {
+
+Tensor
+modalWeights(int64_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    Tensor w = Tensor::empty({n});
+    for (int64_t i = 0; i < n; ++i) {
+        float c = static_cast<float>(rng.randint(0, 3)) * 0.1f - 0.15f;
+        w.setFlatAt(i, c + rng.normal(0.0f, 0.004f));
+    }
+    return w;
+}
+
+/** Soft-clustered output under a given temperature. */
+Tensor
+clusterAt(const Tensor &w, float tau, int bits = 2, int iters = 6)
+{
+    EdkmConfig cfg;
+    cfg.dkm.bits = bits;
+    cfg.dkm.temperature = tau;
+    cfg.dkm.maxIters = iters;
+    cfg.dkm.convergenceEps = 0.0f;
+    EdkmLayer layer(cfg);
+    NoGradGuard ng;
+    return layer.forward(Variable(w, false)).data();
+}
+
+TEST(DkmTemperature, SmallTauApproachesHardKmeans)
+{
+    Tensor w = modalWeights(512, 3);
+    // Hard k-means reference.
+    std::vector<float> vals = w.toVector();
+    Rng rng(1234); // DkmConfig default seed
+    KMeansResult km = kmeans1d(vals, {}, 4, rng, 25);
+    Tensor hard = Tensor::empty({512});
+    for (int64_t i = 0; i < 512; ++i) {
+        hard.setFlatAt(
+            i, km.centroids[static_cast<size_t>(km.assignments[i])]);
+    }
+    Tensor soft = clusterAt(w, 1e-6f);
+    // Near-zero temperature: assignments are effectively hard, so the
+    // soft output lands on (near) the k-means fixed point.
+    EXPECT_LT(maxAbsDiff(soft, hard), 0.02f);
+}
+
+TEST(DkmTemperature, LargeTauApproachesGlobalMean)
+{
+    Tensor w = modalWeights(512, 5);
+    float mean = meanAll(w).item();
+    Tensor soft = clusterAt(w, 1e3f);
+    // Huge temperature: uniform attention, every centroid collapses to
+    // the mean, and W~ becomes (nearly) constant.
+    for (int64_t i = 0; i < 512; i += 64) {
+        EXPECT_NEAR(soft.flatAt(i), mean, 5e-3f);
+    }
+}
+
+TEST(DkmTemperature, ReconstructionErrorMonotoneNearOptimum)
+{
+    // Moving tau from hard (small) to soft (large) degrades
+    // reconstruction fidelity on clusterable data.
+    Tensor w = modalWeights(1024, 7);
+    double err_small, err_mid, err_large;
+    auto mse = [&](float tau) {
+        Tensor d = sub(clusterAt(w, tau), w);
+        return static_cast<double>(sumAll(mul(d, d)).item());
+    };
+    err_small = mse(1e-6f);
+    err_mid = mse(1e-2f);
+    err_large = mse(10.0f);
+    EXPECT_LE(err_small, err_mid + 1e-9);
+    EXPECT_LT(err_mid, err_large);
+}
+
+class ConvergenceSweep : public ::testing::TestWithParam<float> {};
+
+TEST_P(ConvergenceSweep, LooserEpsFewerIterations)
+{
+    Tensor w = modalWeights(512, 9);
+    EdkmConfig tight;
+    tight.dkm.bits = 2;
+    tight.dkm.maxIters = 40;
+    tight.dkm.convergenceEps = 1e-7f;
+    EdkmLayer tight_layer(tight);
+
+    EdkmConfig loose = tight;
+    loose.dkm.convergenceEps = GetParam();
+    EdkmLayer loose_layer(loose);
+
+    NoGradGuard ng;
+    tight_layer.forward(Variable(w, false));
+    loose_layer.forward(Variable(w, false));
+    EXPECT_LE(loose_layer.report().iterations,
+              tight_layer.report().iterations);
+    // Final centroids agree to within the looser tolerance's scale.
+    EXPECT_LT(maxAbsDiff(loose_layer.centroids(),
+                         tight_layer.centroids()),
+              std::max(GetParam() * 50.0f, 1e-5f));
+}
+
+INSTANTIATE_TEST_SUITE_P(Eps, ConvergenceSweep,
+                         ::testing::Values(1e-5f, 1e-4f, 1e-3f));
+
+TEST(DkmIterations, MoreIterationsRefineCentroids)
+{
+    // Centroid movement per iteration shrinks: compare iteration counts
+    // needed at the default tolerance as maxIters grows.
+    Tensor w = modalWeights(512, 11);
+    int converged_at = 0;
+    for (int cap : {1, 2, 4, 8, 16}) {
+        EdkmConfig cfg;
+        cfg.dkm.bits = 2;
+        cfg.dkm.maxIters = cap;
+        cfg.dkm.convergenceEps = 1e-6f;
+        EdkmLayer layer(cfg);
+        NoGradGuard ng;
+        layer.forward(Variable(w, false));
+        if (layer.report().iterations < cap) {
+            converged_at = layer.report().iterations;
+            break;
+        }
+    }
+    EXPECT_GT(converged_at, 0) << "never converged within 16 iters";
+    EXPECT_LE(converged_at, 16);
+}
+
+} // namespace
+} // namespace edkm

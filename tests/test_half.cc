@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Unit tests for the bit-exact FP16/BF16 software conversions — the
+ * foundation of eDKM's uniquification (the 2^16-pattern property).
+ */
+
+#include <cmath>
+#include <cstdint>
+#include <gtest/gtest.h>
+
+#include "util/half.h"
+#include "util/rng.h"
+
+namespace edkm {
+namespace {
+
+TEST(Bf16, ExactValuesRoundTrip)
+{
+    // Values exactly representable in bf16 must survive unchanged.
+    for (float v : {0.0f, 1.0f, -1.0f, 0.5f, 2.0f, -0.25f, 128.0f}) {
+        EXPECT_EQ(roundToBf16(v), v) << v;
+    }
+}
+
+TEST(Bf16, RoundToNearestEven)
+{
+    // bf16 drops 16 mantissa bits; 0x8000 in the dropped field is the
+    // exact tie. At 1.0 the kept LSB is 0 (even) -> ties round down.
+    float halfway = bitsToFloat(0x3f808000u);
+    EXPECT_EQ(roundToBf16(halfway), 1.0f);
+
+    float above = bitsToFloat(0x3f808001u); // just above the tie
+    EXPECT_GT(roundToBf16(above), 1.0f);
+
+    // At 1.0 + 1 ULP the kept LSB is 1 (odd) -> ties round up.
+    float odd_tie = bitsToFloat(0x3f818000u);
+    EXPECT_EQ(floatToBf16(odd_tie), 0x3f82u);
+}
+
+TEST(Bf16, InfinityAndNan)
+{
+    float inf = std::numeric_limits<float>::infinity();
+    EXPECT_EQ(bf16ToFloat(floatToBf16(inf)), inf);
+    EXPECT_EQ(bf16ToFloat(floatToBf16(-inf)), -inf);
+    EXPECT_TRUE(std::isnan(bf16ToFloat(
+        floatToBf16(std::numeric_limits<float>::quiet_NaN()))));
+}
+
+TEST(Bf16, SignPreserved)
+{
+    EXPECT_EQ(floatToBf16(-0.0f) >> 15, 1u);
+    EXPECT_EQ(floatToBf16(0.0f) >> 15, 0u);
+}
+
+TEST(Fp16, ExactValuesRoundTrip)
+{
+    for (float v : {0.0f, 1.0f, -1.0f, 0.5f, 65504.0f, -2048.0f}) {
+        EXPECT_EQ(roundToFp16(v), v) << v;
+    }
+}
+
+TEST(Fp16, OverflowToInfinity)
+{
+    EXPECT_TRUE(std::isinf(fp16ToFloat(floatToFp16(1e6f))));
+    EXPECT_TRUE(std::isinf(fp16ToFloat(floatToFp16(-1e6f))));
+    // Largest normal fp16 survives.
+    EXPECT_EQ(roundToFp16(65504.0f), 65504.0f);
+}
+
+TEST(Fp16, Subnormals)
+{
+    // Smallest positive subnormal: 2^-24.
+    float tiny = std::ldexp(1.0f, -24);
+    EXPECT_EQ(roundToFp16(tiny), tiny);
+    // Below half the smallest subnormal underflows to zero.
+    EXPECT_EQ(roundToFp16(std::ldexp(1.0f, -26)), 0.0f);
+    // Smallest normal.
+    float min_normal = std::ldexp(1.0f, -14);
+    EXPECT_EQ(roundToFp16(min_normal), min_normal);
+}
+
+TEST(Fp16, NanPreserved)
+{
+    EXPECT_TRUE(std::isnan(fp16ToFloat(
+        floatToFp16(std::numeric_limits<float>::quiet_NaN()))));
+}
+
+TEST(Fp16, RoundToNearestEvenAtOne)
+{
+    // 1 + 2^-11 is halfway between 1.0 and the next fp16 (1 + 2^-10).
+    float halfway = 1.0f + std::ldexp(1.0f, -11);
+    EXPECT_EQ(roundToFp16(halfway), 1.0f); // ties to even (mantissa 0)
+    float next = 1.0f + std::ldexp(1.0f, -10);
+    EXPECT_EQ(roundToFp16(next), next);
+}
+
+/** Property sweep: round-trip idempotence and monotonicity. */
+class HalfSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(HalfSweep, RoundTripIdempotent)
+{
+    Rng rng(static_cast<uint64_t>(GetParam()));
+    for (int i = 0; i < 2000; ++i) {
+        float v = rng.normal(0.0f, std::pow(10.0f, rng.uniform(-3, 3)));
+        float b1 = roundToBf16(v);
+        EXPECT_EQ(roundToBf16(b1), b1); // idempotent
+        float f1 = roundToFp16(v);
+        EXPECT_EQ(roundToFp16(f1), f1);
+        // Rounding error bounded by half ULP: bf16 has 8 mantissa bits.
+        if (std::isfinite(b1)) {
+            EXPECT_NEAR(b1, v, std::fabs(v) / 128.0f + 1e-30f);
+        }
+        if (std::isfinite(f1) && std::fabs(v) < 65000.0f) {
+            EXPECT_NEAR(f1, v, std::fabs(v) / 512.0f + 1e-7f);
+        }
+    }
+}
+
+TEST_P(HalfSweep, OrderPreserved)
+{
+    Rng rng(static_cast<uint64_t>(GetParam()) + 77);
+    for (int i = 0; i < 500; ++i) {
+        float a = rng.normal(0.0f, 10.0f);
+        float b = rng.normal(0.0f, 10.0f);
+        if (a > b) {
+            std::swap(a, b);
+        }
+        EXPECT_LE(roundToBf16(a), roundToBf16(b));
+        EXPECT_LE(roundToFp16(a), roundToFp16(b));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HalfSweep, ::testing::Values(1, 2, 3, 4));
+
+TEST(HalfBits, PatternCountBounded)
+{
+    // The uniquification premise: every float maps into 2^16 patterns.
+    Rng rng(5);
+    for (int i = 0; i < 1000; ++i) {
+        float v = rng.normal();
+        uint16_t b = floatToHalfBits(v, HalfKind::kBf16);
+        // Decode/encode is stable.
+        EXPECT_EQ(floatToHalfBits(halfBitsToFloat(b, HalfKind::kBf16),
+                                  HalfKind::kBf16),
+                  b);
+    }
+}
+
+} // namespace
+} // namespace edkm

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests for weighted 1-D k-means (warm start + palettization backend).
+ */
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "core/kmeans.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace edkm {
+namespace {
+
+TEST(KMeans, RecoversWellSeparatedClusters)
+{
+    Rng rng(11);
+    std::vector<float> values;
+    for (int i = 0; i < 200; ++i) {
+        values.push_back(-5.0f + rng.normal(0.0f, 0.05f));
+        values.push_back(0.0f + rng.normal(0.0f, 0.05f));
+        values.push_back(5.0f + rng.normal(0.0f, 0.05f));
+    }
+    KMeansResult r = kmeans1d(values, {}, 3, rng);
+    ASSERT_EQ(r.centroids.size(), 3u);
+    EXPECT_NEAR(r.centroids[0], -5.0f, 0.2f);
+    EXPECT_NEAR(r.centroids[1], 0.0f, 0.2f);
+    EXPECT_NEAR(r.centroids[2], 5.0f, 0.2f);
+    // Inertia reflects the small in-cluster variance.
+    EXPECT_LT(r.inertia / values.size(), 0.01);
+}
+
+TEST(KMeans, WeightedEqualsRepeated)
+{
+    // kmeans on (values, counts) must give the same Lloyd fixed point as
+    // kmeans on the expanded multiset.
+    Rng rng1(3), rng2(3);
+    std::vector<float> unique_vals = {-2.0f, -1.0f, 1.0f, 2.5f, 4.0f};
+    std::vector<float> counts = {50, 1, 30, 5, 20};
+    std::vector<float> expanded;
+    for (size_t i = 0; i < unique_vals.size(); ++i) {
+        for (int c = 0; c < static_cast<int>(counts[i]); ++c) {
+            expanded.push_back(unique_vals[i]);
+        }
+    }
+    KMeansResult a = kmeans1d(unique_vals, counts, 2, rng1, 50);
+    KMeansResult b = kmeans1d(expanded, {}, 2, rng2, 50);
+    for (size_t i = 0; i < 2; ++i) {
+        EXPECT_NEAR(a.centroids[i], b.centroids[i], 1e-3);
+    }
+    EXPECT_NEAR(a.inertia, b.inertia, 1e-2);
+}
+
+TEST(KMeans, KOne)
+{
+    Rng rng(7);
+    std::vector<float> v = {1.0f, 2.0f, 3.0f, 4.0f};
+    KMeansResult r = kmeans1d(v, {}, 1, rng);
+    EXPECT_NEAR(r.centroids[0], 2.5f, 1e-5);
+    for (int32_t a : r.assignments) {
+        EXPECT_EQ(a, 0);
+    }
+}
+
+TEST(KMeans, MoreCentroidsThanDistinctValues)
+{
+    Rng rng(9);
+    std::vector<float> v = {1.0f, 1.0f, 2.0f};
+    KMeansResult r = kmeans1d(v, {}, 8, rng);
+    EXPECT_EQ(r.centroids.size(), 8u);
+    // Every point should be represented exactly.
+    EXPECT_NEAR(r.inertia, 0.0, 1e-9);
+}
+
+TEST(KMeans, CentroidsSorted)
+{
+    Rng rng(13);
+    std::vector<float> v;
+    for (int i = 0; i < 500; ++i) {
+        v.push_back(rng.normal());
+    }
+    KMeansResult r = kmeans1d(v, {}, 8, rng);
+    EXPECT_TRUE(std::is_sorted(r.centroids.begin(), r.centroids.end()));
+}
+
+TEST(KMeans, AssignmentsAreNearest)
+{
+    Rng rng(17);
+    std::vector<float> v;
+    for (int i = 0; i < 300; ++i) {
+        v.push_back(rng.uniform(-3.0f, 3.0f));
+    }
+    KMeansResult r = kmeans1d(v, {}, 4, rng);
+    for (size_t i = 0; i < v.size(); ++i) {
+        float d_assigned =
+            std::fabs(v[i] - r.centroids[static_cast<size_t>(
+                                 r.assignments[i])]);
+        for (float c : r.centroids) {
+            EXPECT_LE(d_assigned, std::fabs(v[i] - c) + 1e-6);
+        }
+    }
+}
+
+TEST(KMeans, NearestCentroidBinarySearch)
+{
+    std::vector<float> c = {-1.0f, 0.0f, 2.0f, 10.0f};
+    EXPECT_EQ(nearestCentroid(c, -5.0f), 0);
+    EXPECT_EQ(nearestCentroid(c, -0.4f), 1);
+    EXPECT_EQ(nearestCentroid(c, 0.9f), 1);
+    EXPECT_EQ(nearestCentroid(c, 1.1f), 2);
+    EXPECT_EQ(nearestCentroid(c, 100.0f), 3);
+    EXPECT_EQ(nearestCentroid(c, 2.0f), 2); // exact hit
+}
+
+TEST(KMeans, DeterministicUnderSeed)
+{
+    std::vector<float> v;
+    Rng data_rng(21);
+    for (int i = 0; i < 100; ++i) {
+        v.push_back(data_rng.normal());
+    }
+    Rng a(5), b(5);
+    KMeansResult ra = kmeans1d(v, {}, 4, a);
+    KMeansResult rb = kmeans1d(v, {}, 4, b);
+    EXPECT_EQ(ra.centroids, rb.centroids);
+    EXPECT_EQ(ra.assignments, rb.assignments);
+}
+
+TEST(KMeans, InvalidInputsFatal)
+{
+    Rng rng(1);
+    std::vector<float> v = {1.0f};
+    EXPECT_THROW(kmeans1d({}, {}, 2, rng), FatalError);
+    EXPECT_THROW(kmeans1d(v, {}, 0, rng), FatalError);
+    EXPECT_THROW(kmeans1d(v, {1.0f, 2.0f}, 1, rng), FatalError);
+}
+
+} // namespace
+} // namespace edkm

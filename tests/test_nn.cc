@@ -1,0 +1,266 @@
+/**
+ * @file
+ * NN substrate tests: layers, attention causality, transformer training
+ * smoke test, AdamW, and the clustered-linear integration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "autograd/engine.h"
+#include "autograd/functional.h"
+#include "nn/adamw.h"
+#include "nn/clustered_linear.h"
+#include "nn/transformer.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace edkm {
+namespace {
+
+using nn::AdamW;
+using nn::AdamWConfig;
+using nn::Embedding;
+using nn::Linear;
+using nn::LlamaConfig;
+using nn::MiniLlama;
+using nn::MultiHeadAttention;
+using nn::RMSNorm;
+
+TEST(NnLinear, ForwardAndGrad)
+{
+    Rng rng(1);
+    Linear lin(4, 3, rng);
+    Variable x(Tensor::randn({2, 4}, rng), true);
+    Variable y = lin.forward(x);
+    EXPECT_EQ(y.data().shape(), (Shape{2, 3}));
+    backward(af::sumAll(af::square(y)));
+    EXPECT_TRUE(lin.weight().grad().defined());
+    EXPECT_TRUE(x.grad().defined());
+}
+
+TEST(NnLinear, CaptureInputs)
+{
+    Rng rng(2);
+    Linear lin(4, 2, rng);
+    Variable x(Tensor::randn({3, 4}, rng), false);
+    lin.setCaptureInputs(true);
+    lin.forward(x);
+    EXPECT_TRUE(lin.capturedInput().defined());
+    EXPECT_EQ(lin.capturedInput().shape(), (Shape{3, 4}));
+}
+
+TEST(NnLinear, WeightTransformApplied)
+{
+    Rng rng(3);
+    Linear lin(2, 2, rng);
+    lin.setWeightTransform([](const Variable &w) {
+        return af::mulScalar(w, 0.0f); // zero the weight
+    });
+    Variable x(Tensor::randn({1, 2}, rng), false);
+    Variable y = lin.forward(x);
+    EXPECT_EQ(sumAll(absT(y.data())).item(), 0.0f);
+    lin.setWeightTransform(nullptr);
+    Variable y2 = lin.forward(x);
+    EXPECT_GT(sumAll(absT(y2.data())).item(), 0.0f);
+}
+
+TEST(NnEmbedding, GatherAndGrad)
+{
+    Rng rng(4);
+    Embedding emb(10, 4, rng);
+    Tensor tokens = Tensor::fromIndices({1, 5, 1}, {3});
+    Variable out = emb.forward(tokens);
+    EXPECT_EQ(out.data().shape(), (Shape{3, 4}));
+    // Duplicate tokens produce equal rows.
+    EXPECT_EQ(out.data().at({0, 2}), out.data().at({2, 2}));
+    backward(af::sumAll(af::square(out)));
+    EXPECT_TRUE(emb.weight().grad().defined());
+    // Untouched rows receive zero gradient.
+    EXPECT_EQ(emb.weight().grad().at({0, 0}), 0.0f);
+    EXPECT_NE(emb.weight().grad().at({5, 0}), 0.0f);
+}
+
+TEST(NnRmsNorm, NormalisesScale)
+{
+    Rng rng(5);
+    RMSNorm norm(8);
+    Variable x(Tensor::randn({4, 8}, rng, Device::cpu(), 10.0f), false);
+    Variable y = norm.forward(x);
+    // Unit RMS per row (weight initialised to 1).
+    Tensor sq = meanDim(square(y.data()), -1);
+    for (int64_t i = 0; i < 4; ++i) {
+        EXPECT_NEAR(sq.flatAt(i), 1.0f, 1e-3);
+    }
+}
+
+TEST(NnAttention, CausalMasking)
+{
+    // Changing a future token must not change past positions' outputs.
+    Rng rng(6);
+    MultiHeadAttention attn(16, 2, rng);
+    Tensor x1 = Tensor::randn({1, 6, 16}, rng);
+    Tensor x2 = x1.clone();
+    // Perturb the last position only.
+    for (int64_t d = 0; d < 16; ++d) {
+        x2.setAt({0, 5, d}, x2.at({0, 5, d}) + 5.0f);
+    }
+    NoGradGuard ng;
+    Tensor y1 = attn.forward(Variable(x1, false)).data();
+    Tensor y2 = attn.forward(Variable(x2, false)).data();
+    for (int64_t s = 0; s < 5; ++s) {
+        for (int64_t d = 0; d < 16; ++d) {
+            EXPECT_NEAR(y1.at({0, s, d}), y2.at({0, s, d}), 1e-5)
+                << "position " << s << " affected by future token";
+        }
+    }
+    // The perturbed position itself must change.
+    EXPECT_GT(std::fabs(y1.at({0, 5, 0}) - y2.at({0, 5, 0})), 1e-6);
+}
+
+TEST(NnAttention, GradFlowsToAllProjections)
+{
+    Rng rng(7);
+    MultiHeadAttention attn(8, 2, rng);
+    Variable x(Tensor::randn({2, 3, 8}, rng), true);
+    Variable y = attn.forward(x);
+    backward(af::sumAll(af::square(y)));
+    EXPECT_TRUE(attn.wq().weight().grad().defined());
+    EXPECT_TRUE(attn.wk().weight().grad().defined());
+    EXPECT_TRUE(attn.wv().weight().grad().defined());
+    EXPECT_TRUE(attn.wo().weight().grad().defined());
+    EXPECT_TRUE(x.grad().defined());
+}
+
+TEST(NnTransformer, ParameterInventory)
+{
+    LlamaConfig cfg;
+    cfg.vocab = 32;
+    cfg.dim = 16;
+    cfg.heads = 2;
+    cfg.layers = 2;
+    MiniLlama model(cfg);
+    // 7 linears per block + lm_head.
+    EXPECT_EQ(model.allLinears().size(), 2u * 7 + 1);
+    // Parameter count: embed + head + blocks(4 attn + 3 mlp + 2 norm)
+    // + final norm.
+    int64_t hidden = cfg.resolvedHidden();
+    int64_t expect = cfg.vocab * cfg.dim          // embedding
+                     + cfg.vocab * cfg.dim        // lm head
+                     + cfg.layers * (4 * cfg.dim * cfg.dim +
+                                     3 * cfg.dim * hidden + 2 * cfg.dim)
+                     + cfg.dim;                   // final norm
+    EXPECT_EQ(model.parameterCount(), expect);
+    // Named parameters have dotted paths.
+    bool found = false;
+    for (auto &[name, p] : model.namedParameters()) {
+        (void)p;
+        if (name == "blocks.1.attn.wq.weight") {
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(NnTransformer, ForwardShapeAndLoss)
+{
+    LlamaConfig cfg;
+    cfg.vocab = 32;
+    cfg.dim = 16;
+    cfg.heads = 2;
+    cfg.layers = 1;
+    MiniLlama model(cfg);
+    Rng rng(8);
+    std::vector<int64_t> toks(2 * 5);
+    for (auto &t : toks) {
+        t = rng.randint(0, 31);
+    }
+    Tensor tokens = Tensor::fromIndices(toks, {2, 5});
+    Variable logits = model.forward(tokens);
+    EXPECT_EQ(logits.data().shape(), (Shape{10, 32}));
+    // Untrained loss near ln(vocab).
+    Tensor targets = Tensor::fromIndices(
+        std::vector<int64_t>(10, 3), {10});
+    Variable loss = af::crossEntropy(logits, targets);
+    EXPECT_NEAR(loss.data().item(), std::log(32.0f), 1.0f);
+}
+
+TEST(NnAdamW, ConvergesOnQuadratic)
+{
+    // min ||x - t||^2 with Adam steps.
+    Rng rng(9);
+    Variable x(Tensor::randn({8}, rng), true);
+    Tensor target = Tensor::randn({8}, rng);
+    AdamWConfig cfg;
+    cfg.lr = 0.05f;
+    AdamW opt({x}, cfg);
+    float first_loss = 0;
+    float last_loss = 0;
+    for (int step = 0; step < 200; ++step) {
+        Variable loss =
+            af::sumAll(af::square(af::sub(x, af::constant(target))));
+        if (step == 0) {
+            first_loss = loss.data().item();
+        }
+        last_loss = loss.data().item();
+        opt.zeroGrad();
+        backward(loss);
+        opt.step();
+    }
+    EXPECT_LT(last_loss, first_loss * 0.01f);
+}
+
+TEST(NnAdamW, WeightDecayShrinksParams)
+{
+    Variable x(Tensor::full({4}, 1.0f), true);
+    AdamWConfig cfg;
+    cfg.lr = 0.1f;
+    cfg.weightDecay = 0.5f;
+    AdamW opt({x}, cfg);
+    // Zero gradient: only decay acts.
+    x.zeroGrad();
+    Variable loss = af::sumAll(af::mulScalar(x, 0.0f));
+    backward(loss);
+    opt.step();
+    EXPECT_LT(x.data().flatAt(0), 1.0f);
+}
+
+TEST(NnAdamW, ClipGradNorm)
+{
+    Variable x(Tensor::full({4}, 1.0f), true);
+    backward(af::sumAll(af::mulScalar(x, 10.0f))); // grad = 10 each
+    float norm = AdamW::clipGradNorm({x}, 1.0f);
+    EXPECT_NEAR(norm, 20.0f, 1e-4); // sqrt(4*100)
+    // Post-clip norm is 1.
+    double total = 0;
+    for (int64_t i = 0; i < 4; ++i) {
+        total += x.grad().flatAt(i) * x.grad().flatAt(i);
+    }
+    EXPECT_NEAR(std::sqrt(total), 1.0, 1e-4);
+}
+
+TEST(NnClusteredLinear, ForwardUsesClusteredWeight)
+{
+    Rng rng(10);
+    auto inner = std::make_shared<Linear>(8, 8, rng);
+    EdkmConfig cfg;
+    cfg.dkm.bits = 2;
+    cfg.dkm.maxIters = 2;
+    nn::ClusteredLinear cl(inner, cfg);
+    Variable x(Tensor::randn({2, 8}, rng), false);
+    Variable y = cl.forward(x);
+    EXPECT_EQ(y.data().shape(), (Shape{2, 8}));
+    // Gradient reaches the underlying full-precision weight.
+    backward(af::sumAll(af::square(y)));
+    EXPECT_TRUE(inner->weight().grad().defined());
+    // Palettization uses the trained centroids.
+    PalettizedTensor p = cl.palettize();
+    EXPECT_EQ(p.bits(), 2);
+    // Disabled clustering behaves as the plain layer.
+    cl.setClusteringEnabled(false);
+    Variable y2 = cl.forward(x);
+    Variable y3 = inner->forward(x);
+    EXPECT_TRUE(allclose(y2.data(), y3.data()));
+}
+
+} // namespace
+} // namespace edkm

@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Kernel tests: broadcasting, matmul, softmax, reductions, indexing.
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace edkm {
+namespace {
+
+TEST(OpsBinary, SameShape)
+{
+    Tensor a = Tensor::fromVector({1, 2, 3}, {3});
+    Tensor b = Tensor::fromVector({10, 20, 30}, {3});
+    EXPECT_TRUE(allclose(add(a, b), Tensor::fromVector({11, 22, 33}, {3})));
+    EXPECT_TRUE(allclose(sub(b, a), Tensor::fromVector({9, 18, 27}, {3})));
+    EXPECT_TRUE(allclose(mul(a, b), Tensor::fromVector({10, 40, 90}, {3})));
+    EXPECT_TRUE(allclose(div(b, a),
+                         Tensor::fromVector({10, 10, 10}, {3})));
+}
+
+TEST(OpsBinary, RowColumnBroadcast)
+{
+    // [2,3] + [1,3] and [2,3] + [2,1]
+    Tensor m = Tensor::fromVector({1, 2, 3, 4, 5, 6}, {2, 3});
+    Tensor row = Tensor::fromVector({10, 20, 30}, {1, 3});
+    Tensor col = Tensor::fromVector({100, 200}, {2, 1});
+    EXPECT_TRUE(allclose(
+        add(m, row),
+        Tensor::fromVector({11, 22, 33, 14, 25, 36}, {2, 3})));
+    EXPECT_TRUE(allclose(
+        add(m, col),
+        Tensor::fromVector({101, 102, 103, 204, 205, 206}, {2, 3})));
+}
+
+TEST(OpsBinary, RankBroadcast)
+{
+    // [2,2,2] + [2] broadcasts over trailing dim.
+    Tensor a = Tensor::fromVector({1, 2, 3, 4, 5, 6, 7, 8}, {2, 2, 2});
+    Tensor b = Tensor::fromVector({10, 100}, {2});
+    Tensor c = add(a, b);
+    EXPECT_EQ(c.shape(), (Shape{2, 2, 2}));
+    EXPECT_EQ(c.flatAt(0), 11.0f);
+    EXPECT_EQ(c.flatAt(1), 102.0f);
+    EXPECT_EQ(c.flatAt(7), 108.0f);
+}
+
+TEST(OpsBinary, IncompatibleShapesFatal)
+{
+    Tensor a = Tensor::zeros({2, 3});
+    Tensor b = Tensor::zeros({2, 4});
+    EXPECT_THROW(add(a, b), FatalError);
+}
+
+TEST(OpsBinary, NonContiguousInput)
+{
+    Tensor a = Tensor::fromVector({1, 2, 3, 4}, {2, 2});
+    Tensor at = a.transpose(0, 1); // non-contiguous
+    Tensor s = add(at, at);
+    EXPECT_EQ(s.at({0, 1}), 6.0f); // (a[1][0] = 3) * 2
+}
+
+TEST(OpsUnary, Basic)
+{
+    Tensor a = Tensor::fromVector({-1.0f, 0.0f, 4.0f}, {3});
+    EXPECT_TRUE(allclose(neg(a), Tensor::fromVector({1, 0, -4}, {3})));
+    EXPECT_TRUE(allclose(absT(a), Tensor::fromVector({1, 0, 4}, {3})));
+    EXPECT_TRUE(allclose(square(a), Tensor::fromVector({1, 0, 16}, {3})));
+    EXPECT_NEAR(expT(a).flatAt(0), std::exp(-1.0f), 1e-6);
+    EXPECT_NEAR(sqrtT(a).flatAt(2), 2.0f, 1e-6);
+    EXPECT_TRUE(allclose(clampT(a, -0.5f, 2.0f),
+                         Tensor::fromVector({-0.5f, 0.0f, 2.0f}, {3})));
+    EXPECT_NEAR(silu(a).flatAt(2), 4.0f / (1.0f + std::exp(-4.0f)), 1e-6);
+    EXPECT_NEAR(sigmoid(a).flatAt(1), 0.5f, 1e-6);
+    EXPECT_TRUE(allclose(relu(a), Tensor::fromVector({0, 0, 4}, {3})));
+}
+
+TEST(OpsMatmul, Known2d)
+{
+    Tensor a = Tensor::fromVector({1, 2, 3, 4}, {2, 2});
+    Tensor b = Tensor::fromVector({5, 6, 7, 8}, {2, 2});
+    Tensor c = matmul(a, b);
+    EXPECT_TRUE(
+        allclose(c, Tensor::fromVector({19, 22, 43, 50}, {2, 2})));
+}
+
+TEST(OpsMatmul, TransposedOperands)
+{
+    Rng rng(1);
+    Tensor a = Tensor::rand({3, 4}, rng);
+    Tensor b = Tensor::rand({5, 4}, rng);
+    // a @ b^T computed two ways.
+    Tensor c1 = matmul(a, b.transpose(0, 1));
+    for (int64_t i = 0; i < 3; ++i) {
+        for (int64_t j = 0; j < 5; ++j) {
+            double acc = 0;
+            for (int64_t k = 0; k < 4; ++k) {
+                acc += a.at({i, k}) * b.at({j, k});
+            }
+            EXPECT_NEAR(c1.at({i, j}), acc, 1e-5);
+        }
+    }
+}
+
+TEST(OpsMatmul, Batched)
+{
+    Rng rng(2);
+    Tensor a = Tensor::rand({2, 3, 4}, rng);
+    Tensor b = Tensor::rand({2, 4, 5}, rng);
+    Tensor c = matmul(a, b);
+    EXPECT_EQ(c.shape(), (Shape{2, 3, 5}));
+    // Each batch equals the 2-d product.
+    for (int64_t i = 0; i < 2; ++i) {
+        Tensor ci = matmul(a.select(0, i).contiguous(),
+                           b.select(0, i).contiguous());
+        for (int64_t r = 0; r < 3; ++r) {
+            for (int64_t s = 0; s < 5; ++s) {
+                EXPECT_NEAR(c.at({i, r, s}), ci.at({r, s}), 1e-5);
+            }
+        }
+    }
+}
+
+TEST(OpsMatmul, BatchedBroadcastRhs)
+{
+    Rng rng(3);
+    Tensor a = Tensor::rand({2, 3, 4}, rng);
+    Tensor b = Tensor::rand({4, 5}, rng);
+    Tensor c = matmul(a, b);
+    EXPECT_EQ(c.shape(), (Shape{2, 3, 5}));
+    Tensor c1 = matmul(a.select(0, 1).contiguous(), b);
+    EXPECT_NEAR(c.at({1, 2, 3}), c1.at({2, 3}), 1e-5);
+}
+
+TEST(OpsReduce, SumMean)
+{
+    Tensor a = Tensor::fromVector({1, 2, 3, 4, 5, 6}, {2, 3});
+    EXPECT_NEAR(sumAll(a).item(), 21.0f, 1e-6);
+    EXPECT_NEAR(meanAll(a).item(), 3.5f, 1e-6);
+
+    Tensor s0 = sumDim(a, 0);
+    EXPECT_EQ(s0.shape(), (Shape{3}));
+    EXPECT_TRUE(allclose(s0, Tensor::fromVector({5, 7, 9}, {3})));
+
+    Tensor s1 = sumDim(a, 1, /*keepdim=*/true);
+    EXPECT_EQ(s1.shape(), (Shape{2, 1}));
+    EXPECT_TRUE(allclose(s1, Tensor::fromVector({6, 15}, {2, 1})));
+
+    Tensor m1 = meanDim(a, -1);
+    EXPECT_TRUE(allclose(m1, Tensor::fromVector({2, 5}, {2})));
+}
+
+TEST(OpsSoftmax, RowsSumToOne)
+{
+    Rng rng(4);
+    Tensor a = Tensor::rand({7, 9}, rng);
+    Tensor s = softmaxLastDim(a);
+    Tensor rowsum = sumDim(s, -1);
+    for (int64_t i = 0; i < 7; ++i) {
+        EXPECT_NEAR(rowsum.flatAt(i), 1.0f, 1e-5);
+    }
+    // Numerically stable for large magnitudes.
+    Tensor big = Tensor::fromVector({1000.0f, 1001.0f}, {1, 2});
+    Tensor sb = softmaxLastDim(big);
+    EXPECT_NEAR(sb.flatAt(0) + sb.flatAt(1), 1.0f, 1e-6);
+    EXPECT_GT(sb.flatAt(1), sb.flatAt(0));
+}
+
+TEST(OpsSoftmax, LogSoftmaxMatchesLogOfSoftmax)
+{
+    Rng rng(5);
+    Tensor a = Tensor::rand({3, 6}, rng);
+    Tensor ls = logSoftmaxLastDim(a);
+    Tensor s = softmaxLastDim(a);
+    EXPECT_TRUE(allclose(expT(ls), s, 1e-4f, 1e-6f));
+}
+
+TEST(OpsReduce, MaxArgmax)
+{
+    Tensor a = Tensor::fromVector({1, 9, 3, 7, 2, 8}, {2, 3});
+    auto [vals, idx] = maxLastDim(a);
+    EXPECT_EQ(vals.flatAt(0), 9.0f);
+    EXPECT_EQ(vals.flatAt(1), 8.0f);
+    EXPECT_EQ(idx.flatAtInt(0), 1);
+    EXPECT_EQ(idx.flatAtInt(1), 2);
+}
+
+TEST(OpsIndex, GatherScatterRoundTrip)
+{
+    Tensor table = Tensor::fromVector({1, 2, 3, 4, 5, 6}, {3, 2});
+    Tensor idx = Tensor::fromIndices({2, 0, 2}, {3});
+    Tensor g = gatherRows(table, idx);
+    EXPECT_EQ(g.shape(), (Shape{3, 2}));
+    EXPECT_EQ(g.at({0, 0}), 5.0f);
+    EXPECT_EQ(g.at({1, 1}), 2.0f);
+
+    // scatterAdd accumulates duplicate rows.
+    Tensor back = scatterAddRows(g, idx, 3);
+    EXPECT_EQ(back.at({2, 0}), 10.0f); // row 2 gathered twice
+    EXPECT_EQ(back.at({0, 1}), 2.0f);
+    EXPECT_EQ(back.at({1, 0}), 0.0f); // never touched
+}
+
+TEST(OpsIndex, GatherOutOfRangeFatal)
+{
+    Tensor table = Tensor::zeros({2, 2});
+    Tensor idx = Tensor::fromIndices({3}, {1});
+    EXPECT_THROW(gatherRows(table, idx), FatalError);
+}
+
+TEST(OpsMisc, Cat0AndCopyIntoView)
+{
+    Tensor a = Tensor::fromVector({1, 2}, {1, 2});
+    Tensor b = Tensor::fromVector({3, 4, 5, 6}, {2, 2});
+    Tensor c = cat0({a, b});
+    EXPECT_EQ(c.shape(), (Shape{3, 2}));
+    EXPECT_EQ(c.flatAt(4), 5.0f);
+
+    Tensor dst = Tensor::zeros({3, 2});
+    copyIntoView(dst.slice(0, 1, 3), b);
+    EXPECT_EQ(dst.at({0, 0}), 0.0f);
+    EXPECT_EQ(dst.at({1, 0}), 3.0f);
+    EXPECT_EQ(dst.at({2, 1}), 6.0f);
+}
+
+TEST(OpsMisc, BroadcastTo)
+{
+    Tensor row = Tensor::fromVector({1, 2}, {1, 2});
+    Tensor full = broadcastTo(row, {3, 2});
+    EXPECT_EQ(full.shape(), (Shape{3, 2}));
+    EXPECT_EQ(full.at({2, 1}), 2.0f);
+}
+
+/** Parameterized sweep: matmul matches a reference on random shapes. */
+class MatmulSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(MatmulSweep, MatchesReference)
+{
+    auto [m, k, n] = GetParam();
+    Rng rng(static_cast<uint64_t>(m * 131 + k * 17 + n));
+    Tensor a = Tensor::randn({m, k}, rng);
+    Tensor b = Tensor::randn({k, n}, rng);
+    Tensor c = matmul(a, b);
+    for (int64_t i = 0; i < m; ++i) {
+        for (int64_t j = 0; j < n; ++j) {
+            double acc = 0;
+            for (int64_t p = 0; p < k; ++p) {
+                acc += static_cast<double>(a.at({i, p})) * b.at({p, j});
+            }
+            ASSERT_NEAR(c.at({i, j}), acc, 1e-3)
+                << m << "x" << k << "x" << n;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatmulSweep,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(1, 8, 1),
+                      std::make_tuple(5, 3, 7), std::make_tuple(16, 16, 16),
+                      std::make_tuple(2, 31, 9), std::make_tuple(33, 1, 4)));
+
+} // namespace
+} // namespace edkm

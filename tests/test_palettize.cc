@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for the palettized tensor codec: bit packing, round trips,
+ * serialisation, and size accounting.
+ */
+
+#include <cstdio>
+#include <gtest/gtest.h>
+
+#include "core/palettize.h"
+#include "tensor/ops.h"
+#include "util/half.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace edkm {
+namespace {
+
+/** Property sweep over all supported bit widths. */
+class PackBitsSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PackBitsSweep, RoundTrip)
+{
+    int bits = GetParam();
+    Rng rng(static_cast<uint64_t>(bits));
+    std::vector<int32_t> vals;
+    for (int i = 0; i < 1000; ++i) {
+        vals.push_back(static_cast<int32_t>(
+            rng.randint(0, (1 << bits) - 1)));
+    }
+    std::vector<uint8_t> packed = packBits(vals, bits);
+    EXPECT_EQ(packed.size(), (vals.size() * bits + 7) / 8);
+    std::vector<int32_t> back =
+        unpackBits(packed, bits, static_cast<int64_t>(vals.size()));
+    EXPECT_EQ(back, vals);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, PackBitsSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 16));
+
+TEST(PackBits, RejectsOutOfRange)
+{
+    EXPECT_THROW(packBits({8}, 3), FatalError);
+    EXPECT_THROW(packBits({-1}, 3), FatalError);
+}
+
+TEST(Palettize, FromDenseReconstructionError)
+{
+    Rng rng(5);
+    Tensor w = Tensor::randn({32, 32}, rng, Device::cpu(), 0.02f);
+    PalettizedTensor p = PalettizedTensor::fromDense(w, 4, rng);
+    Tensor rec = p.decompress();
+    EXPECT_EQ(rec.shape(), w.shape());
+    // 16 levels over a normal distribution: small but nonzero error.
+    float err = maxAbsDiff(rec, w);
+    EXPECT_GT(err, 0.0f);
+    EXPECT_LT(err, 0.02f); // well within a std
+}
+
+TEST(Palettize, MoreBitsLowerError)
+{
+    Rng rng(6);
+    Tensor w = Tensor::randn({64, 16}, rng);
+    double prev_mse = 1e30;
+    for (int bits : {1, 2, 3, 4, 6}) {
+        Rng r2(7);
+        PalettizedTensor p = PalettizedTensor::fromDense(w, bits, r2);
+        Tensor rec = p.decompress();
+        Tensor d = sub(rec, w);
+        double mse = sumAll(mul(d, d)).item();
+        EXPECT_LT(mse, prev_mse) << bits << " bits";
+        prev_mse = mse;
+    }
+}
+
+TEST(Palettize, SerializeDeserializeRoundTrip)
+{
+    Rng rng(8);
+    Tensor w = Tensor::randn({16, 8}, rng);
+    PalettizedTensor p = PalettizedTensor::fromDense(w, 3, rng);
+    std::vector<uint8_t> bytes = p.serialize();
+    PalettizedTensor q = PalettizedTensor::deserialize(bytes);
+    EXPECT_EQ(q.bits(), 3);
+    EXPECT_EQ(q.shape(), p.shape());
+    EXPECT_EQ(maxAbsDiff(q.decompress(), p.decompress()), 0.0f);
+}
+
+TEST(Palettize, SaveLoadFile)
+{
+    Rng rng(9);
+    Tensor w = Tensor::randn({8, 8}, rng);
+    PalettizedTensor p = PalettizedTensor::fromDense(w, 2, rng);
+    std::string path = "/tmp/edkm_palettize_test.bin";
+    p.save(path);
+    PalettizedTensor q = PalettizedTensor::load(path);
+    EXPECT_EQ(maxAbsDiff(q.decompress(), p.decompress()), 0.0f);
+    std::remove(path.c_str());
+}
+
+TEST(Palettize, DeserializeRejectsCorruption)
+{
+    Rng rng(10);
+    PalettizedTensor p =
+        PalettizedTensor::fromDense(Tensor::randn({4, 4}, rng), 2, rng);
+    std::vector<uint8_t> bytes = p.serialize();
+    bytes[0] ^= 0xff; // clobber magic
+    EXPECT_THROW(PalettizedTensor::deserialize(bytes), FatalError);
+    std::vector<uint8_t> intact = p.serialize();
+    std::vector<uint8_t> truncated(intact.begin(), intact.begin() + 8);
+    EXPECT_THROW(PalettizedTensor::deserialize(truncated), FatalError);
+}
+
+TEST(Palettize, BitsPerWeightApproachesNominal)
+{
+    // For a large tensor the LUT/header overhead vanishes: 3-bit
+    // palettization ~3 bits/weight (the paper's 2.5 GB at 7B).
+    Rng rng(11);
+    Tensor w = Tensor::randn({256, 256}, rng);
+    PalettizedTensor p = PalettizedTensor::fromDense(w, 3, rng, 5);
+    EXPECT_NEAR(p.bitsPerWeight(), 3.0, 0.02);
+}
+
+TEST(Palettize, LutIsFp16Precision)
+{
+    Rng rng(12);
+    Tensor w = Tensor::randn({32, 32}, rng);
+    PalettizedTensor p = PalettizedTensor::fromDense(w, 3, rng);
+    for (float c : p.lut()) {
+        EXPECT_EQ(c, roundToFp16(c));
+    }
+}
+
+TEST(Palettize, FromAssignmentsValidates)
+{
+    std::vector<float> lut(8, 0.0f);
+    std::vector<int32_t> assign(10, 0);
+    EXPECT_THROW(PalettizedTensor::fromAssignments({10}, lut, assign, 4),
+                 FatalError); // LUT size != 2^bits
+    EXPECT_THROW(
+        PalettizedTensor::fromAssignments({11}, lut, assign, 3),
+        FatalError); // numel mismatch
+}
+
+} // namespace
+} // namespace edkm

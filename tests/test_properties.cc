@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Cross-cutting property tests and fuzzing: randomised view-chain
+ * marshaling equivalence, clustering-quality monotonicity in bits,
+ * per-learner footprint monotonicity in |L|, deep/diamond autograd
+ * graphs, and determinism under fixed seeds.
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "autograd/engine.h"
+#include "autograd/functional.h"
+#include "core/dkm.h"
+#include "core/edkm.h"
+#include "device/device_manager.h"
+#include "marshal/marshal.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace edkm {
+namespace {
+
+// ----------------------------------------------------------------
+// Fuzz: random storage-invariant chains through the marshal hook
+// produce gradients identical to the hook-free run.
+// ----------------------------------------------------------------
+
+class MarshalFuzz : public ::testing::TestWithParam<int> {};
+
+Variable
+randomViewChain(const Variable &x, Rng &rng, int depth)
+{
+    Variable v = x;
+    for (int d = 0; d < depth; ++d) {
+        const Shape &s = v.data().shape();
+        switch (rng.randint(0, 3)) {
+          case 0: // flatten-ish view (requires contiguity)
+            if (v.data().isContiguous()) {
+                v = af::view(v, {v.data().numel()});
+            }
+            break;
+          case 1: // reshape to 2-d if divisible
+            if (v.data().isContiguous() && v.data().numel() % 4 == 0) {
+                v = af::view(v, {4, v.data().numel() / 4});
+            }
+            break;
+          case 2: // transpose when 2-d
+            if (s.size() == 2) {
+                v = af::transpose(v, 0, 1);
+            } else {
+                v = af::unsqueeze(v, 0);
+            }
+            break;
+          case 3: // squeeze back or slice
+            if (s.size() >= 2 && s[0] == 1) {
+                v = af::squeeze(v, 0);
+            } else if (s[0] >= 4) {
+                v = af::slice(v, 0, 1, s[0] - 1);
+            }
+            break;
+        }
+    }
+    return v;
+}
+
+TEST_P(MarshalFuzz, GradsMatchNoHookBaseline)
+{
+    uint64_t seed = static_cast<uint64_t>(GetParam());
+    auto build_loss = [&](const Variable &x) {
+        Rng rng(seed);
+        // Several random chains, each contributing a saved tensor.
+        Variable acc;
+        for (int c = 0; c < 4; ++c) {
+            Variable v = randomViewChain(x, rng, 1 + c % 4);
+            Variable term = af::sumAll(af::square(v));
+            acc = acc.defined() ? af::add(acc, term) : term;
+        }
+        return acc;
+    };
+
+    Rng data_rng(seed * 31 + 1);
+    Tensor base = Tensor::randn({8, 12}, data_rng);
+
+    // Baseline without hooks.
+    Variable x1(base.clone(), true);
+    backward(build_loss(x1));
+
+    // With marshaling (GPU tensor, full offload machinery).
+    MarshalConfig mc;
+    mc.minOffloadBytes = 1;
+    MarshalContext ctx(mc);
+    Variable x2(base.to(Device::gpu(0)), true);
+    Variable loss;
+    {
+        SavedTensorHooksGuard guard(&ctx);
+        loss = build_loss(x2);
+    }
+    backward(loss);
+
+    EXPECT_LT(maxAbsDiff(x1.grad(), x2.grad().to(Device::cpu())), 1e-4f)
+        << "seed " << seed << " (copies=" << ctx.stats().copies
+        << " dedup=" << ctx.stats().duplicatesAvoided << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MarshalFuzz,
+                         ::testing::Range(1, 13));
+
+// ----------------------------------------------------------------
+// Clustering quality is monotone in bit width.
+// ----------------------------------------------------------------
+
+class BitsMonotonic : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BitsMonotonic, PalettizationErrorDecreasesWithBits)
+{
+    Rng rng(GetParam());
+    Tensor w = Tensor::randn({1024}, rng, Device::cpu(), 0.02f)
+                   .to(DType::kBf16)
+                   .to(DType::kF32);
+    double prev = 1e30;
+    for (int bits : {1, 2, 3, 4, 5}) {
+        EdkmConfig cfg;
+        cfg.dkm.bits = bits;
+        cfg.dkm.maxIters = 6;
+        EdkmLayer layer(cfg);
+        NoGradGuard ng;
+        layer.forward(Variable(w, false));
+        Tensor rec = layer.palettize(w).decompress();
+        Tensor d = sub(rec, w);
+        double mse = sumAll(mul(d, d)).item();
+        EXPECT_LE(mse, prev + 1e-9) << bits << " bits";
+        prev = mse;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitsMonotonic,
+                         ::testing::Values(3u, 5u, 8u));
+
+// ----------------------------------------------------------------
+// Per-learner footprint shrinks monotonically with |L|.
+// ----------------------------------------------------------------
+
+TEST(ShardingProperty, SavedBytesMonotoneInLearners)
+{
+    Rng rng(41);
+    Tensor w = Tensor::randn({128, 128}, rng, Device::cpu(), 0.02f)
+                   .to(DType::kBf16)
+                   .to(DType::kF32);
+    Rng ur(7);
+    Tensor upstream = Tensor::randn({128 * 128}, ur);
+    int64_t prev = INT64_MAX;
+    for (int learners : {1, 2, 4, 8, 16}) {
+        auto group = std::make_shared<LearnerGroup>(learners);
+        EdkmConfig cfg;
+        cfg.dkm.bits = 3;
+        cfg.dkm.maxIters = 2;
+        cfg.dkm.convergenceEps = 0.0f;
+        cfg.uniquify = true;
+        cfg.shard = learners > 1;
+        EdkmLayer layer(cfg, group);
+        Variable wv(w.clone(), true);
+        Variable out = layer.forward(wv);
+        backward(af::sumAll(
+            af::mul(out, af::constant(upstream.view(out.data()
+                                                        .shape())))));
+        EXPECT_LE(layer.report().savedBytes, prev)
+            << learners << " learners";
+        prev = layer.report().savedBytes;
+    }
+}
+
+// ----------------------------------------------------------------
+// Engine stress: deep chains and diamond graphs.
+// ----------------------------------------------------------------
+
+TEST(EngineStress, DeepChain)
+{
+    Variable x(Tensor::fromVector({1.0f}, {1}), true);
+    Variable v = x;
+    // 200 alternating ops; gradient is the product of local derivs.
+    for (int i = 0; i < 100; ++i) {
+        v = af::mulScalar(v, 1.01f);
+        v = af::addScalar(v, 0.0f);
+    }
+    backward(v);
+    EXPECT_NEAR(x.grad().item(), std::pow(1.01f, 100.0f), 1e-2);
+}
+
+TEST(EngineStress, DiamondDependencies)
+{
+    // x feeds two branches that recombine: grads sum across branches.
+    Variable x(Tensor::fromVector({2.0f}, {1}), true);
+    Variable a = af::square(x);         // x^2
+    Variable b = af::mulScalar(x, 3.0f); // 3x
+    Variable c = af::mul(a, b);         // 3x^3 -> d/dx = 9x^2 = 36
+    backward(c);
+    EXPECT_NEAR(x.grad().item(), 36.0f, 1e-4);
+}
+
+TEST(EngineStress, WideFanOut)
+{
+    Variable x(Tensor::fromVector({1.5f}, {1}), true);
+    Variable acc;
+    for (int i = 0; i < 64; ++i) {
+        Variable t = af::mulScalar(x, static_cast<float>(i));
+        acc = acc.defined() ? af::add(acc, t) : t;
+    }
+    backward(acc);
+    // sum of i = 64*63/2 = 2016
+    EXPECT_NEAR(x.grad().item(), 2016.0f, 1e-2);
+}
+
+// ----------------------------------------------------------------
+// Determinism under fixed seeds.
+// ----------------------------------------------------------------
+
+TEST(Determinism, EdkmForwardIsDeterministic)
+{
+    Rng r1(9), r2(9);
+    Tensor w1 = Tensor::randn({512}, r1, Device::cpu(), 0.02f);
+    Tensor w2 = Tensor::randn({512}, r2, Device::cpu(), 0.02f);
+    EXPECT_EQ(maxAbsDiff(w1, w2), 0.0f);
+
+    EdkmConfig cfg;
+    cfg.dkm.bits = 3;
+    EdkmLayer a(cfg), b(cfg);
+    NoGradGuard ng;
+    Tensor oa = a.forward(Variable(w1, false)).data();
+    Tensor ob = b.forward(Variable(w2, false)).data();
+    EXPECT_EQ(maxAbsDiff(oa, ob), 0.0f);
+    EXPECT_EQ(a.report().iterations, b.report().iterations);
+}
+
+TEST(Determinism, DkmMatchesItselfAcrossRuns)
+{
+    Rng r(11);
+    Tensor w = Tensor::randn({256}, r);
+    DkmConfig cfg;
+    cfg.bits = 3;
+    DkmLayer a(cfg), b(cfg);
+    NoGradGuard ng;
+    EXPECT_EQ(maxAbsDiff(a.forward(Variable(w, false)).data(),
+                         b.forward(Variable(w, false)).data()),
+              0.0f);
+}
+
+// ----------------------------------------------------------------
+// Failure injection: fatal paths stay fatal (no UB / crashes).
+// ----------------------------------------------------------------
+
+TEST(FailureInjection, ApiMisuseThrows)
+{
+    EXPECT_THROW(Tensor::zeros({2}).view({3}), FatalError);
+    EXPECT_THROW(Tensor().device(), FatalError);
+    EXPECT_THROW(Variable().data(), FatalError);
+    Variable no_grad(Tensor::zeros({1}), false);
+    EXPECT_THROW(backward(no_grad), FatalError);
+    EdkmConfig cfg;
+    cfg.dkm.bits = 0;
+    EXPECT_THROW(EdkmLayer{cfg}, FatalError);
+}
+
+} // namespace
+} // namespace edkm

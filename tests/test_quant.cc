@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Quantisation baseline tests: RTN round trips, GPTQ's error
+ * compensation beating RTN on layer outputs, AWQ's activation-aware
+ * scaling beating plain RTN, SmoothQuant's product preservation, and
+ * the QAT straight-through estimator.
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "autograd/engine.h"
+#include "autograd/functional.h"
+#include "quant/affine.h"
+#include "quant/awq.h"
+#include "quant/gptq.h"
+#include "quant/qat.h"
+#include "quant/smoothquant.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace edkm {
+namespace quant {
+namespace {
+
+/** ||W X^T - W' X^T||^2: the layer-output error metric. */
+double
+outputError(const Tensor &w, const Tensor &wq, const Tensor &x)
+{
+    Tensor a = matmul(x, w.transpose(0, 1));
+    Tensor b = matmul(x, wq.transpose(0, 1));
+    Tensor d = sub(a, b);
+    return sumAll(mul(d, d)).item();
+}
+
+TEST(Affine, RoundTripBoundedError)
+{
+    Rng rng(1);
+    Tensor w = Tensor::randn({16, 64}, rng);
+    QuantizedMatrix q = quantizeAffine(w, 4, 32);
+    Tensor dq = q.dequantize();
+    // Max error bounded by half a step: range/(2*15) per group; just
+    // assert a generous global bound.
+    EXPECT_LT(maxAbsDiff(dq, w), 0.5f);
+    // More bits -> strictly less error.
+    Tensor dq8 = quantizeAffine(w, 8, 32).dequantize();
+    EXPECT_LT(maxAbsDiff(dq8, w), maxAbsDiff(dq, w));
+}
+
+TEST(Affine, GroupSizeMetadataTradeoff)
+{
+    Rng rng(2);
+    Tensor w = Tensor::randn({8, 128}, rng);
+    QuantizedMatrix g32 = quantizeAffine(w, 4, 32);
+    QuantizedMatrix g128 = quantizeAffine(w, 4, 128);
+    // Smaller groups: more metadata, lower error.
+    EXPECT_GT(g32.payloadBytes(), g128.payloadBytes());
+    Tensor d32 = g32.dequantize(), d128 = g128.dequantize();
+    Tensor e32 = sub(d32, w), e128 = sub(d128, w);
+    EXPECT_LE(sumAll(mul(e32, e32)).item(),
+              sumAll(mul(e128, e128)).item());
+    // g128 at 4 bits is ~4.25 bits/weight (the paper's 3.7 GB row).
+    EXPECT_NEAR(g128.bitsPerWeight(), 4.0 + 32.0 / 128.0, 0.1);
+}
+
+TEST(Affine, PerChannelWhenGroupLargerThanRow)
+{
+    Rng rng(3);
+    Tensor w = Tensor::randn({4, 16}, rng);
+    QuantizedMatrix q = quantizeAffine(w, 4, 999);
+    EXPECT_EQ(q.groupSize, 16);
+    EXPECT_EQ(q.scales.size(), 4u);
+}
+
+TEST(Affine, ConstantBlockHandled)
+{
+    Tensor w = Tensor::full({2, 8}, 3.0f);
+    Tensor dq = rtnQuantize(w, 3, 8);
+    EXPECT_TRUE(allclose(dq, w, 1e-3f, 1e-3f));
+}
+
+TEST(Gptq, BeatsRtnOnLayerOutput)
+{
+    // Correlated activations: exactly the case where second-order
+    // compensation helps.
+    Rng rng(4);
+    int64_t in = 32, out = 16, n = 64;
+    Tensor base = Tensor::randn({n, 8}, rng);
+    Tensor mix = Tensor::randn({8, in}, rng);
+    Tensor x = matmul(base, mix); // rank-8 correlated inputs
+    Tensor w = Tensor::randn({out, in}, rng);
+
+    GptqConfig cfg;
+    cfg.bits = 3;
+    cfg.groupSize = 16;
+    Tensor gptq_w = gptqQuantize(w, x, cfg);
+    Tensor rtn_w = rtnQuantize(w, 3, 16);
+
+    double gptq_err = outputError(w, gptq_w, x);
+    double rtn_err = outputError(w, rtn_w, x);
+    EXPECT_LT(gptq_err, rtn_err);
+}
+
+TEST(Gptq, StorageFormatFilled)
+{
+    Rng rng(5);
+    Tensor w = Tensor::randn({8, 16}, rng);
+    Tensor x = Tensor::randn({32, 16}, rng);
+    GptqConfig cfg;
+    cfg.bits = 4;
+    cfg.groupSize = 8;
+    QuantizedMatrix q;
+    Tensor dq = gptqQuantize(w, x, cfg, &q);
+    EXPECT_EQ(q.bits, 4);
+    EXPECT_EQ(q.scales.size(), 8u * 2);
+    // The dequantised result decodes from the storage format exactly.
+    EXPECT_LT(maxAbsDiff(q.dequantize(), dq), 1e-5f);
+}
+
+TEST(Awq, BeatsRtnWithOutlierChannels)
+{
+    // A few high-magnitude activation channels: AWQ's motivating case.
+    Rng rng(6);
+    int64_t in = 32, out = 8, n = 48;
+    Tensor x = Tensor::randn({n, in}, rng);
+    // Scale up 4 channels by 30x.
+    for (int64_t s = 0; s < n; ++s) {
+        for (int64_t c = 0; c < 4; ++c) {
+            x.setAt({s, c}, x.at({s, c}) * 30.0f);
+        }
+    }
+    Tensor w = Tensor::randn({out, in}, rng);
+    AwqConfig cfg;
+    cfg.bits = 3;
+    cfg.groupSize = 32;
+    AwqResult result;
+    Tensor awq_w = awqQuantize(w, x, cfg, &result);
+    EXPECT_GT(result.bestAlpha, 0.0f); // scaling was worth it
+    EXPECT_LE(result.bestError, result.rtnError);
+    double awq_err = outputError(w, awq_w, x);
+    double rtn_err = outputError(w, rtnQuantize(w, 3, 32), x);
+    EXPECT_LT(awq_err, rtn_err);
+}
+
+TEST(SmoothQuant, ProductApproximatelyPreserved)
+{
+    Rng rng(7);
+    Tensor w = Tensor::randn({8, 16}, rng);
+    Tensor x = Tensor::randn({24, 16}, rng);
+    SmoothQuantConfig cfg;
+    SmoothedLayer s = smoothQuantize(w, x, cfg);
+    EXPECT_EQ(s.scales.size(), 16u);
+    // 8-bit weight quantisation after smoothing: small output error.
+    double err = outputError(w, s.weight, x);
+    double ref = sumAll(square(matmul(x, w.transpose(0, 1)))).item();
+    EXPECT_LT(err, 0.01 * ref);
+}
+
+TEST(SmoothQuant, ActivationQuantiser)
+{
+    Rng rng(8);
+    Tensor x = Tensor::randn({4, 4}, rng);
+    Tensor q = quantizeActivations(x, 8);
+    EXPECT_LT(maxAbsDiff(q, x), 0.1f);
+    // Degenerate all-zero input survives.
+    Tensor z = Tensor::zeros({2, 2});
+    EXPECT_EQ(maxAbsDiff(quantizeActivations(z, 8), z), 0.0f);
+}
+
+TEST(Qat, SteGradientIsIdentity)
+{
+    Rng rng(9);
+    Tensor w0 = Tensor::randn({4, 8}, rng);
+    Variable w(w0, true);
+    Variable wq = fakeQuantize(w, 4, -1);
+    // Forward is quantised...
+    EXPECT_GT(maxAbsDiff(wq.data(), w0), 0.0f);
+    // ...but the gradient passes straight through.
+    backward(af::sumAll(wq));
+    for (int64_t i = 0; i < w0.numel(); ++i) {
+        EXPECT_EQ(w.grad().flatAt(i), 1.0f);
+    }
+}
+
+TEST(Qat, TrainingMovesWeightsTowardGrid)
+{
+    // Minimise ||fq(w) - target||^2 where target is on the grid:
+    // STE lets w converge despite the non-differentiable rounding.
+    Rng rng(10);
+    Tensor w0 = Tensor::randn({1, 8}, rng);
+    Variable w(w0.clone(), true);
+    Tensor target = fakeQuantizeData(Tensor::randn({1, 8}, rng), 3, -1);
+    for (int step = 0; step < 300; ++step) {
+        Variable loss = af::sumAll(af::square(
+            af::sub(fakeQuantize(w, 3, -1), af::constant(target))));
+        w.zeroGrad();
+        backward(loss);
+        // Plain SGD.
+        for (int64_t i = 0; i < 8; ++i) {
+            w.mutableData().setFlatAt(
+                i, w.data().flatAt(i) - 0.01f * w.grad().flatAt(i));
+        }
+    }
+    Variable final_loss = af::sumAll(af::square(
+        af::sub(fakeQuantize(w, 3, -1), af::constant(target))));
+    EXPECT_LT(final_loss.data().item(), 0.05f);
+}
+
+TEST(Qat, QatLinearForward)
+{
+    Rng rng(11);
+    auto inner = std::make_shared<nn::Linear>(4, 4, rng);
+    QatLinear qat(inner, 4);
+    Variable x(Tensor::randn({2, 4}, rng), false);
+    Variable y = qat.forward(x);
+    EXPECT_EQ(y.data().shape(), (Shape{2, 4}));
+    backward(af::sumAll(af::square(y)));
+    EXPECT_TRUE(inner->weight().grad().defined());
+}
+
+} // namespace
+} // namespace quant
+} // namespace edkm

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests for weight uniquification (paper section 2.2): lossless
+ * decomposition of 16-bit weights into unique values + index list.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/uniquify.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace edkm {
+namespace {
+
+TEST(Uniquify, ExactOnBf16Data)
+{
+    // Weights already on the bf16 grid reconstruct bit-exactly.
+    Rng rng(1);
+    Tensor w = Tensor::randn({64, 32}, rng, Device::cpu(), 0.02f);
+    w = w.to(DType::kBf16).to(DType::kF32);
+    UniqueDecomposition dec = uniquify(w, HalfKind::kBf16);
+    Tensor rec = dec.reconstruct();
+    EXPECT_EQ(maxAbsDiff(rec, w.view({w.numel()})), 0.0f);
+}
+
+TEST(Uniquify, CountsSumToNumel)
+{
+    Rng rng(2);
+    Tensor w = Tensor::randn({100}, rng);
+    UniqueDecomposition dec = uniquify(w, HalfKind::kBf16);
+    double total = 0;
+    for (float c : dec.counts) {
+        total += c;
+    }
+    EXPECT_EQ(static_cast<int64_t>(total), 100);
+    EXPECT_EQ(dec.numel, 100);
+    EXPECT_EQ(dec.indexList.numel(), 100);
+    EXPECT_EQ(dec.indexList.dtype(), DType::kU16);
+}
+
+TEST(Uniquify, DuplicatesShareRows)
+{
+    Tensor w = Tensor::fromVector({1.0f, 2.0f, 1.0f, 1.0f, 2.0f}, {5});
+    UniqueDecomposition dec = uniquify(w, HalfKind::kBf16);
+    EXPECT_EQ(dec.uniqueCount(), 2);
+    // wi and wk with the same bit value share the index (paper Fig 3).
+    EXPECT_EQ(dec.indexList.flatAtInt(0), dec.indexList.flatAtInt(2));
+    EXPECT_EQ(dec.indexList.flatAtInt(0), dec.indexList.flatAtInt(3));
+    EXPECT_EQ(dec.indexList.flatAtInt(1), dec.indexList.flatAtInt(4));
+    EXPECT_NE(dec.indexList.flatAtInt(0), dec.indexList.flatAtInt(1));
+    EXPECT_EQ(dec.counts[static_cast<size_t>(
+                  dec.indexList.flatAtInt(0))],
+              3.0f);
+}
+
+TEST(Uniquify, BucketsByHalfPrecision)
+{
+    // Two floats that collide in bf16 but differ in f32 share a bucket.
+    float a = 1.0f;
+    float b = 1.0f + 1e-6f; // far below bf16 resolution
+    Tensor w = Tensor::fromVector({a, b}, {2});
+    UniqueDecomposition dec = uniquify(w, HalfKind::kBf16);
+    EXPECT_EQ(dec.uniqueCount(), 1);
+    // FP16 has more mantissa bits but still collides at 1e-6.
+    UniqueDecomposition dec16 = uniquify(w, HalfKind::kFp16);
+    EXPECT_EQ(dec16.uniqueCount(), 1);
+}
+
+TEST(Uniquify, UniqueCountBounded)
+{
+    // No matter how many weights, at most 2^16 unique rows (paper: "the
+    // number of rows in the attention table is at most 65,536").
+    Rng rng(3);
+    Tensor w = Tensor::randn({200000}, rng);
+    UniqueDecomposition dec = uniquify(w, HalfKind::kBf16);
+    EXPECT_LE(dec.uniqueCount(), 65536);
+    // Normal data at this scale has far fewer distinct bf16 patterns
+    // than elements.
+    EXPECT_LT(dec.uniqueCount(), 65536);
+    Tensor rec = dec.reconstruct();
+    // Reconstruction equals the bf16 rounding of the input.
+    Tensor rounded = w.to(DType::kBf16).to(DType::kF32);
+    EXPECT_EQ(maxAbsDiff(rec, rounded.view({w.numel()})), 0.0f);
+}
+
+TEST(Uniquify, MapCompressionRatioFormula)
+{
+    // 1000 weights, 100 unique, 8 centroids:
+    // dense = 1000*8*4; packed = 100*8*4 + 1000*2.
+    UniqueDecomposition dec;
+    dec.numel = 1000;
+    dec.values.resize(100);
+    EXPECT_NEAR(dec.mapCompressionRatio(8),
+                (1000.0 * 8 * 4) / (100.0 * 8 * 4 + 1000.0 * 2), 1e-9);
+}
+
+TEST(Uniquify, FirstSeenOrderDeterministic)
+{
+    Tensor w = Tensor::fromVector({3.0f, 1.0f, 3.0f, 2.0f}, {4});
+    UniqueDecomposition dec = uniquify(w, HalfKind::kBf16);
+    ASSERT_EQ(dec.uniqueCount(), 3);
+    EXPECT_EQ(dec.values[0], 3.0f);
+    EXPECT_EQ(dec.values[1], 1.0f);
+    EXPECT_EQ(dec.values[2], 2.0f);
+}
+
+TEST(Uniquify, WorksOnViews)
+{
+    Rng rng(4);
+    Tensor w = Tensor::randn({8, 8}, rng);
+    Tensor wt = w.transpose(0, 1); // non-contiguous
+    UniqueDecomposition a = uniquify(w, HalfKind::kBf16);
+    UniqueDecomposition b = uniquify(wt, HalfKind::kBf16);
+    EXPECT_EQ(a.uniqueCount(), b.uniqueCount());
+    EXPECT_EQ(b.numel, 64);
+}
+
+} // namespace
+} // namespace edkm
