@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Runtime-scaling micro-bench: serial vs multi-thread throughput of the
+ * DKM attention-map forward kernel (distance -> square -> scale ->
+ * row-softmax over [|W|, |C|]) — the hot loop the edkm::runtime thread
+ * pool was built for.
+ *
+ * Emits machine-readable JSON to BENCH_runtime.json (cwd) so CI can
+ * track the perf trajectory across PRs, alongside a human-readable
+ * table on stdout. Wall-clock time is measured; the simulated-seconds
+ * cost model is irrelevant here.
+ */
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "runtime/runtime.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+using namespace edkm;
+
+namespace {
+
+/** One attention-map forward: softmax_rows(-(w-c)^2 * 1e3). */
+Tensor
+attentionMap(const Tensor &w_col, const Tensor &c_row)
+{
+    Tensor diff = sub(w_col, c_row);
+    return softmaxLastDim(mulScalar(square(diff), -1e3f));
+}
+
+/** Median-of-reps wall milliseconds for the kernel at (n, k). */
+double
+timeKernelMs(int64_t n, int64_t k, int reps)
+{
+    Rng rng(7);
+    Tensor w = Tensor::randn({n, 1}, rng);
+    Tensor c = Tensor::randn({1, k}, rng);
+    attentionMap(w, c); // warm-up (allocators, pool spin-up)
+    std::vector<double> ms;
+    ms.reserve(static_cast<size_t>(reps));
+    for (int r = 0; r < reps; ++r) {
+        auto t0 = std::chrono::steady_clock::now();
+        Tensor map = attentionMap(w, c);
+        auto t1 = std::chrono::steady_clock::now();
+        // Touch the result so the work cannot be elided.
+        volatile float sink = map.rawData<float>()[0];
+        (void)sink;
+        ms.push_back(
+            std::chrono::duration<double, std::milli>(t1 - t0).count());
+    }
+    std::sort(ms.begin(), ms.end());
+    return ms[ms.size() / 2];
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int64_t n = 1 << 18;
+    int64_t k = 16;
+    int reps = 5;
+    try {
+        if (argc > 1) {
+            n = std::stoll(argv[1]);
+        }
+        if (argc > 2) {
+            k = std::stoll(argv[2]);
+        }
+    } catch (const std::exception &) {
+        std::cerr << "usage: bench_runtime_scaling [n] [k]  "
+                     "(positive integers)\n";
+        return 2;
+    }
+    if (n < 1 || k < 1) {
+        std::cerr << "usage: bench_runtime_scaling [n] [k]  "
+                     "(positive integers)\n";
+        return 2;
+    }
+
+    double serial_ms;
+    {
+        runtime::SerialGuard serial;
+        serial_ms = timeKernelMs(n, k, reps);
+    }
+    std::cout << "dkm attention-map forward, n=" << n << " k=" << k
+              << "\n  serial: " << serial_ms << " ms\n";
+
+    std::vector<int> thread_counts = {2, 4, 8};
+    std::vector<double> thread_ms;
+    for (int t : thread_counts) {
+        runtime::Runtime::instance().setThreadCount(t);
+        double ms = timeKernelMs(n, k, reps);
+        thread_ms.push_back(ms);
+        std::cout << "  " << t << " threads: " << ms << " ms ("
+                  << serial_ms / ms << "x)\n";
+    }
+    runtime::Runtime::instance().setThreadCount(
+        runtime::Runtime::defaultThreadCount());
+
+    std::ofstream json("BENCH_runtime.json");
+    json << "{\n"
+         << "  \"bench\": \"runtime_scaling\",\n"
+         << "  \"kernel\": \"dkm_attention_map_forward\",\n"
+         << "  \"n\": " << n << ",\n"
+         << "  \"k\": " << k << ",\n"
+         << "  \"hardware_threads\": "
+         << runtime::Runtime::defaultThreadCount() << ",\n"
+         << "  \"serial_ms\": " << serial_ms << ",\n"
+         << "  \"threads\": {";
+    for (size_t i = 0; i < thread_counts.size(); ++i) {
+        json << (i ? ", " : "") << "\"" << thread_counts[i]
+             << "\": " << thread_ms[i];
+    }
+    json << "},\n"
+         << "  \"speedup\": {";
+    for (size_t i = 0; i < thread_counts.size(); ++i) {
+        json << (i ? ", " : "") << "\"" << thread_counts[i]
+             << "\": " << serial_ms / thread_ms[i];
+    }
+    json << "}\n}\n";
+    std::cout << "wrote BENCH_runtime.json\n";
+    return 0;
+}

@@ -7,6 +7,7 @@
 #include "autograd/functional.h"
 #include "autograd/node.h"
 #include "core/kmeans.h"
+#include "runtime/runtime.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
 #include "util/rng.h"
@@ -53,18 +54,38 @@ class Cdist1dNode : public Node
         float *pga = ga.rawData<float>();
         float *pgb = gb.rawData<float>();
         std::vector<float> bv = b.toVector();
-        for (int64_t i = 0; i < n; ++i) {
-            float av = pa ? pa[i] : a.flatAt(i);
-            for (int64_t j = 0; j < k; ++j) {
-                float dist = pd[i * k + j];
-                if (dist == 0.0f) {
-                    continue; // subgradient 0 at the kink
+        // ga rows are disjoint per chunk; gb is accumulated per chunk
+        // and combined in chunk order (deterministic).
+        std::vector<float> gb_acc = runtime::parallelReduce<
+            std::vector<float>>(
+            0, n, runtime::grainFor(n, 4 * k),
+            std::vector<float>(static_cast<size_t>(k), 0.0f),
+            [&](int64_t cb, int64_t ce) {
+                std::vector<float> part(static_cast<size_t>(k), 0.0f);
+                for (int64_t i = cb; i < ce; ++i) {
+                    float av = pa ? pa[i] : a.flatAt(i);
+                    for (int64_t j = 0; j < k; ++j) {
+                        float dist = pd[i * k + j];
+                        if (dist == 0.0f) {
+                            continue; // subgradient 0 at the kink
+                        }
+                        float s =
+                            (av - bv[static_cast<size_t>(j)]) / dist;
+                        float gij = pg[i * k + j];
+                        pga[i] += gij * s;
+                        part[static_cast<size_t>(j)] -= gij * s;
+                    }
                 }
-                float s = (av - bv[static_cast<size_t>(j)]) / dist;
-                float gij = pg[i * k + j];
-                pga[i] += gij * s;
-                pgb[j] -= gij * s;
-            }
+                return part;
+            },
+            [](std::vector<float> x, std::vector<float> y) {
+                for (size_t j = 0; j < x.size(); ++j) {
+                    x[j] += y[j];
+                }
+                return x;
+            });
+        for (int64_t j = 0; j < k; ++j) {
+            pgb[j] = gb_acc[static_cast<size_t>(j)];
         }
         return {ga, gb};
     }
@@ -87,12 +108,16 @@ cdist1d(const Variable &a, const Variable &b)
     std::vector<float> bv = bd.toVector();
     const float *pa = ac.rawData<float>();
     float *po = out.rawData<float>();
-    for (int64_t i = 0; i < n; ++i) {
-        for (int64_t j = 0; j < k; ++j) {
-            po[i * k + j] =
-                std::fabs(pa[i] - bv[static_cast<size_t>(j)]);
-        }
-    }
+    runtime::parallelFor(0, n, runtime::grainFor(n, k),
+                         [&](int64_t cb, int64_t ce) {
+                             for (int64_t i = cb; i < ce; ++i) {
+                                 for (int64_t j = 0; j < k; ++j) {
+                                     po[i * k + j] = std::fabs(
+                                         pa[i] -
+                                         bv[static_cast<size_t>(j)]);
+                                 }
+                             }
+                         });
     return makeResult(std::move(out), {a, b}, [&] {
         return std::make_shared<Cdist1dNode>(a, b);
     });
@@ -210,9 +235,15 @@ DkmLayer::palettize(const Tensor &w) const
     std::sort(lut.begin(), lut.end()); // nearestCentroid needs order
     std::vector<float> values = w.toVector();
     std::vector<int32_t> assign(values.size());
-    for (size_t i = 0; i < values.size(); ++i) {
-        assign[i] = nearestCentroid(lut, values[i]);
-    }
+    runtime::parallelFor(
+        0, static_cast<int64_t>(values.size()),
+        runtime::grainFor(static_cast<int64_t>(values.size()), 8),
+        [&](int64_t cb, int64_t ce) {
+            for (int64_t i = cb; i < ce; ++i) {
+                assign[static_cast<size_t>(i)] = nearestCentroid(
+                    lut, values[static_cast<size_t>(i)]);
+            }
+        });
     return PalettizedTensor::fromAssignments(w.shape(), lut, assign,
                                              config_.bits);
 }

@@ -6,6 +6,7 @@
 #include "autograd/node.h"
 #include "core/kmeans.h"
 #include "device/device_manager.h"
+#include "runtime/runtime.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
 #include "util/rng.h"
@@ -13,6 +14,20 @@
 namespace edkm {
 
 namespace {
+
+using runtime::grainFor;
+using runtime::parallelFor;
+using runtime::parallelReduce;
+
+/** Combine chunk-local double accumulators elementwise (chunk order). */
+std::vector<double>
+combineVec(std::vector<double> a, std::vector<double> b)
+{
+    for (size_t i = 0; i < a.size(); ++i) {
+        a[i] += b[i];
+    }
+    return a;
+}
 
 /** Charge raw-loop work to the simulated clock. */
 void
@@ -85,14 +100,21 @@ gatherTableRows(const Tensor &table, const Tensor &idx)
     const float *pt = tc.rawData<float>();
     const uint16_t *pi = idx.rawData<const uint16_t>();
     float *po = out.rawData<float>();
-    for (int64_t i = 0; i < n; ++i) {
-        std::copy(pt + pi[i] * k, pt + (pi[i] + 1) * k, po + i * k);
-    }
+    parallelFor(0, n, grainFor(n, k), [&](int64_t cb, int64_t ce) {
+        for (int64_t i = cb; i < ce; ++i) {
+            std::copy(pt + pi[i] * k, pt + (pi[i] + 1) * k, po + i * k);
+        }
+    });
     recordWork(static_cast<double>(n * k), table.device());
     return out;
 }
 
-/** Scatter-add 1-D @p g ([n]) into [U] buckets by u16 @p idx. */
+/**
+ * Scatter-add 1-D @p g ([n]) into [U] buckets by u16 @p idx. Chunked:
+ * each chunk scatters into a private [U] buffer; buffers merge in chunk
+ * order, so the result is thread-count independent. The coarse grain
+ * bounds the number of private buffers.
+ */
 Tensor
 scatterAddByIdx(const Tensor &g, const Tensor &idx, int64_t u_count)
 {
@@ -102,8 +124,19 @@ scatterAddByIdx(const Tensor &g, const Tensor &idx, int64_t u_count)
     const uint16_t *pi = idx.rawData<const uint16_t>();
     float *po = out.rawData<float>();
     int64_t n = g.numel();
-    for (int64_t i = 0; i < n; ++i) {
-        po[pi[i]] += pg[i];
+    std::vector<double> acc = parallelReduce<std::vector<double>>(
+        0, n, runtime::coarseGrain(n, 16, 1024),
+        std::vector<double>(static_cast<size_t>(u_count), 0.0),
+        [&](int64_t cb, int64_t ce) {
+            std::vector<double> part(static_cast<size_t>(u_count), 0.0);
+            for (int64_t i = cb; i < ce; ++i) {
+                part[pi[i]] += pg[i];
+            }
+            return part;
+        },
+        combineVec);
+    for (int64_t r = 0; r < u_count; ++r) {
+        po[r] = static_cast<float>(acc[static_cast<size_t>(r)]);
     }
     recordWork(static_cast<double>(n), g.device());
     return out;
@@ -217,9 +250,11 @@ EdkmClusterNode::denseBackward(const Tensor &g)
         const float *pu = u.rawData<const float>();
         const uint16_t *pi = idx.rawData<const uint16_t>();
         float *pw = w_dense.rawData<float>();
-        for (int64_t i = 0; i < n; ++i) {
-            pw[i] = pu[pi[i]];
-        }
+        parallelFor(0, n, grainFor(n), [&](int64_t cb, int64_t ce) {
+            for (int64_t i = cb; i < ce; ++i) {
+                pw[i] = pu[pi[i]];
+            }
+        });
     } else {
         w_dense = t.wRetained.isContiguous()
                       ? t.wRetained.view({n})
@@ -240,23 +275,32 @@ EdkmClusterNode::denseBackward(const Tensor &g)
     const float *pa_last = a_last.rawData<const float>();
 
     // gc[k]: gradient w.r.t. the centroid vector flowing backwards.
-    std::vector<double> gc(static_cast<size_t>(k), 0.0);
-    for (int64_t i = 0; i < n; ++i) {
-        for (int64_t j = 0; j < k; ++j) {
-            gc[static_cast<size_t>(j)] +=
-                static_cast<double>(pg[i]) * pa_last[i * k + j];
-        }
-    }
+    int64_t row_grain = grainFor(n, 8 * k);
+    std::vector<double> gc = parallelReduce<std::vector<double>>(
+        0, n, row_grain, std::vector<double>(static_cast<size_t>(k), 0.0),
+        [&](int64_t cb, int64_t ce) {
+            std::vector<double> part(static_cast<size_t>(k), 0.0);
+            for (int64_t i = cb; i < ce; ++i) {
+                for (int64_t j = 0; j < k; ++j) {
+                    part[static_cast<size_t>(j)] +=
+                        static_cast<double>(pg[i]) * pa_last[i * k + j];
+                }
+            }
+            return part;
+        },
+        combineVec);
 
     // gA carried into the per-iteration loop; only the last iteration
     // receives the member-specific term from the final matmul.
     Tensor gA = Tensor::empty({n, k}, DType::kF32, g.device());
     float *pgA = gA.rawData<float>();
-    for (int64_t i = 0; i < n; ++i) {
-        for (int64_t j = 0; j < k; ++j) {
-            pgA[i * k + j] = pg[i] * c_final[static_cast<size_t>(j)];
+    parallelFor(0, n, grainFor(n, k), [&](int64_t cb, int64_t ce) {
+        for (int64_t i = cb; i < ce; ++i) {
+            for (int64_t j = 0; j < k; ++j) {
+                pgA[i * k + j] = pg[i] * c_final[static_cast<size_t>(j)];
+            }
         }
-    }
+    });
 
     for (int it = num_iters - 1; it >= 0; --it) {
         const EdkmTape::Iter &iter = t.iters[static_cast<size_t>(it)];
@@ -283,35 +327,41 @@ EdkmClusterNode::denseBackward(const Tensor &g)
 
         // Accumulate gA contributions of nv/m, then softmax backward,
         // then the squared-distance path; gc for the next (earlier)
-        // iteration accumulates along the way.
-        std::vector<double> gc_prev(static_cast<size_t>(k), 0.0);
-        for (int64_t i = 0; i < n; ++i) {
-            float wi = pw[i];
-            float *grow = pgA + i * k;
-            const float *arow = pa + i * k;
-            // gA += gn w_i + gm ; direct gw from nv.
-            double dot = 0.0;
-            double gw_acc = 0.0;
-            for (int64_t j = 0; j < k; ++j) {
-                grow[j] += gn[static_cast<size_t>(j)] * wi +
-                           gm[static_cast<size_t>(j)];
-                gw_acc += static_cast<double>(arow[j]) *
-                          gn[static_cast<size_t>(j)];
-                dot += static_cast<double>(grow[j]) * arow[j];
-            }
-            // softmax backward + distance path.
-            for (int64_t j = 0; j < k; ++j) {
-                float gs = arow[j] *
-                           (grow[j] - static_cast<float>(dot));
-                float gdsq = -gs * inv_tau;
-                float d = wi - c_in[static_cast<size_t>(j)];
-                gw_acc += static_cast<double>(gdsq) * 2.0 * d;
-                gc_prev[static_cast<size_t>(j)] +=
-                    static_cast<double>(gdsq) * (-2.0) * d;
-            }
-            pgw[i] += static_cast<float>(gw_acc);
-        }
-        gc = std::move(gc_prev);
+        // iteration accumulates per chunk (rows i are disjoint).
+        gc = parallelReduce<std::vector<double>>(
+            0, n, row_grain,
+            std::vector<double>(static_cast<size_t>(k), 0.0),
+            [&](int64_t cb, int64_t ce) {
+                std::vector<double> part(static_cast<size_t>(k), 0.0);
+                for (int64_t i = cb; i < ce; ++i) {
+                    float wi = pw[i];
+                    float *grow = pgA + i * k;
+                    const float *arow = pa + i * k;
+                    // gA += gn w_i + gm ; direct gw from nv.
+                    double dot = 0.0;
+                    double gw_acc = 0.0;
+                    for (int64_t j = 0; j < k; ++j) {
+                        grow[j] += gn[static_cast<size_t>(j)] * wi +
+                                   gm[static_cast<size_t>(j)];
+                        gw_acc += static_cast<double>(arow[j]) *
+                                  gn[static_cast<size_t>(j)];
+                        dot += static_cast<double>(grow[j]) * arow[j];
+                    }
+                    // softmax backward + distance path.
+                    for (int64_t j = 0; j < k; ++j) {
+                        float gs = arow[j] *
+                                   (grow[j] - static_cast<float>(dot));
+                        float gdsq = -gs * inv_tau;
+                        float d = wi - c_in[static_cast<size_t>(j)];
+                        gw_acc += static_cast<double>(gdsq) * 2.0 * d;
+                        part[static_cast<size_t>(j)] +=
+                            static_cast<double>(gdsq) * (-2.0) * d;
+                    }
+                    pgw[i] += static_cast<float>(gw_acc);
+                }
+                return part;
+            },
+            combineVec);
 
         if (it > 0) {
             // Earlier iterations receive no member-specific gA term.
@@ -364,29 +414,54 @@ EdkmClusterNode::fusedBackward(const Tensor &g)
     std::vector<float> c_last_in =
         t.iters.back().cIn.toVector(); // centroids T_last was built from
 
-    for (int64_t r = 0; r < U; ++r) {
-        const float *trow = ptl + r * k;
-        double rowdot = 0.0;
+    // Parallel over unique rows: gw_scale[r] is disjoint; the two [k]
+    // accumulators travel per chunk (packed as one 2k vector) and merge
+    // in chunk order.
+    int64_t bucket_grain = grainFor(U, 8 * k);
+    {
+        std::vector<double> packed = parallelReduce<std::vector<double>>(
+            0, U, bucket_grain,
+            std::vector<double>(static_cast<size_t>(2 * k), 0.0),
+            [&](int64_t cb, int64_t ce) {
+                std::vector<double> part(static_cast<size_t>(2 * k),
+                                         0.0);
+                for (int64_t r = cb; r < ce; ++r) {
+                    const float *trow = ptl + r * k;
+                    double rowdot = 0.0;
+                    for (int64_t j = 0; j < k; ++j) {
+                        rowdot += static_cast<double>(trow[j]) *
+                                  c_final[static_cast<size_t>(j)];
+                    }
+                    double q = 0.0;
+                    for (int64_t j = 0; j < k; ++j) {
+                        // gc from the matmul: gc_j += s_r T_rj.
+                        part[static_cast<size_t>(j)] +=
+                            static_cast<double>(ps[r]) * trow[j];
+                        // h = T (c - rowdot); member softmax+distance
+                        // path.
+                        double h = trow[j] *
+                                   (c_final[static_cast<size_t>(j)] -
+                                    rowdot);
+                        double gdsq_unit = -h * inv_tau; // per unit g_i
+                        double d =
+                            pu[r] - c_last_in[static_cast<size_t>(j)];
+                        q += gdsq_unit * 2.0 * d;
+                        // gc_{T-1} distance path: sums over members ->
+                        // s_r factor.
+                        part[static_cast<size_t>(k + j)] +=
+                            static_cast<double>(ps[r]) * gdsq_unit *
+                            (-2.0) * d;
+                    }
+                    gw_scale[static_cast<size_t>(r)] += q;
+                }
+                return part;
+            },
+            combineVec);
         for (int64_t j = 0; j < k; ++j) {
-            rowdot += static_cast<double>(trow[j]) *
-                      c_final[static_cast<size_t>(j)];
-        }
-        double q = 0.0;
-        for (int64_t j = 0; j < k; ++j) {
-            // gc from the matmul: gc_j += s_r T_rj.
-            gc[static_cast<size_t>(j)] +=
-                static_cast<double>(ps[r]) * trow[j];
-            // h = T (c - rowdot); member softmax+distance path.
-            double h = trow[j] * (c_final[static_cast<size_t>(j)] -
-                                  rowdot);
-            double gdsq_unit = -h * inv_tau; // per unit of g_i
-            double d = pu[r] - c_last_in[static_cast<size_t>(j)];
-            q += gdsq_unit * 2.0 * d;
-            // gc_{T-1} distance path: sums over members -> s_r factor.
+            gc[static_cast<size_t>(j)] += packed[static_cast<size_t>(j)];
             gc_dist_last[static_cast<size_t>(j)] +=
-                static_cast<double>(ps[r]) * gdsq_unit * (-2.0) * d;
+                packed[static_cast<size_t>(k + j)];
         }
-        gw_scale[static_cast<size_t>(r)] += q;
     }
 
     // ---- Per-iteration loop in table space ----
@@ -411,48 +486,61 @@ EdkmClusterNode::fusedBackward(const Tensor &g)
                 nv[static_cast<size_t>(j)] / (mj * mj);
         }
 
-        std::vector<double> gc_prev(static_cast<size_t>(k), 0.0);
+        std::vector<double> gc_init(static_cast<size_t>(k), 0.0);
         if (it == num_iters - 1) {
             // Fold in the final step's distance-path contribution.
-            gc_prev = gc_dist_last;
+            gc_init = gc_dist_last;
         }
 
-        std::vector<double> ga_row(static_cast<size_t>(k));
-        for (int64_t r = 0; r < U; ++r) {
-            const float *trow = pt + r * k;
-            float ur = pu[r];
-            double rowdot = 0.0;
-            for (int64_t j = 0; j < k; ++j) {
-                double ga = static_cast<double>(
-                                gn[static_cast<size_t>(j)]) * ur +
+        gc = parallelReduce<std::vector<double>>(
+            0, U, bucket_grain, std::move(gc_init),
+            [&](int64_t cb, int64_t ce) {
+                std::vector<double> part(static_cast<size_t>(k), 0.0);
+                std::vector<double> ga_row(static_cast<size_t>(k));
+                for (int64_t r = cb; r < ce; ++r) {
+                    const float *trow = pt + r * k;
+                    float ur = pu[r];
+                    double rowdot = 0.0;
+                    for (int64_t j = 0; j < k; ++j) {
+                        double ga =
+                            static_cast<double>(
+                                gn[static_cast<size_t>(j)]) *
+                                ur +
                             gm[static_cast<size_t>(j)];
-                ga_row[static_cast<size_t>(j)] = ga;
-                rowdot += ga * trow[j];
-            }
-            double gw_acc = 0.0;
-            for (int64_t j = 0; j < k; ++j) {
-                gw_acc += static_cast<double>(trow[j]) *
-                          gn[static_cast<size_t>(j)];
-                double gs = trow[j] *
+                        ga_row[static_cast<size_t>(j)] = ga;
+                        rowdot += ga * trow[j];
+                    }
+                    double gw_acc = 0.0;
+                    for (int64_t j = 0; j < k; ++j) {
+                        gw_acc += static_cast<double>(trow[j]) *
+                                  gn[static_cast<size_t>(j)];
+                        double gs =
+                            trow[j] *
                             (ga_row[static_cast<size_t>(j)] - rowdot);
-                double gdsq = -gs * inv_tau;
-                double d = ur - c_in[static_cast<size_t>(j)];
-                gw_acc += gdsq * 2.0 * d;
-                gc_prev[static_cast<size_t>(j)] +=
-                    static_cast<double>(pcnt[r]) * gdsq * (-2.0) * d;
-            }
-            gw_bucket[static_cast<size_t>(r)] += gw_acc;
-        }
-        gc = std::move(gc_prev);
+                        double gdsq = -gs * inv_tau;
+                        double d = ur - c_in[static_cast<size_t>(j)];
+                        gw_acc += gdsq * 2.0 * d;
+                        part[static_cast<size_t>(j)] +=
+                            static_cast<double>(pcnt[r]) * gdsq *
+                            (-2.0) * d;
+                    }
+                    gw_bucket[static_cast<size_t>(r)] += gw_acc;
+                }
+                return part;
+            },
+            combineVec);
     }
 
     // Assemble per-member gradient.
     Tensor gw = Tensor::empty({n}, DType::kF32, g.device());
     float *pgw = gw.rawData<float>();
-    for (int64_t i = 0; i < n; ++i) {
-        uint16_t r = pidx[i];
-        pgw[i] = static_cast<float>(gw_bucket[r] + pg[i] * gw_scale[r]);
-    }
+    parallelFor(0, n, grainFor(n, 2), [&](int64_t cb, int64_t ce) {
+        for (int64_t i = cb; i < ce; ++i) {
+            uint16_t r = pidx[i];
+            pgw[i] =
+                static_cast<float>(gw_bucket[r] + pg[i] * gw_scale[r]);
+        }
+    });
     // Table-space backward: ~8 ops per (unique, centroid, iteration)
     // plus the O(n) scatter/gather passes.
     recordWork(8.0 * static_cast<double>(U) * k * num_iters + 3.0 * n,
@@ -601,9 +689,11 @@ EdkmLayer::forward(const Variable &w)
         const float *pwu = w_unique.rawData<const float>();
         const uint16_t *pi = dec.indexList.rawData<const uint16_t>();
         float *po = out.rawData<float>();
-        for (int64_t i = 0; i < n; ++i) {
-            po[i] = pwu[pi[i]];
-        }
+        parallelFor(0, n, grainFor(n, 2), [&](int64_t cb, int64_t ce) {
+            for (int64_t i = cb; i < ce; ++i) {
+                po[i] = pwu[pi[i]];
+            }
+        });
     } else {
         out = w_unique;
     }

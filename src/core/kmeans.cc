@@ -3,10 +3,34 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <utility>
 
+#include "runtime/runtime.h"
 #include "util/logging.h"
 
 namespace edkm {
+
+namespace {
+
+/** Per-chunk accumulator of the Lloyd update (sum and mass per
+ *  centroid). Combined in chunk order for determinism. */
+struct LloydAcc
+{
+    std::vector<double> sum;
+    std::vector<double> mass;
+};
+
+LloydAcc
+combineLloyd(LloydAcc a, LloydAcc b)
+{
+    for (size_t c = 0; c < a.sum.size(); ++c) {
+        a.sum[c] += b.sum[c];
+        a.mass[c] += b.mass[c];
+    }
+    return a;
+}
+
+} // namespace
 
 int32_t
 nearestCentroid(const std::vector<float> &centroids, float v)
@@ -51,16 +75,29 @@ kmeans1d(const std::vector<float> &values,
         centroids.push_back(values[rng.categorical(probs)]);
         std::vector<double> d2(n);
         while (centroids.size() < static_cast<size_t>(k)) {
-            double total = 0.0;
-            for (size_t i = 0; i < n; ++i) {
-                double best = std::numeric_limits<double>::max();
-                for (float c : centroids) {
-                    double d = static_cast<double>(values[i]) - c;
-                    best = std::min(best, d * d);
-                }
-                d2[i] = best * weight_at(i);
-                total += d2[i];
-            }
+            // Chunked: fill d2 (disjoint) and sum partials in order.
+            double total = runtime::parallelReduce<double>(
+                0, static_cast<int64_t>(n),
+                runtime::grainFor(static_cast<int64_t>(n),
+                                  static_cast<int64_t>(centroids.size())),
+                0.0,
+                [&](int64_t cb, int64_t ce) {
+                    double part = 0.0;
+                    for (int64_t ii = cb; ii < ce; ++ii) {
+                        size_t i = static_cast<size_t>(ii);
+                        double best =
+                            std::numeric_limits<double>::max();
+                        for (float c : centroids) {
+                            double d =
+                                static_cast<double>(values[i]) - c;
+                            best = std::min(best, d * d);
+                        }
+                        d2[i] = best * weight_at(i);
+                        part += d2[i];
+                    }
+                    return part;
+                },
+                [](double x, double y) { return x + y; });
             if (total <= 0.0) {
                 // All points coincide with centroids: pad with extremes.
                 centroids.push_back(
@@ -77,16 +114,30 @@ kmeans1d(const std::vector<float> &values,
     result.assignments.resize(n);
     std::vector<double> sum(static_cast<size_t>(k));
     std::vector<double> mass(static_cast<size_t>(k));
+    int64_t assign_grain =
+        runtime::grainFor(static_cast<int64_t>(n), 8);
     for (int iter = 0; iter < max_iters; ++iter) {
-        std::fill(sum.begin(), sum.end(), 0.0);
-        std::fill(mass.begin(), mass.end(), 0.0);
-        for (size_t i = 0; i < n; ++i) {
-            int32_t a = nearestCentroid(centroids, values[i]);
-            result.assignments[i] = a;
-            sum[static_cast<size_t>(a)] +=
-                static_cast<double>(values[i]) * weight_at(i);
-            mass[static_cast<size_t>(a)] += weight_at(i);
-        }
+        LloydAcc zero{std::vector<double>(static_cast<size_t>(k), 0.0),
+                      std::vector<double>(static_cast<size_t>(k), 0.0)};
+        LloydAcc acc = runtime::parallelReduce<LloydAcc>(
+            0, static_cast<int64_t>(n), assign_grain, std::move(zero),
+            [&](int64_t cb, int64_t ce) {
+                LloydAcc part{
+                    std::vector<double>(static_cast<size_t>(k), 0.0),
+                    std::vector<double>(static_cast<size_t>(k), 0.0)};
+                for (int64_t ii = cb; ii < ce; ++ii) {
+                    size_t i = static_cast<size_t>(ii);
+                    int32_t a = nearestCentroid(centroids, values[i]);
+                    result.assignments[i] = a;
+                    part.sum[static_cast<size_t>(a)] +=
+                        static_cast<double>(values[i]) * weight_at(i);
+                    part.mass[static_cast<size_t>(a)] += weight_at(i);
+                }
+                return part;
+            },
+            combineLloyd);
+        sum = std::move(acc.sum);
+        mass = std::move(acc.mass);
         double max_move = 0.0;
         for (int c = 0; c < k; ++c) {
             if (mass[static_cast<size_t>(c)] <= 0.0) {
@@ -107,15 +158,22 @@ kmeans1d(const std::vector<float> &values,
         }
     }
 
-    // Final assignment + inertia.
-    result.inertia = 0.0;
-    for (size_t i = 0; i < n; ++i) {
-        int32_t a = nearestCentroid(centroids, values[i]);
-        result.assignments[i] = a;
-        double d = static_cast<double>(values[i]) -
-                   centroids[static_cast<size_t>(a)];
-        result.inertia += d * d * weight_at(i);
-    }
+    // Final assignment + inertia (chunked, combined in order).
+    result.inertia = runtime::parallelReduce<double>(
+        0, static_cast<int64_t>(n), assign_grain, 0.0,
+        [&](int64_t cb, int64_t ce) {
+            double part = 0.0;
+            for (int64_t ii = cb; ii < ce; ++ii) {
+                size_t i = static_cast<size_t>(ii);
+                int32_t a = nearestCentroid(centroids, values[i]);
+                result.assignments[i] = a;
+                double d = static_cast<double>(values[i]) -
+                           centroids[static_cast<size_t>(a)];
+                part += d * d * weight_at(i);
+            }
+            return part;
+        },
+        [](double x, double y) { return x + y; });
     result.centroids = std::move(centroids);
     return result;
 }

@@ -1,12 +1,28 @@
 #include "core/uniquify.h"
 
-#include <array>
+#include <algorithm>
+#include <cstdint>
+#include <vector>
 
 #include "device/device_manager.h"
+#include "runtime/runtime.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
 
 namespace edkm {
+
+namespace {
+
+/** Patterns seen by one chunk, in chunk-local first-seen order. */
+struct ChunkSeen
+{
+    std::vector<uint16_t> order;  ///< patterns, first-seen order
+    std::vector<int64_t> count;   ///< multiplicity, parallel to order
+};
+
+constexpr int32_t kNumPatterns = 1 << 16;
+
+} // namespace
 
 UniqueDecomposition
 uniquify(const Tensor &w, HalfKind kind)
@@ -17,27 +33,71 @@ uniquify(const Tensor &w, HalfKind kind)
     out.numel = w.numel();
     out.indexList = Tensor::empty({w.numel()}, DType::kU16, w.device());
 
-    // Direct-mapped table over all 2^16 patterns: row id per pattern,
-    // -1 = unseen. One pass, O(n).
-    std::array<int32_t, 65536> row_of_pattern;
-    row_of_pattern.fill(-1);
-
     uint16_t *idx = out.indexList.rawData<uint16_t>();
     int64_t n = w.numel();
     bool fast = w.isContiguous() && w.dtype() == DType::kF32;
     const float *pw = fast ? w.rawData<float>() : nullptr;
-    for (int64_t i = 0; i < n; ++i) {
-        float v = fast ? pw[i] : w.flatAt(i);
-        uint16_t bits = floatToHalfBits(v, kind);
-        int32_t &row = row_of_pattern[bits];
-        if (row < 0) {
-            row = static_cast<int32_t>(out.values.size());
-            out.values.push_back(halfBitsToFloat(bits, kind));
-            out.counts.push_back(0.0f);
+
+    // Phase 1: bucket every element to its 16-bit pattern (parallel,
+    // disjoint writes).
+    std::vector<uint16_t> bits(static_cast<size_t>(n));
+    runtime::parallelFor(
+        0, n, runtime::grainFor(n, 2), [&](int64_t cb, int64_t ce) {
+            for (int64_t i = cb; i < ce; ++i) {
+                float v = fast ? pw[i] : w.flatAt(i);
+                bits[static_cast<size_t>(i)] = floatToHalfBits(v, kind);
+            }
+        });
+
+    // Phase 2: per-chunk direct-mapped 2^16 tables record each chunk's
+    // patterns in local first-seen order. The coarse grain (depends on
+    // n only — determinism) bounds the table footprint to <= 16 chunks.
+    int64_t grain = runtime::coarseGrain(n, 16, int64_t(1) << 14);
+    int64_t nchunks = runtime::chunkCount(0, n, grain);
+    std::vector<ChunkSeen> seen(static_cast<size_t>(
+        std::max<int64_t>(nchunks, 0)));
+    runtime::parallelForChunks(
+        0, n, grain, [&](int64_t ci, int64_t cb, int64_t ce) {
+            std::vector<int32_t> row_of(kNumPatterns, -1);
+            ChunkSeen &s = seen[static_cast<size_t>(ci)];
+            for (int64_t i = cb; i < ce; ++i) {
+                uint16_t p = bits[static_cast<size_t>(i)];
+                int32_t &row = row_of[p];
+                if (row < 0) {
+                    row = static_cast<int32_t>(s.order.size());
+                    s.order.push_back(p);
+                    s.count.push_back(0);
+                }
+                ++s.count[static_cast<size_t>(row)];
+            }
+        });
+
+    // Phase 3: merge chunk tables *in chunk order*, reproducing the
+    // global first-seen order of the serial scan exactly.
+    std::vector<int32_t> row_of_pattern(kNumPatterns, -1);
+    for (const ChunkSeen &s : seen) {
+        for (size_t t = 0; t < s.order.size(); ++t) {
+            uint16_t p = s.order[t];
+            int32_t &row = row_of_pattern[p];
+            if (row < 0) {
+                row = static_cast<int32_t>(out.values.size());
+                out.values.push_back(halfBitsToFloat(p, kind));
+                out.counts.push_back(0.0f);
+            }
+            out.counts[static_cast<size_t>(row)] +=
+                static_cast<float>(s.count[t]);
         }
-        out.counts[static_cast<size_t>(row)] += 1.0f;
-        idx[i] = static_cast<uint16_t>(row);
     }
+
+    // Phase 4: fill the index list (parallel, disjoint writes).
+    runtime::parallelFor(
+        0, n, runtime::grainFor(n, 2), [&](int64_t cb, int64_t ce) {
+            for (int64_t i = cb; i < ce; ++i) {
+                idx[i] = static_cast<uint16_t>(
+                    row_of_pattern[bits[static_cast<size_t>(i)]]);
+            }
+        });
+
     // One bucketing pass: ~3 ops per element (convert, lookup, count).
     DeviceManager &mgr = DeviceManager::instance();
     mgr.recordComputeSeconds(

@@ -1,0 +1,153 @@
+#include "dist/learner_group.h"
+
+#include <algorithm>
+
+#include "device/device_manager.h"
+#include "runtime/runtime.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace edkm {
+
+LearnerGroup::LearnerGroup(int world_size, int rank)
+    : world_(world_size), rank_(rank)
+{
+    EDKM_CHECK(world_ >= 1, "LearnerGroup: world size must be >= 1, got ",
+               world_);
+    EDKM_CHECK(rank_ >= 0 && rank_ < world_,
+               "LearnerGroup: rank ", rank_, " outside [0,", world_, ")");
+}
+
+std::pair<int64_t, int64_t>
+LearnerGroup::shardRange(int64_t n, int r) const
+{
+    EDKM_CHECK(r >= 0 && r < world_, "shardRange: rank ", r,
+               " outside [0,", world_, ")");
+    EDKM_CHECK(n >= 0, "shardRange: negative length");
+    // First (n % L) learners take one extra element; ranges stay
+    // contiguous and ordered by rank.
+    int64_t base = n / world_;
+    int64_t extra = n % world_;
+    int64_t begin = r * base + std::min<int64_t>(r, extra);
+    int64_t end = begin + base + (r < extra ? 1 : 0);
+    return {begin, end};
+}
+
+int64_t
+LearnerGroup::shardSize(int64_t n, int r) const
+{
+    auto [b, e] = shardRange(n, r);
+    return e - b;
+}
+
+int64_t
+LearnerGroup::ringBytes(int64_t payload_bytes, int passes) const
+{
+    // Ring collective: each learner moves (L-1)/L of the payload per
+    // pass (all-gather: 1 pass; all-reduce: reduce-scatter + gather).
+    return payload_bytes * passes * (world_ - 1) / world_;
+}
+
+void
+LearnerGroup::chargeCollective(int64_t moved_bytes) const
+{
+    DeviceManager &mgr = DeviceManager::instance();
+    const CostModel &cost = mgr.costModel();
+    mgr.recordExtraSeconds(cost.collectiveLatencySec +
+                           static_cast<double>(moved_bytes) /
+                               cost.busBytesPerSec);
+}
+
+void
+LearnerGroup::recordAllGather(int64_t payload_bytes)
+{
+    int64_t moved = ringBytes(payload_bytes, 1);
+    ++stats_.allGathers;
+    stats_.allGatherBytes += moved;
+    chargeCollective(moved);
+}
+
+void
+LearnerGroup::recordAllReduce(int64_t payload_bytes)
+{
+    int64_t moved = ringBytes(payload_bytes, 2);
+    ++stats_.allReduces;
+    stats_.allReduceBytes += moved;
+    chargeCollective(moved);
+}
+
+Tensor
+LearnerGroup::allGather(const std::vector<Tensor> &shards)
+{
+    EDKM_CHECK(static_cast<int>(shards.size()) == world_,
+               "allGather: expected ", world_, " shards, got ",
+               shards.size());
+    Shape shape = shards[0].shape();
+    EDKM_CHECK(!shape.empty(), "allGather: shards must be >= 1-d");
+    int64_t rows = 0;
+    for (const Tensor &s : shards) {
+        EDKM_CHECK(s.dim() == static_cast<int64_t>(shape.size()),
+                   "allGather: rank mismatch across shards");
+        for (int64_t d = 1; d < s.dim(); ++d) {
+            EDKM_CHECK(s.size(d) == shape[d],
+                       "allGather: trailing shape mismatch");
+        }
+        rows += s.size(0);
+    }
+    shape[0] = rows;
+    Tensor out = Tensor::empty(shape, DType::kF32, shards[0].device());
+    float *po = out.rawData<float>();
+    int64_t written = 0;
+    for (const Tensor &s : shards) {
+        Tensor sc = s.isContiguous() && s.dtype() == DType::kF32
+                        ? s
+                        : s.contiguous().to(DType::kF32);
+        const float *ps = sc.rawData<const float>();
+        int64_t len = sc.numel();
+        runtime::parallelFor(0, len, runtime::grainFor(len),
+                             [&](int64_t b, int64_t e) {
+                                 std::copy(ps + b, ps + e,
+                                           po + written + b);
+                             });
+        written += len;
+    }
+    recordAllGather(out.numel() *
+                    static_cast<int64_t>(dtypeSize(DType::kF32)));
+    return out;
+}
+
+Tensor
+LearnerGroup::allReduceMean(const std::vector<Tensor> &tensors)
+{
+    EDKM_CHECK(static_cast<int>(tensors.size()) == world_,
+               "allReduceMean: expected ", world_, " tensors, got ",
+               tensors.size());
+    const Shape &shape = tensors[0].shape();
+    int64_t n = tensors[0].numel();
+    std::vector<Tensor> contig;
+    contig.reserve(tensors.size());
+    for (const Tensor &t : tensors) {
+        EDKM_CHECK(t.shape() == shape,
+                   "allReduceMean: shape mismatch across learners");
+        contig.push_back(t.isContiguous() && t.dtype() == DType::kF32
+                             ? t
+                             : t.contiguous().to(DType::kF32));
+    }
+    Tensor out = Tensor::empty(shape, DType::kF32, tensors[0].device());
+    float *po = out.rawData<float>();
+    float inv = 1.0f / static_cast<float>(world_);
+    runtime::parallelFor(
+        0, n, runtime::grainFor(n, world_), [&](int64_t b, int64_t e) {
+            for (int64_t i = b; i < e; ++i) {
+                double acc = 0.0;
+                for (const Tensor &t : contig) {
+                    acc += t.rawData<const float>()[i];
+                }
+                po[i] = static_cast<float>(acc) * inv;
+            }
+        });
+    recordAllReduce(n * static_cast<int64_t>(dtypeSize(DType::kF32)));
+    return out;
+}
+
+} // namespace edkm

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Simulated data-parallel learner group (paper section 2.2, "S").
+ *
+ * eDKM shards the uniquified index list (or the dense attention-map rows
+ * when uniquification is off) across |L| synchronous data-parallel
+ * learners, keeping O(|W|/|L|) saved bytes per learner. In fully
+ * synchronous training every learner holds identical weights, so the
+ * missing shards are either all-gathered back for backward or regenerated
+ * deterministically — either way the *communication* is what must be
+ * accounted, not re-executed. LearnerGroup provides:
+ *
+ *  - balanced contiguous shard ranges (sizes differ by at most one),
+ *  - functional collectives (allGather / allReduceMean) for tests and
+ *    multi-learner simulations, built on edkm::runtime,
+ *  - a communication ledger (counts + bytes, ring-collective cost:
+ *    an all-gather moves (L-1)/L of the payload per learner, an
+ *    all-reduce 2(L-1)/L), wired into the DeviceManager's simulated
+ *    clock via the collective latency of the cost model.
+ */
+
+#ifndef EDKM_DIST_LEARNER_GROUP_H_
+#define EDKM_DIST_LEARNER_GROUP_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace edkm {
+
+/** Communication counters of one learner group. */
+struct DistStats
+{
+    int64_t allGathers = 0;      ///< collective invocations
+    int64_t allGatherBytes = 0;  ///< bytes moved per learner (ring)
+    int64_t allReduces = 0;      ///< collective invocations
+    int64_t allReduceBytes = 0;  ///< bytes moved per learner (ring)
+};
+
+/**
+ * A group of |L| simulated synchronous data-parallel learners. The
+ * object is shared by every EdkmLayer of one training job so the ledger
+ * aggregates all sharding traffic.
+ */
+class LearnerGroup
+{
+  public:
+    /**
+     * @param world_size number of learners (>= 1; fatal otherwise).
+     * @param rank       this process's view (accounting only).
+     */
+    explicit LearnerGroup(int world_size, int rank = 0);
+
+    int worldSize() const { return world_; }
+    int rank() const { return rank_; }
+
+    /**
+     * Contiguous shard [begin, end) of @p n elements owned by learner
+     * @p r. Ranges are ordered, disjoint, cover [0, n) exactly, and
+     * sizes differ by at most one. Fatal on r outside [0, world).
+     */
+    std::pair<int64_t, int64_t> shardRange(int64_t n, int r) const;
+
+    /** Size of learner @p r's shard of @p n elements. */
+    int64_t shardSize(int64_t n, int r) const;
+
+    /**
+     * Functional all-gather: concatenate one [s_r, ...] shard per
+     * learner along dim 0 into the full tensor (f32), accounting the
+     * ring traffic and simulated latency.
+     */
+    Tensor allGather(const std::vector<Tensor> &shards);
+
+    /**
+     * Functional all-reduce (mean): elementwise average of one
+     * same-shaped tensor per learner, with ring accounting.
+     */
+    Tensor allReduceMean(const std::vector<Tensor> &tensors);
+
+    /**
+     * Account an all-gather of @p payload_bytes total payload without
+     * materialising it (the eDKM backward regenerates shards
+     * deterministically instead of receiving them). Ring cost: each
+     * learner receives (L-1)/L of the payload.
+     */
+    void recordAllGather(int64_t payload_bytes);
+
+    /** Account an all-reduce of @p payload_bytes (ring: 2(L-1)/L). */
+    void recordAllReduce(int64_t payload_bytes);
+
+    const DistStats &stats() const { return stats_; }
+
+    /** Zero the ledger (keeps world size). */
+    void resetStats() { stats_ = DistStats{}; }
+
+  private:
+    /** Bytes one learner moves for a ring collective of @p payload. */
+    int64_t ringBytes(int64_t payload_bytes, int passes) const;
+
+    /** Push collective latency + wire time onto the simulated clock. */
+    void chargeCollective(int64_t moved_bytes) const;
+
+    int world_ = 1;
+    int rank_ = 0;
+    DistStats stats_;
+};
+
+} // namespace edkm
+
+#endif // EDKM_DIST_LEARNER_GROUP_H_

@@ -1,10 +1,13 @@
 #include "marshal/marshal.h"
 
+#include <chrono>
 #include <cstring>
 #include <deque>
 #include <unordered_set>
+#include <utility>
 
 #include "device/device_manager.h"
+#include "runtime/runtime.h"
 #include "util/logging.h"
 
 namespace edkm {
@@ -13,6 +16,10 @@ namespace edkm {
  * One materialised CPU copy. Kept alive by the saved-tensor handles that
  * reference it; the registry holds only weak pointers, so the copy dies
  * with the autograd graph (matching PyTorch packed-object lifetime).
+ *
+ * With asyncOffload the copy job may still be in flight: `ready` joins
+ * it. The job holds a shared_ptr to the entry, so destruction never
+ * races the copy.
  */
 struct MarshalContext::CpuEntry
 {
@@ -20,9 +27,22 @@ struct MarshalContext::CpuEntry
     Device srcDevice;   ///< where the original lived
     uint64_t srcStorageId = 0;
     std::shared_ptr<std::atomic<int64_t>> residentBytes; ///< shared counter
+    std::shared_future<void> ready; ///< invalid == copied synchronously
+
+    /** Block until cpuTensor is materialised (rethrows copy errors). */
+    void
+    join() const
+    {
+        if (ready.valid()) {
+            ready.get();
+        }
+    }
 
     ~CpuEntry()
     {
+        if (ready.valid()) {
+            ready.wait(); // never destruct under a live copy job
+        }
         if (residentBytes) {
             residentBytes->fetch_sub(cpuTensor.storageBytes(),
                                      std::memory_order_relaxed);
@@ -38,6 +58,15 @@ struct MarshalContext::PackHandle
     Tensor passthrough;              ///< retained in place (small / CPU /
                                      ///< offload disabled)
     Device origDevice;               ///< device to restore onto
+
+    /** Reconstruct-by-metadata over entry->cpuTensor's storage (used by
+     *  storage-id dedup and eager-offload hits, where the storage may
+     *  not be materialised until unpack). */
+    bool viewOfStorage = false;
+    Shape viewShape;
+    Shape viewStrides;
+    int64_t viewOffset = 0;
+    DType viewDtype = DType::kF32;
 };
 
 MarshalContext::MarshalContext(MarshalConfig config)
@@ -47,12 +76,134 @@ MarshalContext::MarshalContext(MarshalConfig config)
     EDKM_CHECK(config_.maxHops >= 0, "maxHops must be >= 0");
 }
 
-MarshalContext::~MarshalContext() = default;
+MarshalContext::~MarshalContext()
+{
+    // Join outstanding copies; swallow errors (nothing can observe the
+    // result any more).
+    for (const std::shared_future<void> &f : pending_) {
+        if (f.valid()) {
+            f.wait();
+        }
+    }
+}
 
 int64_t
 MarshalContext::residentBytes() const
 {
     return resident_bytes_->load(std::memory_order_relaxed);
+}
+
+int64_t
+MarshalContext::pendingCopies() const
+{
+    int64_t live = 0;
+    for (const std::shared_future<void> &f : pending_) {
+        if (f.valid() && f.wait_for(std::chrono::seconds(0)) !=
+                             std::future_status::ready) {
+            ++live;
+        }
+    }
+    return live;
+}
+
+void
+MarshalContext::sync()
+{
+    std::exception_ptr first;
+    std::swap(first, deferred_error_);
+    for (const std::shared_future<void> &f : pending_) {
+        if (!f.valid()) {
+            continue;
+        }
+        try {
+            f.get();
+        } catch (...) {
+            if (!first) {
+                first = std::current_exception();
+            }
+        }
+    }
+    pending_.clear();
+    if (first) {
+        std::rethrow_exception(first);
+    }
+}
+
+void
+MarshalContext::dispatchCopy(const std::shared_ptr<CpuEntry> &entry,
+                             std::function<void()> copy)
+{
+    if (!config_.asyncOffload) {
+        copy();
+        return;
+    }
+    ++stats_.asyncCopies;
+    // The job holds the entry alive; the shared future joins it from
+    // unpack (per entry) or sync (all).
+    std::shared_ptr<runtime::ThreadPool> pool =
+        runtime::Runtime::instance().pool();
+    entry->ready =
+        pool->submit([entry, job = std::move(copy)] { job(); }).share();
+    // Drop already-finished futures so pending_ tracks in-flight work
+    // instead of the context's whole copy history; failures of pruned
+    // copies are parked for the next sync() to rethrow.
+    if (pending_.size() >= 64) {
+        std::vector<std::shared_future<void>> live;
+        live.reserve(pending_.size());
+        for (const std::shared_future<void> &f : pending_) {
+            if (!f.valid()) {
+                continue;
+            }
+            if (f.wait_for(std::chrono::seconds(0)) !=
+                std::future_status::ready) {
+                live.push_back(f);
+                continue;
+            }
+            try {
+                f.get();
+            } catch (...) {
+                if (!deferred_error_) {
+                    deferred_error_ = std::current_exception();
+                }
+            }
+        }
+        pending_ = std::move(live);
+    }
+    pending_.push_back(entry->ready);
+}
+
+void
+MarshalContext::copyLogical(const std::shared_ptr<CpuEntry> &entry,
+                            const Tensor &t)
+{
+    Device dst = config_.offloadDevice;
+    auto counter = resident_bytes_;
+    dispatchCopy(entry, [entry, t, dst, counter] {
+        entry->cpuTensor = t.to(dst);
+        counter->fetch_add(entry->cpuTensor.storageBytes(),
+                           std::memory_order_relaxed);
+    });
+}
+
+void
+MarshalContext::copyStorage(const std::shared_ptr<CpuEntry> &entry,
+                            const Tensor &t)
+{
+    Device src = t.device();
+    Device dst = config_.offloadDevice;
+    auto counter = resident_bytes_;
+    dispatchCopy(entry, [entry, t, src, dst, counter] {
+        auto cpu_storage = Storage::allocate(t.storageBytes(), dst);
+        std::memcpy(cpu_storage->data(), t.storagePtr()->data(),
+                    static_cast<size_t>(t.storageBytes()));
+        DeviceManager::instance().recordTransfer(src, dst,
+                                                 t.storageBytes());
+        int64_t elems = t.storageBytes() / dtypeSize(t.dtype());
+        entry->cpuTensor = Tensor::wrapStorage(
+            std::move(cpu_storage), {elems}, {1}, 0, t.dtype());
+        counter->fetch_add(entry->cpuTensor.storageBytes(),
+                           std::memory_order_relaxed);
+    });
 }
 
 std::shared_ptr<MarshalContext::CpuEntry>
@@ -67,6 +218,42 @@ MarshalContext::lookup(uint64_t key)
         registry_.erase(it);
     }
     return entry;
+}
+
+std::shared_ptr<MarshalContext::CpuEntry>
+MarshalContext::lookupEager(uint64_t storage_id)
+{
+    auto it = eager_registry_.find(storage_id);
+    return it == eager_registry_.end() ? nullptr : it->second;
+}
+
+void
+MarshalContext::offloadAsync(const Tensor &t)
+{
+    if (!t.defined()) {
+        return;
+    }
+    int64_t logical_bytes = t.numel() * dtypeSize(t.dtype());
+    bool offloadable = config_.offloadEnabled &&
+                       t.device() != config_.offloadDevice &&
+                       logical_bytes >= config_.minOffloadBytes;
+    if (!offloadable) {
+        return;
+    }
+    // Re-offloading the same storage replaces the entry: the storage
+    // may have been mutated in place (e.g. an optimizer step), so the
+    // snapshot must be refreshed — call offloadAsync once per
+    // iteration, before the forward that saves the tensor. Handles
+    // from earlier saves keep the old snapshot alive (and correct for
+    // their graph's backward).
+    auto entry = std::make_shared<CpuEntry>();
+    entry->srcDevice = t.device();
+    entry->srcStorageId = t.storageId();
+    entry->residentBytes = resident_bytes_;
+    copyStorage(entry, t);
+    ++stats_.copies;
+    stats_.bytesCopied += t.storageBytes();
+    eager_registry_[t.storageId()] = std::move(entry);
 }
 
 std::shared_ptr<MarshalContext::CpuEntry>
@@ -157,6 +344,24 @@ MarshalContext::pack(const SavedSource &src)
         return handle;
     }
 
+    // Fill reconstruct-by-metadata info for a whole-storage entry.
+    auto view_of_storage = [&](const std::shared_ptr<CpuEntry> &entry) {
+        handle->entry = entry;
+        handle->viewOfStorage = true;
+        handle->viewShape = t.shape();
+        handle->viewStrides = t.strides();
+        handle->viewOffset = t.offset();
+        handle->viewDtype = t.dtype();
+    };
+
+    // Eager-offload registry first (storage identity, any mode).
+    if (auto entry = lookupEager(t.storageId())) {
+        view_of_storage(entry);
+        ++stats_.duplicatesAvoided;
+        stats_.bytesAvoided += logical_bytes;
+        return handle;
+    }
+
     // Duplicate detection.
     if (config_.detection == MarshalConfig::Detection::kGraphWalk) {
         std::vector<ViewSpec> trace;
@@ -169,48 +374,35 @@ MarshalContext::pack(const SavedSource &src)
         }
     } else if (config_.detection == MarshalConfig::Detection::kStorageId) {
         if (auto entry = lookup(t.storageId())) {
-            // Reconstruct this view over the full offloaded storage.
-            handle->entry = entry;
-            handle->passthrough = Tensor::wrapStorage(
-                entry->cpuTensor.storagePtr(), t.shape(), t.strides(),
-                t.offset(), t.dtype());
+            // Reconstruct this view over the full offloaded storage
+            // (deferred to unpack: the copy may still be in flight).
+            view_of_storage(entry);
             ++stats_.duplicatesAvoided;
             stats_.bytesAvoided += logical_bytes;
             return handle;
         }
     }
 
-    // Miss: materialise a CPU copy and register it.
+    // Miss: materialise a CPU copy (inline, or queued on the runtime
+    // pool when asyncOffload is on) and register it immediately so
+    // subsequent saves dedup against it either way.
     auto entry = std::make_shared<CpuEntry>();
     entry->srcDevice = t.device();
     entry->srcStorageId = t.storageId();
     entry->residentBytes = resident_bytes_;
     if (config_.detection == MarshalConfig::Detection::kStorageId) {
         // Offload the whole storage so any view reconstructs later.
-        auto cpu_storage = Storage::allocate(t.storageBytes(),
-                                             config_.offloadDevice);
-        std::memcpy(cpu_storage->data(), t.storagePtr()->data(),
-                    static_cast<size_t>(t.storageBytes()));
-        DeviceManager::instance().recordTransfer(
-            t.device(), config_.offloadDevice, t.storageBytes());
-        int64_t elems = t.storageBytes() / dtypeSize(t.dtype());
-        entry->cpuTensor = Tensor::wrapStorage(
-            std::move(cpu_storage), {elems}, {1}, 0, t.dtype());
-        // The handle reconstructs this particular view by metadata.
-        handle->passthrough = Tensor::wrapStorage(
-            entry->cpuTensor.storagePtr(), t.shape(), t.strides(),
-            t.offset(), t.dtype());
+        copyStorage(entry, t);
+        view_of_storage(entry);
         registry_[t.storageId()] = entry;
         stats_.bytesCopied += t.storageBytes();
     } else {
-        entry->cpuTensor = t.to(config_.offloadDevice);
+        copyLogical(entry, t);
         if (src.impl) {
             registry_[src.impl->id] = entry;
         }
         stats_.bytesCopied += logical_bytes;
     }
-    resident_bytes_->fetch_add(entry->cpuTensor.storageBytes(),
-                               std::memory_order_relaxed);
     ++stats_.copies;
     handle->entry = std::move(entry);
     return handle;
@@ -223,8 +415,7 @@ MarshalContext::unpack(const std::shared_ptr<void> &opaque)
     auto handle = std::static_pointer_cast<PackHandle>(opaque);
     EDKM_ASSERT(handle != nullptr, "unpack: null handle");
 
-    // Storage-id reconstructions and passthroughs carry the tensor
-    // directly (possibly a CPU view needing restoration to the GPU).
+    // Passthroughs carry the tensor directly.
     if (handle->passthrough.defined()) {
         if (handle->passthrough.device() != handle->origDevice) {
             return handle->passthrough.to(handle->origDevice);
@@ -233,6 +424,17 @@ MarshalContext::unpack(const std::shared_ptr<void> &opaque)
     }
 
     EDKM_ASSERT(handle->entry != nullptr, "unpack: empty handle");
+    handle->entry->join(); // async copy may still be in flight
+
+    // Storage-id / eager-offload hits reconstruct the view by metadata
+    // over the offloaded whole storage.
+    if (handle->viewOfStorage) {
+        Tensor content = Tensor::wrapStorage(
+            handle->entry->cpuTensor.storagePtr(), handle->viewShape,
+            handle->viewStrides, handle->viewOffset, handle->viewDtype);
+        return content.to(handle->origDevice);
+    }
+
     Tensor content = handle->entry->cpuTensor;
     for (const ViewSpec &spec : handle->trace) {
         content = spec.apply(content);

@@ -22,6 +22,15 @@
  *
  * Set offloadEnabled=false for the no-offload baseline where saved
  * tensors simply stay on the GPU.
+ *
+ * Async offload (asyncOffload=true): the device->CPU materialisation is
+ * queued on the edkm::runtime pool instead of blocking pack(), hiding
+ * marshaling latency behind forward compute exactly as the paper hides
+ * the transfer behind the next layer's kernels. Registry bookkeeping
+ * stays synchronous, so duplicate detection is unaffected; unpack()
+ * joins the specific entry's copy and sync() joins all of them.
+ * offloadAsync() additionally lets callers prefetch a tensor they know
+ * will be saved (keyed by storage identity, any detection mode).
  */
 
 #ifndef EDKM_MARSHAL_MARSHAL_H_
@@ -29,6 +38,8 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
+#include <future>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -59,6 +70,18 @@ struct MarshalConfig
     /** Tensors smaller than this stay on their device (not worth a
      *  transaction). */
     int64_t minOffloadBytes = 1024;
+
+    /**
+     * Queue copies on the runtime pool instead of blocking pack().
+     *
+     * Contract (as with any async D2H copy): the source storage must
+     * not be mutated in place until the copy completes. unpack() and
+     * the destructor join automatically, but code that mutates saved
+     * storages *before* backward — e.g. an optimizer step while a
+     * never-backwarded auxiliary graph still holds saves — must call
+     * MarshalContext::sync() first.
+     */
+    bool asyncOffload = false;
 };
 
 /** Counters exposed for tests and the Table 2 / Fig 2 benches. */
@@ -73,6 +96,7 @@ struct MarshalStats
     int64_t unpacks = 0;           ///< backward retrievals
     int64_t walkSteps = 0;         ///< graph-walk nodes visited in total
     int64_t passthroughs = 0;      ///< small/CPU tensors kept in place
+    int64_t asyncCopies = 0;       ///< copies queued off the critical path
 };
 
 /**
@@ -89,11 +113,36 @@ class MarshalContext : public SavedTensorHooks
     std::shared_ptr<void> pack(const SavedSource &src) override;
     Tensor unpack(const std::shared_ptr<void> &handle) override;
 
+    /**
+     * Prefetch: begin copying @p t's whole storage to the offload
+     * device in the background (inline when asyncOffload is off).
+     * Keyed by storage identity; a later pack() of @p t or any view of
+     * its storage resolves to this copy without moving bytes again.
+     * No-op for tensors that would pass through (small / already on the
+     * offload device / offload disabled).
+     *
+     * The copy is a *snapshot*: if the storage is mutated in place
+     * (e.g. an optimizer step), call offloadAsync again before the
+     * next forward — repeated calls replace the registered snapshot.
+     */
+    void offloadAsync(const Tensor &t);
+
+    /**
+     * Join every queued copy; rethrows the first copy failure. Called
+     * implicitly by unpack() (per entry) and the destructor. Must be
+     * called before mutating any storage saved while this context was
+     * installed (see MarshalConfig::asyncOffload).
+     */
+    void sync();
+
     const MarshalStats &stats() const { return stats_; }
     const MarshalConfig &config() const { return config_; }
 
     /** Bytes currently resident on the offload device via this context. */
     int64_t residentBytes() const;
+
+    /** Copies queued but not yet joined (diagnostics/tests). */
+    int64_t pendingCopies() const;
 
     /** Reset counters (keeps live entries). */
     void resetStats() { stats_ = MarshalStats{}; }
@@ -111,11 +160,38 @@ class MarshalContext : public SavedTensorHooks
     /** Registry lookup helper (prunes dead weak entries lazily). */
     std::shared_ptr<CpuEntry> lookup(uint64_t key);
 
+    /** Eager-offload registry lookup (storage-id keyed). */
+    std::shared_ptr<CpuEntry> lookupEager(uint64_t storage_id);
+
+    /** Materialise @p entry's CPU copy of @p t's *whole storage*,
+     *  inline or on the runtime pool per config_.asyncOffload. */
+    void copyStorage(const std::shared_ptr<CpuEntry> &entry,
+                     const Tensor &t);
+
+    /** Materialise @p entry's CPU copy of @p t's logical contents. */
+    void copyLogical(const std::shared_ptr<CpuEntry> &entry,
+                     const Tensor &t);
+
+    /** Run @p copy now or enqueue it on the runtime pool. */
+    void dispatchCopy(const std::shared_ptr<CpuEntry> &entry,
+                      std::function<void()> copy);
+
     MarshalConfig config_;
     MarshalStats stats_;
 
     /** var-id (graph walk) or storage-id (storage mode) -> CPU entry. */
     std::unordered_map<uint64_t, std::weak_ptr<CpuEntry>> registry_;
+
+    /** storage-id -> eagerly offloaded entry (offloadAsync). Owned:
+     *  prefetched copies stay resident for the context's lifetime. */
+    std::unordered_map<uint64_t, std::shared_ptr<CpuEntry>>
+        eager_registry_;
+
+    /** Futures of copies queued and not yet joined. */
+    std::vector<std::shared_future<void>> pending_;
+
+    /** First failure of an already-pruned copy (rethrown by sync()). */
+    std::exception_ptr deferred_error_;
 
     /** Shared byte counter decremented by dying entries. */
     std::shared_ptr<std::atomic<int64_t>> resident_bytes_;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "runtime/runtime.h"
 #include "util/logging.h"
 
 namespace edkm {
@@ -37,17 +38,22 @@ AdamW::step()
         int64_t n = data.numel();
         EDKM_ASSERT(data.isContiguous() && data.dtype() == DType::kF32,
                     "AdamW: parameters must be contiguous f32");
-        for (int64_t j = 0; j < n; ++j) {
-            float gj = g.flatAt(j);
-            pm[j] = config_.beta1 * pm[j] + (1.0f - config_.beta1) * gj;
-            pv[j] = config_.beta2 * pv[j] +
-                    (1.0f - config_.beta2) * gj * gj;
-            float mhat = pm[j] / bc1;
-            float vhat = pv[j] / bc2;
-            pd[j] -= config_.lr *
-                     (mhat / (std::sqrt(vhat) + config_.eps) +
-                      config_.weightDecay * pd[j]);
-        }
+        // Per-element state update: disjoint writes, parallel-safe.
+        runtime::parallelFor(
+            0, n, runtime::grainFor(n, 8), [&](int64_t cb, int64_t ce) {
+                for (int64_t j = cb; j < ce; ++j) {
+                    float gj = g.flatAt(j);
+                    pm[j] = config_.beta1 * pm[j] +
+                            (1.0f - config_.beta1) * gj;
+                    pv[j] = config_.beta2 * pv[j] +
+                            (1.0f - config_.beta2) * gj * gj;
+                    float mhat = pm[j] / bc1;
+                    float vhat = pv[j] / bc2;
+                    pd[j] -= config_.lr *
+                             (mhat / (std::sqrt(vhat) + config_.eps) +
+                              config_.weightDecay * pd[j]);
+                }
+            });
     }
 }
 
@@ -69,10 +75,17 @@ AdamW::clipGradNorm(const std::vector<Variable> &params, float max_norm)
         }
         const Tensor &g = p.grad();
         int64_t n = g.numel();
-        for (int64_t j = 0; j < n; ++j) {
-            float v = g.flatAt(j);
-            total += static_cast<double>(v) * v;
-        }
+        total += runtime::parallelReduce<double>(
+            0, n, runtime::grainFor(n, 4), 0.0,
+            [&](int64_t cb, int64_t ce) {
+                double part = 0.0;
+                for (int64_t j = cb; j < ce; ++j) {
+                    float v = g.flatAt(j);
+                    part += static_cast<double>(v) * v;
+                }
+                return part;
+            },
+            [](double a, double b) { return a + b; });
     }
     float norm = static_cast<float>(std::sqrt(total));
     if (norm > max_norm && norm > 0.0f) {

@@ -1,0 +1,161 @@
+#include "runtime/runtime.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <thread>
+
+#include "util/logging.h"
+
+namespace edkm {
+namespace runtime {
+
+namespace {
+
+/** Depth of nested SerialGuards on this thread. */
+thread_local int tl_serial_depth = 0;
+
+constexpr int64_t kTargetChunkCost = 1 << 15; ///< ~32k work units/chunk
+
+} // namespace
+
+int
+Runtime::defaultThreadCount()
+{
+    if (const char *env = std::getenv("EDKM_NUM_THREADS")) {
+        char *end = nullptr;
+        long v = std::strtol(env, &end, 10);
+        if (end != env && v >= 1 && v <= 1024) {
+            return static_cast<int>(v);
+        }
+        warn("EDKM_NUM_THREADS='", env,
+             "' is not a thread count in [1,1024]; ignoring");
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+Runtime::Runtime()
+    : pool_(std::make_shared<ThreadPool>(defaultThreadCount()))
+{
+}
+
+Runtime &
+Runtime::instance()
+{
+    static Runtime rt;
+    return rt;
+}
+
+std::shared_ptr<ThreadPool>
+Runtime::pool()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return pool_;
+}
+
+int
+Runtime::threadCount()
+{
+    return pool()->threadCount();
+}
+
+void
+Runtime::setThreadCount(int threads)
+{
+    auto next = std::make_shared<ThreadPool>(std::max(1, threads));
+    std::shared_ptr<ThreadPool> old;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        old = std::move(pool_);
+        pool_ = std::move(next);
+    }
+    // `old` retires here — or when the last in-flight user of it
+    // releases its reference; either way its queue drains and its
+    // workers join before the object dies.
+}
+
+SerialGuard::SerialGuard()
+{
+    ++tl_serial_depth;
+}
+
+SerialGuard::~SerialGuard()
+{
+    --tl_serial_depth;
+}
+
+bool
+SerialGuard::active()
+{
+    return tl_serial_depth > 0;
+}
+
+int64_t
+chunkCount(int64_t begin, int64_t end, int64_t grain)
+{
+    if (end <= begin) {
+        return 0;
+    }
+    int64_t g = std::max<int64_t>(1, grain);
+    return (end - begin + g - 1) / g;
+}
+
+void
+parallelForChunks(int64_t begin, int64_t end, int64_t grain,
+                  const std::function<void(int64_t, int64_t, int64_t)>
+                      &body)
+{
+    if (end <= begin) {
+        return;
+    }
+    int64_t g = std::max<int64_t>(1, grain);
+    int64_t nchunks = chunkCount(begin, end, g);
+    // Single chunk (every small-tensor op) or serial scope: run inline
+    // without touching the global pool (and its mutex).
+    if (nchunks == 1 || SerialGuard::active()) {
+        for (int64_t ci = 0; ci < nchunks; ++ci) {
+            int64_t b = begin + ci * g;
+            body(ci, b, std::min(b + g, end));
+        }
+        return;
+    }
+    // Hold the pool for the call: a concurrent setThreadCount() must
+    // not destroy it out from under this loop.
+    std::shared_ptr<ThreadPool> pool = Runtime::instance().pool();
+    pool->forChunks(begin, end, g, body);
+}
+
+void
+parallelFor(int64_t begin, int64_t end, int64_t grain,
+            const std::function<void(int64_t, int64_t)> &body)
+{
+    parallelForChunks(begin, end, grain,
+                      [&body](int64_t, int64_t b, int64_t e) {
+                          body(b, e);
+                      });
+}
+
+int64_t
+grainFor(int64_t total, int64_t unit_cost)
+{
+    if (total <= 0) {
+        return 1;
+    }
+    int64_t cost = std::max<int64_t>(1, unit_cost);
+    int64_t grain = std::max<int64_t>(1, kTargetChunkCost / cost);
+    return std::min(grain, total);
+}
+
+int64_t
+coarseGrain(int64_t total, int64_t max_chunks, int64_t min_grain)
+{
+    if (total <= 0) {
+        return std::max<int64_t>(1, min_grain);
+    }
+    int64_t chunks = std::max<int64_t>(1, max_chunks);
+    int64_t grain = (total + chunks - 1) / chunks;
+    return std::max(grain, std::max<int64_t>(1, min_grain));
+}
+
+} // namespace runtime
+} // namespace edkm

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * edkm::runtime — the process-wide parallel execution facade.
+ *
+ * Every hot loop in the library (tensor kernels, the DKM/eDKM attention
+ * maps, uniquification bucketing, marshaling copies) funnels through the
+ * free functions here instead of raw `for` loops:
+ *
+ *     runtime::parallelFor(0, n, grain, [&](int64_t b, int64_t e) {...});
+ *     double s = runtime::parallelReduce<double>(0, n, grain, 0.0,
+ *         [&](int64_t b, int64_t e) {... return chunk_sum; },
+ *         [](double a, double c) { return a + c; });
+ *
+ * Determinism contract: the chunk decomposition depends only on
+ * (begin, end, grain) — never on the thread count — and reduce partials
+ * are combined in chunk-index order. Results are therefore bit-identical
+ * across any thread count, including under SerialGuard. Callers must
+ * pick grains from problem size alone to preserve this.
+ *
+ * Thread count resolution: EDKM_NUM_THREADS env var if set (>=1),
+ * otherwise std::thread::hardware_concurrency(). Tests override at
+ * runtime with Runtime::setThreadCount().
+ */
+
+#ifndef EDKM_RUNTIME_RUNTIME_H_
+#define EDKM_RUNTIME_RUNTIME_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "runtime/thread_pool.h"
+
+namespace edkm {
+namespace runtime {
+
+/**
+ * Lazily constructed global pool. The singleton outlives every layer
+ * that uses it (function-local static); swapping the thread count tears
+ * the old pool down after its queue drains.
+ */
+class Runtime
+{
+  public:
+    static Runtime &instance();
+
+    /**
+     * The current pool (never null). Callers hold the returned
+     * shared_ptr for the duration of use: a concurrent
+     * setThreadCount() then retires the old pool only after the last
+     * in-flight user releases it.
+     */
+    std::shared_ptr<ThreadPool> pool();
+
+    /** Current lane count of the pool. */
+    int threadCount();
+
+    /**
+     * Replace the pool with one of @p threads lanes (min 1). Loops
+     * already running on the old pool finish on it; new parallelFor
+     * calls pick up the new pool.
+     */
+    void setThreadCount(int threads);
+
+    /** The thread count EDKM_NUM_THREADS / hardware_concurrency gives. */
+    static int defaultThreadCount();
+
+  private:
+    Runtime();
+
+    std::mutex mutex_;
+    std::shared_ptr<ThreadPool> pool_;
+};
+
+/**
+ * RAII scope forcing serial in-order chunk execution on this thread,
+ * regardless of the global pool size. Used by determinism tests as the
+ * golden reference and by code that must not fan out (e.g. reentrant
+ * diagnostics). Nestable.
+ */
+class SerialGuard
+{
+  public:
+    SerialGuard();
+    ~SerialGuard();
+
+    SerialGuard(const SerialGuard &) = delete;
+    SerialGuard &operator=(const SerialGuard &) = delete;
+
+    /** True when any SerialGuard is live on this thread. */
+    static bool active();
+};
+
+/**
+ * Run @p body(chunk_begin, chunk_end) over [begin, end) in chunks of
+ * @p grain. Chunks run concurrently (unless serial); bodies must write
+ * disjoint outputs. Blocks until complete; rethrows the first chunk
+ * exception.
+ */
+void parallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)> &body);
+
+/** As parallelFor but the body also receives the chunk index. */
+void parallelForChunks(int64_t begin, int64_t end, int64_t grain,
+                       const std::function<void(int64_t, int64_t, int64_t)>
+                           &body);
+
+/** Number of chunks parallelFor will use for this decomposition. */
+int64_t chunkCount(int64_t begin, int64_t end, int64_t grain);
+
+/**
+ * Deterministic chunked reduction: @p map(b, e) produces one partial per
+ * chunk (in parallel), @p combine folds the partials *in chunk order*
+ * starting from @p init. Bit-identical across thread counts.
+ */
+template <typename T, typename MapFn, typename CombineFn>
+T
+parallelReduce(int64_t begin, int64_t end, int64_t grain, T init,
+               const MapFn &map, const CombineFn &combine)
+{
+    if (end <= begin) {
+        return init;
+    }
+    int64_t nchunks = chunkCount(begin, end, grain);
+    std::vector<T> partial(static_cast<size_t>(nchunks));
+    parallelForChunks(begin, end, grain,
+                      [&](int64_t ci, int64_t b, int64_t e) {
+                          partial[static_cast<size_t>(ci)] = map(b, e);
+                      });
+    T acc = std::move(init);
+    for (int64_t ci = 0; ci < nchunks; ++ci) {
+        acc = combine(std::move(acc),
+                      std::move(partial[static_cast<size_t>(ci)]));
+    }
+    return acc;
+}
+
+/**
+ * Grain that spreads @p total elements of roughly @p unit_cost work each
+ * into chunks of ~32k cost units, clamped to [1, total]. Depends only on
+ * the arguments, preserving the determinism contract.
+ */
+int64_t grainFor(int64_t total, int64_t unit_cost = 1);
+
+/**
+ * Grain bounding the decomposition of @p total elements to at most
+ * @p max_chunks chunks of at least @p min_grain elements — for
+ * reductions whose per-chunk scratch is expensive (private histograms
+ * or [U]-sized buffers). Depends only on the arguments.
+ */
+int64_t coarseGrain(int64_t total, int64_t max_chunks = 16,
+                    int64_t min_grain = 1);
+
+} // namespace runtime
+} // namespace edkm
+
+#endif // EDKM_RUNTIME_RUNTIME_H_

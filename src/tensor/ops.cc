@@ -5,11 +5,16 @@
 #include <functional>
 
 #include "device/device_manager.h"
+#include "runtime/runtime.h"
 #include "util/logging.h"
 
 namespace edkm {
 
 namespace {
+
+using runtime::grainFor;
+using runtime::parallelFor;
+using runtime::parallelReduce;
 
 /** Record @p flops of simulated compute on @p dev. */
 void
@@ -42,17 +47,21 @@ binaryOp(const Tensor &a, const Tensor &b,
 
     // Fast path: identical shapes.
     if (a.shape() == b.shape()) {
-        for (int64_t i = 0; i < n; ++i) {
-            po[i] = f(pa[i], pb[i]);
-        }
+        parallelFor(0, n, grainFor(n), [&](int64_t cb, int64_t ce) {
+            for (int64_t i = cb; i < ce; ++i) {
+                po[i] = f(pa[i], pb[i]);
+            }
+        });
         recordFlops(static_cast<double>(n), a.device());
         return out;
     }
 
     // General broadcast path: odometer walk with per-dim stride deltas
-    // (stride 0 on broadcast dimensions).
+    // (stride 0 on broadcast dimensions). Each chunk re-derives its
+    // odometer state from its first flat index, so chunks are
+    // independent.
     int64_t rank = static_cast<int64_t>(out_shape.size());
-    std::vector<int64_t> sa(rank, 0), sb(rank, 0), idx(rank, 0);
+    std::vector<int64_t> sa(rank, 0), sb(rank, 0);
     int64_t acc_a = 1, acc_b = 1;
     for (int64_t d = rank - 1; d >= 0; --d) {
         int64_t off_a = d - (rank - ac.dim());
@@ -64,20 +73,30 @@ binaryOp(const Tensor &a, const Tensor &b,
         acc_a *= dim_a;
         acc_b *= dim_b;
     }
-    int64_t oa = 0, ob = 0;
-    for (int64_t i = 0; i < n; ++i) {
-        po[i] = f(pa[oa], pb[ob]);
+    parallelFor(0, n, grainFor(n), [&](int64_t cb, int64_t ce) {
+        std::vector<int64_t> idx(rank, 0);
+        int64_t rem = cb;
+        int64_t oa = 0, ob = 0;
         for (int64_t d = rank - 1; d >= 0; --d) {
-            oa += sa[d];
-            ob += sb[d];
-            if (++idx[d] < out_shape[d]) {
-                break;
-            }
-            idx[d] = 0;
-            oa -= sa[d] * out_shape[d];
-            ob -= sb[d] * out_shape[d];
+            idx[d] = rem % out_shape[d];
+            rem /= out_shape[d];
+            oa += idx[d] * sa[d];
+            ob += idx[d] * sb[d];
         }
-    }
+        for (int64_t i = cb; i < ce; ++i) {
+            po[i] = f(pa[oa], pb[ob]);
+            for (int64_t d = rank - 1; d >= 0; --d) {
+                oa += sa[d];
+                ob += sb[d];
+                if (++idx[d] < out_shape[d]) {
+                    break;
+                }
+                idx[d] = 0;
+                oa -= sa[d] * out_shape[d];
+                ob -= sb[d] * out_shape[d];
+            }
+        }
+    });
     recordFlops(static_cast<double>(n), a.device());
     return out;
 }
@@ -91,13 +110,17 @@ unaryOp(const Tensor &a, const std::function<float(float)> &f)
     float *po = out.rawData<float>();
     if (a.isContiguous() && a.dtype() == DType::kF32) {
         const float *pa = a.rawData<float>();
-        for (int64_t i = 0; i < n; ++i) {
-            po[i] = f(pa[i]);
-        }
+        parallelFor(0, n, grainFor(n), [&](int64_t cb, int64_t ce) {
+            for (int64_t i = cb; i < ce; ++i) {
+                po[i] = f(pa[i]);
+            }
+        });
     } else {
-        for (int64_t i = 0; i < n; ++i) {
-            po[i] = f(a.flatAt(i));
-        }
+        parallelFor(0, n, grainFor(n, 4), [&](int64_t cb, int64_t ce) {
+            for (int64_t i = cb; i < ce; ++i) {
+                po[i] = f(a.flatAt(i));
+            }
+        });
     }
     recordFlops(static_cast<double>(n), a.device());
     return out;
@@ -232,25 +255,28 @@ sigmoid(const Tensor &a)
 
 namespace {
 
-/** Core 2-D matmul on contiguous f32 buffers. */
+/** Core 2-D matmul on contiguous f32 buffers, parallel over rows of A
+ *  (each output row is written by exactly one chunk). */
 void
 matmul2d(const float *a, const float *b, float *c, int64_t m, int64_t k,
          int64_t n)
 {
-    std::fill(c, c + m * n, 0.0f);
-    for (int64_t i = 0; i < m; ++i) {
-        for (int64_t p = 0; p < k; ++p) {
-            float av = a[i * k + p];
-            if (av == 0.0f) {
-                continue;
-            }
-            const float *brow = b + p * n;
-            float *crow = c + i * n;
-            for (int64_t j = 0; j < n; ++j) {
-                crow[j] += av * brow[j];
+    parallelFor(0, m, grainFor(m, 2 * k * n), [&](int64_t rb, int64_t re) {
+        std::fill(c + rb * n, c + re * n, 0.0f);
+        for (int64_t i = rb; i < re; ++i) {
+            for (int64_t p = 0; p < k; ++p) {
+                float av = a[i * k + p];
+                if (av == 0.0f) {
+                    continue;
+                }
+                const float *brow = b + p * n;
+                float *crow = c + i * n;
+                for (int64_t j = 0; j < n; ++j) {
+                    crow[j] += av * brow[j];
+                }
             }
         }
-    }
+    });
 }
 
 Tensor
@@ -306,17 +332,34 @@ matmul(const Tensor &a, const Tensor &b)
 Tensor
 sumAll(const Tensor &a)
 {
-    double acc = 0.0;
+    // Chunked reduction: per-chunk double partials combined in chunk
+    // order — identical result for any thread count (incl. serial).
     int64_t n = a.numel();
+    auto combine = [](double x, double y) { return x + y; };
+    double acc;
     if (a.isContiguous() && a.dtype() == DType::kF32) {
         const float *p = a.rawData<float>();
-        for (int64_t i = 0; i < n; ++i) {
-            acc += p[i];
-        }
+        acc = parallelReduce<double>(
+            0, n, grainFor(n), 0.0,
+            [&](int64_t cb, int64_t ce) {
+                double s = 0.0;
+                for (int64_t i = cb; i < ce; ++i) {
+                    s += p[i];
+                }
+                return s;
+            },
+            combine);
     } else {
-        for (int64_t i = 0; i < n; ++i) {
-            acc += a.flatAt(i);
-        }
+        acc = parallelReduce<double>(
+            0, n, grainFor(n, 4), 0.0,
+            [&](int64_t cb, int64_t ce) {
+                double s = 0.0;
+                for (int64_t i = cb; i < ce; ++i) {
+                    s += a.flatAt(i);
+                }
+                return s;
+            },
+            combine);
     }
     recordFlops(static_cast<double>(n), a.device());
     return Tensor::full({1}, static_cast<float>(acc), DType::kF32,
@@ -349,16 +392,19 @@ sumDim(const Tensor &a, int64_t d, bool keepdim)
     int64_t outer = a.numel() / (reduce * inner);
     const float *pa = ac.rawData<float>();
     float *po = out.rawData<float>();
-    for (int64_t o = 0; o < outer; ++o) {
-        const float *block = pa + o * reduce * inner;
-        float *orow = po + o * inner;
-        for (int64_t r = 0; r < reduce; ++r) {
-            const float *row = block + r * inner;
-            for (int64_t i = 0; i < inner; ++i) {
-                orow[i] += row[i];
-            }
-        }
-    }
+    parallelFor(0, outer, grainFor(outer, reduce * inner),
+                [&](int64_t ob, int64_t oe) {
+                    for (int64_t o = ob; o < oe; ++o) {
+                        const float *block = pa + o * reduce * inner;
+                        float *orow = po + o * inner;
+                        for (int64_t r = 0; r < reduce; ++r) {
+                            const float *row = block + r * inner;
+                            for (int64_t i = 0; i < inner; ++i) {
+                                orow[i] += row[i];
+                            }
+                        }
+                    }
+                });
     recordFlops(static_cast<double>(a.numel()), a.device());
     return keepdim ? out : out.squeeze(d);
 }
@@ -384,19 +430,22 @@ maxLastDim(const Tensor &a)
     }
     Tensor values = Tensor::empty(out_shape, DType::kF32, a.device());
     Tensor indices = Tensor::empty(out_shape, DType::kI64, a.device());
-    for (int64_t r = 0; r < rows; ++r) {
-        float best = ac.flatAt(r * cols);
-        int64_t best_i = 0;
-        for (int64_t c = 1; c < cols; ++c) {
-            float v = ac.flatAt(r * cols + c);
-            if (v > best) {
-                best = v;
-                best_i = c;
-            }
-        }
-        values.setFlatAt(r, best);
-        indices.setFlatAtInt(r, best_i);
-    }
+    parallelFor(0, rows, grainFor(rows, cols),
+                [&](int64_t rb, int64_t re) {
+                    for (int64_t r = rb; r < re; ++r) {
+                        float best = ac.flatAt(r * cols);
+                        int64_t best_i = 0;
+                        for (int64_t c = 1; c < cols; ++c) {
+                            float v = ac.flatAt(r * cols + c);
+                            if (v > best) {
+                                best = v;
+                                best_i = c;
+                            }
+                        }
+                        values.setFlatAt(r, best);
+                        indices.setFlatAtInt(r, best_i);
+                    }
+                });
     recordFlops(static_cast<double>(a.numel()), a.device());
     return {values, indices};
 }
@@ -416,23 +465,26 @@ softmaxLastDim(const Tensor &a)
     Tensor out = Tensor::empty(a.shape(), DType::kF32, a.device());
     const float *pi = ac.rawData<float>();
     float *po = out.rawData<float>();
-    for (int64_t r = 0; r < rows; ++r) {
-        const float *row = pi + r * cols;
-        float *orow = po + r * cols;
-        float mx = row[0];
-        for (int64_t c = 1; c < cols; ++c) {
-            mx = std::max(mx, row[c]);
-        }
-        double denom = 0.0;
-        for (int64_t c = 0; c < cols; ++c) {
-            orow[c] = std::exp(row[c] - mx);
-            denom += orow[c];
-        }
-        float inv = static_cast<float>(1.0 / denom);
-        for (int64_t c = 0; c < cols; ++c) {
-            orow[c] *= inv;
-        }
-    }
+    parallelFor(0, rows, grainFor(rows, 5 * cols),
+                [&](int64_t rb, int64_t re) {
+                    for (int64_t r = rb; r < re; ++r) {
+                        const float *row = pi + r * cols;
+                        float *orow = po + r * cols;
+                        float mx = row[0];
+                        for (int64_t c = 1; c < cols; ++c) {
+                            mx = std::max(mx, row[c]);
+                        }
+                        double denom = 0.0;
+                        for (int64_t c = 0; c < cols; ++c) {
+                            orow[c] = std::exp(row[c] - mx);
+                            denom += orow[c];
+                        }
+                        float inv = static_cast<float>(1.0 / denom);
+                        for (int64_t c = 0; c < cols; ++c) {
+                            orow[c] *= inv;
+                        }
+                    }
+                });
     recordFlops(5.0 * static_cast<double>(a.numel()), a.device());
     return out;
 }
@@ -446,22 +498,26 @@ logSoftmaxLastDim(const Tensor &a)
     Tensor out = Tensor::empty(a.shape(), DType::kF32, a.device());
     const float *pi = ac.rawData<float>();
     float *po = out.rawData<float>();
-    for (int64_t r = 0; r < rows; ++r) {
-        const float *row = pi + r * cols;
-        float *orow = po + r * cols;
-        float mx = row[0];
-        for (int64_t c = 1; c < cols; ++c) {
-            mx = std::max(mx, row[c]);
-        }
-        double denom = 0.0;
-        for (int64_t c = 0; c < cols; ++c) {
-            denom += std::exp(row[c] - mx);
-        }
-        float lse = mx + static_cast<float>(std::log(denom));
-        for (int64_t c = 0; c < cols; ++c) {
-            orow[c] = row[c] - lse;
-        }
-    }
+    parallelFor(0, rows, grainFor(rows, 5 * cols),
+                [&](int64_t rb, int64_t re) {
+                    for (int64_t r = rb; r < re; ++r) {
+                        const float *row = pi + r * cols;
+                        float *orow = po + r * cols;
+                        float mx = row[0];
+                        for (int64_t c = 1; c < cols; ++c) {
+                            mx = std::max(mx, row[c]);
+                        }
+                        double denom = 0.0;
+                        for (int64_t c = 0; c < cols; ++c) {
+                            denom += std::exp(row[c] - mx);
+                        }
+                        float lse =
+                            mx + static_cast<float>(std::log(denom));
+                        for (int64_t c = 0; c < cols; ++c) {
+                            orow[c] = row[c] - lse;
+                        }
+                    }
+                });
     recordFlops(5.0 * static_cast<double>(a.numel()), a.device());
     return out;
 }
@@ -477,12 +533,14 @@ gatherRows(const Tensor &table, const Tensor &indices)
     Tensor out = Tensor::empty({n, cols}, DType::kF32, table.device());
     const float *pt = tc.rawData<float>();
     float *po = out.rawData<float>();
-    for (int64_t i = 0; i < n; ++i) {
-        int64_t r = indices.flatAtInt(i);
-        EDKM_CHECK(r >= 0 && r < rows, "gatherRows: index ", r,
-                   " out of range [0,", rows, ")");
-        std::copy(pt + r * cols, pt + (r + 1) * cols, po + i * cols);
-    }
+    parallelFor(0, n, grainFor(n, cols), [&](int64_t cb, int64_t ce) {
+        for (int64_t i = cb; i < ce; ++i) {
+            int64_t r = indices.flatAtInt(i);
+            EDKM_CHECK(r >= 0 && r < rows, "gatherRows: index ", r,
+                       " out of range [0,", rows, ")");
+            std::copy(pt + r * cols, pt + (r + 1) * cols, po + i * cols);
+        }
+    });
     recordFlops(static_cast<double>(n * cols), table.device());
     return out;
 }
@@ -546,9 +604,11 @@ copyIntoView(Tensor view, const Tensor &src)
     EDKM_CHECK(view.numel() == src.numel(),
                "copyIntoView: numel mismatch");
     int64_t n = view.numel();
-    for (int64_t i = 0; i < n; ++i) {
-        view.setFlatAt(i, src.flatAt(i));
-    }
+    parallelFor(0, n, grainFor(n, 4), [&](int64_t cb, int64_t ce) {
+        for (int64_t i = cb; i < ce; ++i) {
+            view.setFlatAt(i, src.flatAt(i));
+        }
+    });
 }
 
 Tensor

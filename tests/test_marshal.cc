@@ -317,6 +317,78 @@ TEST_F(MarshalTest, RegistryEntriesDieWithGraph)
     EXPECT_EQ(ctx.residentBytes(), 0);
 }
 
+TEST_F(MarshalTest, AsyncOffloadMatchesSyncBehaviour)
+{
+    // Same Fig 2 scenario, but copies ride the runtime queue: counters
+    // and gradients must match the synchronous path after sync().
+    MarshalConfig c = cfg(MarshalConfig::Detection::kGraphWalk);
+    c.asyncOffload = true;
+    MarshalContext ctx(c);
+    Variable x0(Tensor::rand({64, 64}, rng, Device::gpu(0)), true);
+    Variable loss;
+    {
+        SavedTensorHooksGuard guard(&ctx);
+        Variable x1 = af::view(x0, {-1, 1});
+        Variable a = af::square(x1);
+        Variable b = af::square(x0);
+        loss = af::add(af::sumAll(a), af::sumAll(b));
+    }
+    ctx.sync();
+    EXPECT_EQ(ctx.pendingCopies(), 0);
+    const MarshalStats &s = ctx.stats();
+    EXPECT_EQ(s.copies, 1);
+    EXPECT_EQ(s.duplicatesAvoided, 1);
+    EXPECT_EQ(s.asyncCopies, 1);
+    EXPECT_EQ(ctx.residentBytes(), 64 * 64 * 4);
+    backward(loss); // unpack joins per entry even without sync()
+    EXPECT_TRUE(allclose(x0.grad(), mulScalar(x0.data(), 4.0f), 1e-4f,
+                         1e-5f));
+}
+
+TEST_F(MarshalTest, AsyncStorageIdModeDefersViewReconstruction)
+{
+    MarshalConfig c = cfg(MarshalConfig::Detection::kStorageId);
+    c.asyncOffload = true;
+    MarshalContext ctx(c);
+    Variable x(Tensor::rand({8, 8}, rng, Device::gpu(0)), true);
+    Variable loss;
+    {
+        SavedTensorHooksGuard guard(&ctx);
+        Variable s1 = af::square(x);
+        Variable t = af::transpose(x, 0, 1);
+        Variable s2 = af::square(t); // same storage -> deferred view
+        loss = af::add(af::sumAll(s1), af::sumAll(s2));
+    }
+    EXPECT_EQ(ctx.stats().copies, 1);
+    EXPECT_EQ(ctx.stats().duplicatesAvoided, 1);
+    backward(loss);
+    EXPECT_TRUE(allclose(x.grad(), mulScalar(x.data(), 4.0f), 1e-4f,
+                         1e-5f));
+}
+
+TEST_F(MarshalTest, OffloadAsyncPrefetchDedupsLaterSaves)
+{
+    MarshalContext ctx(cfg(MarshalConfig::Detection::kGraphWalk));
+    Variable x(Tensor::rand({32, 32}, rng, Device::gpu(0)), true);
+    // Prefetch x's storage before the forward ever saves it.
+    ctx.offloadAsync(x.data());
+    ctx.sync();
+    EXPECT_EQ(ctx.stats().copies, 1);
+    Variable loss;
+    {
+        SavedTensorHooksGuard guard(&ctx);
+        Variable a = af::square(x);            // saves x -> prefetch hit
+        Variable t = af::transpose(x, 0, 1);
+        Variable b = af::square(t);            // view of x -> hit too
+        loss = af::add(af::sumAll(a), af::sumAll(b));
+    }
+    EXPECT_EQ(ctx.stats().copies, 1); // no new copies
+    EXPECT_EQ(ctx.stats().duplicatesAvoided, 2);
+    backward(loss);
+    EXPECT_TRUE(allclose(x.grad(), mulScalar(x.data(), 4.0f), 1e-4f,
+                         1e-5f));
+}
+
 TEST_F(MarshalTest, CrossIterationDedupOfReusedInput)
 {
     // The same weight variable saved in every "iteration" (as in the
