@@ -7,6 +7,8 @@
 #include "autograd/functional.h"
 #include "autograd/node.h"
 #include "core/kmeans.h"
+#include "kernels/attention.h"
+#include "kernels/kernels.h"
 #include "runtime/runtime.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
@@ -101,22 +103,20 @@ cdist1d(const Variable &a, const Variable &b)
     EDKM_CHECK(ad.dim() == 2 && ad.size(1) == 1 && bd.dim() == 2 &&
                    bd.size(1) == 1,
                "cdist1d: expects [n,1] and [k,1]");
-    // |a_i - b_j| dense kernel.
+    // |a_i - b_j| dense kernel (vectorized rows). toF32Contig also
+    // converts non-f32 storage before the raw-pointer reads below.
     int64_t n = ad.size(0), k = bd.size(0);
     Tensor out = Tensor::empty({n, k}, DType::kF32, ad.device());
-    Tensor ac = ad.isContiguous() ? ad : ad.contiguous();
-    std::vector<float> bv = bd.toVector();
+    Tensor ac = toF32Contig(ad);
+    Tensor bc = toF32Contig(bd);
     const float *pa = ac.rawData<float>();
+    const float *pb = bc.rawData<float>();
     float *po = out.rawData<float>();
+    const kernels::KernelTable &kt = kernels::active();
     runtime::parallelFor(0, n, runtime::grainFor(n, k),
                          [&](int64_t cb, int64_t ce) {
-                             for (int64_t i = cb; i < ce; ++i) {
-                                 for (int64_t j = 0; j < k; ++j) {
-                                     po[i * k + j] = std::fabs(
-                                         pa[i] -
-                                         bv[static_cast<size_t>(j)]);
-                                 }
-                             }
+                             kt.absDiffRows(pa + cb, ce - cb, pb, k,
+                                            po + cb * k);
                          });
     return makeResult(std::move(out), {a, b}, [&] {
         return std::make_shared<Cdist1dNode>(a, b);
@@ -186,6 +186,35 @@ DkmLayer::forward(const Variable &w)
     temperature_used_ = resolveTemperature(config_, values, {});
     float inv_tau = -1.0f / temperature_used_;
 
+    // Inference fast path: no autograd graph to build, so the attention
+    // map comes from the fused kernel (one pass, no intermediates). The
+    // pooling update uses the same tensor ops as the composed chain
+    // below, and the fused table reproduces the composed chain's result
+    // exactly — both paths return bit-identical clustered weights.
+    if (!(gradModeEnabled() && w.requiresGrad())) {
+        Tensor w1t =
+            (wd.isContiguous() ? wd : wd.contiguous()).view({n, 1});
+        Tensor c = Tensor::fromVector(init, {k, 1}, wd.device());
+        Tensor attention;
+        last_iters_ = 0;
+        for (int iter = 0; iter < config_.maxIters; ++iter) {
+            attention =
+                kernels::attentionTable(w1t, c, temperature_used_);
+            Tensor numer = matmul(attention.transpose(0, 1), w1t);
+            Tensor denom = sumDim(attention, 0, false).unsqueeze(1);
+            Tensor c_new = div(numer, addScalar(denom, 1e-12f));
+            float delta = maxAbsDiff(c_new, c);
+            c = c_new;
+            last_iters_ = iter + 1;
+            if (delta < config_.convergenceEps) {
+                break;
+            }
+        }
+        centroids_ = c.clone().view({k});
+        Tensor clustered = matmul(attention, c);
+        return Variable(clustered.view(orig_shape), false);
+    }
+
     Variable w1 = af::view(af::contiguous(w), {n, 1});
     Variable c = af::constant(
         Tensor::fromVector(init, {k, 1}, wd.device()));
@@ -235,15 +264,9 @@ DkmLayer::palettize(const Tensor &w) const
     std::sort(lut.begin(), lut.end()); // nearestCentroid needs order
     std::vector<float> values = w.toVector();
     std::vector<int32_t> assign(values.size());
-    runtime::parallelFor(
-        0, static_cast<int64_t>(values.size()),
-        runtime::grainFor(static_cast<int64_t>(values.size()), 8),
-        [&](int64_t cb, int64_t ce) {
-            for (int64_t i = cb; i < ce; ++i) {
-                assign[static_cast<size_t>(i)] = nearestCentroid(
-                    lut, values[static_cast<size_t>(i)]);
-            }
-        });
+    kernels::assignNearest(lut, values.data(),
+                           static_cast<int64_t>(values.size()),
+                           assign.data());
     return PalettizedTensor::fromAssignments(w.shape(), lut, assign,
                                              config_.bits);
 }

@@ -6,6 +6,8 @@
 #include "autograd/node.h"
 #include "core/kmeans.h"
 #include "device/device_manager.h"
+#include "kernels/attention.h"
+#include "kernels/kernels.h"
 #include "runtime/runtime.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
@@ -27,14 +29,6 @@ combineVec(std::vector<double> a, std::vector<double> b)
         a[i] += b[i];
     }
     return a;
-}
-
-/** Charge raw-loop work to the simulated clock. */
-void
-recordWork(double flops, Device dev)
-{
-    DeviceManager &mgr = DeviceManager::instance();
-    mgr.recordComputeSeconds(mgr.costModel().computeSeconds(flops, dev));
 }
 
 /**
@@ -79,34 +73,21 @@ struct EdkmTape
     int64_t savedBytes = 0; ///< logical bytes stashed via SavedTensor
 };
 
-/** scores/table for unique values @p u against centroids @p c. */
+/** scores/table for unique values @p u against centroids @p c:
+ *  softmax_rows(-(u-c)^2 / tau), computed by the fused kernel in one
+ *  pass (no diff/scores intermediates). */
 Tensor
 computeTable(const Tensor &u_col, const Tensor &c_row, float tau)
 {
-    // u_col [U,1], c_row [1,k] -> softmax_rows(-(u-c)^2 / tau) [U,k]
-    Tensor diff = sub(u_col, c_row);
-    Tensor scores = mulScalar(square(diff), -1.0f / tau);
-    return softmaxLastDim(scores);
+    return kernels::attentionTable(u_col, c_row, tau);
 }
 
-/** Gather @p table rows ([U,k]) by u16 @p idx ([n]) -> dense [n,k]. */
+/** Gather @p table rows ([U,k]) by u16 @p idx ([n]) -> dense [n,k]
+ *  (contiguity hoisted, consecutive rows memcpy-batched). */
 Tensor
 gatherTableRows(const Tensor &table, const Tensor &idx)
 {
-    int64_t n = idx.numel();
-    int64_t k = table.size(1);
-    Tensor tc = table.isContiguous() ? table : table.contiguous();
-    Tensor out = Tensor::empty({n, k}, DType::kF32, table.device());
-    const float *pt = tc.rawData<float>();
-    const uint16_t *pi = idx.rawData<const uint16_t>();
-    float *po = out.rawData<float>();
-    parallelFor(0, n, grainFor(n, k), [&](int64_t cb, int64_t ce) {
-        for (int64_t i = cb; i < ce; ++i) {
-            std::copy(pt + pi[i] * k, pt + (pi[i] + 1) * k, po + i * k);
-        }
-    });
-    recordWork(static_cast<double>(n * k), table.device());
-    return out;
+    return kernels::gatherTableRows(table, idx);
 }
 
 /**
@@ -138,7 +119,7 @@ scatterAddByIdx(const Tensor &g, const Tensor &idx, int64_t u_count)
     for (int64_t r = 0; r < u_count; ++r) {
         po[r] = static_cast<float>(acc[static_cast<size_t>(r)]);
     }
-    recordWork(static_cast<double>(n), g.device());
+    chargeFlops(static_cast<double>(n), g.device());
     return out;
 }
 
@@ -251,9 +232,7 @@ EdkmClusterNode::denseBackward(const Tensor &g)
         const uint16_t *pi = idx.rawData<const uint16_t>();
         float *pw = w_dense.rawData<float>();
         parallelFor(0, n, grainFor(n), [&](int64_t cb, int64_t ce) {
-            for (int64_t i = cb; i < ce; ++i) {
-                pw[i] = pu[pi[i]];
-            }
+            kernels::gatherU16(pu, pi + cb, ce - cb, pw + cb);
         });
     } else {
         w_dense = t.wRetained.isContiguous()
@@ -370,7 +349,7 @@ EdkmClusterNode::denseBackward(const Tensor &g)
     }
     // Dense backward touches ~8 values per (weight, centroid) pair and
     // iteration.
-    recordWork(8.0 * static_cast<double>(n) * k * num_iters,
+    chargeFlops(8.0 * static_cast<double>(n) * k * num_iters,
                g.device());
     // gc[0] flows into the constant initialisation: dropped.
     return gw;
@@ -543,7 +522,7 @@ EdkmClusterNode::fusedBackward(const Tensor &g)
     });
     // Table-space backward: ~8 ops per (unique, centroid, iteration)
     // plus the O(n) scatter/gather passes.
-    recordWork(8.0 * static_cast<double>(U) * k * num_iters + 3.0 * n,
+    chargeFlops(8.0 * static_cast<double>(U) * k * num_iters + 3.0 * n,
                g.device());
     return gw;
 }
@@ -690,9 +669,7 @@ EdkmLayer::forward(const Variable &w)
         const uint16_t *pi = dec.indexList.rawData<const uint16_t>();
         float *po = out.rawData<float>();
         parallelFor(0, n, grainFor(n, 2), [&](int64_t cb, int64_t ce) {
-            for (int64_t i = cb; i < ce; ++i) {
-                po[i] = pwu[pi[i]];
-            }
+            kernels::gatherU16(pwu, pi + cb, ce - cb, po + cb);
         });
     } else {
         out = w_unique;
@@ -715,9 +692,9 @@ EdkmLayer::palettize(const Tensor &w) const
     std::sort(lut.begin(), lut.end());
     std::vector<float> values = w.toVector();
     std::vector<int32_t> assign(values.size());
-    for (size_t i = 0; i < values.size(); ++i) {
-        assign[i] = nearestCentroid(lut, values[i]);
-    }
+    kernels::assignNearest(lut, values.data(),
+                           static_cast<int64_t>(values.size()),
+                           assign.data());
     return PalettizedTensor::fromAssignments(w.shape(), lut, assign,
                                              config_.dkm.bits);
 }

@@ -5,6 +5,7 @@
 #include <limits>
 #include <utility>
 
+#include "kernels/kernels.h"
 #include "runtime/runtime.h"
 #include "util/logging.h"
 
@@ -122,13 +123,19 @@ kmeans1d(const std::vector<float> &values,
         LloydAcc acc = runtime::parallelReduce<LloydAcc>(
             0, static_cast<int64_t>(n), assign_grain, std::move(zero),
             [&](int64_t cb, int64_t ce) {
+                // Fused distance+argmin over the chunk (bit-compatible
+                // with the binary-search nearestCentroid), then the
+                // Lloyd accumulation off the written assignments.
+                kernels::active().nearestRows(
+                    values.data() + cb, ce - cb, centroids.data(),
+                    static_cast<int64_t>(centroids.size()),
+                    result.assignments.data() + cb);
                 LloydAcc part{
                     std::vector<double>(static_cast<size_t>(k), 0.0),
                     std::vector<double>(static_cast<size_t>(k), 0.0)};
                 for (int64_t ii = cb; ii < ce; ++ii) {
                     size_t i = static_cast<size_t>(ii);
-                    int32_t a = nearestCentroid(centroids, values[i]);
-                    result.assignments[i] = a;
+                    int32_t a = result.assignments[i];
                     part.sum[static_cast<size_t>(a)] +=
                         static_cast<double>(values[i]) * weight_at(i);
                     part.mass[static_cast<size_t>(a)] += weight_at(i);
@@ -162,11 +169,14 @@ kmeans1d(const std::vector<float> &values,
     result.inertia = runtime::parallelReduce<double>(
         0, static_cast<int64_t>(n), assign_grain, 0.0,
         [&](int64_t cb, int64_t ce) {
+            kernels::active().nearestRows(
+                values.data() + cb, ce - cb, centroids.data(),
+                static_cast<int64_t>(centroids.size()),
+                result.assignments.data() + cb);
             double part = 0.0;
             for (int64_t ii = cb; ii < ce; ++ii) {
                 size_t i = static_cast<size_t>(ii);
-                int32_t a = nearestCentroid(centroids, values[i]);
-                result.assignments[i] = a;
+                int32_t a = result.assignments[i];
                 double d = static_cast<double>(values[i]) -
                            centroids[static_cast<size_t>(a)];
                 part += d * d * weight_at(i);

@@ -173,4 +173,11 @@ StatsScope::currentDelta() const
            start_current_;
 }
 
+void
+chargeFlops(double flops, Device dev)
+{
+    DeviceManager &mgr = DeviceManager::instance();
+    mgr.recordComputeSeconds(mgr.costModel().computeSeconds(flops, dev));
+}
+
 } // namespace edkm

@@ -161,6 +161,13 @@ class StatsScope
     int64_t start_current_ = 0;
 };
 
+/**
+ * Charge @p flops of simulated compute on @p dev through the singleton's
+ * cost model — the one accounting entry point shared by the tensor ops,
+ * the clustering core and the fused kernel layer.
+ */
+void chargeFlops(double flops, Device dev);
+
 } // namespace edkm
 
 #endif // EDKM_DEVICE_DEVICE_MANAGER_H_

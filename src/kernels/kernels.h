@@ -1,0 +1,152 @@
+/**
+ * @file
+ * edkm::kernels — vectorized inner kernels with runtime backend dispatch.
+ *
+ * Every function here operates on raw contiguous f32 buffers (callers —
+ * mostly tensor/ops.cc and the clustering core — handle layout/dtype).
+ * A `KernelTable` is one backend's full set of kernels; the scalar
+ * reference table is always available, and AVX2 / NEON tables are linked
+ * in when the build enables them (CMake option `EDKM_SIMD`, default ON).
+ *
+ * Backend selection happens once per process in `active()`:
+ *   1. `EDKM_SIMD=off|scalar|0` (env) forces the scalar reference.
+ *   2. Otherwise the best compiled-in backend the CPU supports wins.
+ *
+ * Numerics contract: all backends are **bit-identical** — elementwise
+ * kernels map 1:1 onto IEEE single ops, and reductions use the fixed
+ * virtual accumulator width `kAccLanes` (see simd.h) regardless of the
+ * hardware lane count. Switching backends (or disabling SIMD) never
+ * changes results; combined with the runtime layer's chunk-determinism
+ * this keeps clustering output bit-identical across thread counts too.
+ *
+ * exp-family kernels (`expv`, `siluv`, `sigmoidv`, the softmax/attention
+ * row kernels) use a shared degree-5 polynomial expf (Cephes-style,
+ * ~2 ulp, saturating at exp(88), flushing to 0 below exp(-87.34), and
+ * propagating NaN) — identical across backends, slightly different from
+ * libm's std::exp.
+ */
+
+#ifndef EDKM_KERNELS_KERNELS_H_
+#define EDKM_KERNELS_KERNELS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace edkm {
+namespace kernels {
+
+/** Virtual accumulator lane count shared by every backend. Reductions
+ *  (dot, sum, max) accumulate into kAccLanes independent slots — slot l
+ *  holds elements with index ≡ l (mod kAccLanes) — then fold the slots
+ *  in ascending lane order, then fold the tail in element order. */
+constexpr int kAccLanes = 8;
+
+enum class Backend
+{
+    kScalar,
+    kAvx2,
+    kNeon,
+};
+
+/** Human-readable backend name ("scalar", "avx2", "neon"). */
+const char *backendName(Backend b);
+
+/**
+ * One backend's kernels. All pointers are non-null; buffers must be
+ * valid for the stated lengths, and in/out may alias only when noted.
+ */
+struct KernelTable
+{
+    Backend backend;
+
+    // ---- elementwise binary: o[i] = a[i] OP b[i] ----
+    void (*add)(const float *a, const float *b, float *o, int64_t n);
+    void (*sub)(const float *a, const float *b, float *o, int64_t n);
+    void (*mul)(const float *a, const float *b, float *o, int64_t n);
+    void (*div)(const float *a, const float *b, float *o, int64_t n);
+
+    // ---- elementwise unary / scalar-parameter ----
+    void (*scale)(const float *a, float s, float *o, int64_t n);
+    void (*offset)(const float *a, float s, float *o, int64_t n);
+    void (*negate)(const float *a, float *o, int64_t n);
+    void (*absval)(const float *a, float *o, int64_t n);
+    void (*squarev)(const float *a, float *o, int64_t n);
+    void (*sqrtv)(const float *a, float *o, int64_t n);
+    void (*reluv)(const float *a, float *o, int64_t n);
+    void (*clampv)(const float *a, float lo, float hi, float *o,
+                   int64_t n);
+    void (*expv)(const float *a, float *o, int64_t n);
+    void (*siluv)(const float *a, float *o, int64_t n);
+    void (*sigmoidv)(const float *a, float *o, int64_t n);
+
+    /** o[i] += s * a[i] (o accumulates in place). */
+    void (*axpy)(const float *a, float s, float *o, int64_t n);
+
+    // ---- reductions (virtual kAccLanes accumulator semantics) ----
+    float (*reduceMax)(const float *a, int64_t n);
+    float (*dot)(const float *a, const float *b, int64_t n);
+
+    // ---- blocked matvec / vecmat micro-kernels ----
+    /** y[i] = dot(a[i*k .. i*k+k), x) for i in [0, rows). */
+    void (*matvec)(const float *a, int64_t rows, int64_t k,
+                   const float *x, float *y);
+    /** y[j] += sum_r x[r] * a[r*k + j]; y must be zero-initialised by
+     *  the caller (accumulates in row order; rows with x[r] == 0 are
+     *  skipped, matching the sparse-grad fast path of matmul). */
+    void (*vecmat)(const float *x, const float *a, int64_t rows,
+                   int64_t k, float *y);
+
+    // ---- fused rows ----
+    /** Row-softmax in place-able form: o[r,:] = softmax(a[r,:]) for
+     *  r in [0, rows), row length k. a == o allowed. */
+    void (*softmaxRows)(const float *a, int64_t rows, int64_t k,
+                        float *o);
+    /** Fused attention table: o[r,j] = softmax_j((u[r]-c[j])^2 * nis)
+     *  with nis = -1/tau. One pass, no intermediates. */
+    void (*attentionRows)(const float *u, int64_t rows, const float *c,
+                          int64_t k, float neg_inv_tau, float *o);
+    /** o[r,j] = |u[r] - c[j]| (the cdist1d forward). */
+    void (*absDiffRows)(const float *u, int64_t rows, const float *c,
+                        int64_t k, float *o);
+    /** Fused distance+argmin against ascending-sorted @p c: out[i] is
+     *  the index minimising |v[i] - c[j]|, lowest index on ties —
+     *  bit-compatible with the binary-search nearestCentroid. */
+    void (*nearestRows)(const float *v, int64_t n, const float *c,
+                        int64_t k, int32_t *out);
+
+    // ---- optimizer ----
+    /** One AdamW element-update over [0, n): identical formula to the
+     *  reference scalar loop in nn/adamw.cc. */
+    void (*adamwStep)(float *p, float *m, float *v, const float *g,
+                      int64_t n, float lr, float beta1, float beta2,
+                      float eps, float weight_decay, float bc1,
+                      float bc2);
+};
+
+/** The backend the process resolved to (env + CPU + build). */
+const KernelTable &active();
+
+/** A specific backend's table; falls back to scalar when @p b was not
+ *  compiled in or the CPU lacks it. */
+const KernelTable &table(Backend b);
+
+/** Backends usable in this process (always contains kScalar). */
+std::vector<Backend> availableBackends();
+
+// ----------------------------------------------------------------------
+// Layout helpers with no per-backend variance.
+// ----------------------------------------------------------------------
+
+/** Gather rows: out[i,:] = table[idx[i],:] (row length k), coalescing
+ *  runs of consecutive source rows into single memcpy calls. */
+void gatherRowsU16(const float *table, int64_t k, const uint16_t *idx,
+                   int64_t n, float *out);
+
+/** Gather scalars: out[i] = src[idx[i]]. */
+void gatherU16(const float *src, const uint16_t *idx, int64_t n,
+               float *out);
+
+} // namespace kernels
+} // namespace edkm
+
+#endif // EDKM_KERNELS_KERNELS_H_

@@ -1,0 +1,25 @@
+// AVX2 backend instantiation. This TU is compiled with -mavx2 (and the
+// EDKM_COMPILE_AVX2 definition) only when the build host targets x86 and
+// the EDKM_SIMD CMake option is ON; otherwise it compiles to nothing.
+// Dispatch in kernels.cc additionally checks cpuid at runtime before
+// ever calling into this table.
+
+#if defined(EDKM_COMPILE_AVX2) && defined(__AVX2__)
+
+#include "kernels/kernels_impl.h"
+
+namespace edkm {
+namespace kernels {
+
+const KernelTable &
+avx2KernelTable()
+{
+    static const KernelTable t =
+        impl::makeKernelTable<Avx2Tag>(Backend::kAvx2);
+    return t;
+}
+
+} // namespace kernels
+} // namespace edkm
+
+#endif // EDKM_COMPILE_AVX2 && __AVX2__

@@ -1,0 +1,557 @@
+/**
+ * @file
+ * Generic kernel implementations, templated over a SIMD backend tag.
+ *
+ * Each backend translation unit (kernels.cc for scalar, kernels_avx2.cc,
+ * kernels_neon.cc) includes this header and instantiates
+ * `makeKernelTable<Tag>()` exactly once. Vector main loops advance by the
+ * hardware width; tails always run through `Vec<ScalarTag>` with the same
+ * generic functor, which performs the identical IEEE operations — so a
+ * kernel's result never depends on where the vector loop stops, and all
+ * backends agree bitwise (see the contract in kernels.h).
+ */
+
+#ifndef EDKM_KERNELS_KERNELS_IMPL_H_
+#define EDKM_KERNELS_KERNELS_IMPL_H_
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "kernels/kernels.h"
+#include "kernels/simd.h"
+
+namespace edkm {
+namespace kernels {
+namespace impl {
+// Anonymous namespace for the same reason as in simd.h: per-TU internal
+// linkage so an ISA-specific TU's instantiations can never be COMDAT-
+// merged into the scalar TU's (see the note there).
+namespace {
+
+// ----------------------------------------------------------------------
+// Generic map loops (vector main + scalar-reference tail).
+// ----------------------------------------------------------------------
+
+template <typename Tag, typename F>
+inline void
+mapUnary(const float *a, float *o, int64_t n, const F &f)
+{
+    using V = Vec<Tag>;
+    using S = Vec<ScalarTag>;
+    int64_t i = 0;
+    for (; i + V::kWidth <= n; i += V::kWidth) {
+        f(V::load(a + i)).store(o + i);
+    }
+    for (; i < n; ++i) {
+        f(S::load(a + i)).store(o + i);
+    }
+}
+
+template <typename Tag, typename F>
+inline void
+mapBinary(const float *a, const float *b, float *o, int64_t n, const F &f)
+{
+    using V = Vec<Tag>;
+    using S = Vec<ScalarTag>;
+    int64_t i = 0;
+    for (; i + V::kWidth <= n; i += V::kWidth) {
+        f(V::load(a + i), V::load(b + i)).store(o + i);
+    }
+    for (; i < n; ++i) {
+        f(S::load(a + i), S::load(b + i)).store(o + i);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Polynomial expf shared by the exp-family kernels (Cephes-style).
+// ~2 ulp over the representable range; saturates at exp(88) above and
+// flushes to +0 below -87.33654 (where libm would return subnormals).
+// ----------------------------------------------------------------------
+
+template <typename V>
+inline V
+expPs(V x)
+{
+    const V hi = V::broadcast(88.0f);
+    const V lo = V::broadcast(-87.33654f);
+    const V log2e = V::broadcast(1.44269504088896341f);
+    const V c1 = V::broadcast(0.693359375f);
+    const V c2 = V::broadcast(-2.12194440e-4f);
+    const V one = V::broadcast(1.0f);
+    const V half = V::broadcast(0.5f);
+
+    const V xin = x;
+    V under = V::cmpLt(x, lo); // flush-to-zero mask on the *input*
+    x = V::min(x, hi);
+    x = V::max(x, lo);
+
+    V n = V::floor(x * log2e + half);
+    x = x - n * c1;
+    x = x - n * c2;
+
+    V p = V::broadcast(1.9875691500e-4f);
+    p = p * x + V::broadcast(1.3981999507e-3f);
+    p = p * x + V::broadcast(8.3334519073e-3f);
+    p = p * x + V::broadcast(4.1665795894e-2f);
+    p = p * x + V::broadcast(1.6666665459e-1f);
+    p = p * x + V::broadcast(5.0000001201e-1f);
+    V r = (p * (x * x) + x + one) * V::pow2Int(n);
+    r = V::blend(under, V::broadcast(0.0f), r);
+    // Propagate NaN (the clamps above would otherwise map it to
+    // exp(88) and silently launder a poisoned input into a plausible
+    // finite value): lanes where x is ordered keep r, NaN lanes keep x.
+    return V::blend(V::cmpEq(xin, xin), r, xin);
+}
+
+/** Scalar max with the backends' shared NaN semantics. */
+inline float
+smax(float a, float b)
+{
+    return a > b ? a : b;
+}
+
+// ----------------------------------------------------------------------
+// Reductions with the fixed virtual accumulator width kAccLanes.
+// ----------------------------------------------------------------------
+
+/** Slot l accumulates elements ≡ l (mod kAccLanes); slots fold in lane
+ *  order, then the tail folds in element order. Identical on every
+ *  backend by construction. */
+template <typename Tag>
+inline float
+reduceMaxT(const float *a, int64_t n)
+{
+    using V = Vec<Tag>;
+    if (n <= 0) {
+        return -std::numeric_limits<float>::infinity();
+    }
+    if (n < kAccLanes) {
+        float m = a[0];
+        for (int64_t i = 1; i < n; ++i) {
+            m = smax(m, a[i]);
+        }
+        return m;
+    }
+    constexpr int kNumVecs = kAccLanes / V::kWidth;
+    V acc[kNumVecs];
+    for (int v = 0; v < kNumVecs; ++v) {
+        acc[v] = V::load(a + v * V::kWidth);
+    }
+    int64_t main_n = (n / kAccLanes) * kAccLanes;
+    for (int64_t i = kAccLanes; i < main_n; i += kAccLanes) {
+        for (int v = 0; v < kNumVecs; ++v) {
+            acc[v] = V::max(acc[v], V::load(a + i + v * V::kWidth));
+        }
+    }
+    float m = acc[0].lane(0);
+    for (int l = 1; l < kAccLanes; ++l) {
+        m = smax(m, acc[l / V::kWidth].lane(l % V::kWidth));
+    }
+    for (int64_t i = main_n; i < n; ++i) {
+        m = smax(m, a[i]);
+    }
+    return m;
+}
+
+template <typename Tag>
+inline float
+dotT(const float *a, const float *b, int64_t n)
+{
+    using V = Vec<Tag>;
+    constexpr int kNumVecs = kAccLanes / V::kWidth;
+    V acc[kNumVecs];
+    for (int v = 0; v < kNumVecs; ++v) {
+        acc[v] = V::broadcast(0.0f);
+    }
+    int64_t main_n = (n / kAccLanes) * kAccLanes;
+    for (int64_t i = 0; i < main_n; i += kAccLanes) {
+        for (int v = 0; v < kNumVecs; ++v) {
+            acc[v] = acc[v] + V::load(a + i + v * V::kWidth) *
+                                  V::load(b + i + v * V::kWidth);
+        }
+    }
+    float s = 0.0f;
+    for (int l = 0; l < kAccLanes; ++l) {
+        s += acc[l / V::kWidth].lane(l % V::kWidth);
+    }
+    for (int64_t i = main_n; i < n; ++i) {
+        s += a[i] * b[i];
+    }
+    return s;
+}
+
+// ----------------------------------------------------------------------
+// Blocked matvec / vecmat.
+// ----------------------------------------------------------------------
+
+template <typename Tag>
+inline void
+matvecT(const float *a, int64_t rows, int64_t k, const float *x, float *y)
+{
+    for (int64_t i = 0; i < rows; ++i) {
+        y[i] = dotT<Tag>(a + i * k, x, k);
+    }
+}
+
+template <typename Tag>
+inline void
+vecmatT(const float *x, const float *a, int64_t rows, int64_t k, float *y)
+{
+    using V = Vec<Tag>;
+    using S = Vec<ScalarTag>;
+    for (int64_t r = 0; r < rows; ++r) {
+        float xr = x[r];
+        if (xr == 0.0f) {
+            continue;
+        }
+        const float *arow = a + r * k;
+        const V xv = V::broadcast(xr);
+        int64_t j = 0;
+        for (; j + V::kWidth <= k; j += V::kWidth) {
+            (V::load(y + j) + xv * V::load(arow + j)).store(y + j);
+        }
+        for (; j < k; ++j) {
+            (S::load(y + j) + S::broadcast(xr) * S::load(arow + j))
+                .store(y + j);
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Fused row kernels.
+// ----------------------------------------------------------------------
+
+/** Row softmax in place over @p row of length @p k: max (virtual-lane
+ *  semantics), poly exp, sequential double denominator, scale. */
+template <typename Tag>
+inline void
+softmaxOneRowT(const float *in, int64_t k, float *out)
+{
+    using V = Vec<Tag>;
+    using S = Vec<ScalarTag>;
+    float mx = reduceMaxT<Tag>(in, k);
+    const V mxv = V::broadcast(mx);
+    int64_t j = 0;
+    for (; j + V::kWidth <= k; j += V::kWidth) {
+        expPs(V::load(in + j) - mxv).store(out + j);
+    }
+    for (; j < k; ++j) {
+        expPs(S::load(in + j) - S::broadcast(mx)).store(out + j);
+    }
+    double denom = 0.0;
+    for (int64_t c = 0; c < k; ++c) {
+        denom += out[c];
+    }
+    float inv = static_cast<float>(1.0 / denom);
+    const V invv = V::broadcast(inv);
+    j = 0;
+    for (; j + V::kWidth <= k; j += V::kWidth) {
+        (V::load(out + j) * invv).store(out + j);
+    }
+    for (; j < k; ++j) {
+        (S::load(out + j) * S::broadcast(inv)).store(out + j);
+    }
+}
+
+template <typename Tag>
+inline void
+softmaxRowsT(const float *a, int64_t rows, int64_t k, float *o)
+{
+    for (int64_t r = 0; r < rows; ++r) {
+        softmaxOneRowT<Tag>(a + r * k, k, o + r * k);
+    }
+}
+
+template <typename Tag>
+inline void
+attentionRowsT(const float *u, int64_t rows, const float *c, int64_t k,
+               float neg_inv_tau, float *o)
+{
+    using V = Vec<Tag>;
+    using S = Vec<ScalarTag>;
+    const V nis = V::broadcast(neg_inv_tau);
+    for (int64_t r = 0; r < rows; ++r) {
+        float *orow = o + r * k;
+        const V uv = V::broadcast(u[r]);
+        int64_t j = 0;
+        for (; j + V::kWidth <= k; j += V::kWidth) {
+            V d = uv - V::load(c + j);
+            ((d * d) * nis).store(orow + j);
+        }
+        for (; j < k; ++j) {
+            S d = S::broadcast(u[r]) - S::load(c + j);
+            ((d * d) * S::broadcast(neg_inv_tau)).store(orow + j);
+        }
+        softmaxOneRowT<Tag>(orow, k, orow);
+    }
+}
+
+template <typename Tag>
+inline void
+absDiffRowsT(const float *u, int64_t rows, const float *c, int64_t k,
+             float *o)
+{
+    using V = Vec<Tag>;
+    using S = Vec<ScalarTag>;
+    for (int64_t r = 0; r < rows; ++r) {
+        float *orow = o + r * k;
+        const V uv = V::broadcast(u[r]);
+        int64_t j = 0;
+        for (; j + V::kWidth <= k; j += V::kWidth) {
+            V::abs(uv - V::load(c + j)).store(orow + j);
+        }
+        for (; j < k; ++j) {
+            S::abs(S::broadcast(u[r]) - S::load(c + j)).store(orow + j);
+        }
+    }
+}
+
+/**
+ * Tie-break rule reproducing binary-search `nearestCentroid` exactly on
+ * an ascending-sorted centroid list (duplicates included): advance to a
+ * later candidate on a distance tie only when that centroid lies
+ * strictly below the value — precisely which of the two lower_bound
+ * neighbours (or which end of a duplicate run) the reference returns.
+ */
+template <typename Tag>
+inline void
+nearestRowsT(const float *v, int64_t n, const float *c, int64_t k,
+             int32_t *out)
+{
+    using V = Vec<Tag>;
+    int64_t i = 0;
+    for (; i + V::kWidth <= n; i += V::kWidth) {
+        V vv = V::load(v + i);
+        V best = V::abs(vv - V::broadcast(c[0]));
+        V best_j = V::broadcast(0.0f);
+        for (int64_t j = 1; j < k; ++j) {
+            V cv = V::broadcast(c[j]);
+            V d = V::abs(vv - cv);
+            V m = V::maskOr(V::cmpLt(d, best),
+                            V::maskAnd(V::cmpEq(d, best),
+                                       V::cmpLt(cv, vv)));
+            best = V::blend(m, d, best);
+            best_j = V::blend(m, V::broadcast(static_cast<float>(j)),
+                              best_j);
+        }
+        for (int l = 0; l < V::kWidth; ++l) {
+            out[i + l] = static_cast<int32_t>(best_j.lane(l));
+        }
+    }
+    for (; i < n; ++i) {
+        float best = std::fabs(v[i] - c[0]);
+        int32_t bj = 0;
+        for (int64_t j = 1; j < k; ++j) {
+            float d = std::fabs(v[i] - c[j]);
+            if (d < best || (d == best && c[j] < v[i])) {
+                best = d;
+                bj = static_cast<int32_t>(j);
+            }
+        }
+        out[i] = bj;
+    }
+}
+
+// ----------------------------------------------------------------------
+// AdamW element update (formula identical to the reference loop).
+// ----------------------------------------------------------------------
+
+template <typename Tag>
+inline void
+adamwStepT(float *p, float *m, float *v, const float *g, int64_t n,
+           float lr, float beta1, float beta2, float eps,
+           float weight_decay, float bc1, float bc2)
+{
+    using V = Vec<Tag>;
+    const float ob1 = 1.0f - beta1;
+    const float ob2 = 1.0f - beta2;
+    auto step = [&](auto pv, auto mv, auto vv, auto gv) {
+        using W = decltype(pv);
+        mv = W::broadcast(beta1) * mv + W::broadcast(ob1) * gv;
+        vv = W::broadcast(beta2) * vv + (W::broadcast(ob2) * gv) * gv;
+        W mhat = mv / W::broadcast(bc1);
+        W vhat = vv / W::broadcast(bc2);
+        W upd = mhat / (W::sqrt(vhat) + W::broadcast(eps)) +
+                W::broadcast(weight_decay) * pv;
+        pv = pv - W::broadcast(lr) * upd;
+        struct
+        {
+            W pv, mv, vv;
+        } r{pv, mv, vv};
+        return r;
+    };
+    int64_t i = 0;
+    for (; i + V::kWidth <= n; i += V::kWidth) {
+        auto r = step(V::load(p + i), V::load(m + i), V::load(v + i),
+                      V::load(g + i));
+        r.pv.store(p + i);
+        r.mv.store(m + i);
+        r.vv.store(v + i);
+    }
+    using S = Vec<ScalarTag>;
+    for (; i < n; ++i) {
+        auto r = step(S::load(p + i), S::load(m + i), S::load(v + i),
+                      S::load(g + i));
+        r.pv.store(p + i);
+        r.mv.store(m + i);
+        r.vv.store(v + i);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Table assembly.
+// ----------------------------------------------------------------------
+
+template <typename Tag>
+KernelTable
+makeKernelTable(Backend id)
+{
+    KernelTable t;
+    t.backend = id;
+
+    t.add = [](const float *a, const float *b, float *o, int64_t n) {
+        mapBinary<Tag>(a, b, o, n,
+                       [](auto x, auto y) { return x + y; });
+    };
+    t.sub = [](const float *a, const float *b, float *o, int64_t n) {
+        mapBinary<Tag>(a, b, o, n,
+                       [](auto x, auto y) { return x - y; });
+    };
+    t.mul = [](const float *a, const float *b, float *o, int64_t n) {
+        mapBinary<Tag>(a, b, o, n,
+                       [](auto x, auto y) { return x * y; });
+    };
+    t.div = [](const float *a, const float *b, float *o, int64_t n) {
+        mapBinary<Tag>(a, b, o, n,
+                       [](auto x, auto y) { return x / y; });
+    };
+
+    t.scale = [](const float *a, float s, float *o, int64_t n) {
+        mapUnary<Tag>(a, o, n, [s](auto x) {
+            return x * decltype(x)::broadcast(s);
+        });
+    };
+    t.offset = [](const float *a, float s, float *o, int64_t n) {
+        mapUnary<Tag>(a, o, n, [s](auto x) {
+            return x + decltype(x)::broadcast(s);
+        });
+    };
+    t.negate = [](const float *a, float *o, int64_t n) {
+        mapUnary<Tag>(a, o, n, [](auto x) {
+            return decltype(x)::broadcast(0.0f) - x;
+        });
+    };
+    t.absval = [](const float *a, float *o, int64_t n) {
+        mapUnary<Tag>(a, o, n,
+                      [](auto x) { return decltype(x)::abs(x); });
+    };
+    t.squarev = [](const float *a, float *o, int64_t n) {
+        mapUnary<Tag>(a, o, n, [](auto x) { return x * x; });
+    };
+    t.sqrtv = [](const float *a, float *o, int64_t n) {
+        mapUnary<Tag>(a, o, n,
+                      [](auto x) { return decltype(x)::sqrt(x); });
+    };
+    t.reluv = [](const float *a, float *o, int64_t n) {
+        mapUnary<Tag>(a, o, n, [](auto x) {
+            using W = decltype(x);
+            // x > 0 ? x : 0, NaN -> 0 (matches `x > 0.0f ? x : 0.0f`).
+            W zero = W::broadcast(0.0f);
+            return W::blend(W::cmpLt(zero, x), x, zero);
+        });
+    };
+    t.clampv = [](const float *a, float lo, float hi, float *o,
+                  int64_t n) {
+        mapUnary<Tag>(a, o, n, [lo, hi](auto x) {
+            using W = decltype(x);
+            // std::clamp semantics: lower bound first, then upper;
+            // NaN passes through (min/max alone would launder it
+            // into lo).
+            W r = W::min(W::max(x, W::broadcast(lo)),
+                         W::broadcast(hi));
+            return W::blend(W::cmpEq(x, x), r, x);
+        });
+    };
+    t.expv = [](const float *a, float *o, int64_t n) {
+        mapUnary<Tag>(a, o, n, [](auto x) { return expPs(x); });
+    };
+    t.siluv = [](const float *a, float *o, int64_t n) {
+        mapUnary<Tag>(a, o, n, [](auto x) {
+            using W = decltype(x);
+            W one = W::broadcast(1.0f);
+            return x / (one + expPs(W::broadcast(0.0f) - x));
+        });
+    };
+    t.sigmoidv = [](const float *a, float *o, int64_t n) {
+        mapUnary<Tag>(a, o, n, [](auto x) {
+            using W = decltype(x);
+            W one = W::broadcast(1.0f);
+            return one / (one + expPs(W::broadcast(0.0f) - x));
+        });
+    };
+
+    t.axpy = [](const float *a, float s, float *o, int64_t n) {
+        using V = Vec<Tag>;
+        using S = Vec<ScalarTag>;
+        const V sv = V::broadcast(s);
+        int64_t i = 0;
+        for (; i + V::kWidth <= n; i += V::kWidth) {
+            (V::load(o + i) + sv * V::load(a + i)).store(o + i);
+        }
+        for (; i < n; ++i) {
+            (S::load(o + i) + S::broadcast(s) * S::load(a + i))
+                .store(o + i);
+        }
+    };
+
+    t.reduceMax = [](const float *a, int64_t n) {
+        return reduceMaxT<Tag>(a, n);
+    };
+    t.dot = [](const float *a, const float *b, int64_t n) {
+        return dotT<Tag>(a, b, n);
+    };
+
+    t.matvec = [](const float *a, int64_t rows, int64_t k,
+                  const float *x, float *y) {
+        matvecT<Tag>(a, rows, k, x, y);
+    };
+    t.vecmat = [](const float *x, const float *a, int64_t rows,
+                  int64_t k, float *y) {
+        vecmatT<Tag>(x, a, rows, k, y);
+    };
+
+    t.softmaxRows = [](const float *a, int64_t rows, int64_t k,
+                       float *o) {
+        softmaxRowsT<Tag>(a, rows, k, o);
+    };
+    t.attentionRows = [](const float *u, int64_t rows, const float *c,
+                         int64_t k, float neg_inv_tau, float *o) {
+        attentionRowsT<Tag>(u, rows, c, k, neg_inv_tau, o);
+    };
+    t.absDiffRows = [](const float *u, int64_t rows, const float *c,
+                       int64_t k, float *o) {
+        absDiffRowsT<Tag>(u, rows, c, k, o);
+    };
+    t.nearestRows = [](const float *v, int64_t n, const float *c,
+                       int64_t k, int32_t *out) {
+        nearestRowsT<Tag>(v, n, c, k, out);
+    };
+
+    t.adamwStep = [](float *p, float *m, float *v, const float *g,
+                     int64_t n, float lr, float beta1, float beta2,
+                     float eps, float weight_decay, float bc1,
+                     float bc2) {
+        adamwStepT<Tag>(p, m, v, g, n, lr, beta1, beta2, eps,
+                        weight_decay, bc1, bc2);
+    };
+
+    return t;
+}
+
+} // namespace
+} // namespace impl
+} // namespace kernels
+} // namespace edkm
+
+#endif // EDKM_KERNELS_KERNELS_IMPL_H_

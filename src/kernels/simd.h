@@ -1,0 +1,481 @@
+/**
+ * @file
+ * Portable fixed-width SIMD vector abstraction.
+ *
+ * `Vec<Tag>` wraps one hardware vector register of f32 lanes behind a
+ * uniform interface; the kernel templates in kernels_impl.h are written
+ * once against it and instantiated per backend translation unit:
+ *
+ *   - `ScalarTag` — 1-lane reference, always compiled, no intrinsics.
+ *   - `Avx2Tag`   — 8 lanes, only where the TU is built with -mavx2.
+ *   - `NeonTag`   — 4 lanes, only where the TU targets ARM NEON.
+ *
+ * Numerics contract: every Vec operation maps to the IEEE-754 single
+ * operation of its scalar counterpart (add/sub/mul/div/sqrt/min/max are
+ * exact; no FMA contraction — backend TUs compile in strict ISO mode).
+ * Reduction kernels additionally fix a *virtual* accumulator width of
+ * `kAccLanes` (8) independent of the hardware width, so every backend
+ * — including the scalar reference — produces bit-identical results.
+ */
+
+#ifndef EDKM_KERNELS_SIMD_H_
+#define EDKM_KERNELS_SIMD_H_
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+#if defined(__ARM_NEON) || defined(__ARM_NEON__)
+#include <arm_neon.h>
+#endif
+
+namespace edkm {
+namespace kernels {
+
+// Everything below lives in an anonymous namespace on purpose: these
+// inline templates are instantiated both by the plain-flags TU
+// (kernels.cc) and by ISA-specific TUs (kernels_avx2.cc built with
+// -mavx2). With external linkage the identical COMDAT symbols could be
+// deduplicated by the linker into the AVX-encoded copy, and the scalar
+// fallback would then execute AVX instructions on a CPU without them —
+// defeating the runtime dispatch. Internal linkage keeps every TU's
+// instantiations compiled with that TU's own flags.
+namespace {
+
+struct ScalarTag
+{
+};
+struct Avx2Tag
+{
+};
+struct NeonTag
+{
+};
+
+template <typename Tag>
+struct Vec;
+
+// ----------------------------------------------------------------------
+// Scalar reference backend: 1 lane, plain float ops.
+// ----------------------------------------------------------------------
+
+template <>
+struct Vec<ScalarTag>
+{
+    static constexpr int kWidth = 1;
+    float v;
+
+    static Vec
+    load(const float *p)
+    {
+        return {*p};
+    }
+    static Vec
+    broadcast(float x)
+    {
+        return {x};
+    }
+    void
+    store(float *p) const
+    {
+        *p = v;
+    }
+    float
+    lane(int) const
+    {
+        return v;
+    }
+
+    friend Vec
+    operator+(Vec a, Vec b)
+    {
+        return {a.v + b.v};
+    }
+    friend Vec
+    operator-(Vec a, Vec b)
+    {
+        return {a.v - b.v};
+    }
+    friend Vec
+    operator*(Vec a, Vec b)
+    {
+        return {a.v * b.v};
+    }
+    friend Vec
+    operator/(Vec a, Vec b)
+    {
+        return {a.v / b.v};
+    }
+
+    /** x86 maxps semantics: returns @p b when the compare is unordered. */
+    static Vec
+    max(Vec a, Vec b)
+    {
+        return {a.v > b.v ? a.v : b.v};
+    }
+    static Vec
+    min(Vec a, Vec b)
+    {
+        return {a.v < b.v ? a.v : b.v};
+    }
+    static Vec
+    abs(Vec a)
+    {
+        return {std::fabs(a.v)};
+    }
+    static Vec
+    sqrt(Vec a)
+    {
+        return {std::sqrt(a.v)};
+    }
+    static Vec
+    floor(Vec a)
+    {
+        return {std::floor(a.v)};
+    }
+
+    /** Lane mask of a < b (all-ones float bit pattern when true). */
+    static Vec
+    cmpLt(Vec a, Vec b)
+    {
+        uint32_t bits = a.v < b.v ? 0xffffffffu : 0u;
+        Vec r;
+        std::memcpy(&r.v, &bits, 4);
+        return r;
+    }
+    /** Lane mask of a == b (ordered; NaN lanes clear). */
+    static Vec
+    cmpEq(Vec a, Vec b)
+    {
+        uint32_t bits = a.v == b.v ? 0xffffffffu : 0u;
+        Vec r;
+        std::memcpy(&r.v, &bits, 4);
+        return r;
+    }
+    /** Bitwise AND of two lane masks. */
+    static Vec
+    maskAnd(Vec a, Vec b)
+    {
+        uint32_t ba, bb;
+        std::memcpy(&ba, &a.v, 4);
+        std::memcpy(&bb, &b.v, 4);
+        uint32_t bits = ba & bb;
+        Vec r;
+        std::memcpy(&r.v, &bits, 4);
+        return r;
+    }
+    /** Bitwise OR of two lane masks. */
+    static Vec
+    maskOr(Vec a, Vec b)
+    {
+        uint32_t ba, bb;
+        std::memcpy(&ba, &a.v, 4);
+        std::memcpy(&bb, &b.v, 4);
+        uint32_t bits = ba | bb;
+        Vec r;
+        std::memcpy(&r.v, &bits, 4);
+        return r;
+    }
+    /** Per-lane select: mask lane set -> @p a, else @p b. */
+    static Vec
+    blend(Vec mask, Vec a, Vec b)
+    {
+        uint32_t bits;
+        std::memcpy(&bits, &mask.v, 4);
+        return bits ? a : b;
+    }
+
+    /** 2^n for a lane-wise integral-valued @p n in [-126, 127]. */
+    static Vec
+    pow2Int(Vec n)
+    {
+        int32_t e = static_cast<int32_t>(n.v);
+        uint32_t bits = static_cast<uint32_t>(e + 127) << 23;
+        Vec r;
+        std::memcpy(&r.v, &bits, 4);
+        return r;
+    }
+};
+
+// ----------------------------------------------------------------------
+// AVX2 backend: 8 f32 lanes. Compiled only in TUs built with -mavx2.
+// ----------------------------------------------------------------------
+
+#if defined(__AVX2__)
+template <>
+struct Vec<Avx2Tag>
+{
+    static constexpr int kWidth = 8;
+    __m256 v;
+
+    static Vec
+    load(const float *p)
+    {
+        return {_mm256_loadu_ps(p)};
+    }
+    static Vec
+    broadcast(float x)
+    {
+        return {_mm256_set1_ps(x)};
+    }
+    void
+    store(float *p) const
+    {
+        _mm256_storeu_ps(p, v);
+    }
+    float
+    lane(int i) const
+    {
+        alignas(32) float tmp[8];
+        _mm256_store_ps(tmp, v);
+        return tmp[i];
+    }
+
+    friend Vec
+    operator+(Vec a, Vec b)
+    {
+        return {_mm256_add_ps(a.v, b.v)};
+    }
+    friend Vec
+    operator-(Vec a, Vec b)
+    {
+        return {_mm256_sub_ps(a.v, b.v)};
+    }
+    friend Vec
+    operator*(Vec a, Vec b)
+    {
+        return {_mm256_mul_ps(a.v, b.v)};
+    }
+    friend Vec
+    operator/(Vec a, Vec b)
+    {
+        return {_mm256_div_ps(a.v, b.v)};
+    }
+
+    static Vec
+    max(Vec a, Vec b)
+    {
+        // maxps(a, b) == (a > b ? a : b); unordered lanes yield b —
+        // exactly the scalar reference's semantics.
+        return {_mm256_max_ps(a.v, b.v)};
+    }
+    static Vec
+    min(Vec a, Vec b)
+    {
+        return {_mm256_min_ps(a.v, b.v)};
+    }
+    static Vec
+    abs(Vec a)
+    {
+        __m256 sign = _mm256_set1_ps(-0.0f);
+        return {_mm256_andnot_ps(sign, a.v)};
+    }
+    static Vec
+    sqrt(Vec a)
+    {
+        return {_mm256_sqrt_ps(a.v)};
+    }
+    static Vec
+    floor(Vec a)
+    {
+        return {_mm256_floor_ps(a.v)};
+    }
+
+    static Vec
+    cmpLt(Vec a, Vec b)
+    {
+        return {_mm256_cmp_ps(a.v, b.v, _CMP_LT_OQ)};
+    }
+    static Vec
+    cmpEq(Vec a, Vec b)
+    {
+        return {_mm256_cmp_ps(a.v, b.v, _CMP_EQ_OQ)};
+    }
+    static Vec
+    maskAnd(Vec a, Vec b)
+    {
+        return {_mm256_and_ps(a.v, b.v)};
+    }
+    static Vec
+    maskOr(Vec a, Vec b)
+    {
+        return {_mm256_or_ps(a.v, b.v)};
+    }
+    static Vec
+    blend(Vec mask, Vec a, Vec b)
+    {
+        return {_mm256_blendv_ps(b.v, a.v, mask.v)};
+    }
+
+    static Vec
+    pow2Int(Vec n)
+    {
+        __m256i e = _mm256_cvttps_epi32(n.v);
+        e = _mm256_add_epi32(e, _mm256_set1_epi32(127));
+        e = _mm256_slli_epi32(e, 23);
+        return {_mm256_castsi256_ps(e)};
+    }
+};
+#endif // __AVX2__
+
+// ----------------------------------------------------------------------
+// NEON backend: 4 f32 lanes. Compiled only in TUs targeting ARM NEON.
+// ----------------------------------------------------------------------
+
+#if defined(__ARM_NEON) || defined(__ARM_NEON__)
+template <>
+struct Vec<NeonTag>
+{
+    static constexpr int kWidth = 4;
+    float32x4_t v;
+
+    static Vec
+    load(const float *p)
+    {
+        return {vld1q_f32(p)};
+    }
+    static Vec
+    broadcast(float x)
+    {
+        return {vdupq_n_f32(x)};
+    }
+    void
+    store(float *p) const
+    {
+        vst1q_f32(p, v);
+    }
+    float
+    lane(int i) const
+    {
+        float tmp[4];
+        vst1q_f32(tmp, v);
+        return tmp[i];
+    }
+
+    friend Vec
+    operator+(Vec a, Vec b)
+    {
+        return {vaddq_f32(a.v, b.v)};
+    }
+    friend Vec
+    operator-(Vec a, Vec b)
+    {
+        return {vsubq_f32(a.v, b.v)};
+    }
+    friend Vec
+    operator*(Vec a, Vec b)
+    {
+        return {vmulq_f32(a.v, b.v)};
+    }
+    friend Vec
+    operator/(Vec a, Vec b)
+    {
+#if defined(__aarch64__)
+        return {vdivq_f32(a.v, b.v)};
+#else
+        float ta[4], tb[4];
+        vst1q_f32(ta, a.v);
+        vst1q_f32(tb, b.v);
+        for (int i = 0; i < 4; ++i) {
+            ta[i] /= tb[i];
+        }
+        return {vld1q_f32(ta)};
+#endif
+    }
+
+    /** Mirror the scalar reference (a > b ? a : b) including NaN lanes:
+     *  select via the ordered greater-than compare. */
+    static Vec
+    max(Vec a, Vec b)
+    {
+        return {vbslq_f32(vcgtq_f32(a.v, b.v), a.v, b.v)};
+    }
+    static Vec
+    min(Vec a, Vec b)
+    {
+        return {vbslq_f32(vcltq_f32(a.v, b.v), a.v, b.v)};
+    }
+    static Vec
+    abs(Vec a)
+    {
+        return {vabsq_f32(a.v)};
+    }
+    static Vec
+    sqrt(Vec a)
+    {
+#if defined(__aarch64__)
+        return {vsqrtq_f32(a.v)};
+#else
+        float t[4];
+        vst1q_f32(t, a.v);
+        for (int i = 0; i < 4; ++i) {
+            t[i] = std::sqrt(t[i]);
+        }
+        return {vld1q_f32(t)};
+#endif
+    }
+    static Vec
+    floor(Vec a)
+    {
+#if defined(__aarch64__)
+        return {vrndmq_f32(a.v)};
+#else
+        float t[4];
+        vst1q_f32(t, a.v);
+        for (int i = 0; i < 4; ++i) {
+            t[i] = std::floor(t[i]);
+        }
+        return {vld1q_f32(t)};
+#endif
+    }
+
+    static Vec
+    cmpLt(Vec a, Vec b)
+    {
+        return {vreinterpretq_f32_u32(vcltq_f32(a.v, b.v))};
+    }
+    static Vec
+    cmpEq(Vec a, Vec b)
+    {
+        return {vreinterpretq_f32_u32(vceqq_f32(a.v, b.v))};
+    }
+    static Vec
+    maskAnd(Vec a, Vec b)
+    {
+        return {vreinterpretq_f32_u32(
+            vandq_u32(vreinterpretq_u32_f32(a.v),
+                      vreinterpretq_u32_f32(b.v)))};
+    }
+    static Vec
+    maskOr(Vec a, Vec b)
+    {
+        return {vreinterpretq_f32_u32(
+            vorrq_u32(vreinterpretq_u32_f32(a.v),
+                      vreinterpretq_u32_f32(b.v)))};
+    }
+    static Vec
+    blend(Vec mask, Vec a, Vec b)
+    {
+        return {vbslq_f32(vreinterpretq_u32_f32(mask.v), a.v, b.v)};
+    }
+
+    static Vec
+    pow2Int(Vec n)
+    {
+        int32x4_t e = vcvtq_s32_f32(n.v);
+        e = vaddq_s32(e, vdupq_n_s32(127));
+        e = vshlq_n_s32(e, 23);
+        return {vreinterpretq_f32_s32(e)};
+    }
+};
+#endif // __ARM_NEON
+
+} // namespace
+
+} // namespace kernels
+} // namespace edkm
+
+#endif // EDKM_KERNELS_SIMD_H_

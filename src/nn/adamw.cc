@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "kernels/kernels.h"
 #include "runtime/runtime.h"
 #include "util/logging.h"
 
@@ -39,6 +40,22 @@ AdamW::step()
         EDKM_ASSERT(data.isContiguous() && data.dtype() == DType::kF32,
                     "AdamW: parameters must be contiguous f32");
         // Per-element state update: disjoint writes, parallel-safe.
+        if (g.isContiguous() && g.dtype() == DType::kF32) {
+            // Vectorized path: identical per-element formula to the
+            // fallback below (sqrt/div are IEEE-exact lanes).
+            const float *pg = g.rawData<const float>();
+            const kernels::KernelTable &kt = kernels::active();
+            runtime::parallelFor(
+                0, n,
+                runtime::grainForAligned(n, 8, kernels::kAccLanes),
+                [&](int64_t cb, int64_t ce) {
+                    kt.adamwStep(pd + cb, pm + cb, pv + cb, pg + cb,
+                                 ce - cb, config_.lr, config_.beta1,
+                                 config_.beta2, config_.eps,
+                                 config_.weightDecay, bc1, bc2);
+                });
+            continue;
+        }
         runtime::parallelFor(
             0, n, runtime::grainFor(n, 8), [&](int64_t cb, int64_t ce) {
                 for (int64_t j = cb; j < ce; ++j) {

@@ -147,6 +147,15 @@ grainFor(int64_t total, int64_t unit_cost)
 }
 
 int64_t
+grainForAligned(int64_t total, int64_t unit_cost, int64_t align)
+{
+    int64_t g = grainFor(total, unit_cost);
+    int64_t a = std::max<int64_t>(1, align);
+    g = (g + a - 1) / a * a;
+    return std::min(g, std::max<int64_t>(1, total));
+}
+
+int64_t
 coarseGrain(int64_t total, int64_t max_chunks, int64_t min_grain)
 {
     if (total <= 0) {

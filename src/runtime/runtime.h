@@ -146,6 +146,16 @@ parallelReduce(int64_t begin, int64_t end, int64_t grain, T init,
 int64_t grainFor(int64_t total, int64_t unit_cost = 1);
 
 /**
+ * grainFor rounded up to a multiple of @p align, so chunk boundaries of
+ * map-only loops land on vector-lane multiples and at most the final
+ * chunk runs a partial-lane tail. Still a pure function of its
+ * arguments. Only for loops without cross-chunk reductions: a different
+ * alignment changes the decomposition, which would change the combine
+ * order of a reduce.
+ */
+int64_t grainForAligned(int64_t total, int64_t unit_cost, int64_t align);
+
+/**
  * Grain bounding the decomposition of @p total elements to at most
  * @p max_chunks chunks of at least @p min_grain elements — for
  * reductions whose per-chunk scratch is expensive (private histograms

@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <functional>
 
 #include "device/device_manager.h"
+#include "kernels/kernels.h"
 #include "runtime/runtime.h"
 #include "util/logging.h"
 
@@ -13,28 +13,23 @@ namespace edkm {
 namespace {
 
 using runtime::grainFor;
+using runtime::grainForAligned;
 using runtime::parallelFor;
 using runtime::parallelReduce;
 
-/** Record @p flops of simulated compute on @p dev. */
-void
-recordFlops(double flops, Device dev)
-{
-    DeviceManager &mgr = DeviceManager::instance();
-    mgr.recordComputeSeconds(mgr.costModel().computeSeconds(flops, dev));
-}
+/** Contiguous-binary kernel signature from the dispatch table. */
+using BinKernel = void (*)(const float *, const float *, float *,
+                           int64_t);
 
+/**
+ * Apply a kernel/functor pair elementwise over a broadcast pair into a
+ * fresh tensor: the vector @p kern covers the contiguous same-shape fast
+ * path, the inlined scalar functor @p f the general broadcast walk (no
+ * std::function dispatch in either).
+ */
+template <typename F>
 Tensor
-toF32Contig(const Tensor &t)
-{
-    Tensor c = t.isContiguous() ? t : t.contiguous();
-    return c.dtype() == DType::kF32 ? c : c.to(DType::kF32);
-}
-
-/** Apply @p f elementwise over a broadcast pair into a fresh tensor. */
-Tensor
-binaryOp(const Tensor &a, const Tensor &b,
-         const std::function<float(float, float)> &f)
+binaryOp(const Tensor &a, const Tensor &b, BinKernel kern, const F &f)
 {
     Shape out_shape = broadcastShape(a.shape(), b.shape());
     Tensor out = Tensor::empty(out_shape, DType::kF32, a.device());
@@ -47,12 +42,11 @@ binaryOp(const Tensor &a, const Tensor &b,
 
     // Fast path: identical shapes.
     if (a.shape() == b.shape()) {
-        parallelFor(0, n, grainFor(n), [&](int64_t cb, int64_t ce) {
-            for (int64_t i = cb; i < ce; ++i) {
-                po[i] = f(pa[i], pb[i]);
-            }
-        });
-        recordFlops(static_cast<double>(n), a.device());
+        parallelFor(0, n, grainForAligned(n, 1, kernels::kAccLanes),
+                    [&](int64_t cb, int64_t ce) {
+                        kern(pa + cb, pb + cb, po + cb, ce - cb);
+                    });
+        chargeFlops(static_cast<double>(n), a.device());
         return out;
     }
 
@@ -97,13 +91,15 @@ binaryOp(const Tensor &a, const Tensor &b,
             }
         }
     });
-    recordFlops(static_cast<double>(n), a.device());
+    chargeFlops(static_cast<double>(n), a.device());
     return out;
 }
 
-/** Apply @p f elementwise into a fresh f32 tensor. */
+/** Apply the scalar functor @p f elementwise (cold ops with no vector
+ *  kernel: pow, log, reciprocal). */
+template <typename F>
 Tensor
-unaryOp(const Tensor &a, const std::function<float(float)> &f)
+unaryOp(const Tensor &a, const F &f)
 {
     Tensor out = Tensor::empty(a.shape(), DType::kF32, a.device());
     int64_t n = a.numel();
@@ -122,11 +118,55 @@ unaryOp(const Tensor &a, const std::function<float(float)> &f)
             }
         });
     }
-    recordFlops(static_cast<double>(n), a.device());
+    chargeFlops(static_cast<double>(n), a.device());
+    return out;
+}
+
+/**
+ * Apply a contiguous vector kernel elementwise. Non-contiguous or
+ * non-f32 inputs are compacted first (single fused pass) so every
+ * layout runs the same kernel — results never depend on strides.
+ */
+template <typename K>
+Tensor
+unaryKernelOp(const Tensor &a, const K &kern_call)
+{
+    Tensor ac = toF32Contig(a);
+    Tensor out = Tensor::empty(a.shape(), DType::kF32, a.device());
+    int64_t n = a.numel();
+    const float *pa = ac.rawData<const float>();
+    float *po = out.rawData<float>();
+    parallelFor(0, n, grainForAligned(n, 1, kernels::kAccLanes),
+                [&](int64_t cb, int64_t ce) {
+                    kern_call(pa + cb, po + cb, ce - cb);
+                });
+    chargeFlops(static_cast<double>(n), a.device());
     return out;
 }
 
 } // namespace
+
+Tensor
+toF32Contig(const Tensor &t)
+{
+    if (t.dtype() == DType::kF32) {
+        return t.isContiguous() ? t : t.contiguous();
+    }
+    if (t.isContiguous()) {
+        return t.to(DType::kF32);
+    }
+    // Strided read + dtype conversion fused into one pass (instead of a
+    // contiguous() copy followed by a full to(kF32) re-copy).
+    Tensor out = Tensor::empty(t.shape(), DType::kF32, t.device());
+    float *po = out.rawData<float>();
+    int64_t n = t.numel();
+    parallelFor(0, n, grainFor(n, 4), [&](int64_t cb, int64_t ce) {
+        for (int64_t i = cb; i < ce; ++i) {
+            po[i] = t.flatAt(i);
+        }
+    });
+    return out;
+}
 
 Shape
 broadcastShape(const Shape &a, const Shape &b)
@@ -148,37 +188,45 @@ broadcastShape(const Shape &a, const Shape &b)
 Tensor
 add(const Tensor &a, const Tensor &b)
 {
-    return binaryOp(a, b, [](float x, float y) { return x + y; });
+    return binaryOp(a, b, kernels::active().add,
+                    [](float x, float y) { return x + y; });
 }
 
 Tensor
 sub(const Tensor &a, const Tensor &b)
 {
-    return binaryOp(a, b, [](float x, float y) { return x - y; });
+    return binaryOp(a, b, kernels::active().sub,
+                    [](float x, float y) { return x - y; });
 }
 
 Tensor
 mul(const Tensor &a, const Tensor &b)
 {
-    return binaryOp(a, b, [](float x, float y) { return x * y; });
+    return binaryOp(a, b, kernels::active().mul,
+                    [](float x, float y) { return x * y; });
 }
 
 Tensor
 div(const Tensor &a, const Tensor &b)
 {
-    return binaryOp(a, b, [](float x, float y) { return x / y; });
+    return binaryOp(a, b, kernels::active().div,
+                    [](float x, float y) { return x / y; });
 }
 
 Tensor
 addScalar(const Tensor &a, float s)
 {
-    return unaryOp(a, [s](float x) { return x + s; });
+    const kernels::KernelTable &kt = kernels::active();
+    return unaryKernelOp(a, [&kt, s](const float *p, float *o,
+                                     int64_t n) { kt.offset(p, s, o, n); });
 }
 
 Tensor
 mulScalar(const Tensor &a, float s)
 {
-    return unaryOp(a, [s](float x) { return x * s; });
+    const kernels::KernelTable &kt = kernels::active();
+    return unaryKernelOp(a, [&kt, s](const float *p, float *o,
+                                     int64_t n) { kt.scale(p, s, o, n); });
 }
 
 Tensor
@@ -190,13 +238,19 @@ powScalar(const Tensor &a, float p)
 Tensor
 neg(const Tensor &a)
 {
-    return unaryOp(a, [](float x) { return -x; });
+    const kernels::KernelTable &kt = kernels::active();
+    return unaryKernelOp(a, [&kt](const float *p, float *o, int64_t n) {
+        kt.negate(p, o, n);
+    });
 }
 
 Tensor
 expT(const Tensor &a)
 {
-    return unaryOp(a, [](float x) { return std::exp(x); });
+    const kernels::KernelTable &kt = kernels::active();
+    return unaryKernelOp(a, [&kt](const float *p, float *o, int64_t n) {
+        kt.expv(p, o, n);
+    });
 }
 
 Tensor
@@ -208,19 +262,28 @@ logT(const Tensor &a)
 Tensor
 sqrtT(const Tensor &a)
 {
-    return unaryOp(a, [](float x) { return std::sqrt(x); });
+    const kernels::KernelTable &kt = kernels::active();
+    return unaryKernelOp(a, [&kt](const float *p, float *o, int64_t n) {
+        kt.sqrtv(p, o, n);
+    });
 }
 
 Tensor
 absT(const Tensor &a)
 {
-    return unaryOp(a, [](float x) { return std::fabs(x); });
+    const kernels::KernelTable &kt = kernels::active();
+    return unaryKernelOp(a, [&kt](const float *p, float *o, int64_t n) {
+        kt.absval(p, o, n);
+    });
 }
 
 Tensor
 square(const Tensor &a)
 {
-    return unaryOp(a, [](float x) { return x * x; });
+    const kernels::KernelTable &kt = kernels::active();
+    return unaryKernelOp(a, [&kt](const float *p, float *o, int64_t n) {
+        kt.squarev(p, o, n);
+    });
 }
 
 Tensor
@@ -232,35 +295,82 @@ reciprocal(const Tensor &a)
 Tensor
 clampT(const Tensor &a, float lo, float hi)
 {
-    return unaryOp(a, [lo, hi](float x) { return std::clamp(x, lo, hi); });
+    const kernels::KernelTable &kt = kernels::active();
+    return unaryKernelOp(a,
+                         [&kt, lo, hi](const float *p, float *o,
+                                       int64_t n) {
+                             kt.clampv(p, lo, hi, o, n);
+                         });
 }
 
 Tensor
 silu(const Tensor &a)
 {
-    return unaryOp(a, [](float x) { return x / (1.0f + std::exp(-x)); });
+    const kernels::KernelTable &kt = kernels::active();
+    return unaryKernelOp(a, [&kt](const float *p, float *o, int64_t n) {
+        kt.siluv(p, o, n);
+    });
 }
 
 Tensor
 relu(const Tensor &a)
 {
-    return unaryOp(a, [](float x) { return x > 0.0f ? x : 0.0f; });
+    const kernels::KernelTable &kt = kernels::active();
+    return unaryKernelOp(a, [&kt](const float *p, float *o, int64_t n) {
+        kt.reluv(p, o, n);
+    });
 }
 
 Tensor
 sigmoid(const Tensor &a)
 {
-    return unaryOp(a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); });
+    const kernels::KernelTable &kt = kernels::active();
+    return unaryKernelOp(a, [&kt](const float *p, float *o, int64_t n) {
+        kt.sigmoidv(p, o, n);
+    });
 }
 
 namespace {
 
-/** Core 2-D matmul on contiguous f32 buffers, parallel over rows of A
- *  (each output row is written by exactly one chunk). */
+/**
+ * Core 2-D matmul on contiguous f32 buffers. Shape-specialised onto the
+ * kernel layer: a blocked matvec for [m,k]x[k,1] (attention pooling,
+ * W~ = A*C), a chunk-reduced vecmat for [1,k]x[k,n], and an axpy-based
+ * row loop for the general case — all chunk-deterministic.
+ */
 void
 matmul2d(const float *a, const float *b, float *c, int64_t m, int64_t k,
          int64_t n)
 {
+    const kernels::KernelTable &kt = kernels::active();
+    if (n == 1) {
+        // Matvec: one fixed-lane dot per output row.
+        parallelFor(0, m, grainFor(m, 2 * k),
+                    [&](int64_t rb, int64_t re) {
+                        kt.matvec(a + rb * k, re - rb, k, b, c + rb);
+                    });
+        return;
+    }
+    if (m == 1) {
+        // Vecmat: chunks of the reduce dim accumulate private [n]
+        // partials, combined in chunk order (deterministic).
+        std::vector<float> acc = parallelReduce<std::vector<float>>(
+            0, k, grainFor(k, 2 * n),
+            std::vector<float>(static_cast<size_t>(n), 0.0f),
+            [&](int64_t cb, int64_t ce) {
+                std::vector<float> part(static_cast<size_t>(n), 0.0f);
+                kt.vecmat(a + cb, b + cb * n, ce - cb, n, part.data());
+                return part;
+            },
+            [](std::vector<float> x, std::vector<float> y) {
+                for (size_t j = 0; j < x.size(); ++j) {
+                    x[j] += y[j];
+                }
+                return x;
+            });
+        std::copy(acc.begin(), acc.end(), c);
+        return;
+    }
     parallelFor(0, m, grainFor(m, 2 * k * n), [&](int64_t rb, int64_t re) {
         std::fill(c + rb * n, c + re * n, 0.0f);
         for (int64_t i = rb; i < re; ++i) {
@@ -269,21 +379,10 @@ matmul2d(const float *a, const float *b, float *c, int64_t m, int64_t k,
                 if (av == 0.0f) {
                     continue;
                 }
-                const float *brow = b + p * n;
-                float *crow = c + i * n;
-                for (int64_t j = 0; j < n; ++j) {
-                    crow[j] += av * brow[j];
-                }
+                kt.axpy(b + p * n, av, c + i * n, n);
             }
         }
     });
-}
-
-Tensor
-asF32Contiguous(const Tensor &t)
-{
-    Tensor c = t.isContiguous() ? t : t.contiguous();
-    return c.dtype() == DType::kF32 ? c : c.to(DType::kF32);
 }
 
 } // namespace
@@ -292,8 +391,8 @@ Tensor
 matmul(const Tensor &a, const Tensor &b)
 {
     EDKM_CHECK(a.dim() >= 2 && b.dim() >= 2, "matmul: need >=2-d operands");
-    Tensor ac = asF32Contiguous(a);
-    Tensor bc = asF32Contiguous(b);
+    Tensor ac = toF32Contig(a);
+    Tensor bc = toF32Contig(b);
 
     if (ac.dim() == 2 && bc.dim() == 2) {
         int64_t m = ac.size(0), k = ac.size(1);
@@ -303,7 +402,7 @@ matmul(const Tensor &a, const Tensor &b)
         Tensor out = Tensor::empty({m, n}, DType::kF32, ac.device());
         matmul2d(ac.rawData<float>(), bc.rawData<float>(),
                  out.rawData<float>(), m, k, n);
-        recordFlops(2.0 * m * k * n, ac.device());
+        chargeFlops(2.0 * m * k * n, ac.device());
         return out;
     }
 
@@ -325,7 +424,7 @@ matmul(const Tensor &a, const Tensor &b)
         matmul2d(pa + i * m * k, b_batched ? pb + i * k * n : pb,
                  po + i * m * n, m, k, n);
     }
-    recordFlops(2.0 * bs * m * k * n, ac.device());
+    chargeFlops(2.0 * bs * m * k * n, ac.device());
     return out;
 }
 
@@ -361,7 +460,7 @@ sumAll(const Tensor &a)
             },
             combine);
     }
-    recordFlops(static_cast<double>(n), a.device());
+    chargeFlops(static_cast<double>(n), a.device());
     return Tensor::full({1}, static_cast<float>(acc), DType::kF32,
                         a.device());
 }
@@ -405,7 +504,7 @@ sumDim(const Tensor &a, int64_t d, bool keepdim)
                         }
                     }
                 });
-    recordFlops(static_cast<double>(a.numel()), a.device());
+    chargeFlops(static_cast<double>(a.numel()), a.device());
     return keepdim ? out : out.squeeze(d);
 }
 
@@ -446,7 +545,7 @@ maxLastDim(const Tensor &a)
                         indices.setFlatAtInt(r, best_i);
                     }
                 });
-    recordFlops(static_cast<double>(a.numel()), a.device());
+    chargeFlops(static_cast<double>(a.numel()), a.device());
     return {values, indices};
 }
 
@@ -461,31 +560,17 @@ softmaxLastDim(const Tensor &a)
 {
     int64_t cols = a.size(-1);
     int64_t rows = a.numel() / cols;
-    Tensor ac = asF32Contiguous(a);
+    Tensor ac = toF32Contig(a);
     Tensor out = Tensor::empty(a.shape(), DType::kF32, a.device());
     const float *pi = ac.rawData<float>();
     float *po = out.rawData<float>();
+    const kernels::KernelTable &kt = kernels::active();
     parallelFor(0, rows, grainFor(rows, 5 * cols),
                 [&](int64_t rb, int64_t re) {
-                    for (int64_t r = rb; r < re; ++r) {
-                        const float *row = pi + r * cols;
-                        float *orow = po + r * cols;
-                        float mx = row[0];
-                        for (int64_t c = 1; c < cols; ++c) {
-                            mx = std::max(mx, row[c]);
-                        }
-                        double denom = 0.0;
-                        for (int64_t c = 0; c < cols; ++c) {
-                            orow[c] = std::exp(row[c] - mx);
-                            denom += orow[c];
-                        }
-                        float inv = static_cast<float>(1.0 / denom);
-                        for (int64_t c = 0; c < cols; ++c) {
-                            orow[c] *= inv;
-                        }
-                    }
+                    kt.softmaxRows(pi + rb * cols, re - rb, cols,
+                                   po + rb * cols);
                 });
-    recordFlops(5.0 * static_cast<double>(a.numel()), a.device());
+    chargeFlops(5.0 * static_cast<double>(a.numel()), a.device());
     return out;
 }
 
@@ -494,7 +579,7 @@ logSoftmaxLastDim(const Tensor &a)
 {
     int64_t cols = a.size(-1);
     int64_t rows = a.numel() / cols;
-    Tensor ac = asF32Contiguous(a);
+    Tensor ac = toF32Contig(a);
     Tensor out = Tensor::empty(a.shape(), DType::kF32, a.device());
     const float *pi = ac.rawData<float>();
     float *po = out.rawData<float>();
@@ -518,7 +603,7 @@ logSoftmaxLastDim(const Tensor &a)
                         }
                     }
                 });
-    recordFlops(5.0 * static_cast<double>(a.numel()), a.device());
+    chargeFlops(5.0 * static_cast<double>(a.numel()), a.device());
     return out;
 }
 
@@ -529,7 +614,7 @@ gatherRows(const Tensor &table, const Tensor &indices)
     EDKM_CHECK(indices.dim() == 1, "gatherRows: indices must be 1-d");
     int64_t rows = table.size(0), cols = table.size(1);
     int64_t n = indices.numel();
-    Tensor tc = asF32Contiguous(table);
+    Tensor tc = toF32Contig(table);
     Tensor out = Tensor::empty({n, cols}, DType::kF32, table.device());
     const float *pt = tc.rawData<float>();
     float *po = out.rawData<float>();
@@ -541,7 +626,7 @@ gatherRows(const Tensor &table, const Tensor &indices)
             std::copy(pt + r * cols, pt + (r + 1) * cols, po + i * cols);
         }
     });
-    recordFlops(static_cast<double>(n * cols), table.device());
+    chargeFlops(static_cast<double>(n * cols), table.device());
     return out;
 }
 
@@ -552,7 +637,7 @@ scatterAddRows(const Tensor &src, const Tensor &indices, int64_t rows)
     EDKM_CHECK(indices.dim() == 1 && indices.numel() == src.size(0),
                "scatterAddRows: one index per src row");
     int64_t cols = src.size(1);
-    Tensor sc = asF32Contiguous(src);
+    Tensor sc = toF32Contig(src);
     Tensor out = Tensor::zeros({rows, cols}, DType::kF32, src.device());
     const float *ps = sc.rawData<float>();
     float *po = out.rawData<float>();
@@ -566,7 +651,7 @@ scatterAddRows(const Tensor &src, const Tensor &indices, int64_t rows)
             orow[c] += srow[c];
         }
     }
-    recordFlops(static_cast<double>(n * cols), src.device());
+    chargeFlops(static_cast<double>(n * cols), src.device());
     return out;
 }
 
@@ -589,7 +674,7 @@ cat0(const std::vector<Tensor> &parts)
     Tensor out = Tensor::empty(shape, DType::kF32, parts[0].device());
     int64_t written = 0;
     for (const Tensor &p : parts) {
-        Tensor pc = asF32Contiguous(p);
+        Tensor pc = toF32Contig(p);
         int64_t n = pc.numel();
         std::copy(pc.rawData<float>(), pc.rawData<float>() + n,
                   out.rawData<float>() + written);

@@ -118,6 +118,17 @@ void copyIntoView(Tensor view, const Tensor &src);
 Tensor broadcastTo(const Tensor &t, const Shape &shape);
 
 // ----------------------------------------------------------------------
+// Layout helpers
+// ----------------------------------------------------------------------
+
+/**
+ * @p t as a contiguous f32 tensor: a no-op view when it already is one,
+ * otherwise a single fused strided-read + dtype-convert pass (never the
+ * contiguous()-then-to(kF32) double copy).
+ */
+Tensor toF32Contig(const Tensor &t);
+
+// ----------------------------------------------------------------------
 // Comparisons / test helpers
 // ----------------------------------------------------------------------
 
