@@ -6,27 +6,35 @@
  * (actual payload + the size the same bits-per-weight implies for
  * LLaMA-7B, the paper's GB column).
  *
+ * Every scheme is driven by name through the unified compression API:
+ * a CompressionPlan resolved by the CompressorRegistry and executed by
+ * an api::Session (post-training schemes get a calibration batch,
+ * train-time schemes get the fine-tuning stream).
+ *
  * The paper's qualitative claims this must reproduce:
  *  - eDKM 3-bit has the smallest model size,
  *  - eDKM 3-bit beats the 3-bit quantisation baselines on average,
  *  - the fp16 model upper-bounds everything.
  *
+ * Emits machine-readable JSON to BENCH_table3.json (cwd) so CI can
+ * track accuracy/size per scheme across PRs.
+ *
  * Environment knobs: EDKM_T3_FAST=1 shrinks steps/items for smoke runs.
  */
 
 #include <cstdlib>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "api/plan.h"
+#include "api/session.h"
 #include "data/synthetic.h"
 #include "eval/compress.h"
 #include "eval/mc_harness.h"
 #include "eval/train.h"
-#include "quant/awq.h"
-#include "quant/gptq.h"
-#include "quant/smoothquant.h"
 
 using namespace edkm;
 
@@ -45,8 +53,7 @@ struct ResultRow
 {
     std::string method;
     std::string bits;
-    double sizeGb7B = 0.0;
-    int64_t sizeKib = 0;
+    eval::SizeReport size;
     std::vector<double> accuracies;
     double average = 0.0;
 };
@@ -83,8 +90,7 @@ evaluateRow(nn::MiniLlama &model, const data::ByteTokenizer &tok,
     ResultRow row;
     row.method = method;
     row.bits = bits;
-    row.sizeGb7B = size.projectedGb7B;
-    row.sizeKib = size.payloadBytes / 1024;
+    row.size = size;
     for (auto &[name, acc] : r.taskAccuracy) {
         (void)name;
         row.accuracies.push_back(acc);
@@ -109,8 +115,9 @@ printTable(const std::vector<eval::McTask> &suite,
     for (const ResultRow &r : rows) {
         std::cout << std::left << std::setw(13) << r.method
                   << std::setw(6) << r.bits << std::right << std::fixed
-                  << std::setw(8) << std::setprecision(2) << r.sizeGb7B
-                  << std::setw(8) << r.sizeKib;
+                  << std::setw(8) << std::setprecision(2)
+                  << r.size.projectedGb7B << std::setw(8)
+                  << r.size.payloadBytes / 1024;
         for (double a : r.accuracies) {
             std::cout << std::setw(8) << std::setprecision(1)
                       << 100.0 * a;
@@ -118,6 +125,38 @@ printTable(const std::vector<eval::McTask> &suite,
         std::cout << std::setw(8) << std::setprecision(1)
                   << 100.0 * r.average << "\n";
     }
+}
+
+void
+writeJson(const std::vector<eval::McTask> &suite,
+          const std::vector<ResultRow> &rows, bool smallest, bool beats,
+          bool upper)
+{
+    std::ofstream json("BENCH_table3.json");
+    json << "{\n  \"bench\": \"table3_accuracy\",\n  \"tasks\": [";
+    for (size_t i = 0; i < suite.size(); ++i) {
+        json << (i ? ", " : "") << "\"" << suite[i].name << "\"";
+    }
+    json << "],\n  \"rows\": [\n";
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const ResultRow &r = rows[i];
+        json << "    {\"method\": \"" << r.method << "\", \"bits\": \""
+             << r.bits << "\", \"size\": " << r.size.toJson()
+             << ", \"accuracies\": [";
+        for (size_t a = 0; a < r.accuracies.size(); ++a) {
+            json << (a ? ", " : "") << r.accuracies[a];
+        }
+        json << "], \"average\": " << r.average << "}"
+             << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    json << "  ],\n"
+         << "  \"edkm3_smallest\": " << (smallest ? "true" : "false")
+         << ",\n"
+         << "  \"edkm3_beats_3bit_baselines\": "
+         << (beats ? "true" : "false") << ",\n"
+         << "  \"fp16_upper_bound\": " << (upper ? "true" : "false")
+         << "\n}\n";
+    std::cout << "wrote BENCH_table3.json\n";
 }
 
 } // namespace
@@ -169,7 +208,7 @@ main()
 
     // Calibration batch for the post-training schemes.
     Rng crng(5);
-    data::LmBatch calib = data::SyntheticCorpus::sampleBatch(
+    data::LmBatch calib_batch = data::SyntheticCorpus::sampleBatch(
         pretrain_stream, 4, bp.seq, crng);
 
     eval::TrainConfig ft;
@@ -178,21 +217,48 @@ main()
     ft.seq = bp.seq;
     ft.optimizer.lr = 5e-4f;
 
+    // Every scheme runs by name through the registry: scheme + bits in,
+    // SizeReport out, model compressed in place.
+    api::Session session;
+    auto runPlan = [&](const api::CompressionPlan &plan,
+                       bool train_time) -> eval::SizeReport {
+        api::CalibData calib;
+        calib.tokens = calib_batch.tokens;
+        if (train_time) {
+            calib.trainStream = &alpaca_stream;
+            calib.trainConfig = ft;
+        } else {
+            calib.trainConfig.steps = 0;
+        }
+        api::SessionResult res =
+            session.run(model, plan, std::move(calib));
+        return res.report.size;
+    };
+
     std::vector<ResultRow> rows;
     auto progress = [](const std::string &s) {
         std::cout << s << "... " << std::flush;
     };
 
-    // --- fp16 reference ---
+    // --- fp16 reference (weights rounded to their deployed precision)
     progress("fp16");
-    rows.push_back(evaluateRow(model, tok, suite, "LLaMA-mini", "16",
-                               eval::fp16Size(model)));
+    {
+        api::CompressionPlan plan;
+        plan.scheme = "fp16";
+        eval::SizeReport size = runPlan(plan, /*train_time=*/false);
+        rows.push_back(
+            evaluateRow(model, tok, suite, "LLaMA-mini", "16", size));
+    }
 
     // --- RTN 4 / 3 bit ---
     for (int bits : {4, 3}) {
         progress("RTN" + std::to_string(bits));
         restoreWeights(model, base);
-        eval::SizeReport size = eval::applyRtn(model, bits, 16);
+        api::CompressionPlan plan;
+        plan.scheme = "rtn";
+        plan.bits = bits;
+        plan.groupSize = 16;
+        eval::SizeReport size = runPlan(plan, /*train_time=*/false);
         rows.push_back(evaluateRow(model, tok, suite, "RTN",
                                    std::to_string(bits), size));
     }
@@ -201,10 +267,11 @@ main()
     for (int bits : {4, 3}) {
         progress("GPTQ" + std::to_string(bits));
         restoreWeights(model, base);
-        quant::GptqConfig qc;
-        qc.bits = bits;
-        qc.groupSize = 16;
-        eval::SizeReport size = eval::applyGptq(model, calib.tokens, qc);
+        api::CompressionPlan plan;
+        plan.scheme = "gptq";
+        plan.bits = bits;
+        plan.groupSize = 16;
+        eval::SizeReport size = runPlan(plan, /*train_time=*/false);
         rows.push_back(evaluateRow(model, tok, suite, "GPTQ g16",
                                    std::to_string(bits), size));
     }
@@ -213,11 +280,12 @@ main()
     for (int bits : {4, 3}) {
         progress("AWQ" + std::to_string(bits));
         restoreWeights(model, base);
-        quant::AwqConfig ac;
-        ac.bits = bits;
-        ac.groupSize = 16;
-        ac.gridPoints = 10;
-        eval::SizeReport size = eval::applyAwq(model, calib.tokens, ac);
+        api::CompressionPlan plan;
+        plan.scheme = "awq";
+        plan.bits = bits;
+        plan.groupSize = 16;
+        plan.awqGridPoints = 10;
+        eval::SizeReport size = runPlan(plan, /*train_time=*/false);
         rows.push_back(evaluateRow(model, tok, suite, "AWQ g16",
                                    std::to_string(bits), size));
     }
@@ -226,9 +294,10 @@ main()
     progress("SmoothQuant");
     restoreWeights(model, base);
     {
-        quant::SmoothQuantConfig sc;
-        eval::SizeReport size =
-            eval::applySmoothQuant(model, calib.tokens, sc);
+        api::CompressionPlan plan;
+        plan.scheme = "smoothquant";
+        plan.bits = 8;
+        eval::SizeReport size = runPlan(plan, /*train_time=*/false);
         rows.push_back(evaluateRow(model, tok, suite, "SmoothQuant",
                                    "8", size));
     }
@@ -237,16 +306,11 @@ main()
     progress("LLM-QAT4");
     restoreWeights(model, base);
     {
-        eval::attachQat(model, 4, -1);
-        eval::trainLm(model, alpaca_stream, ft);
-        eval::SizeReport size = eval::qatSize(model, 4);
-        // Bake the quantisation in for evaluation.
-        for (auto &[name, linear] : model.allLinears()) {
-            (void)name;
-            linear->weight().mutableData() = quant::fakeQuantizeData(
-                linear->weight().data(), 4, -1);
-        }
-        eval::clearTransforms(model);
+        api::CompressionPlan plan;
+        plan.scheme = "qat";
+        plan.bits = 4;
+        plan.groupSize = -1; // per-channel, matching LLM-QAT
+        eval::SizeReport size = runPlan(plan, /*train_time=*/true);
         rows.push_back(
             evaluateRow(model, tok, suite, "LLM-QAT", "4", size));
     }
@@ -255,12 +319,12 @@ main()
     for (int bits : {3, 4}) {
         progress("eDKM" + std::to_string(bits));
         restoreWeights(model, base);
-        EdkmConfig ecfg;
-        ecfg.dkm.bits = bits;
-        ecfg.dkm.maxIters = 4;
-        auto layers = eval::attachEdkm(model, ecfg);
-        eval::trainLm(model, alpaca_stream, ft);
-        eval::SizeReport size = eval::freezeEdkm(model, layers, 8);
+        api::CompressionPlan plan;
+        plan.scheme = "edkm";
+        plan.bits = bits;
+        plan.dkmMaxIters = 4;
+        plan.embeddingBits = 8;
+        eval::SizeReport size = runPlan(plan, /*train_time=*/true);
         rows.push_back(evaluateRow(model, tok, suite, "eDKM",
                                    std::to_string(bits), size));
     }
@@ -280,27 +344,28 @@ main()
             if (r.method == "eDKM") edkm3 = &r;
         }
     }
+    bool smallest = false, beats = false, upper = false;
     std::cout << "\nshape checks vs paper:\n";
     if (edkm3 && rtn3 && gptq3 && awq3) {
         double best3 = std::max({rtn3->average, gptq3->average,
                                  awq3->average});
+        smallest = edkm3->size.projectedGb7B <=
+                   std::min({rtn3->size.projectedGb7B,
+                             gptq3->size.projectedGb7B,
+                             awq3->size.projectedGb7B});
+        beats = edkm3->average >= best3 - 1e-9;
+        upper = fp16.average >= edkm3->average - 0.05;
         std::cout << "  eDKM-3bit smallest model: "
-                  << (edkm3->sizeGb7B <=
-                              std::min({rtn3->sizeGb7B, gptq3->sizeGb7B,
-                                        awq3->sizeGb7B})
-                          ? "yes"
-                          : "NO")
-                  << " (" << std::setprecision(2) << edkm3->sizeGb7B
+                  << (smallest ? "yes" : "NO") << " ("
+                  << std::setprecision(2) << edkm3->size.projectedGb7B
                   << " GB@7B; paper 2.5 GB)\n";
         std::cout << "  eDKM-3bit avg >= best 3-bit baseline: "
-                  << (edkm3->average >= best3 - 1e-9 ? "yes" : "NO")
-                  << " (" << std::setprecision(1)
-                  << 100.0 * edkm3->average << " vs "
-                  << 100.0 * best3 << ")\n";
+                  << (beats ? "yes" : "NO") << " ("
+                  << std::setprecision(1) << 100.0 * edkm3->average
+                  << " vs " << 100.0 * best3 << ")\n";
         std::cout << "  fp16 upper bound holds: "
-                  << (fp16.average >= edkm3->average - 0.05 ? "yes"
-                                                            : "NO")
-                  << "\n";
+                  << (upper ? "yes" : "NO") << "\n";
     }
+    writeJson(suite, rows, smallest, beats, upper);
     return 0;
 }

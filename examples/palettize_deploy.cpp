@@ -1,21 +1,26 @@
 /**
  * @file
- * Deployment round trip: compress a trained model with eDKM, serialize
- * every palettized tensor to disk (the on-device artifact the paper
- * targets -- LUT + n-bit indices, the format mobile accelerators
- * consume), reload it into a fresh model, and verify the reloaded model
+ * Deployment round trip: compress a trained model with eDKM through
+ * the unified API, save the *whole model* as one ModelArtifact (the
+ * on-device artifact the paper targets — palettized LUT + n-bit
+ * indices per weight, plus raw payloads for everything else), reload
+ * it into a reconstructed model, and verify the reloaded model
  * generates identical text.
  *
- * Build & run:  ./build/examples/palettize_deploy
+ * Build & run:  ./build/example_palettize_deploy
+ * EDKM_EXAMPLE_FAST=1 shrinks steps for CI smoke runs.
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
+#include <string>
 #include <vector>
 
+#include "api/plan.h"
+#include "api/session.h"
 #include "autograd/variable.h"
 #include "data/synthetic.h"
-#include "eval/compress.h"
 #include "eval/train.h"
 #include "tensor/ops.h"
 
@@ -48,6 +53,8 @@ generate(nn::MiniLlama &model, const data::ByteTokenizer &tok,
 int
 main()
 {
+    bool fast = std::getenv("EDKM_EXAMPLE_FAST") != nullptr;
+
     nn::LlamaConfig cfg;
     cfg.vocab = 256;
     cfg.dim = 32;
@@ -56,62 +63,49 @@ main()
 
     data::SyntheticCorpus corpus(7);
     data::ByteTokenizer tok;
-    auto stream = corpus.buildStream(corpus.generate(800, 11), tok);
+    auto stream =
+        corpus.buildStream(corpus.generate(fast ? 300 : 800, 11), tok);
 
     // Train a model worth deploying.
     nn::MiniLlama model(cfg);
     eval::TrainConfig tc;
-    tc.steps = 200;
+    tc.steps = fast ? 60 : 200;
     tc.batch = 8;
     tc.seq = 48;
     tc.optimizer.lr = 3e-3f;
     std::cout << "training...\n";
     eval::trainLm(model, stream, tc);
 
-    // Compress with eDKM and freeze.
-    EdkmConfig ecfg;
-    ecfg.dkm.bits = 3;
-    ecfg.dkm.maxIters = 4;
-    auto layers = eval::attachEdkm(model, ecfg);
-    tc.steps = 60;
-    tc.optimizer.lr = 5e-4f;
-    eval::trainLm(model, stream, tc);
-    eval::SizeReport size = eval::freezeEdkm(model, layers, 8);
-    std::cout << "compressed to " << size.bitsPerWeight
+    // Compress with eDKM through the unified API: the plan declares
+    // the scheme, the session attaches/fine-tunes/freezes and owns the
+    // clustering layers for the whole run.
+    api::CompressionPlan plan;
+    plan.scheme = "edkm";
+    plan.bits = 3;
+    plan.dkmMaxIters = 4;
+    plan.embeddingBits = 8;
+
+    api::CalibData calib;
+    calib.trainStream = &stream;
+    calib.trainConfig = tc;
+    calib.trainConfig.steps = fast ? 20 : 60;
+    calib.trainConfig.optimizer.lr = 5e-4f;
+
+    api::Session session;
+    api::SessionResult res = session.run(model, plan, std::move(calib));
+    std::cout << "compressed to " << res.report.size.bitsPerWeight
               << " bits/weight\n";
 
-    // Serialize every linear weight as a palettized artifact.
-    std::vector<std::string> paths;
-    auto linears = model.allLinears();
-    for (size_t i = 0; i < linears.size(); ++i) {
-        // Weights are already on the centroid grid after freezing, so
-        // re-palettizing is exact.
-        PalettizedTensor p =
-            layers[i]->palettize(linears[i].second->weight().data());
-        std::string path =
-            "/tmp/edkm_deploy_" + std::to_string(i) + ".pal";
-        p.save(path);
-        paths.push_back(path);
-    }
-    std::cout << "wrote " << paths.size()
-              << " palettized tensors to /tmp\n";
+    // One file is the deployable artifact for the whole model.
+    std::string path = "/tmp/edkm_deploy.edkm";
+    res.artifact.save(path);
+    std::cout << "wrote " << path << " ("
+              << res.artifact.entries.size() << " tensor payloads)\n";
 
-    // Reload into a fresh (differently initialised) model.
-    nn::MiniLlama reloaded(cfg);
-    // Copy the non-palettized parameters (norms, embeddings) directly.
-    auto src_params = model.namedParameters();
-    auto dst_params = reloaded.namedParameters();
-    for (size_t i = 0; i < src_params.size(); ++i) {
-        dst_params[i].second.mutableData() =
-            src_params[i].second.data().clone();
-    }
-    // Overwrite linear weights from the serialized artifacts.
-    auto reload_linears = reloaded.allLinears();
-    for (size_t i = 0; i < reload_linears.size(); ++i) {
-        PalettizedTensor p = PalettizedTensor::load(paths[i]);
-        reload_linears[i].second->weight().mutableData() =
-            p.decompress();
-    }
+    // Reload and reconstruct a fresh model from the artifact alone.
+    api::ModelArtifact loaded = api::ModelArtifact::load(path);
+    nn::MiniLlama reloaded = loaded.reconstruct();
+    std::remove(path.c_str());
 
     // The reloaded model must generate identical text.
     std::string prompt = "Instruction: add 2 and 3\nResponse: ";
@@ -120,9 +114,5 @@ main()
     std::cout << "original : " << a << "\nreloaded : " << b << "\n"
               << (a == b ? "MATCH: deployment round trip is lossless\n"
                          : "MISMATCH\n");
-
-    for (const std::string &p : paths) {
-        std::remove(p.c_str());
-    }
     return a == b ? 0 : 1;
 }

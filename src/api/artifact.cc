@@ -1,0 +1,267 @@
+#include "api/artifact.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "core/palettize.h"
+#include "quant/affine.h"
+#include "util/half.h"
+#include "util/logging.h"
+#include "util/serial.h"
+
+namespace edkm {
+namespace api {
+
+std::string
+codecName(Codec codec)
+{
+    switch (codec) {
+      case Codec::kRawF32: return "raw_f32";
+      case Codec::kDenseF16: return "dense_f16";
+      case Codec::kPalettized: return "palettized";
+      case Codec::kAffine: return "affine";
+    }
+    return "unknown";
+}
+
+Tensor
+ArtifactEntry::decode() const
+{
+    int64_t n = 1;
+    for (int64_t d : shape) {
+        n *= d;
+    }
+    switch (codec) {
+      case Codec::kRawF32: {
+          EDKM_CHECK(static_cast<int64_t>(payload.size()) == n * 4,
+                     "artifact entry '", name, "': raw_f32 payload is ",
+                     payload.size(), " bytes, expected ", n * 4);
+          std::vector<float> vals(static_cast<size_t>(n));
+          std::memcpy(vals.data(), payload.data(), payload.size());
+          return Tensor::fromVector(vals, shape);
+      }
+      case Codec::kDenseF16: {
+          EDKM_CHECK(static_cast<int64_t>(payload.size()) == n * 2,
+                     "artifact entry '", name, "': dense_f16 payload is ",
+                     payload.size(), " bytes, expected ", n * 2);
+          std::vector<float> vals(static_cast<size_t>(n));
+          for (int64_t i = 0; i < n; ++i) {
+              uint16_t h;
+              std::memcpy(&h, payload.data() + i * 2, 2);
+              vals[static_cast<size_t>(i)] = fp16ToFloat(h);
+          }
+          return Tensor::fromVector(vals, shape);
+      }
+      case Codec::kPalettized: {
+          PalettizedTensor p = PalettizedTensor::deserialize(payload);
+          EDKM_CHECK(p.shape() == shape, "artifact entry '", name,
+                     "': palettized payload shape disagrees with the "
+                     "manifest");
+          return p.decompress();
+      }
+      case Codec::kAffine: {
+          quant::QuantizedMatrix q =
+              quant::QuantizedMatrix::deserialize(payload);
+          EDKM_CHECK(q.shape == shape, "artifact entry '", name,
+                     "': affine payload shape disagrees with the "
+                     "manifest");
+          return q.dequantize();
+      }
+    }
+    fatal("artifact entry '", name, "': unknown codec ",
+          static_cast<uint32_t>(codec));
+}
+
+ArtifactEntry
+encodeRawF32(const std::string &name, const Tensor &t)
+{
+    ArtifactEntry e;
+    e.name = name;
+    e.codec = Codec::kRawF32;
+    e.bits = 0;
+    e.shape = t.shape();
+    std::vector<float> vals = t.toVector();
+    e.payload.resize(vals.size() * 4);
+    std::memcpy(e.payload.data(), vals.data(), e.payload.size());
+    return e;
+}
+
+ArtifactEntry
+encodeDenseF16(const std::string &name, const Tensor &t, int bits)
+{
+    ArtifactEntry e;
+    e.name = name;
+    e.codec = Codec::kDenseF16;
+    e.bits = bits;
+    e.shape = t.shape();
+    std::vector<float> vals = t.toVector();
+    e.payload.resize(vals.size() * 2);
+    for (size_t i = 0; i < vals.size(); ++i) {
+        uint16_t h = floatToFp16(vals[i]);
+        std::memcpy(e.payload.data() + i * 2, &h, 2);
+    }
+    return e;
+}
+
+const ArtifactEntry &
+ModelArtifact::entry(const std::string &name) const
+{
+    for (const ArtifactEntry &e : entries) {
+        if (e.name == name) {
+            return e;
+        }
+    }
+    fatal("artifact: no entry for parameter '", name, "' (",
+          entries.size(), " entries present)");
+}
+
+int64_t
+ModelArtifact::payloadBytes() const
+{
+    int64_t total = 0;
+    for (const ArtifactEntry &e : entries) {
+        total += e.payloadBytes();
+    }
+    return total;
+}
+
+void
+ModelArtifact::restoreInto(nn::MiniLlama &model) const
+{
+    for (auto &[name, param] : model.namedParameters()) {
+        const ArtifactEntry &e = entry(name);
+        Tensor t = e.decode();
+        EDKM_CHECK(t.shape() == param.data().shape(), "artifact: entry '",
+                   name, "' shape disagrees with the model");
+        param.mutableData() = t;
+    }
+}
+
+nn::MiniLlama
+ModelArtifact::reconstruct() const
+{
+    nn::MiniLlama model(config);
+    restoreInto(model);
+    return model;
+}
+
+namespace {
+
+constexpr uint64_t kArtifactMagic = 0x314c444d4d4b4445ull; // "EDKMMDL1"
+
+} // namespace
+
+std::vector<uint8_t>
+ModelArtifact::serialize() const
+{
+    std::vector<uint8_t> buf;
+    serial::appendPod(buf, kArtifactMagic);
+    serial::appendString(buf, scheme);
+    serial::appendPod(buf, config.vocab);
+    serial::appendPod(buf, config.dim);
+    serial::appendPod(buf, config.heads);
+    serial::appendPod(buf, config.layers);
+    serial::appendPod(buf, config.hidden);
+    serial::appendPod(buf, config.seed);
+    serial::appendString(buf, size.scheme);
+    serial::appendPod(buf, size.payloadBytes);
+    serial::appendPod(buf, size.bitsPerWeight);
+    serial::appendPod(buf, size.projectedGb7B);
+    serial::appendPod(buf, static_cast<uint32_t>(entries.size()));
+    for (const ArtifactEntry &e : entries) {
+        serial::appendString(buf, e.name);
+        serial::appendPod(buf, static_cast<uint32_t>(e.codec));
+        serial::appendPod(buf, static_cast<int32_t>(e.bits));
+        serial::appendPod(buf, static_cast<uint32_t>(e.shape.size()));
+        for (int64_t d : e.shape) {
+            serial::appendPod(buf, d);
+        }
+        serial::appendBytes(buf, e.payload);
+    }
+    return buf;
+}
+
+ModelArtifact
+ModelArtifact::deserialize(const std::vector<uint8_t> &bytes)
+{
+    size_t at = 0;
+    EDKM_CHECK(serial::readPod<uint64_t>(bytes, at) == kArtifactMagic,
+               "ModelArtifact::deserialize: bad magic (not an eDKM "
+               "model artifact)");
+    ModelArtifact a;
+    a.scheme = serial::readString(bytes, at);
+    a.config.vocab = serial::readPod<int64_t>(bytes, at);
+    a.config.dim = serial::readPod<int64_t>(bytes, at);
+    a.config.heads = serial::readPod<int64_t>(bytes, at);
+    a.config.layers = serial::readPod<int64_t>(bytes, at);
+    a.config.hidden = serial::readPod<int64_t>(bytes, at);
+    a.config.seed = serial::readPod<uint64_t>(bytes, at);
+    EDKM_CHECK(a.config.vocab > 0 && a.config.dim > 0 &&
+                   a.config.heads > 0 && a.config.layers > 0 &&
+                   a.config.hidden >= 0,
+               "ModelArtifact::deserialize: bad model geometry");
+    a.size.scheme = serial::readString(bytes, at);
+    a.size.payloadBytes = serial::readPod<int64_t>(bytes, at);
+    a.size.bitsPerWeight = serial::readPod<double>(bytes, at);
+    a.size.projectedGb7B = serial::readPod<double>(bytes, at);
+    uint32_t n = serial::readPod<uint32_t>(bytes, at);
+    a.entries.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+        ArtifactEntry e;
+        e.name = serial::readString(bytes, at);
+        uint32_t codec = serial::readPod<uint32_t>(bytes, at);
+        EDKM_CHECK(codec <= static_cast<uint32_t>(Codec::kAffine),
+                   "ModelArtifact::deserialize: entry '", e.name,
+                   "' has unknown codec ", codec);
+        e.codec = static_cast<Codec>(codec);
+        e.bits = static_cast<int>(serial::readPod<int32_t>(bytes, at));
+        EDKM_CHECK(e.bits >= 0 && e.bits <= 32,
+                   "ModelArtifact::deserialize: entry '", e.name,
+                   "' has bad bits ", e.bits);
+        uint32_t rank = serial::readPod<uint32_t>(bytes, at);
+        EDKM_CHECK(rank >= 1 && rank <= 8,
+                   "ModelArtifact::deserialize: entry '", e.name,
+                   "' has bad rank ", rank);
+        e.shape.resize(rank);
+        int64_t elems = 1;
+        for (uint32_t d = 0; d < rank; ++d) {
+            e.shape[d] = serial::readPod<int64_t>(bytes, at);
+            EDKM_CHECK(e.shape[d] > 0,
+                       "ModelArtifact::deserialize: entry '", e.name,
+                       "' has bad dimension ", e.shape[d]);
+            EDKM_CHECK(elems <= (int64_t{1} << 48) / e.shape[d],
+                       "ModelArtifact::deserialize: entry '", e.name,
+                       "' element count overflows");
+            elems *= e.shape[d];
+        }
+        e.payload = serial::readBytes(bytes, at);
+        a.entries.push_back(std::move(e));
+    }
+    EDKM_CHECK(at == bytes.size(), "ModelArtifact::deserialize: ",
+               bytes.size() - at, " trailing bytes");
+    return a;
+}
+
+void
+ModelArtifact::save(const std::string &path) const
+{
+    std::vector<uint8_t> buf = serialize();
+    std::ofstream f(path, std::ios::binary);
+    EDKM_CHECK(f.good(), "artifact: cannot open ", path, " for writing");
+    f.write(reinterpret_cast<const char *>(buf.data()),
+            static_cast<std::streamsize>(buf.size()));
+    EDKM_CHECK(f.good(), "artifact: write to ", path, " failed");
+}
+
+ModelArtifact
+ModelArtifact::load(const std::string &path)
+{
+    std::ifstream f(path, std::ios::binary);
+    EDKM_CHECK(f.good(), "artifact: cannot open ", path);
+    std::vector<uint8_t> buf((std::istreambuf_iterator<char>(f)),
+                             std::istreambuf_iterator<char>());
+    return deserialize(buf);
+}
+
+} // namespace api
+} // namespace edkm

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Model-level compression artifact.
+ *
+ * A ModelArtifact is the whole-model counterpart of PalettizedTensor:
+ * a manifest (scheme, model geometry, accounting) plus one payload per
+ * parameter, each encoded with the codec its scheme produced
+ * (palettized LUT+indices, affine-quantised groups, dense FP16, or raw
+ * FP32 for parameters a plan left untouched). save/load round-trips
+ * the file bit-exactly, and reconstruct() rebuilds a MiniLlama whose
+ * weights are bit-identical to the in-memory model the compression run
+ * left behind: every codec decodes to exactly the tensor the adapter
+ * installed.
+ *
+ * The manifest's SizeReport is *accounting* (deployed bytes at the
+ * scheme's storage format); the container itself trades a few bytes
+ * for losslessness, e.g. skipped layers ship as raw FP32.
+ */
+
+#ifndef EDKM_API_ARTIFACT_H_
+#define EDKM_API_ARTIFACT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "eval/compress.h"
+#include "nn/transformer.h"
+#include "tensor/tensor.h"
+
+namespace edkm {
+namespace api {
+
+/** Payload encodings a ModelArtifact entry can use. */
+enum class Codec : uint32_t {
+    kRawF32 = 0,     ///< little-endian f32 stream (lossless)
+    kDenseF16 = 1,   ///< fp16 halfword stream (weights live on fp16 grid)
+    kPalettized = 2, ///< PalettizedTensor::serialize bytes
+    kAffine = 3,     ///< quant::QuantizedMatrix::serialize bytes
+};
+
+/** Human-readable codec tag ("raw_f32", "palettized", ...). */
+std::string codecName(Codec codec);
+
+/** One parameter's payload. */
+struct ArtifactEntry
+{
+    std::string name; ///< dotted parameter path ("blocks.0.attn.wq.weight")
+    Codec codec = Codec::kRawF32;
+    int bits = 0;  ///< nominal bits/weight (0 = uncompressed)
+    Shape shape;
+    std::vector<uint8_t> payload;
+
+    /** Decode the payload back to a dense f32 tensor. */
+    Tensor decode() const;
+
+    int64_t
+    payloadBytes() const
+    {
+        return static_cast<int64_t>(payload.size());
+    }
+};
+
+/** Encode helpers used by compressor adapters and the session. */
+ArtifactEntry encodeRawF32(const std::string &name, const Tensor &t);
+ArtifactEntry encodeDenseF16(const std::string &name, const Tensor &t,
+                             int bits);
+
+/** A compressed model: manifest + per-parameter payloads. */
+class ModelArtifact
+{
+  public:
+    ModelArtifact() = default;
+
+    std::string scheme;        ///< registry name that produced this
+    nn::LlamaConfig config;    ///< geometry needed to reconstruct
+    eval::SizeReport size;     ///< accounting (deployed format)
+    std::vector<ArtifactEntry> entries;
+
+    /** Entry for parameter @p name; throws FatalError when absent. */
+    const ArtifactEntry &entry(const std::string &name) const;
+
+    /** Total serialized payload bytes (excluding manifest strings). */
+    int64_t payloadBytes() const;
+
+    /**
+     * Rebuild a MiniLlama: construct at the manifest geometry, then
+     * install every parameter from its decoded payload. Throws when a
+     * parameter has no entry or shapes disagree.
+     */
+    nn::MiniLlama reconstruct() const;
+
+    /** Install the payloads into an existing compatible model. */
+    void restoreInto(nn::MiniLlama &model) const;
+
+    /** Binary serialisation (stable little-endian format). */
+    std::vector<uint8_t> serialize() const;
+    static ModelArtifact deserialize(const std::vector<uint8_t> &bytes);
+
+    /** File convenience wrappers around (de)serialize. */
+    void save(const std::string &path) const;
+    static ModelArtifact load(const std::string &path);
+};
+
+} // namespace api
+} // namespace edkm
+
+#endif // EDKM_API_ARTIFACT_H_

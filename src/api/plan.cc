@@ -1,0 +1,317 @@
+#include "api/plan.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace edkm {
+namespace api {
+
+bool
+globMatch(const std::string &pattern, const std::string &path)
+{
+    // Iterative two-pointer glob with backtracking to the last `*`.
+    size_t p = 0, s = 0;
+    size_t star = std::string::npos, mark = 0;
+    while (s < path.size()) {
+        if (p < pattern.size() &&
+            (pattern[p] == '?' || pattern[p] == path[s])) {
+            ++p;
+            ++s;
+        } else if (p < pattern.size() && pattern[p] == '*') {
+            star = p++;
+            mark = s;
+        } else if (star != std::string::npos) {
+            p = star + 1;
+            s = ++mark;
+        } else {
+            return false;
+        }
+    }
+    while (p < pattern.size() && pattern[p] == '*') {
+        ++p;
+    }
+    return p == pattern.size();
+}
+
+const LayerSpec &
+LayerSelection::specFor(const std::string &path) const
+{
+    for (const LayerSpec &spec : layers) {
+        if (spec.path == path) {
+            return spec;
+        }
+    }
+    fatal("LayerSelection: no spec for layer '", path, "'");
+}
+
+size_t
+LayerSelection::compressedCount() const
+{
+    size_t n = 0;
+    for (const LayerSpec &spec : layers) {
+        n += spec.skip ? 0 : 1;
+    }
+    return n;
+}
+
+namespace {
+
+void
+checkBits(int bits, const std::string &what)
+{
+    EDKM_CHECK(bits >= 1 && bits <= 16, "plan: ", what, " must be in "
+               "[1, 16], got ", bits);
+}
+
+} // namespace
+
+void
+CompressionPlan::validate() const
+{
+    EDKM_CHECK(!scheme.empty(), "plan: scheme must not be empty");
+    checkBits(bits, "bits");
+    checkBits(embeddingBits, "embedding_bits");
+    EDKM_CHECK(groupSize != 0,
+               "plan: group_size must be positive (or negative for "
+               "per-channel), not 0");
+    EDKM_CHECK(awqGridPoints >= 1, "plan: awq_grid_points must be >= 1");
+    EDKM_CHECK(smoothAlpha >= 0.0f && smoothAlpha <= 1.0f,
+               "plan: smooth_alpha must be in [0, 1]");
+    EDKM_CHECK(gptqPercdamp >= 0.0f && gptqPercdamp < 1.0f,
+               "plan: gptq_percdamp must be in [0, 1)");
+    EDKM_CHECK(dkmMaxIters >= 1, "plan: dkm_max_iters must be >= 1");
+    for (size_t i = 0; i < rules.size(); ++i) {
+        const PlanRule &r = rules[i];
+        EDKM_CHECK(!r.pattern.empty(), "plan: rule ", i + 1,
+                   " has an empty pattern");
+        if (!r.skip) {
+            EDKM_CHECK(r.bits != 0 || r.groupSize != 0, "plan: rule ",
+                       i + 1, " ('", r.pattern, "') overrides nothing: "
+                       "give bits=N, group_size=N, or skip");
+        }
+        if (r.bits != 0) {
+            checkBits(r.bits, "rule '" + r.pattern + "' bits");
+        }
+    }
+}
+
+LayerSelection
+CompressionPlan::resolve(const std::vector<std::string> &paths) const
+{
+    validate();
+    LayerSelection sel;
+    sel.layers.reserve(paths.size());
+    for (const std::string &path : paths) {
+        LayerSpec spec;
+        spec.path = path;
+        spec.bits = bits;
+        spec.groupSize = groupSize;
+        for (const PlanRule &r : rules) { // ordered: later rules win
+            if (!globMatch(r.pattern, path)) {
+                continue;
+            }
+            spec.skip = r.skip;
+            if (r.bits != 0) {
+                spec.bits = r.bits;
+            }
+            if (r.groupSize != 0) {
+                spec.groupSize = r.groupSize;
+            }
+        }
+        sel.layers.push_back(std::move(spec));
+    }
+    return sel;
+}
+
+namespace {
+
+constexpr const char *kHeader = "# edkm-plan v1";
+
+std::vector<std::string>
+splitWs(const std::string &line)
+{
+    std::vector<std::string> out;
+    std::istringstream iss(line);
+    std::string tok;
+    while (iss >> tok) {
+        out.push_back(tok);
+    }
+    return out;
+}
+
+int
+parseInt(const std::string &s, int lineno, const std::string &key)
+{
+    try {
+        size_t used = 0;
+        int v = std::stoi(s, &used);
+        EDKM_CHECK(used == s.size(), "plan line ", lineno, ": '", s,
+                   "' is not an integer (for ", key, ")");
+        return v;
+    } catch (const std::invalid_argument &) {
+        fatal("plan line ", lineno, ": '", s, "' is not an integer (for ",
+              key, ")");
+    } catch (const std::out_of_range &) {
+        fatal("plan line ", lineno, ": '", s, "' is out of range (for ",
+              key, ")");
+    }
+}
+
+float
+parseFloat(const std::string &s, int lineno, const std::string &key)
+{
+    try {
+        size_t used = 0;
+        float v = std::stof(s, &used);
+        EDKM_CHECK(used == s.size(), "plan line ", lineno, ": '", s,
+                   "' is not a number (for ", key, ")");
+        return v;
+    } catch (const std::invalid_argument &) {
+        fatal("plan line ", lineno, ": '", s, "' is not a number (for ",
+              key, ")");
+    } catch (const std::out_of_range &) {
+        fatal("plan line ", lineno, ": '", s, "' is out of range (for ",
+              key, ")");
+    }
+}
+
+PlanRule
+parseRule(const std::vector<std::string> &toks, int lineno)
+{
+    // rule <pattern> [skip] [bits=N] [group_size=N]
+    EDKM_CHECK(toks.size() >= 3, "plan line ", lineno,
+               ": rule needs a pattern and at least one directive "
+               "(skip, bits=N, group_size=N)");
+    PlanRule r;
+    r.pattern = toks[1];
+    for (size_t i = 2; i < toks.size(); ++i) {
+        const std::string &t = toks[i];
+        size_t eq = t.find('=');
+        if (t == "skip") {
+            r.skip = true;
+        } else if (eq != std::string::npos) {
+            std::string key = t.substr(0, eq);
+            std::string val = t.substr(eq + 1);
+            if (key == "bits") {
+                r.bits = parseInt(val, lineno, "bits");
+            } else if (key == "group_size") {
+                r.groupSize = parseInt(val, lineno, "group_size");
+            } else {
+                fatal("plan line ", lineno, ": unknown rule directive '",
+                      key, "' (accepted: skip, bits, group_size)");
+            }
+        } else {
+            fatal("plan line ", lineno, ": unknown rule directive '", t,
+                  "' (accepted: skip, bits=N, group_size=N)");
+        }
+    }
+    return r;
+}
+
+} // namespace
+
+std::string
+CompressionPlan::toText() const
+{
+    std::ostringstream oss;
+    oss << kHeader << "\n"
+        << "scheme " << scheme << "\n"
+        << "bits " << bits << "\n"
+        << "group_size " << groupSize << "\n"
+        << "embedding_bits " << embeddingBits << "\n"
+        << "awq_grid_points " << awqGridPoints << "\n"
+        << "smooth_alpha " << smoothAlpha << "\n"
+        << "gptq_percdamp " << gptqPercdamp << "\n"
+        << "dkm_max_iters " << dkmMaxIters << "\n";
+    for (const PlanRule &r : rules) {
+        oss << "rule " << r.pattern;
+        if (r.skip) {
+            oss << " skip";
+        }
+        if (r.bits != 0) {
+            oss << " bits=" << r.bits;
+        }
+        if (r.groupSize != 0) {
+            oss << " group_size=" << r.groupSize;
+        }
+        oss << "\n";
+    }
+    return oss.str();
+}
+
+CompressionPlan
+CompressionPlan::fromText(const std::string &text)
+{
+    CompressionPlan plan;
+    plan.scheme.clear(); // must be set explicitly by the file
+    std::istringstream iss(text);
+    std::string line;
+    int lineno = 0;
+    while (std::getline(iss, line)) {
+        ++lineno;
+        if (!line.empty() && line.back() == '\r') {
+            line.pop_back();
+        }
+        std::vector<std::string> toks = splitWs(line);
+        if (toks.empty() || toks[0][0] == '#') {
+            continue;
+        }
+        const std::string &key = toks[0];
+        if (key == "rule") {
+            plan.rules.push_back(parseRule(toks, lineno));
+            continue;
+        }
+        EDKM_CHECK(toks.size() == 2, "plan line ", lineno, ": expected '",
+                   key, " <value>', got ", toks.size() - 1, " values");
+        const std::string &val = toks[1];
+        if (key == "scheme") {
+            plan.scheme = val;
+        } else if (key == "bits") {
+            plan.bits = parseInt(val, lineno, key);
+        } else if (key == "group_size") {
+            plan.groupSize = parseInt(val, lineno, key);
+        } else if (key == "embedding_bits") {
+            plan.embeddingBits = parseInt(val, lineno, key);
+        } else if (key == "awq_grid_points") {
+            plan.awqGridPoints = parseInt(val, lineno, key);
+        } else if (key == "smooth_alpha") {
+            plan.smoothAlpha = parseFloat(val, lineno, key);
+        } else if (key == "gptq_percdamp") {
+            plan.gptqPercdamp = parseFloat(val, lineno, key);
+        } else if (key == "dkm_max_iters") {
+            plan.dkmMaxIters = parseInt(val, lineno, key);
+        } else {
+            fatal("plan line ", lineno, ": unknown key '", key,
+                  "' (accepted: scheme, bits, group_size, "
+                  "embedding_bits, awq_grid_points, smooth_alpha, "
+                  "gptq_percdamp, dkm_max_iters, rule)");
+        }
+    }
+    EDKM_CHECK(!plan.scheme.empty(),
+               "plan: missing required 'scheme <name>' line");
+    plan.validate();
+    return plan;
+}
+
+void
+CompressionPlan::save(const std::string &path) const
+{
+    std::ofstream f(path);
+    EDKM_CHECK(f.good(), "plan: cannot open ", path, " for writing");
+    f << toText();
+}
+
+CompressionPlan
+CompressionPlan::load(const std::string &path)
+{
+    std::ifstream f(path);
+    EDKM_CHECK(f.good(), "plan: cannot open ", path);
+    std::ostringstream oss;
+    oss << f.rdbuf();
+    return fromText(oss.str());
+}
+
+} // namespace api
+} // namespace edkm

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Declarative compression plans.
+ *
+ * A CompressionPlan names a scheme (resolved through the
+ * CompressorRegistry) and its default knobs, plus an ordered list of
+ * per-layer override rules matched by glob pattern against the dotted
+ * module path of each Linear (e.g. `*.attn.wq` -> 4 bits, `lm_head` ->
+ * skip). Rules are applied in order, so a later rule overrides an
+ * earlier one for layers both match.
+ *
+ * Plans serialise to a small line-oriented text format so they can live
+ * next to checkpoints:
+ *
+ *     # edkm-plan v1
+ *     scheme edkm
+ *     bits 3
+ *     group_size 16
+ *     embedding_bits 8
+ *     rule *.attn.wq bits=4
+ *     rule lm_head skip
+ *
+ * Parsing and validate() fail with actionable errors (line numbers,
+ * offending token, accepted values).
+ */
+
+#ifndef EDKM_API_PLAN_H_
+#define EDKM_API_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace edkm {
+namespace api {
+
+/** Glob match: `*` = any run (including empty), `?` = any one char. */
+bool globMatch(const std::string &pattern, const std::string &path);
+
+/** One per-layer override, matched by glob on the module path. */
+struct PlanRule
+{
+    std::string pattern;   ///< glob over dotted module paths
+    bool skip = false;     ///< leave matching layers uncompressed
+    int bits = 0;          ///< 0 = inherit the plan default
+    int64_t groupSize = 0; ///< 0 = inherit the plan default
+};
+
+/** Resolved per-layer directive (output of CompressionPlan::resolve). */
+struct LayerSpec
+{
+    std::string path; ///< dotted module path ("blocks.0.attn.wq")
+    bool skip = false;
+    int bits = 4;
+    int64_t groupSize = 16;
+};
+
+/** Ordered, fully resolved selection for one model. */
+struct LayerSelection
+{
+    std::vector<LayerSpec> layers; ///< same order as model.allLinears()
+
+    /** Spec for @p path; throws FatalError when absent. */
+    const LayerSpec &specFor(const std::string &path) const;
+
+    /** Number of non-skipped layers. */
+    size_t compressedCount() const;
+};
+
+/** Declarative description of one whole-model compression run. */
+struct CompressionPlan
+{
+    std::string scheme = "rtn"; ///< CompressorRegistry name
+    int bits = 4;               ///< default bits/weight for Linears
+    int64_t groupSize = 16;     ///< affine group size (<=0 per-channel)
+    int embeddingBits = 8;      ///< eDKM embedding palettization bits
+
+    // Scheme-specific knobs (ignored by schemes that don't use them).
+    int awqGridPoints = 10; ///< AWQ alpha grid resolution
+    float smoothAlpha = 0.5f; ///< SmoothQuant migration strength
+    float gptqPercdamp = 0.01f; ///< GPTQ Hessian dampening fraction
+    int dkmMaxIters = 4;    ///< DKM/eDKM clustering iterations
+
+    std::vector<PlanRule> rules; ///< ordered; later rules win
+
+    /**
+     * Check internal consistency (bits ranges, group sizes, non-empty
+     * patterns). Does not check the scheme name: that needs the
+     * registry, and Session::run / CompressorRegistry::create report
+     * unknown schemes with the list of known ones.
+     */
+    void validate() const;
+
+    /** Resolve against the module paths of a model's Linears. */
+    LayerSelection resolve(const std::vector<std::string> &paths) const;
+
+    /** Text round trip (format documented in the file header). */
+    std::string toText() const;
+    static CompressionPlan fromText(const std::string &text);
+
+    /** File convenience wrappers around the text format. */
+    void save(const std::string &path) const;
+    static CompressionPlan load(const std::string &path);
+};
+
+} // namespace api
+} // namespace edkm
+
+#endif // EDKM_API_PLAN_H_

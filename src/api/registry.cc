@@ -1,0 +1,85 @@
+#include "api/registry.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace edkm {
+namespace api {
+
+CompressorRegistry &
+CompressorRegistry::instance()
+{
+    static CompressorRegistry *registry = [] {
+        auto *r = new CompressorRegistry();
+        detail::registerBuiltins(*r);
+        return r;
+    }();
+    return *registry;
+}
+
+void
+CompressorRegistry::registerFactory(const std::string &name,
+                                    Factory factory)
+{
+    EDKM_CHECK(!name.empty(), "registry: scheme name must not be empty");
+    EDKM_CHECK(factory != nullptr, "registry: null factory for '", name,
+               "'");
+    for (auto &[existing, f] : factories_) {
+        if (existing == name) {
+            f = std::move(factory);
+            return;
+        }
+    }
+    factories_.emplace_back(name, std::move(factory));
+}
+
+bool
+CompressorRegistry::contains(const std::string &name) const
+{
+    for (const auto &[existing, f] : factories_) {
+        (void)f;
+        if (existing == name) {
+            return true;
+        }
+    }
+    return false;
+}
+
+std::vector<std::string>
+CompressorRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(factories_.size());
+    for (const auto &[name, f] : factories_) {
+        (void)f;
+        out.push_back(name);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::unique_ptr<Compressor>
+CompressorRegistry::create(const std::string &name,
+                           const CompressionPlan &plan) const
+{
+    for (const auto &[existing, factory] : factories_) {
+        if (existing == name) {
+            std::unique_ptr<Compressor> c = factory(plan);
+            EDKM_CHECK(c != nullptr, "registry: factory for '", name,
+                       "' returned null");
+            return c;
+        }
+    }
+    std::ostringstream known;
+    std::vector<std::string> all = names();
+    for (size_t i = 0; i < all.size(); ++i) {
+        known << (i ? ", " : "") << all[i];
+    }
+    fatal("registry: unknown compression scheme '", name,
+          "' (known schemes: ", known.str(), ")");
+}
+
+} // namespace api
+} // namespace edkm

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * String -> factory registry of compression schemes.
+ *
+ * Examples, benches and tests construct schemes by name
+ * (`CompressorRegistry::instance().create("edkm", plan)`), so new
+ * schemes plug in without new entry points. The built-in seven (fp16,
+ * rtn, gptq, awq, smoothquant, qat, edkm — plus the dkm variant) are
+ * registered on first use; unknown names fail with the list of known
+ * ones.
+ */
+
+#ifndef EDKM_API_REGISTRY_H_
+#define EDKM_API_REGISTRY_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/compressor.h"
+#include "api/plan.h"
+
+namespace edkm {
+namespace api {
+
+/** Registry of scheme factories, keyed by scheme name. */
+class CompressorRegistry
+{
+  public:
+    using Factory =
+        std::function<std::unique_ptr<Compressor>(const CompressionPlan &)>;
+
+    /** Process-wide registry with the built-in schemes registered. */
+    static CompressorRegistry &instance();
+
+    /**
+     * Register @p factory under @p name. Re-registering a name
+     * replaces the factory (lets tests stub schemes).
+     */
+    void registerFactory(const std::string &name, Factory factory);
+
+    /** True when @p name is registered. */
+    bool contains(const std::string &name) const;
+
+    /** Sorted names of every registered scheme. */
+    std::vector<std::string> names() const;
+
+    /**
+     * Construct the scheme @p name configured by @p plan. Throws
+     * FatalError naming the known schemes when @p name is unknown.
+     */
+    std::unique_ptr<Compressor> create(const std::string &name,
+                                       const CompressionPlan &plan) const;
+
+    /** Convenience: create(plan.scheme, plan). */
+    std::unique_ptr<Compressor>
+    create(const CompressionPlan &plan) const
+    {
+        return create(plan.scheme, plan);
+    }
+
+  private:
+    std::vector<std::pair<std::string, Factory>> factories_;
+};
+
+namespace detail {
+
+/** Defined in compressors.cc: registers the built-in schemes. */
+void registerBuiltins(CompressorRegistry &registry);
+
+} // namespace detail
+
+} // namespace api
+} // namespace edkm
+
+#endif // EDKM_API_REGISTRY_H_

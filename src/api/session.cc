@@ -1,0 +1,155 @@
+#include "api/session.h"
+
+#include <utility>
+
+#include "api/registry.h"
+#include "autograd/node.h"
+#include "runtime/runtime.h"
+#include "util/logging.h"
+
+namespace edkm {
+namespace api {
+
+namespace {
+
+/**
+ * Clear every Linear's weight transform and calibration-capture flag:
+ * an interrupted run must leave no transforms behind and no layers
+ * silently retaining every future forward's input activations.
+ */
+void
+clearTransientLayerState(nn::MiniLlama &model)
+{
+    for (auto &[path, linear] : model.allLinears()) {
+        (void)path;
+        linear->setWeightTransform(nullptr);
+        linear->setCaptureInputs(false);
+    }
+}
+
+/** Clone every parameter (cancel rollback snapshot). */
+std::vector<Tensor>
+snapshotParameters(nn::MiniLlama &model)
+{
+    std::vector<Tensor> snap;
+    for (auto &[name, p] : model.namedParameters()) {
+        (void)name;
+        snap.push_back(p.data().clone());
+    }
+    return snap;
+}
+
+void
+restoreParameters(nn::MiniLlama &model, const std::vector<Tensor> &snap)
+{
+    auto params = model.namedParameters();
+    EDKM_CHECK(params.size() == snap.size(),
+               "session: snapshot/model parameter count mismatch");
+    for (size_t i = 0; i < params.size(); ++i) {
+        params[i].second.mutableData() = snap[i].clone();
+        params[i].second.zeroGrad();
+    }
+}
+
+/** RAII: override the runtime thread count for the run's duration. */
+class ThreadCountScope
+{
+  public:
+    explicit ThreadCountScope(int threads) : active_(threads > 0)
+    {
+        if (active_) {
+            previous_ = runtime::Runtime::instance().threadCount();
+            runtime::Runtime::instance().setThreadCount(threads);
+        }
+    }
+
+    ~ThreadCountScope()
+    {
+        if (active_) {
+            runtime::Runtime::instance().setThreadCount(previous_);
+        }
+    }
+
+  private:
+    bool active_;
+    int previous_ = 0;
+};
+
+} // namespace
+
+Session::Session(SessionConfig config) : config_(std::move(config)) {}
+
+SessionResult
+Session::run(nn::MiniLlama &model, const CompressionPlan &plan,
+             CalibData calib)
+{
+    plan.validate();
+    compressor_ = CompressorRegistry::instance().create(plan);
+
+    std::vector<std::string> paths;
+    for (auto &[path, linear] : model.allLinears()) {
+        (void)linear;
+        paths.push_back(path);
+    }
+    LayerSelection selection = plan.resolve(paths);
+
+    // Wire the session's plumbing into the run.
+    if (config_.onProgress) {
+        calib.progress = config_.onProgress;
+    }
+    if (config_.cancel != nullptr) {
+        calib.cancel = config_.cancel;
+    }
+
+    std::vector<Tensor> snapshot;
+    if (config_.restoreOnCancel) {
+        snapshot = snapshotParameters(model);
+    }
+
+    SessionResult result;
+    try {
+        ThreadCountScope threads(config_.threads);
+        if (config_.offloadSaved) {
+            MarshalContext ctx(config_.marshal);
+            SavedTensorHooksGuard guard(&ctx);
+            result.report = compressor_->compress(model, calib, selection);
+        } else {
+            result.report = compressor_->compress(model, calib, selection);
+        }
+    } catch (const CancelledError &) {
+        clearTransientLayerState(model);
+        if (config_.restoreOnCancel) {
+            restoreParameters(model, snapshot);
+        }
+        result.cancelled = true;
+        return result;
+    } catch (...) {
+        // Leave no dangling transforms/capture flags behind a failure.
+        clearTransientLayerState(model);
+        throw;
+    }
+
+    // Assemble the whole-model artifact: compressor payloads plus a
+    // lossless raw entry for every parameter the scheme left alone.
+    result.artifact.scheme = plan.scheme;
+    result.artifact.config = model.config();
+    result.artifact.size = result.report.size;
+    result.artifact.entries = result.report.entries;
+    for (auto &[name, param] : model.namedParameters()) {
+        bool covered = false;
+        for (const ArtifactEntry &e : result.artifact.entries) {
+            if (e.name == name) {
+                covered = true;
+                break;
+            }
+        }
+        if (!covered) {
+            result.artifact.entries.push_back(
+                encodeRawF32(name, param.data()));
+        }
+    }
+    return result;
+}
+
+} // namespace api
+} // namespace edkm

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Session: executes a CompressionPlan against a model.
+ *
+ * The one-stop runner behind examples/benches: resolves the plan's
+ * scheme through the CompressorRegistry, resolves per-layer overrides
+ * against the model's Linears, wires progress callbacks, cooperative
+ * cancellation, the runtime thread pool, and (optionally) a
+ * MarshalContext for train-time saved-tensor offload, then assembles
+ * the whole-model artifact. On cancellation the model is rolled back:
+ * weights restored from a pre-run snapshot and every weight transform
+ * cleared, so a cancelled run leaves the model untransformed.
+ *
+ *     api::Session session;
+ *     api::SessionResult res = session.run(model, plan, calib);
+ *     res.artifact.save("model.edkm");
+ */
+
+#ifndef EDKM_API_SESSION_H_
+#define EDKM_API_SESSION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/artifact.h"
+#include "api/compressor.h"
+#include "api/plan.h"
+#include "marshal/marshal.h"
+#include "nn/transformer.h"
+
+namespace edkm {
+namespace api {
+
+/** Session knobs (all optional). */
+struct SessionConfig
+{
+    /** Per-layer/stage progress callback. */
+    ProgressFn onProgress;
+
+    /** Cooperative cancellation; owned by the caller. */
+    const CancelToken *cancel = nullptr;
+
+    /** Thread-pool size for the run; 0 keeps the current setting. */
+    int threads = 0;
+
+    /**
+     * Install a MarshalContext (saved-tensor CPU offload, §2.1) for
+     * the duration of the run — effective for train-time schemes.
+     */
+    bool offloadSaved = false;
+    MarshalConfig marshal;
+
+    /** Snapshot weights before the run and roll back on cancel. */
+    bool restoreOnCancel = true;
+};
+
+/** Outcome of Session::run. */
+struct SessionResult
+{
+    bool cancelled = false;     ///< run was cancelled and rolled back
+    CompressionReport report;   ///< accounting + per-layer payloads
+    ModelArtifact artifact;     ///< empty when cancelled
+};
+
+/** Plan executor. */
+class Session
+{
+  public:
+    explicit Session(SessionConfig config = SessionConfig{});
+
+    /**
+     * Execute @p plan on @p model: validate, resolve the scheme and
+     * the per-layer selection, compress, and assemble the artifact
+     * (per-layer payloads from the compressor plus lossless raw
+     * entries for every untouched parameter).
+     *
+     * On cancellation (config.cancel observed mid-run) the model is
+     * restored and `result.cancelled` is true. Configuration errors
+     * (unknown scheme, invalid plan, missing calibration data) throw
+     * FatalError.
+     */
+    SessionResult run(nn::MiniLlama &model, const CompressionPlan &plan,
+                      CalibData calib);
+
+    const SessionConfig &config() const { return config_; }
+
+    /**
+     * The compressor of the last run; kept alive here so schemes that
+     * own state (e.g. eDKM's clustering layers) outlive the run.
+     */
+    Compressor *lastCompressor() const { return compressor_.get(); }
+
+  private:
+    SessionConfig config_;
+    std::unique_ptr<Compressor> compressor_;
+};
+
+} // namespace api
+} // namespace edkm
+
+#endif // EDKM_API_SESSION_H_

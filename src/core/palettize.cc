@@ -6,6 +6,7 @@
 #include "core/kmeans.h"
 #include "util/half.h"
 #include "util/logging.h"
+#include "util/serial.h"
 
 namespace edkm {
 
@@ -122,28 +123,10 @@ PalettizedTensor::bitsPerWeight() const
 
 namespace {
 
-template <typename T>
-void
-appendPod(std::vector<uint8_t> &buf, T v)
-{
-    size_t at = buf.size();
-    buf.resize(at + sizeof(T));
-    std::memcpy(buf.data() + at, &v, sizeof(T));
-}
-
-template <typename T>
-T
-readPod(const std::vector<uint8_t> &buf, size_t &at)
-{
-    EDKM_CHECK(at + sizeof(T) <= buf.size(),
-               "deserialize: truncated buffer");
-    T v;
-    std::memcpy(&v, buf.data() + at, sizeof(T));
-    at += sizeof(T);
-    return v;
-}
-
 constexpr uint32_t kMagic = 0x454b4d50u; // "PMKE"
+
+/** Largest tensor rank the format accepts (defensive bound). */
+constexpr uint32_t kMaxRank = 8;
 
 } // namespace
 
@@ -151,18 +134,17 @@ std::vector<uint8_t>
 PalettizedTensor::serialize() const
 {
     std::vector<uint8_t> buf;
-    appendPod(buf, kMagic);
-    appendPod(buf, static_cast<uint32_t>(bits_));
-    appendPod(buf, static_cast<uint32_t>(shape_.size()));
+    serial::appendPod(buf, kMagic);
+    serial::appendPod(buf, static_cast<uint32_t>(bits_));
+    serial::appendPod(buf, static_cast<uint32_t>(shape_.size()));
     for (int64_t d : shape_) {
-        appendPod(buf, d);
+        serial::appendPod(buf, d);
     }
-    appendPod(buf, static_cast<uint32_t>(lut_.size()));
+    serial::appendPod(buf, static_cast<uint32_t>(lut_.size()));
     for (float c : lut_) {
-        appendPod(buf, floatToFp16(c));
+        serial::appendPod(buf, floatToFp16(c));
     }
-    appendPod(buf, static_cast<uint64_t>(packed_.size()));
-    buf.insert(buf.end(), packed_.begin(), packed_.end());
+    serial::appendBytes(buf, packed_);
     return buf;
 }
 
@@ -170,26 +152,46 @@ PalettizedTensor
 PalettizedTensor::deserialize(const std::vector<uint8_t> &bytes)
 {
     size_t at = 0;
-    EDKM_CHECK(readPod<uint32_t>(bytes, at) == kMagic,
-               "deserialize: bad magic");
+    EDKM_CHECK(serial::readPod<uint32_t>(bytes, at) == kMagic,
+               "PalettizedTensor::deserialize: bad magic");
     PalettizedTensor p;
-    p.bits_ = static_cast<int>(readPod<uint32_t>(bytes, at));
-    uint32_t rank = readPod<uint32_t>(bytes, at);
+    p.bits_ = static_cast<int>(serial::readPod<uint32_t>(bytes, at));
+    EDKM_CHECK(p.bits_ >= 1 && p.bits_ <= 16,
+               "PalettizedTensor::deserialize: bits out of range: ",
+               p.bits_);
+    uint32_t rank = serial::readPod<uint32_t>(bytes, at);
+    EDKM_CHECK(rank >= 1 && rank <= kMaxRank,
+               "PalettizedTensor::deserialize: bad rank ", rank,
+               " (accepted: 1..", kMaxRank, ")");
     p.shape_.resize(rank);
+    int64_t n = 1;
     for (uint32_t i = 0; i < rank; ++i) {
-        p.shape_[i] = readPod<int64_t>(bytes, at);
+        int64_t d = serial::readPod<int64_t>(bytes, at);
+        EDKM_CHECK(d > 0, "PalettizedTensor::deserialize: dimension ", i,
+                   " is ", d, ", must be positive");
+        EDKM_CHECK(n <= (int64_t{1} << 48) / d,
+                   "PalettizedTensor::deserialize: element count "
+                   "overflows");
+        p.shape_[i] = d;
+        n *= d;
     }
-    uint32_t lut_n = readPod<uint32_t>(bytes, at);
-    EDKM_CHECK(lut_n == (1u << p.bits_), "deserialize: LUT size mismatch");
+    uint32_t lut_n = serial::readPod<uint32_t>(bytes, at);
+    EDKM_CHECK(lut_n == (1u << p.bits_),
+               "PalettizedTensor::deserialize: LUT has ", lut_n,
+               " entries, expected 2^", p.bits_, " = ", (1u << p.bits_));
     p.lut_.resize(lut_n);
     for (uint32_t i = 0; i < lut_n; ++i) {
-        p.lut_[i] = fp16ToFloat(readPod<uint16_t>(bytes, at));
+        p.lut_[i] = fp16ToFloat(serial::readPod<uint16_t>(bytes, at));
     }
-    uint64_t packed_n = readPod<uint64_t>(bytes, at);
-    EDKM_CHECK(at + packed_n <= bytes.size(),
-               "deserialize: truncated payload");
-    p.packed_.assign(bytes.begin() + static_cast<int64_t>(at),
-                     bytes.begin() + static_cast<int64_t>(at + packed_n));
+    p.packed_ = serial::readBytes(bytes, at);
+    EDKM_CHECK(static_cast<int64_t>(p.packed_.size()) ==
+                   (n * p.bits_ + 7) / 8,
+               "PalettizedTensor::deserialize: packed stream is ",
+               p.packed_.size(), " bytes, expected ",
+               (n * p.bits_ + 7) / 8, " for ", n, " x ", p.bits_,
+               "-bit indices");
+    EDKM_CHECK(at == bytes.size(), "PalettizedTensor::deserialize: ",
+               bytes.size() - at, " trailing bytes");
     return p;
 }
 

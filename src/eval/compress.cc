@@ -1,5 +1,10 @@
 #include "eval/compress.h"
 
+#include <sstream>
+
+#include "api/compressor.h"
+#include "api/plan.h"
+#include "api/registry.h"
 #include "autograd/variable.h"
 #include "core/palettize.h"
 #include "quant/affine.h"
@@ -10,17 +15,8 @@
 namespace edkm {
 namespace eval {
 
-namespace {
+namespace detail {
 
-/** Run one forward pass so capture-enabled linears stash inputs. */
-void
-runCalibration(nn::MiniLlama &model, const Tensor &calib_tokens)
-{
-    NoGradGuard ng;
-    model.forward(calib_tokens);
-}
-
-/** Non-linear (norm/embedding) parameter bytes at FP16. */
 int64_t
 fp16SideBytes(nn::MiniLlama &model, bool include_embedding)
 {
@@ -43,13 +39,10 @@ fp16SideBytes(nn::MiniLlama &model, bool include_embedding)
     return bytes;
 }
 
-/**
- * @param linear_bits  effective bits/weight over Linear parameters
- * @param embed_bits   effective bits/weight over embedding parameters
- */
 SizeReport
-makeReport(const std::string &scheme, int64_t payload_bytes,
-           int64_t total_params, double linear_bits, double embed_bits)
+makeSizeReport(const std::string &scheme, int64_t payload_bytes,
+               int64_t total_params, double linear_bits,
+               double embed_bits)
 {
     SizeReport r;
     r.scheme = scheme;
@@ -60,7 +53,6 @@ makeReport(const std::string &scheme, int64_t payload_bytes,
     return r;
 }
 
-/** Effective bits/weight of the Linear parameters under @p payload. */
 double
 linearBits(nn::MiniLlama &model, int64_t linear_payload_bytes)
 {
@@ -73,7 +65,36 @@ linearBits(nn::MiniLlama &model, int64_t linear_payload_bytes)
            static_cast<double>(linear_params);
 }
 
+} // namespace detail
+
+namespace {
+
+/** Run @p plan over every Linear through the unified API. */
+SizeReport
+runScheme(nn::MiniLlama &model, const api::CompressionPlan &plan,
+          api::CalibData calib)
+{
+    std::vector<std::string> paths;
+    for (auto &[path, linear] : model.allLinears()) {
+        (void)linear;
+        paths.push_back(path);
+    }
+    std::unique_ptr<api::Compressor> compressor =
+        api::CompressorRegistry::instance().create(plan);
+    return compressor->compress(model, calib, plan.resolve(paths)).size;
+}
+
 } // namespace
+
+std::string
+SizeReport::toJson() const
+{
+    std::ostringstream oss;
+    oss << "{\"scheme\": \"" << scheme << "\", \"payload_bytes\": "
+        << payloadBytes << ", \"bits_per_weight\": " << bitsPerWeight
+        << ", \"projected_gb_7b\": " << projectedGb7B << "}";
+    return oss.str();
+}
 
 double
 projectedGb(double bits_per_weight, double params)
@@ -95,106 +116,58 @@ SizeReport
 fp16Size(nn::MiniLlama &model)
 {
     int64_t params = model.parameterCount();
-    return makeReport("fp16", params * 2, params, 16.0, 16.0);
+    return detail::makeSizeReport("fp16", params * 2, params, 16.0, 16.0);
 }
 
 SizeReport
 applyRtn(nn::MiniLlama &model, int bits, int64_t group_size)
 {
-    int64_t payload = fp16SideBytes(model, /*include_embedding=*/true);
-    int64_t linear_payload = 0;
-    for (auto &[name, linear] : model.allLinears()) {
-        (void)name;
-        quant::QuantizedMatrix q =
-            quant::quantizeAffine(linear->weight().data(), bits,
-                                  group_size);
-        linear->weight().mutableData() = q.dequantize();
-        linear_payload += q.payloadBytes();
-    }
-    payload += linear_payload;
-    return makeReport("RTN", payload, model.parameterCount(),
-                      linearBits(model, linear_payload), 16.0);
+    api::CompressionPlan plan;
+    plan.scheme = "rtn";
+    plan.bits = bits;
+    plan.groupSize = group_size;
+    return runScheme(model, plan, api::CalibData{});
 }
 
 SizeReport
 applyGptq(nn::MiniLlama &model, const Tensor &calib_tokens,
           const quant::GptqConfig &config)
 {
-    for (auto &[name, linear] : model.allLinears()) {
-        (void)name;
-        linear->setCaptureInputs(true);
-    }
-    runCalibration(model, calib_tokens);
-    int64_t payload = fp16SideBytes(model, /*include_embedding=*/true);
-    int64_t linear_payload = 0;
-    for (auto &[name, linear] : model.allLinears()) {
-        (void)name;
-        linear->setCaptureInputs(false);
-        EDKM_CHECK(linear->capturedInput().defined(),
-                   "gptq: calibration did not reach layer");
-        quant::QuantizedMatrix q;
-        Tensor dq = quant::gptqQuantize(linear->weight().data(),
-                                        linear->capturedInput(), config,
-                                        &q);
-        linear->weight().mutableData() = dq;
-        linear_payload += q.payloadBytes();
-    }
-    payload += linear_payload;
-    return makeReport("GPTQ", payload, model.parameterCount(),
-                      linearBits(model, linear_payload), 16.0);
+    api::CompressionPlan plan;
+    plan.scheme = "gptq";
+    plan.bits = config.bits;
+    plan.groupSize = config.groupSize;
+    plan.gptqPercdamp = config.percdamp;
+    api::CalibData calib;
+    calib.tokens = calib_tokens;
+    return runScheme(model, plan, std::move(calib));
 }
 
 SizeReport
 applyAwq(nn::MiniLlama &model, const Tensor &calib_tokens,
          const quant::AwqConfig &config)
 {
-    for (auto &[name, linear] : model.allLinears()) {
-        (void)name;
-        linear->setCaptureInputs(true);
-    }
-    runCalibration(model, calib_tokens);
-    int64_t payload = fp16SideBytes(model, /*include_embedding=*/true);
-    int64_t linear_payload = 0;
-    for (auto &[name, linear] : model.allLinears()) {
-        (void)name;
-        linear->setCaptureInputs(false);
-        Tensor dq = quant::awqQuantize(linear->weight().data(),
-                                       linear->capturedInput(), config);
-        linear->weight().mutableData() = dq;
-        // Payload matches RTN plus FP16 per-channel AWQ scales.
-        quant::QuantizedMatrix q = quant::quantizeAffine(
-            dq, config.bits, config.groupSize);
-        linear_payload += q.payloadBytes() + linear->inFeatures() * 2;
-    }
-    payload += linear_payload;
-    return makeReport("AWQ", payload, model.parameterCount(),
-                      linearBits(model, linear_payload), 16.0);
+    api::CompressionPlan plan;
+    plan.scheme = "awq";
+    plan.bits = config.bits;
+    plan.groupSize = config.groupSize;
+    plan.awqGridPoints = config.gridPoints;
+    api::CalibData calib;
+    calib.tokens = calib_tokens;
+    return runScheme(model, plan, std::move(calib));
 }
 
 SizeReport
 applySmoothQuant(nn::MiniLlama &model, const Tensor &calib_tokens,
                  const quant::SmoothQuantConfig &config)
 {
-    for (auto &[name, linear] : model.allLinears()) {
-        (void)name;
-        linear->setCaptureInputs(true);
-    }
-    runCalibration(model, calib_tokens);
-    int64_t payload = fp16SideBytes(model, /*include_embedding=*/true);
-    int64_t linear_payload = 0;
-    for (auto &[name, linear] : model.allLinears()) {
-        (void)name;
-        linear->setCaptureInputs(false);
-        quant::SmoothedLayer s = quant::smoothQuantize(
-            linear->weight().data(), linear->capturedInput(), config);
-        linear->weight().mutableData() = s.weight;
-        linear_payload +=
-            linear->weight().data().numel() * config.weightBits / 8 +
-            linear->inFeatures() * 2;
-    }
-    payload += linear_payload;
-    return makeReport("SmoothQuant", payload, model.parameterCount(),
-                      linearBits(model, linear_payload), 16.0);
+    api::CompressionPlan plan;
+    plan.scheme = "smoothquant";
+    plan.bits = config.weightBits;
+    plan.smoothAlpha = config.alpha;
+    api::CalibData calib;
+    calib.tokens = calib_tokens;
+    return runScheme(model, plan, std::move(calib));
 }
 
 std::vector<std::shared_ptr<EdkmLayer>>
@@ -240,7 +213,7 @@ freezeEdkm(nn::MiniLlama &model,
     auto linears = model.allLinears();
     EDKM_CHECK(linears.size() == layers.size(),
                "freezeEdkm: layer/linear count mismatch");
-    int64_t payload = fp16SideBytes(model, /*include_embedding=*/false);
+    int64_t payload = detail::fp16SideBytes(model, /*include_embedding=*/false);
     int64_t linear_payload = 0;
     for (size_t i = 0; i < linears.size(); ++i) {
         nn::Linear *linear = linears[i].second;
@@ -261,14 +234,14 @@ freezeEdkm(nn::MiniLlama &model,
     double embed_bits =
         8.0 * static_cast<double>(emb.payloadBytes()) /
         static_cast<double>(model.embedding().weight().data().numel());
-    return makeReport("eDKM", payload, model.parameterCount(),
-                      linearBits(model, linear_payload), embed_bits);
+    return detail::makeSizeReport("eDKM", payload, model.parameterCount(),
+                      detail::linearBits(model, linear_payload), embed_bits);
 }
 
 SizeReport
 qatSize(nn::MiniLlama &model, int bits)
 {
-    int64_t payload = fp16SideBytes(model, /*include_embedding=*/true);
+    int64_t payload = detail::fp16SideBytes(model, /*include_embedding=*/true);
     int64_t linear_payload = 0;
     for (auto &[name, linear] : model.allLinears()) {
         (void)name;
@@ -277,8 +250,8 @@ qatSize(nn::MiniLlama &model, int bits)
         linear_payload += n * bits / 8 + linear->outFeatures() * 2;
     }
     payload += linear_payload;
-    return makeReport("LLM-QAT", payload, model.parameterCount(),
-                      linearBits(model, linear_payload), 16.0);
+    return detail::makeSizeReport("LLM-QAT", payload, model.parameterCount(),
+                      detail::linearBits(model, linear_payload), 16.0);
 }
 
 } // namespace eval

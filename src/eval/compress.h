@@ -1,9 +1,18 @@
 /**
  * @file
- * Model-level compression harness: applies each Table 3 scheme to a
- * MiniLlama and accounts the resulting model size (actual bytes and the
- * size the same bits-per-weight would give LLaMA-7B, the paper's
- * column).
+ * Legacy model-level compression entry points and size accounting.
+ *
+ * The apply* functions are thin shims over the unified compression API
+ * (src/api/): they build a trivial CompressionPlan and run the scheme
+ * through the CompressorRegistry. New code should use the API directly
+ * — api::Session adds per-layer targeting, progress, cancellation, and
+ * the whole-model ModelArtifact. The attach/freeze train-time
+ * helpers remain for callers that drive the training loop themselves;
+ * note api::Session owns the attached eDKM layers for you (no
+ * keep-the-vector-alive footgun).
+ *
+ * SizeReport accounts one compressed model: actual bytes and the size
+ * the same bits-per-weight would give LLaMA-7B (the paper's column).
  */
 
 #ifndef EDKM_EVAL_COMPRESS_H_
@@ -29,6 +38,13 @@ struct SizeReport
     int64_t payloadBytes = 0;  ///< all parameters, serialized format
     double bitsPerWeight = 0.0;
     double projectedGb7B = 0.0; ///< GiB for 6.74e9 params at that rate
+
+    /**
+     * One JSON object (`{"scheme": ..., "payload_bytes": ...,
+     * "bits_per_weight": ..., "projected_gb_7b": ...}`) for the
+     * BENCH_*.json machine-readable bench outputs.
+     */
+    std::string toJson() const;
 };
 
 /** Parameters LLaMA-7B has (for the projected size column). */
@@ -39,6 +55,30 @@ constexpr double kLlama7bEmbedParams = 2.62e8;
 
 /** GiB a model of @p params at @p bits_per_weight occupies. */
 double projectedGb(double bits_per_weight, double params = kLlama7bParams);
+
+namespace detail {
+
+/**
+ * Shared size-accounting primitives (used by the legacy entry points
+ * below and by the src/api compressor adapters, so both paths stay in
+ * agreement).
+ */
+
+/** Non-Linear (norm/embedding) parameter bytes at FP16. */
+int64_t fp16SideBytes(nn::MiniLlama &model, bool include_embedding);
+
+/** Effective bits/weight of the Linear parameters under @p payload. */
+double linearBits(nn::MiniLlama &model, int64_t linear_payload_bytes);
+
+/**
+ * @param linear_bits  effective bits/weight over Linear parameters
+ * @param embed_bits   effective bits/weight over embedding parameters
+ */
+SizeReport makeSizeReport(const std::string &scheme, int64_t payload_bytes,
+                          int64_t total_params, double linear_bits,
+                          double embed_bits);
+
+} // namespace detail
 
 /**
  * Composition-corrected 7B projection: mini models are embedding-heavy
@@ -74,7 +114,9 @@ SizeReport applySmoothQuant(nn::MiniLlama &model,
 /**
  * Attach eDKM train-time clustering to every Linear (weight-transform
  * hook). Returns the layers so callers can inspect reports and later
- * freeze. Keep the vector alive while training.
+ * freeze. Keep the vector alive while training — dropping it dangles
+ * the installed weight transforms. Prefer api::Session with an "edkm"
+ * plan, which owns the layers for the whole run.
  */
 std::vector<std::shared_ptr<EdkmLayer>> attachEdkm(
     nn::MiniLlama &model, const EdkmConfig &config,

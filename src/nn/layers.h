@@ -54,6 +54,9 @@ class Linear : public Module
     /** Enable stashing of forward inputs (calibration capture). */
     void setCaptureInputs(bool on) { capture_ = on; }
 
+    /** Whether forward inputs are currently being stashed. */
+    bool capturesInputs() const { return capture_; }
+
     /** Last captured input ([n, in], data only); undefined if none. */
     const Tensor &capturedInput() const { return captured_; }
 

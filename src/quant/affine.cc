@@ -6,6 +6,7 @@
 #include "core/palettize.h" // packBits/unpackBits
 #include "util/half.h"
 #include "util/logging.h"
+#include "util/serial.h"
 
 namespace edkm {
 namespace quant {
@@ -104,6 +105,75 @@ QuantizedMatrix::bitsPerWeight() const
     int64_t n = shape[0] * shape[1];
     return 8.0 * static_cast<double>(payloadBytes()) /
            static_cast<double>(n);
+}
+
+namespace {
+
+constexpr uint32_t kAffineMagic = 0x454b4d41u; // "AMKE"
+
+} // namespace
+
+std::vector<uint8_t>
+QuantizedMatrix::serialize() const
+{
+    std::vector<uint8_t> buf;
+    serial::appendPod(buf, kAffineMagic);
+    serial::appendPod(buf, static_cast<uint32_t>(bits));
+    serial::appendPod(buf, shape[0]);
+    serial::appendPod(buf, shape[1]);
+    serial::appendPod(buf, groupSize);
+    serial::appendPod(buf, static_cast<uint32_t>(scales.size()));
+    for (size_t i = 0; i < scales.size(); ++i) {
+        serial::appendPod(buf, floatToFp16(scales[i]));
+        serial::appendPod(buf, floatToFp16(zeros[i]));
+    }
+    serial::appendBytes(buf, packed);
+    return buf;
+}
+
+QuantizedMatrix
+QuantizedMatrix::deserialize(const std::vector<uint8_t> &bytes)
+{
+    size_t at = 0;
+    EDKM_CHECK(serial::readPod<uint32_t>(bytes, at) == kAffineMagic,
+               "QuantizedMatrix::deserialize: bad magic");
+    QuantizedMatrix q;
+    q.bits = static_cast<int>(serial::readPod<uint32_t>(bytes, at));
+    EDKM_CHECK(q.bits >= 1 && q.bits <= 8,
+               "QuantizedMatrix::deserialize: bits out of range: ",
+               q.bits);
+    int64_t out = serial::readPod<int64_t>(bytes, at);
+    int64_t in = serial::readPod<int64_t>(bytes, at);
+    EDKM_CHECK(out > 0 && in > 0 && out <= (int64_t{1} << 32) &&
+                   in <= (int64_t{1} << 32),
+               "QuantizedMatrix::deserialize: bad shape [", out, ", ",
+               in, "]");
+    q.shape = {out, in};
+    q.groupSize = serial::readPod<int64_t>(bytes, at);
+    EDKM_CHECK(q.groupSize >= 1 && q.groupSize <= in,
+               "QuantizedMatrix::deserialize: bad group size ",
+               q.groupSize);
+    uint32_t groups = serial::readPod<uint32_t>(bytes, at);
+    int64_t groups_per_row = (in + q.groupSize - 1) / q.groupSize;
+    EDKM_CHECK(static_cast<int64_t>(groups) == out * groups_per_row,
+               "QuantizedMatrix::deserialize: expected ",
+               out * groups_per_row, " groups, got ", groups);
+    q.scales.reserve(groups);
+    q.zeros.reserve(groups);
+    for (uint32_t i = 0; i < groups; ++i) {
+        q.scales.push_back(fp16ToFloat(serial::readPod<uint16_t>(bytes, at)));
+        q.zeros.push_back(fp16ToFloat(serial::readPod<uint16_t>(bytes, at)));
+    }
+    q.packed = serial::readBytes(bytes, at);
+    EDKM_CHECK(static_cast<int64_t>(q.packed.size()) ==
+                   (out * in * q.bits + 7) / 8,
+               "QuantizedMatrix::deserialize: packed stream is ",
+               q.packed.size(), " bytes, expected ",
+               (out * in * q.bits + 7) / 8);
+    EDKM_CHECK(at == bytes.size(),
+               "QuantizedMatrix::deserialize: ", bytes.size() - at,
+               " trailing bytes");
+    return q;
 }
 
 Tensor

@@ -38,6 +38,14 @@ struct QuantizedMatrix
 
     /** Effective bits per weight including metadata. */
     double bitsPerWeight() const;
+
+    /**
+     * Binary (de)serialisation (stable little-endian format; scales
+     * and zero-points round through FP16, their storage precision).
+     * deserialize bounds-checks every read and validates the header.
+     */
+    std::vector<uint8_t> serialize() const;
+    static QuantizedMatrix deserialize(const std::vector<uint8_t> &bytes);
 };
 
 /**

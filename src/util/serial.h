@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Bounds-checked binary (de)serialisation helpers shared by every
+ * on-disk codec (palettized tensors, quantised matrices, model
+ * artifacts). All formats are little-endian POD streams; readers throw
+ * FatalError on truncated or malformed input instead of reading out of
+ * bounds.
+ */
+
+#ifndef EDKM_UTIL_SERIAL_H_
+#define EDKM_UTIL_SERIAL_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace edkm {
+namespace serial {
+
+/** Append one POD value to @p buf. */
+template <typename T>
+void
+appendPod(std::vector<uint8_t> &buf, T v)
+{
+    static_assert(std::is_trivially_copyable<T>::value,
+                  "appendPod: POD types only");
+    size_t at = buf.size();
+    buf.resize(at + sizeof(T));
+    std::memcpy(buf.data() + at, &v, sizeof(T));
+}
+
+/** Read one POD value at @p at, advancing it. Throws when truncated. */
+template <typename T>
+T
+readPod(const std::vector<uint8_t> &buf, size_t &at)
+{
+    static_assert(std::is_trivially_copyable<T>::value,
+                  "readPod: POD types only");
+    EDKM_CHECK(sizeof(T) <= buf.size() && at <= buf.size() - sizeof(T),
+               "deserialize: truncated buffer (need ", sizeof(T),
+               " bytes at offset ", at, " of ", buf.size(), ")");
+    T v;
+    std::memcpy(&v, buf.data() + at, sizeof(T));
+    at += sizeof(T);
+    return v;
+}
+
+/** Append a length-prefixed (u32) byte string. */
+inline void
+appendString(std::vector<uint8_t> &buf, const std::string &s)
+{
+    appendPod(buf, static_cast<uint32_t>(s.size()));
+    buf.insert(buf.end(), s.begin(), s.end());
+}
+
+/** Read a length-prefixed (u32) byte string. */
+inline std::string
+readString(const std::vector<uint8_t> &buf, size_t &at)
+{
+    uint32_t n = readPod<uint32_t>(buf, at);
+    EDKM_CHECK(n <= buf.size() - at,
+               "deserialize: truncated string (need ", n,
+               " bytes at offset ", at, " of ", buf.size(), ")");
+    std::string s(reinterpret_cast<const char *>(buf.data()) + at, n);
+    at += n;
+    return s;
+}
+
+/** Append a length-prefixed (u64) raw byte blob. */
+inline void
+appendBytes(std::vector<uint8_t> &buf, const std::vector<uint8_t> &bytes)
+{
+    appendPod(buf, static_cast<uint64_t>(bytes.size()));
+    buf.insert(buf.end(), bytes.begin(), bytes.end());
+}
+
+/** Read a length-prefixed (u64) raw byte blob. */
+inline std::vector<uint8_t>
+readBytes(const std::vector<uint8_t> &buf, size_t &at)
+{
+    uint64_t n = readPod<uint64_t>(buf, at);
+    EDKM_CHECK(n <= buf.size() - at,
+               "deserialize: truncated blob (need ", n,
+               " bytes at offset ", at, " of ", buf.size(), ")");
+    std::vector<uint8_t> out(buf.begin() + static_cast<int64_t>(at),
+                             buf.begin() + static_cast<int64_t>(at + n));
+    at += static_cast<size_t>(n);
+    return out;
+}
+
+} // namespace serial
+} // namespace edkm
+
+#endif // EDKM_UTIL_SERIAL_H_

@@ -5,6 +5,8 @@
  */
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <gtest/gtest.h>
 
 #include "core/palettize.h"
@@ -108,6 +110,67 @@ TEST(Palettize, DeserializeRejectsCorruption)
     std::vector<uint8_t> intact = p.serialize();
     std::vector<uint8_t> truncated(intact.begin(), intact.begin() + 8);
     EXPECT_THROW(PalettizedTensor::deserialize(truncated), FatalError);
+}
+
+TEST(Palettize, DeserializeRejectsMalformedHeaders)
+{
+    Rng rng(11);
+    PalettizedTensor p =
+        PalettizedTensor::fromDense(Tensor::randn({4, 4}, rng), 2, rng);
+    std::vector<uint8_t> intact = p.serialize();
+    // Layout: magic u32 | bits u32 | rank u32 | dims i64... | lut u32...
+    auto poke_u32 = [&](size_t offset, uint32_t v) {
+        std::vector<uint8_t> bytes = intact;
+        std::memcpy(bytes.data() + offset, &v, 4);
+        return bytes;
+    };
+    // bits out of range (0 and 17).
+    EXPECT_THROW(PalettizedTensor::deserialize(poke_u32(4, 0)),
+                 FatalError);
+    EXPECT_THROW(PalettizedTensor::deserialize(poke_u32(4, 17)),
+                 FatalError);
+    // Absurd rank must fail cleanly, not attempt a huge allocation.
+    EXPECT_THROW(PalettizedTensor::deserialize(poke_u32(8, 0xffffffffu)),
+                 FatalError);
+    EXPECT_THROW(PalettizedTensor::deserialize(poke_u32(8, 0)),
+                 FatalError);
+    // Negative dimension.
+    {
+        std::vector<uint8_t> bytes = intact;
+        int64_t d = -4;
+        std::memcpy(bytes.data() + 12, &d, 8);
+        EXPECT_THROW(PalettizedTensor::deserialize(bytes), FatalError);
+    }
+    // Truncation at every prefix length: never reads out of bounds.
+    for (size_t cut = 0; cut < intact.size(); ++cut) {
+        std::vector<uint8_t> t(intact.begin(),
+                               intact.begin() +
+                                   static_cast<int64_t>(cut));
+        EXPECT_THROW(PalettizedTensor::deserialize(t), FatalError)
+            << "prefix of " << cut << " bytes accepted";
+    }
+    // Trailing garbage is rejected.
+    {
+        std::vector<uint8_t> bytes = intact;
+        bytes.push_back(0x00);
+        EXPECT_THROW(PalettizedTensor::deserialize(bytes), FatalError);
+    }
+    // The intact buffer still round-trips.
+    PalettizedTensor back = PalettizedTensor::deserialize(intact);
+    EXPECT_EQ(back.decompress().toVector(), p.decompress().toVector());
+}
+
+TEST(Palettize, LoadRejectsMissingAndCorruptFiles)
+{
+    EXPECT_THROW(PalettizedTensor::load("/tmp/edkm_does_not_exist.pal"),
+                 FatalError);
+    std::string path = "/tmp/edkm_corrupt.pal";
+    {
+        std::ofstream f(path, std::ios::binary);
+        f << "not a palettized tensor";
+    }
+    EXPECT_THROW(PalettizedTensor::load(path), FatalError);
+    std::remove(path.c_str());
 }
 
 TEST(Palettize, BitsPerWeightApproachesNominal)

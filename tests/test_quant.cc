@@ -17,6 +17,7 @@
 #include "quant/qat.h"
 #include "quant/smoothquant.h"
 #include "tensor/ops.h"
+#include "util/logging.h"
 #include "util/rng.h"
 
 namespace edkm {
@@ -115,6 +116,42 @@ TEST(Gptq, StorageFormatFilled)
     EXPECT_EQ(q.scales.size(), 8u * 2);
     // The dequantised result decodes from the storage format exactly.
     EXPECT_LT(maxAbsDiff(q.dequantize(), dq), 1e-5f);
+}
+
+TEST(Affine, SerializeDeserializeRoundTripIsBitExact)
+{
+    Rng rng(9);
+    Tensor w = Tensor::randn({8, 24}, rng, Device::cpu(), 0.5f);
+    QuantizedMatrix q = quantizeAffine(w, 3, 8);
+    QuantizedMatrix back = QuantizedMatrix::deserialize(q.serialize());
+    EXPECT_EQ(back.bits, q.bits);
+    EXPECT_EQ(back.groupSize, q.groupSize);
+    EXPECT_EQ(back.shape, q.shape);
+    EXPECT_EQ(back.packed, q.packed);
+    // Scales/zeros are FP16 at creation, so the round trip is lossless
+    // and dequantisation is bit-identical.
+    EXPECT_EQ(back.scales, q.scales);
+    EXPECT_EQ(back.zeros, q.zeros);
+    EXPECT_EQ(back.dequantize().toVector(), q.dequantize().toVector());
+}
+
+TEST(Affine, DeserializeRejectsCorruption)
+{
+    Rng rng(10);
+    QuantizedMatrix q = quantizeAffine(Tensor::randn({4, 8}, rng), 4, 4);
+    std::vector<uint8_t> intact = q.serialize();
+    std::vector<uint8_t> bad = intact;
+    bad[0] ^= 0xff; // magic
+    EXPECT_THROW(QuantizedMatrix::deserialize(bad), FatalError);
+    for (size_t cut = 0; cut < intact.size(); cut += 3) {
+        std::vector<uint8_t> t(intact.begin(),
+                               intact.begin() +
+                                   static_cast<int64_t>(cut));
+        EXPECT_THROW(QuantizedMatrix::deserialize(t), FatalError);
+    }
+    std::vector<uint8_t> trailing = intact;
+    trailing.push_back(0);
+    EXPECT_THROW(QuantizedMatrix::deserialize(trailing), FatalError);
 }
 
 TEST(Awq, BeatsRtnWithOutlierChannels)
