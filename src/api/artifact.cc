@@ -147,98 +147,363 @@ ModelArtifact::reconstruct() const
 
 namespace {
 
-constexpr uint64_t kArtifactMagic = 0x314c444d4d4b4445ull; // "EDKMMDL1"
+constexpr uint64_t kArtifactMagicV1 = 0x314c444d4d4b4445ull; // "EDKMMDL1"
+constexpr uint64_t kArtifactMagicV2 = 0x324c444d4d4b4445ull; // "EDKMMDL2"
+
+/** Round @p x up to the container alignment. */
+int64_t
+alignUp(int64_t x)
+{
+    return (x + kArtifactAlign - 1) / kArtifactAlign * kArtifactAlign;
+}
+
+/**
+ * Metadata common to a v1 entry and a v2 manifest record, validated on
+ * read: codec range, bits range, rank/dimension sanity, element-count
+ * overflow. @p where names the failing entry in errors.
+ */
+struct EntryMeta
+{
+    std::string name;
+    Codec codec = Codec::kRawF32;
+    int bits = 0;
+    Shape shape;
+    int64_t numel = 1;
+};
+
+EntryMeta
+readEntryMeta(serial::ByteSpan span, size_t &at, const char *where)
+{
+    EntryMeta m;
+    m.name = serial::readString(span, at);
+    uint32_t codec = serial::readPod<uint32_t>(span, at);
+    EDKM_CHECK(codec <= static_cast<uint32_t>(Codec::kAffine), where,
+               ": entry '", m.name, "' has unknown codec ", codec);
+    m.codec = static_cast<Codec>(codec);
+    m.bits = static_cast<int>(serial::readPod<int32_t>(span, at));
+    EDKM_CHECK(m.bits >= 0 && m.bits <= 32, where, ": entry '", m.name,
+               "' has bad bits ", m.bits);
+    uint32_t rank = serial::readPod<uint32_t>(span, at);
+    EDKM_CHECK(rank >= 1 && rank <= 8, where, ": entry '", m.name,
+               "' has bad rank ", rank);
+    m.shape.resize(rank);
+    for (uint32_t d = 0; d < rank; ++d) {
+        m.shape[d] = serial::readPod<int64_t>(span, at);
+        EDKM_CHECK(m.shape[d] > 0, where, ": entry '", m.name,
+                   "' has bad dimension ", m.shape[d]);
+        EDKM_CHECK(m.numel <= (int64_t{1} << 48) / m.shape[d], where,
+                   ": entry '", m.name, "' element count overflows");
+        m.numel *= m.shape[d];
+    }
+    return m;
+}
+
+void
+appendEntryMeta(std::vector<uint8_t> &buf, const ArtifactEntry &e)
+{
+    serial::appendString(buf, e.name);
+    serial::appendPod(buf, static_cast<uint32_t>(e.codec));
+    serial::appendPod(buf, static_cast<int32_t>(e.bits));
+    serial::appendPod(buf, static_cast<uint32_t>(e.shape.size()));
+    for (int64_t d : e.shape) {
+        serial::appendPod(buf, d);
+    }
+}
+
+void
+appendManifestHead(std::vector<uint8_t> &buf, const ModelArtifact &a)
+{
+    serial::appendString(buf, a.scheme);
+    serial::appendPod(buf, a.config.vocab);
+    serial::appendPod(buf, a.config.dim);
+    serial::appendPod(buf, a.config.heads);
+    serial::appendPod(buf, a.config.layers);
+    serial::appendPod(buf, a.config.hidden);
+    serial::appendPod(buf, a.config.seed);
+    serial::appendString(buf, a.size.scheme);
+    serial::appendPod(buf, a.size.payloadBytes);
+    serial::appendPod(buf, a.size.bitsPerWeight);
+    serial::appendPod(buf, a.size.projectedGb7B);
+}
+
+/** Reads scheme/config/size-report into @p layout-shaped fields. */
+void
+readManifestHead(serial::ByteSpan span, size_t &at, std::string &scheme,
+                 nn::LlamaConfig &config, eval::SizeReport &size,
+                 const char *where)
+{
+    scheme = serial::readString(span, at);
+    config.vocab = serial::readPod<int64_t>(span, at);
+    config.dim = serial::readPod<int64_t>(span, at);
+    config.heads = serial::readPod<int64_t>(span, at);
+    config.layers = serial::readPod<int64_t>(span, at);
+    config.hidden = serial::readPod<int64_t>(span, at);
+    config.seed = serial::readPod<uint64_t>(span, at);
+    EDKM_CHECK(config.vocab > 0 && config.dim > 0 && config.heads > 0 &&
+                   config.layers > 0 && config.hidden >= 0,
+               where, ": bad model geometry");
+    size.scheme = serial::readString(span, at);
+    size.payloadBytes = serial::readPod<int64_t>(span, at);
+    size.bitsPerWeight = serial::readPod<double>(span, at);
+    size.projectedGb7B = serial::readPod<double>(span, at);
+}
 
 } // namespace
+
+bool
+isArtifactV2(const uint8_t *data, size_t size)
+{
+    if (size < sizeof(uint64_t)) {
+        return false;
+    }
+    uint64_t magic;
+    std::memcpy(&magic, data, sizeof(magic));
+    return magic == kArtifactMagicV2;
+}
+
+bool
+isArtifactV1(const uint8_t *data, size_t size)
+{
+    if (size < sizeof(uint64_t)) {
+        return false;
+    }
+    uint64_t magic;
+    std::memcpy(&magic, data, sizeof(magic));
+    return magic == kArtifactMagicV1;
+}
+
+ArtifactLayout
+parseArtifactLayout(const uint8_t *data, size_t size)
+{
+    constexpr const char *where = "artifact v2";
+    serial::ByteSpan file(data, size);
+    EDKM_CHECK(size >= static_cast<size_t>(kArtifactAlign), where,
+               ": file is ", size, " bytes, smaller than the ",
+               kArtifactAlign, "-byte header");
+
+    size_t at = 0;
+    uint64_t magic = serial::readPod<uint64_t>(file, at);
+    EDKM_CHECK(magic == kArtifactMagicV2, where,
+               ": bad magic (not an eDKM v2 model artifact)");
+    uint32_t version = serial::readPod<uint32_t>(file, at);
+    EDKM_CHECK(version == kArtifactVersionV2, where,
+               ": unsupported container version ", version,
+               " (this build reads v", kArtifactVersionV2, ")");
+    uint32_t header_bytes = serial::readPod<uint32_t>(file, at);
+    EDKM_CHECK(header_bytes == kArtifactAlign, where,
+               ": header declares ", header_bytes,
+               " header bytes, expected ", kArtifactAlign);
+    uint64_t manifest_off = serial::readPod<uint64_t>(file, at);
+    uint64_t manifest_bytes = serial::readPod<uint64_t>(file, at);
+    uint64_t table_off = serial::readPod<uint64_t>(file, at);
+    uint32_t section_count = serial::readPod<uint32_t>(file, at);
+    serial::readPod<uint32_t>(file, at); // flags (reserved, ignored)
+    uint64_t file_bytes = serial::readPod<uint64_t>(file, at);
+    EDKM_CHECK(file_bytes == size, where, ": header declares ",
+               file_bytes, " file bytes but ", size,
+               " are present (truncated or padded file)");
+    EDKM_CHECK(manifest_off == static_cast<uint64_t>(kArtifactAlign),
+               where, ": manifest offset ", manifest_off,
+               " (expected ", kArtifactAlign, ")");
+    EDKM_CHECK(manifest_bytes <= size - manifest_off, where,
+               ": manifest (", manifest_bytes,
+               " bytes) runs past the end of the file");
+    EDKM_CHECK(table_off % kArtifactAlign == 0, where,
+               ": section table offset ", table_off, " is not ",
+               kArtifactAlign, "-byte aligned");
+    EDKM_CHECK(table_off >= manifest_off + manifest_bytes, where,
+               ": section table overlaps the manifest");
+    EDKM_CHECK(table_off <= size &&
+                   static_cast<uint64_t>(section_count) * 16 <=
+                       size - table_off,
+               where, ": section table (", section_count,
+               " sections at offset ", table_off,
+               ") runs past the end of the file");
+
+    // Manifest: scheme, geometry, accounting, per-tensor metadata.
+    ArtifactLayout layout;
+    serial::ByteSpan manifest(data + manifest_off,
+                              static_cast<size_t>(manifest_bytes));
+    size_t mat = 0;
+    readManifestHead(manifest, mat, layout.scheme, layout.config,
+                     layout.size, where);
+    uint32_t entry_count = serial::readPod<uint32_t>(manifest, mat);
+    EDKM_CHECK(entry_count == section_count, where, ": manifest lists ",
+               entry_count, " tensors but the section table has ",
+               section_count);
+    std::vector<EntryMeta> metas;
+    metas.reserve(entry_count);
+    for (uint32_t i = 0; i < entry_count; ++i) {
+        metas.push_back(readEntryMeta(manifest, mat, where));
+        uint32_t section_index = serial::readPod<uint32_t>(manifest, mat);
+        EDKM_CHECK(section_index == i, where, ": entry '",
+                   metas.back().name, "' claims section ", section_index,
+                   ", expected ", i);
+    }
+    EDKM_CHECK(mat == manifest.size, where, ": manifest has ",
+               manifest.size - mat, " trailing bytes");
+
+    // Section table: ascending, aligned, in-bounds, non-overlapping.
+    size_t tat = static_cast<size_t>(table_off);
+    uint64_t payload_floor =
+        table_off + static_cast<uint64_t>(section_count) * 16;
+    uint64_t prev_end = payload_floor;
+    layout.sections.reserve(entry_count);
+    for (uint32_t i = 0; i < entry_count; ++i) {
+        uint64_t off = serial::readPod<uint64_t>(file, tat);
+        uint64_t bytes = serial::readPod<uint64_t>(file, tat);
+        const EntryMeta &m = metas[i];
+        EDKM_CHECK(off % kArtifactAlign == 0, where, ": section '",
+                   m.name, "' at offset ", off, " is not ",
+                   kArtifactAlign, "-byte aligned");
+        EDKM_CHECK(off >= prev_end, where, ": section '", m.name,
+                   "' at offset ", off,
+                   " overlaps the preceding section (ends at ", prev_end,
+                   ")");
+        EDKM_CHECK(bytes <= size && off <= size - bytes, where,
+                   ": section '", m.name, "' (offset ", off, ", ", bytes,
+                   " bytes) runs past the end of the file");
+        // Fixed-stride codecs have a known exact size; catch mismatches
+        // here so a corrupt table fails before any payload is touched.
+        if (m.codec == Codec::kRawF32) {
+            EDKM_CHECK(static_cast<int64_t>(bytes) == m.numel * 4, where,
+                       ": section '", m.name, "' holds ", bytes,
+                       " bytes, raw_f32 for its shape needs ",
+                       m.numel * 4);
+        } else if (m.codec == Codec::kDenseF16) {
+            EDKM_CHECK(static_cast<int64_t>(bytes) == m.numel * 2, where,
+                       ": section '", m.name, "' holds ", bytes,
+                       " bytes, dense_f16 for its shape needs ",
+                       m.numel * 2);
+        }
+        TensorSection s;
+        s.name = m.name;
+        s.codec = m.codec;
+        s.bits = m.bits;
+        s.shape = m.shape;
+        s.offset = static_cast<int64_t>(off);
+        s.bytes = static_cast<int64_t>(bytes);
+        layout.sections.push_back(std::move(s));
+        prev_end = off + bytes;
+    }
+    return layout;
+}
 
 std::vector<uint8_t>
 ModelArtifact::serialize() const
 {
+    // Manifest: head + per-entry metadata + section index.
+    std::vector<uint8_t> manifest;
+    appendManifestHead(manifest, *this);
+    serial::appendPod(manifest, static_cast<uint32_t>(entries.size()));
+    for (size_t i = 0; i < entries.size(); ++i) {
+        appendEntryMeta(manifest, entries[i]);
+        serial::appendPod(manifest, static_cast<uint32_t>(i));
+    }
+
+    int64_t table_off =
+        alignUp(kArtifactAlign + static_cast<int64_t>(manifest.size()));
+    int64_t payload_start =
+        alignUp(table_off + static_cast<int64_t>(entries.size()) * 16);
+    std::vector<int64_t> offsets(entries.size());
+    int64_t cur = payload_start;
+    for (size_t i = 0; i < entries.size(); ++i) {
+        offsets[i] = cur;
+        cur = alignUp(cur + entries[i].payloadBytes());
+    }
+    int64_t file_bytes = cur;
+
+    std::vector<uint8_t> header;
+    serial::appendPod(header, kArtifactMagicV2);
+    serial::appendPod(header, kArtifactVersionV2);
+    serial::appendPod(header, static_cast<uint32_t>(kArtifactAlign));
+    serial::appendPod(header, static_cast<uint64_t>(kArtifactAlign));
+    serial::appendPod(header, static_cast<uint64_t>(manifest.size()));
+    serial::appendPod(header, static_cast<uint64_t>(table_off));
+    serial::appendPod(header, static_cast<uint32_t>(entries.size()));
+    serial::appendPod(header, uint32_t{0}); // flags
+    serial::appendPod(header, static_cast<uint64_t>(file_bytes));
+    serial::appendPod(header, uint64_t{0}); // reserved
+    EDKM_ASSERT(static_cast<int64_t>(header.size()) <= kArtifactAlign,
+                "artifact v2 header grew past its fixed size");
+
+    std::vector<uint8_t> buf(static_cast<size_t>(file_bytes), 0);
+    std::memcpy(buf.data(), header.data(), header.size());
+    std::memcpy(buf.data() + kArtifactAlign, manifest.data(),
+                manifest.size());
+    uint8_t *table = buf.data() + table_off;
+    for (size_t i = 0; i < entries.size(); ++i) {
+        uint64_t off = static_cast<uint64_t>(offsets[i]);
+        uint64_t bytes = static_cast<uint64_t>(entries[i].payloadBytes());
+        std::memcpy(table + i * 16, &off, 8);
+        std::memcpy(table + i * 16 + 8, &bytes, 8);
+        std::memcpy(buf.data() + offsets[i], entries[i].payload.data(),
+                    entries[i].payload.size());
+    }
+    return buf;
+}
+
+std::vector<uint8_t>
+ModelArtifact::serializeV1() const
+{
     std::vector<uint8_t> buf;
-    serial::appendPod(buf, kArtifactMagic);
-    serial::appendString(buf, scheme);
-    serial::appendPod(buf, config.vocab);
-    serial::appendPod(buf, config.dim);
-    serial::appendPod(buf, config.heads);
-    serial::appendPod(buf, config.layers);
-    serial::appendPod(buf, config.hidden);
-    serial::appendPod(buf, config.seed);
-    serial::appendString(buf, size.scheme);
-    serial::appendPod(buf, size.payloadBytes);
-    serial::appendPod(buf, size.bitsPerWeight);
-    serial::appendPod(buf, size.projectedGb7B);
+    serial::appendPod(buf, kArtifactMagicV1);
+    appendManifestHead(buf, *this);
     serial::appendPod(buf, static_cast<uint32_t>(entries.size()));
     for (const ArtifactEntry &e : entries) {
-        serial::appendString(buf, e.name);
-        serial::appendPod(buf, static_cast<uint32_t>(e.codec));
-        serial::appendPod(buf, static_cast<int32_t>(e.bits));
-        serial::appendPod(buf, static_cast<uint32_t>(e.shape.size()));
-        for (int64_t d : e.shape) {
-            serial::appendPod(buf, d);
-        }
+        appendEntryMeta(buf, e);
         serial::appendBytes(buf, e.payload);
     }
     return buf;
 }
 
 ModelArtifact
-ModelArtifact::deserialize(const std::vector<uint8_t> &bytes)
+ModelArtifact::deserialize(serial::ByteSpan bytes)
 {
+    if (isArtifactV2(bytes.data, bytes.size)) {
+        ArtifactLayout layout =
+            parseArtifactLayout(bytes.data, bytes.size);
+        ModelArtifact a;
+        a.scheme = layout.scheme;
+        a.config = layout.config;
+        a.size = layout.size;
+        a.entries.reserve(layout.sections.size());
+        for (const TensorSection &s : layout.sections) {
+            ArtifactEntry e;
+            e.name = s.name;
+            e.codec = s.codec;
+            e.bits = s.bits;
+            e.shape = s.shape;
+            e.payload.assign(bytes.data + s.offset,
+                             bytes.data + s.offset + s.bytes);
+            a.entries.push_back(std::move(e));
+        }
+        return a;
+    }
+
+    // Legacy v1 stream, gated on its magic.
     size_t at = 0;
-    EDKM_CHECK(serial::readPod<uint64_t>(bytes, at) == kArtifactMagic,
+    EDKM_CHECK(serial::readPod<uint64_t>(bytes, at) == kArtifactMagicV1,
                "ModelArtifact::deserialize: bad magic (not an eDKM "
                "model artifact)");
     ModelArtifact a;
-    a.scheme = serial::readString(bytes, at);
-    a.config.vocab = serial::readPod<int64_t>(bytes, at);
-    a.config.dim = serial::readPod<int64_t>(bytes, at);
-    a.config.heads = serial::readPod<int64_t>(bytes, at);
-    a.config.layers = serial::readPod<int64_t>(bytes, at);
-    a.config.hidden = serial::readPod<int64_t>(bytes, at);
-    a.config.seed = serial::readPod<uint64_t>(bytes, at);
-    EDKM_CHECK(a.config.vocab > 0 && a.config.dim > 0 &&
-                   a.config.heads > 0 && a.config.layers > 0 &&
-                   a.config.hidden >= 0,
-               "ModelArtifact::deserialize: bad model geometry");
-    a.size.scheme = serial::readString(bytes, at);
-    a.size.payloadBytes = serial::readPod<int64_t>(bytes, at);
-    a.size.bitsPerWeight = serial::readPod<double>(bytes, at);
-    a.size.projectedGb7B = serial::readPod<double>(bytes, at);
+    readManifestHead(bytes, at, a.scheme, a.config, a.size,
+                     "ModelArtifact::deserialize");
     uint32_t n = serial::readPod<uint32_t>(bytes, at);
     a.entries.reserve(n);
     for (uint32_t i = 0; i < n; ++i) {
+        EntryMeta m =
+            readEntryMeta(bytes, at, "ModelArtifact::deserialize");
         ArtifactEntry e;
-        e.name = serial::readString(bytes, at);
-        uint32_t codec = serial::readPod<uint32_t>(bytes, at);
-        EDKM_CHECK(codec <= static_cast<uint32_t>(Codec::kAffine),
-                   "ModelArtifact::deserialize: entry '", e.name,
-                   "' has unknown codec ", codec);
-        e.codec = static_cast<Codec>(codec);
-        e.bits = static_cast<int>(serial::readPod<int32_t>(bytes, at));
-        EDKM_CHECK(e.bits >= 0 && e.bits <= 32,
-                   "ModelArtifact::deserialize: entry '", e.name,
-                   "' has bad bits ", e.bits);
-        uint32_t rank = serial::readPod<uint32_t>(bytes, at);
-        EDKM_CHECK(rank >= 1 && rank <= 8,
-                   "ModelArtifact::deserialize: entry '", e.name,
-                   "' has bad rank ", rank);
-        e.shape.resize(rank);
-        int64_t elems = 1;
-        for (uint32_t d = 0; d < rank; ++d) {
-            e.shape[d] = serial::readPod<int64_t>(bytes, at);
-            EDKM_CHECK(e.shape[d] > 0,
-                       "ModelArtifact::deserialize: entry '", e.name,
-                       "' has bad dimension ", e.shape[d]);
-            EDKM_CHECK(elems <= (int64_t{1} << 48) / e.shape[d],
-                       "ModelArtifact::deserialize: entry '", e.name,
-                       "' element count overflows");
-            elems *= e.shape[d];
-        }
+        e.name = std::move(m.name);
+        e.codec = m.codec;
+        e.bits = m.bits;
+        e.shape = std::move(m.shape);
         e.payload = serial::readBytes(bytes, at);
         a.entries.push_back(std::move(e));
     }
-    EDKM_CHECK(at == bytes.size(), "ModelArtifact::deserialize: ",
-               bytes.size() - at, " trailing bytes");
+    EDKM_CHECK(at == bytes.size, "ModelArtifact::deserialize: ",
+               bytes.size - at, " trailing bytes");
     return a;
 }
 
@@ -256,11 +521,7 @@ ModelArtifact::save(const std::string &path) const
 ModelArtifact
 ModelArtifact::load(const std::string &path)
 {
-    std::ifstream f(path, std::ios::binary);
-    EDKM_CHECK(f.good(), "artifact: cannot open ", path);
-    std::vector<uint8_t> buf((std::istreambuf_iterator<char>(f)),
-                             std::istreambuf_iterator<char>());
-    return deserialize(buf);
+    return deserialize(serial::readFile(path));
 }
 
 } // namespace api

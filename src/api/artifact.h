@@ -12,6 +12,14 @@
  * left behind: every codec decodes to exactly the tensor the adapter
  * installed.
  *
+ * On-disk container (v2, the default; see docs/artifact_v2.md): a
+ * 64-byte header, a manifest describing every tensor, a section table,
+ * then one 64-byte-aligned payload section per tensor. The layout is
+ * mmap-friendly — serve/ArtifactReader maps the file read-only and
+ * consumes payload sections in place, without the up-front dense decode
+ * this class's reconstruct() performs. v1 (the legacy single-stream
+ * format) stays readable behind a version gate; serialize() emits v2.
+ *
  * The manifest's SizeReport is *accounting* (deployed bytes at the
  * scheme's storage format); the container itself trades a few bytes
  * for losslessness, e.g. skipped layers ship as raw FP32.
@@ -27,6 +35,7 @@
 #include "eval/compress.h"
 #include "nn/transformer.h"
 #include "tensor/tensor.h"
+#include "util/serial.h"
 
 namespace edkm {
 namespace api {
@@ -41,6 +50,13 @@ enum class Codec : uint32_t {
 
 /** Human-readable codec tag ("raw_f32", "palettized", ...). */
 std::string codecName(Codec codec);
+
+/** Container format versions understood by deserialize/load. */
+constexpr uint32_t kArtifactVersionV1 = 1;
+constexpr uint32_t kArtifactVersionV2 = 2;
+
+/** Alignment of the v2 section table and every payload section. */
+constexpr int64_t kArtifactAlign = 64;
 
 /** One parameter's payload. */
 struct ArtifactEntry
@@ -65,6 +81,50 @@ struct ArtifactEntry
 ArtifactEntry encodeRawF32(const std::string &name, const Tensor &t);
 ArtifactEntry encodeDenseF16(const std::string &name, const Tensor &t,
                              int bits);
+
+/**
+ * Manifest-level description of one v2 payload section: entry metadata
+ * plus where its bytes live in the container. Offsets are absolute file
+ * offsets, kArtifactAlign-aligned.
+ */
+struct TensorSection
+{
+    std::string name;
+    Codec codec = Codec::kRawF32;
+    int bits = 0;
+    Shape shape;
+    int64_t offset = 0; ///< absolute, kArtifactAlign-aligned
+    int64_t bytes = 0;
+};
+
+/**
+ * Everything a v2 container declares ahead of its payload bytes. The
+ * parse validates header/manifest/section-table consistency (bounds,
+ * alignment, overlap) without touching payload sections, which is what
+ * lets serve/ArtifactReader map a file and consume it lazily. Lookup
+ * by name lives in ArtifactReader (indexed).
+ */
+struct ArtifactLayout
+{
+    std::string scheme;
+    nn::LlamaConfig config;
+    eval::SizeReport size;
+    std::vector<TensorSection> sections;
+};
+
+/** True when @p data starts with the v2 container magic. */
+bool isArtifactV2(const uint8_t *data, size_t size);
+
+/** True when @p data starts with the legacy v1 stream magic. */
+bool isArtifactV1(const uint8_t *data, size_t size);
+
+/**
+ * Parse and validate a v2 container's header, manifest and section
+ * table from @p data (the whole file, typically an mmap). Throws
+ * FatalError with the offending section's name on any inconsistency;
+ * payload bytes themselves are not read.
+ */
+ArtifactLayout parseArtifactLayout(const uint8_t *data, size_t size);
 
 /** A compressed model: manifest + per-parameter payloads. */
 class ModelArtifact
@@ -93,9 +153,20 @@ class ModelArtifact
     /** Install the payloads into an existing compatible model. */
     void restoreInto(nn::MiniLlama &model) const;
 
-    /** Binary serialisation (stable little-endian format). */
+    /**
+     * Binary serialisation. serialize() emits the sectioned, aligned
+     * v2 container; serializeV1() the legacy v1 stream (kept for
+     * compatibility tests and old tooling). deserialize() accepts
+     * both, gated on the magic; the span overload parses in place
+     * (e.g. straight from a file mapping), copying only payloads.
+     */
     std::vector<uint8_t> serialize() const;
-    static ModelArtifact deserialize(const std::vector<uint8_t> &bytes);
+    std::vector<uint8_t> serializeV1() const;
+    static ModelArtifact deserialize(serial::ByteSpan bytes);
+    static ModelArtifact deserialize(const std::vector<uint8_t> &bytes)
+    {
+        return deserialize(serial::ByteSpan(bytes));
+    }
 
     /** File convenience wrappers around (de)serialize. */
     void save(const std::string &path) const;

@@ -4,6 +4,8 @@
 #include <fstream>
 
 #include "core/kmeans.h"
+#include "kernels/kernels.h"
+#include "tensor/ops.h"
 #include "util/half.h"
 #include "util/logging.h"
 #include "util/serial.h"
@@ -208,11 +210,124 @@ PalettizedTensor::save(const std::string &path) const
 PalettizedTensor
 PalettizedTensor::load(const std::string &path)
 {
-    std::ifstream f(path, std::ios::binary);
-    EDKM_CHECK(f.good(), "cannot open ", path);
-    std::vector<uint8_t> buf((std::istreambuf_iterator<char>(f)),
-                             std::istreambuf_iterator<char>());
-    return deserialize(buf);
+    return deserialize(serial::readFile(path));
+}
+
+// ----------------------------------------------------------------------
+// Zero-copy palette views and the streamed consumption paths
+// ----------------------------------------------------------------------
+
+PaletteView
+parsePaletteView(const uint8_t *bytes, size_t size,
+                 std::shared_ptr<const void> owner)
+{
+    serial::ByteSpan span(bytes, size);
+    size_t at = 0;
+    EDKM_CHECK(serial::readPod<uint32_t>(span, at) == kMagic,
+               "parsePaletteView: bad magic (not a palettized payload)");
+    PaletteView v;
+    v.bits = static_cast<int>(serial::readPod<uint32_t>(span, at));
+    EDKM_CHECK(v.bits >= 1 && v.bits <= 16,
+               "parsePaletteView: bits out of range: ", v.bits);
+    uint32_t rank = serial::readPod<uint32_t>(span, at);
+    EDKM_CHECK(rank >= 1 && rank <= kMaxRank,
+               "parsePaletteView: bad rank ", rank, " (accepted: 1..",
+               kMaxRank, ")");
+    v.shape.resize(rank);
+    int64_t n = 1;
+    for (uint32_t i = 0; i < rank; ++i) {
+        int64_t d = serial::readPod<int64_t>(span, at);
+        EDKM_CHECK(d > 0, "parsePaletteView: dimension ", i, " is ", d,
+                   ", must be positive");
+        EDKM_CHECK(n <= (int64_t{1} << 48) / d,
+                   "parsePaletteView: element count overflows");
+        v.shape[i] = d;
+        n *= d;
+    }
+    uint32_t lut_n = serial::readPod<uint32_t>(span, at);
+    EDKM_CHECK(lut_n == (1u << v.bits), "parsePaletteView: LUT has ",
+               lut_n, " entries, expected 2^", v.bits, " = ",
+               (1u << v.bits));
+    v.lut.resize(lut_n);
+    for (uint32_t i = 0; i < lut_n; ++i) {
+        v.lut[i] = fp16ToFloat(serial::readPod<uint16_t>(span, at));
+    }
+    serial::ByteSpan packed = serial::viewBytes(span, at);
+    EDKM_CHECK(static_cast<int64_t>(packed.size) == (n * v.bits + 7) / 8,
+               "parsePaletteView: packed stream is ", packed.size,
+               " bytes, expected ", (n * v.bits + 7) / 8, " for ", n,
+               " x ", v.bits, "-bit indices");
+    EDKM_CHECK(at == span.size, "parsePaletteView: ", span.size - at,
+               " trailing bytes");
+    v.packed = packed.data;
+    v.packedBytes = static_cast<int64_t>(packed.size);
+    v.owner = std::move(owner);
+    return v;
+}
+
+PaletteView
+viewOf(const PalettizedTensor &p)
+{
+    PaletteView v;
+    v.shape = p.shape();
+    v.bits = p.bits();
+    v.lut = p.lut();
+    v.packed = p.packed().data();
+    v.packedBytes = static_cast<int64_t>(p.packed().size());
+    return v;
+}
+
+Tensor
+paletteMatmulT(const Tensor &x, const PaletteView &w)
+{
+    EDKM_CHECK(w.shape.size() == 2,
+               "paletteMatmulT: weight must be 2-d, got rank ",
+               w.shape.size());
+    EDKM_CHECK(w.packed != nullptr, "paletteMatmulT: empty view");
+    int64_t out = w.shape[0], in = w.shape[1];
+    const float *lut = w.lut.data();
+    const uint8_t *packed = w.packed;
+    int bits = w.bits;
+    // Rows [p0, p1) of W^T are columns of W: per row p, gather the
+    // column's indices (stride `in` through the bitstream) and expand
+    // through the LUT with the kernels-layer gather.
+    return matmulStreamed(
+        x, in, out, [&](int64_t p0, int64_t p1, float *dst) {
+            std::vector<uint16_t> idx(static_cast<size_t>(out));
+            for (int64_t p = p0; p < p1; ++p) {
+                for (int64_t j = 0; j < out; ++j) {
+                    idx[static_cast<size_t>(j)] = static_cast<uint16_t>(
+                        unpackBitsAt(packed, bits, j * in + p));
+                }
+                kernels::gatherU16(lut, idx.data(), out,
+                                   dst + (p - p0) * out);
+            }
+        });
+}
+
+Tensor
+paletteGatherRows(const PaletteView &table, const Tensor &tokens)
+{
+    EDKM_CHECK(table.shape.size() == 2,
+               "paletteGatherRows: table must be 2-d");
+    EDKM_CHECK(tokens.dim() == 1, "paletteGatherRows: tokens must be 1-D");
+    int64_t vocab = table.shape[0], dim = table.shape[1];
+    int64_t n = tokens.numel();
+    Tensor outT = Tensor::empty({n, dim}, DType::kF32, tokens.device());
+    float *po = outT.rawData<float>();
+    std::vector<uint16_t> idx(static_cast<size_t>(dim));
+    for (int64_t i = 0; i < n; ++i) {
+        int64_t t = tokens.flatAtInt(i);
+        EDKM_CHECK(t >= 0 && t < vocab, "paletteGatherRows: token ", t,
+                   " out of range [0,", vocab, ")");
+        for (int64_t p = 0; p < dim; ++p) {
+            idx[static_cast<size_t>(p)] = static_cast<uint16_t>(
+                unpackBitsAt(table.packed, table.bits, t * dim + p));
+        }
+        kernels::gatherU16(table.lut.data(), idx.data(), dim,
+                           po + i * dim);
+    }
+    return outT;
 }
 
 } // namespace edkm

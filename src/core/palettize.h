@@ -13,6 +13,7 @@
 #define EDKM_CORE_PALETTIZE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,27 @@ std::vector<uint8_t> packBits(const std::vector<int32_t> &values, int bits);
 /** Inverse of packBits for @p n values. */
 std::vector<int32_t> unpackBits(const std::vector<uint8_t> &stream,
                                 int bits, int64_t n);
+
+/**
+ * Random-access read of the @p i-th @p bits-wide value of a packBits
+ * stream. Touches only the bytes holding the value, so it is safe up to
+ * the last element of a minimally-sized stream.
+ */
+inline int32_t
+unpackBitsAt(const uint8_t *stream, int bits, int64_t i)
+{
+    int64_t bitpos = i * bits;
+    int64_t byte = bitpos >> 3;
+    int off = static_cast<int>(bitpos & 7);
+    uint32_t acc = static_cast<uint32_t>(stream[byte]) >> off;
+    int got = 8 - off;
+    while (got < bits) {
+        ++byte;
+        acc |= static_cast<uint32_t>(stream[byte]) << got;
+        got += 8;
+    }
+    return static_cast<int32_t>(acc & ((1u << bits) - 1u));
+}
 
 /**
  * A weight tensor compressed to `bits` per weight via clustering:
@@ -59,6 +81,9 @@ class PalettizedTensor
     int64_t numel() const;
     const std::vector<float> &lut() const { return lut_; }
 
+    /** Packed n-bit index bitstream (row-major element order). */
+    const std::vector<uint8_t> &packed() const { return packed_; }
+
     /** Serialized size: packed indices + FP16 LUT + header. */
     int64_t payloadBytes() const;
 
@@ -79,6 +104,50 @@ class PalettizedTensor
     std::vector<float> lut_;       ///< 2^bits centroids (f32 mirror)
     std::vector<uint8_t> packed_;  ///< n-bit index bitstream
 };
+
+/**
+ * Non-owning view of a palettized weight: the decoded f32 LUT (2^bits
+ * floats, tiny) plus a borrowed pointer to the packed index bitstream —
+ * typically a payload section of an mmap-ed model artifact. @p owner
+ * pins the backing memory; serving consumes the view directly through
+ * paletteMatmulT / paletteGatherRows without ever decoding the dense
+ * tensor.
+ */
+struct PaletteView
+{
+    Shape shape;
+    int bits = 0;
+    std::vector<float> lut;            ///< f32 mirror of the FP16 LUT
+    const uint8_t *packed = nullptr;   ///< packBits stream, borrowed
+    int64_t packedBytes = 0;
+    std::shared_ptr<const void> owner; ///< keep-alive for @p packed
+};
+
+/**
+ * Parse a PalettizedTensor::serialize payload into a view: header and
+ * LUT are decoded (validated like deserialize), the index bitstream is
+ * borrowed from @p bytes in place. @p owner is stored in the view.
+ */
+PaletteView parsePaletteView(const uint8_t *bytes, size_t size,
+                             std::shared_ptr<const void> owner);
+
+/** View over an owned PalettizedTensor (@p p must outlive the view). */
+PaletteView viewOf(const PalettizedTensor &p);
+
+/**
+ * y = x · W^T with W in LUT+index form, streamed tile-by-tile through
+ * matmulStreamed: bit-identical to matmul(x, transpose(decompress()))
+ * while the dense weight is never materialised. Index tiles gather
+ * through the kernels layer's gatherU16.
+ */
+Tensor paletteMatmulT(const Tensor &x, const PaletteView &w);
+
+/**
+ * Embedding lookup from a palettized [vocab, dim] table: out[i, :] is
+ * row tokens[i], decoded LUT-value-for-value — bit-identical to
+ * gatherRows(decompress(), tokens) without the dense table.
+ */
+Tensor paletteGatherRows(const PaletteView &table, const Tensor &tokens);
 
 } // namespace edkm
 

@@ -20,38 +20,52 @@ MultiHeadAttention::MultiHeadAttention(int64_t dim, int64_t heads, Rng &rng)
 }
 
 void
-MultiHeadAttention::ensureCaches(int64_t s)
+buildRopeTables(int64_t s, int64_t head_dim, Tensor &cos_out,
+                Tensor &sin_out)
 {
-    if (cached_seq_ == s) {
-        return;
-    }
     // RoPE frequencies: theta_i = 10000^{-2i/d}, cos/sin per position.
-    rope_cos_ = Tensor::empty({s, head_dim_});
-    rope_sin_ = Tensor::empty({s, head_dim_});
-    float *pc = rope_cos_.rawData<float>();
-    float *ps = rope_sin_.rawData<float>();
-    int64_t half = head_dim_ / 2;
+    cos_out = Tensor::empty({s, head_dim});
+    sin_out = Tensor::empty({s, head_dim});
+    float *pc = cos_out.rawData<float>();
+    float *ps = sin_out.rawData<float>();
+    int64_t half = head_dim / 2;
     for (int64_t pos = 0; pos < s; ++pos) {
         for (int64_t i = 0; i < half; ++i) {
             double freq = std::pow(
-                10000.0, -2.0 * static_cast<double>(i) / head_dim_);
+                10000.0, -2.0 * static_cast<double>(i) / head_dim);
             double angle = static_cast<double>(pos) * freq;
             float c = static_cast<float>(std::cos(angle));
             float sn = static_cast<float>(std::sin(angle));
             // Halves share the angle (rotate-half convention).
-            pc[pos * head_dim_ + i] = c;
-            pc[pos * head_dim_ + half + i] = c;
-            ps[pos * head_dim_ + i] = sn;
-            ps[pos * head_dim_ + half + i] = sn;
+            pc[pos * head_dim + i] = c;
+            pc[pos * head_dim + half + i] = c;
+            ps[pos * head_dim + i] = sn;
+            ps[pos * head_dim + half + i] = sn;
         }
     }
-    causal_mask_ = Tensor::zeros({1, s, s});
-    float *pm = causal_mask_.rawData<float>();
+}
+
+Tensor
+buildCausalMask(int64_t s)
+{
+    Tensor mask = Tensor::zeros({1, s, s});
+    float *pm = mask.rawData<float>();
     for (int64_t i = 0; i < s; ++i) {
         for (int64_t j = i + 1; j < s; ++j) {
             pm[i * s + j] = -1e9f;
         }
     }
+    return mask;
+}
+
+void
+MultiHeadAttention::ensureCaches(int64_t s)
+{
+    if (cached_seq_ == s) {
+        return;
+    }
+    buildRopeTables(s, head_dim_, rope_cos_, rope_sin_);
+    causal_mask_ = buildCausalMask(s);
     cached_seq_ = s;
 }
 

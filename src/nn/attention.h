@@ -15,6 +15,19 @@
 namespace edkm {
 namespace nn {
 
+/**
+ * Build the RoPE cos/sin tables for @p s positions at @p head_dim
+ * (rotate-half convention: both halves share the angle). One
+ * definition shared by the train-time attention module and the
+ * serving engine, so their position embeddings can never diverge.
+ */
+void buildRopeTables(int64_t s, int64_t head_dim, Tensor &cos_out,
+                     Tensor &sin_out);
+
+/** The [1, s, s] additive causal mask (0 on/below diagonal, -1e9
+ *  above). */
+Tensor buildCausalMask(int64_t s);
+
 /** Causal RoPE multi-head attention over [B, S, D] inputs. */
 class MultiHeadAttention : public Module
 {

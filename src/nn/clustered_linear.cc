@@ -17,6 +17,18 @@ ClusteredLinear::ClusteredLinear(std::shared_ptr<Linear> inner,
 Variable
 ClusteredLinear::forward(const Variable &x)
 {
+    if (frozen_) {
+        EDKM_CHECK(!(gradModeEnabled() && x.requiresGrad()),
+                   "ClusteredLinear: layer is frozen for serving "
+                   "(LUT+index forward has no backward); call "
+                   "unfreeze() to resume training");
+        Variable out =
+            af::constant(paletteMatmulT(x.data(), viewOf(palette_)));
+        if (inner_->bias().defined()) {
+            out = af::add(out, af::constant(inner_->bias().data()));
+        }
+        return out;
+    }
     if (!enabled_) {
         return inner_->forward(x);
     }
@@ -37,6 +49,22 @@ ClusteredLinear::palettize()
         clusterer_.forward(inner_->weight().detach());
     }
     return clusterer_.palettize(inner_->weight().data());
+}
+
+void
+ClusteredLinear::freezeForServing()
+{
+    palette_ = palettize();
+    frozen_ = true;
+}
+
+const PalettizedTensor &
+ClusteredLinear::servingPalette() const
+{
+    EDKM_CHECK(frozen_,
+               "ClusteredLinear: servingPalette() requires "
+               "freezeForServing() first");
+    return palette_;
 }
 
 } // namespace nn

@@ -46,6 +46,21 @@ class ClusteredLinear : public Module
     PalettizedTensor palettize();
 
     /**
+     * Freeze for serving: palettize the weight once and route every
+     * subsequent forward through the streamed LUT+index matmul
+     * (paletteMatmulT) — bit-identical to the dense matmul on the
+     * decompressed weight, but the dense W is never re-materialised.
+     * Inference-only: a frozen forward rejects inputs that require
+     * grad. unfreeze() restores the train-time behaviour.
+     */
+    void freezeForServing();
+    void unfreeze() { frozen_ = false; }
+    bool frozenForServing() const { return frozen_; }
+
+    /** The palette a frozen layer serves from (frozen only). */
+    const PalettizedTensor &servingPalette() const;
+
+    /**
      * When true (default), clustering runs every forward; when false the
      * layer behaves as a plain Linear (e.g. during evaluation of the
      * uncompressed reference).
@@ -56,6 +71,8 @@ class ClusteredLinear : public Module
     std::shared_ptr<Linear> inner_;
     EdkmLayer clusterer_;
     bool enabled_ = true;
+    bool frozen_ = false;
+    PalettizedTensor palette_; ///< serving palette (frozen only)
 };
 
 } // namespace nn

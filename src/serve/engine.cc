@@ -1,0 +1,279 @@
+#include "serve/engine.h"
+
+#include <cmath>
+
+#include "autograd/functional.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace edkm {
+namespace serve {
+
+namespace {
+
+/** Parameter names + shapes the manifest geometry requires. */
+std::vector<std::pair<std::string, Shape>>
+expectedParameters(const nn::LlamaConfig &cfg)
+{
+    int64_t d = cfg.dim, h = cfg.resolvedHidden(), v = cfg.vocab;
+    std::vector<std::pair<std::string, Shape>> out;
+    out.emplace_back("embed.weight", Shape{v, d});
+    for (int64_t i = 0; i < cfg.layers; ++i) {
+        std::string p = "blocks." + std::to_string(i) + ".";
+        out.emplace_back(p + "norm1.weight", Shape{d});
+        for (const char *w : {"wq", "wk", "wv", "wo"}) {
+            out.emplace_back(p + "attn." + w + ".weight", Shape{d, d});
+        }
+        out.emplace_back(p + "norm2.weight", Shape{d});
+        out.emplace_back(p + "mlp.w1.weight", Shape{h, d});
+        out.emplace_back(p + "mlp.w2.weight", Shape{d, h});
+        out.emplace_back(p + "mlp.w3.weight", Shape{h, d});
+    }
+    out.emplace_back("final_norm.weight", Shape{d});
+    out.emplace_back("lm_head.weight", Shape{v, d});
+    return out;
+}
+
+/** RMSNorm epsilon: nn::RMSNorm's default, which MiniLlama uses. */
+constexpr float kRmsEps = 1e-5f;
+
+} // namespace
+
+InferenceEngine::InferenceEngine(
+    std::shared_ptr<const ArtifactReader> reader, EngineConfig cfg)
+    : reader_(std::move(reader)), config_(cfg)
+{
+    EDKM_CHECK(reader_ != nullptr, "InferenceEngine: null reader");
+    EDKM_CHECK(config_.decodeCacheBytes >= 0,
+               "InferenceEngine: negative decode-cache budget");
+    for (const auto &[name, shape] : expectedParameters(config())) {
+        EDKM_CHECK(reader_->contains(name),
+                   "InferenceEngine: artifact has no section for "
+                   "parameter '",
+                   name, "' required by its own geometry");
+        const api::TensorSection &s = reader_->section(name);
+        EDKM_CHECK(s.shape == shape, "InferenceEngine: section '", name,
+                   "' shape disagrees with the manifest geometry");
+    }
+}
+
+Tensor
+InferenceEngine::denseWeight(const std::string &name)
+{
+    const api::TensorSection &s = reader_->section(name);
+    if (s.codec == api::Codec::kRawF32) {
+        auto it = borrowed_.find(name);
+        if (it != borrowed_.end()) {
+            return it->second;
+        }
+        Tensor t = reader_->denseView(name);
+        borrowed_.emplace(name, t);
+        ++stats_.borrowedViews;
+        return t;
+    }
+    // dense_f16 / affine: lazy decode into the LRU cache.
+    auto it = cache_.find(name);
+    if (it != cache_.end()) {
+        ++stats_.cacheHits;
+        it->second.lastUse = ++use_clock_;
+        return it->second.tensor;
+    }
+    ++stats_.cacheMisses;
+    ++stats_.decodes;
+    CacheSlot slot;
+    slot.tensor = reader_->decode(name);
+    slot.bytes = slot.tensor.storageBytes();
+    slot.lastUse = ++use_clock_;
+    stats_.cacheBytes += slot.bytes;
+    Tensor t = slot.tensor;
+    cache_.emplace(name, std::move(slot));
+    evictToBudget();
+    return t;
+}
+
+void
+InferenceEngine::evictToBudget()
+{
+    while (stats_.cacheBytes > config_.decodeCacheBytes &&
+           cache_.size() > 1) {
+        auto victim = cache_.end();
+        for (auto it = cache_.begin(); it != cache_.end(); ++it) {
+            if (victim == cache_.end() ||
+                it->second.lastUse < victim->second.lastUse) {
+                victim = it;
+            }
+        }
+        stats_.cacheBytes -= victim->second.bytes;
+        ++stats_.evictions;
+        cache_.erase(victim);
+    }
+}
+
+const PaletteView &
+InferenceEngine::palette(const std::string &name)
+{
+    auto it = palettes_.find(name);
+    if (it != palettes_.end()) {
+        return it->second;
+    }
+    auto [ins, ok] = palettes_.emplace(name, reader_->paletteView(name));
+    (void)ok;
+    ++stats_.borrowedViews;
+    return ins->second;
+}
+
+Variable
+InferenceEngine::linearForward(const std::string &path, const Variable &x)
+{
+    std::string name = path + ".weight";
+    const api::TensorSection &s = reader_->section(name);
+    if (s.codec == api::Codec::kPalettized) {
+        ++stats_.streamedMatmuls;
+        return af::constant(paletteMatmulT(x.data(), palette(name)));
+    }
+    Tensor w = denseWeight(name);
+    return af::matmul(x, af::transpose(af::constant(w), 0, 1));
+}
+
+Variable
+InferenceEngine::rmsNorm(const Variable &x, const std::string &name)
+{
+    Variable w = af::constant(denseWeight(name));
+    Variable ms = af::meanDim(af::square(x), -1, /*keepdim=*/true);
+    Variable inv = af::div(x, af::sqrt(af::addScalar(ms, kRmsEps)));
+    return af::mul(inv, w);
+}
+
+Variable
+InferenceEngine::embed(const Tensor &flat_tokens)
+{
+    const api::TensorSection &s = reader_->section("embed.weight");
+    if (s.codec == api::Codec::kPalettized) {
+        return af::constant(
+            paletteGatherRows(palette("embed.weight"), flat_tokens));
+    }
+    Variable table = af::constant(denseWeight("embed.weight"));
+    return af::gatherRows(table, flat_tokens);
+}
+
+void
+InferenceEngine::ensureSeqCaches(int64_t s)
+{
+    if (cached_seq_ == s) {
+        return;
+    }
+    // The same builders MultiHeadAttention::ensureCaches uses, so the
+    // rope/mask values match the eager model's bit for bit.
+    nn::buildRopeTables(s, config().dim / config().heads, rope_cos_,
+                        rope_sin_);
+    causal_mask_ = nn::buildCausalMask(s);
+    cached_seq_ = s;
+}
+
+Variable
+InferenceEngine::attentionForward(int64_t layer, const Variable &x)
+{
+    int64_t dim = config().dim, heads = config().heads;
+    int64_t head_dim = dim / heads;
+    const Shape &shape = x.data().shape();
+    int64_t b = shape[0], s = shape[1];
+    ensureSeqCaches(s);
+    std::string p = "blocks." + std::to_string(layer) + ".attn.";
+
+    auto split_heads = [&](const std::string &proj) {
+        Variable flat = af::view(x, {b * s, dim});
+        Variable y = linearForward(p + proj, flat);
+        y = af::view(y, {b, s, heads, head_dim});
+        y = af::transpose(y, 1, 2);
+        y = af::contiguous(y);
+        return af::view(y, {b * heads, s, head_dim});
+    };
+    Variable q = split_heads("wq");
+    Variable k = split_heads("wk");
+    Variable v = split_heads("wv");
+
+    q = af::rope(q, rope_cos_, rope_sin_);
+    k = af::rope(k, rope_cos_, rope_sin_);
+
+    float scale = 1.0f / std::sqrt(static_cast<float>(head_dim));
+    Variable att = af::matmul(q, af::transpose(k, -2, -1));
+    att = af::mulScalar(att, scale);
+    att = af::add(att, af::constant(causal_mask_));
+    att = af::softmaxLastDim(att);
+    Variable ctx = af::matmul(att, v);
+
+    ctx = af::view(ctx, {b, heads, s, head_dim});
+    ctx = af::transpose(ctx, 1, 2);
+    ctx = af::contiguous(ctx);
+    ctx = af::view(ctx, {b * s, dim});
+    Variable out = linearForward(p + "wo", ctx);
+    return af::view(out, {b, s, dim});
+}
+
+Variable
+InferenceEngine::blockForward(int64_t layer, const Variable &x)
+{
+    const Shape &sh = x.data().shape();
+    int64_t b = sh[0], seq = sh[1], d = sh[2];
+    std::string p = "blocks." + std::to_string(layer) + ".";
+    Variable h = af::add(
+        x, attentionForward(layer, rmsNorm(x, p + "norm1.weight")));
+    Variable flat =
+        af::view(rmsNorm(h, p + "norm2.weight"), {b * seq, d});
+    Variable gate = af::silu(linearForward(p + "mlp.w1", flat));
+    Variable up = linearForward(p + "mlp.w3", flat);
+    Variable m = linearForward(p + "mlp.w2", af::mul(gate, up));
+    return af::add(h, af::view(m, {b, seq, d}));
+}
+
+Tensor
+InferenceEngine::forward(const Tensor &tokens)
+{
+    NoGradGuard ng;
+    EDKM_CHECK(tokens.dim() == 2,
+               "InferenceEngine: tokens must be [B,S]");
+    int64_t b = tokens.size(0), s = tokens.size(1);
+    Tensor flat_tokens =
+        tokens.isContiguous() ? tokens.view({b * s})
+                              : tokens.contiguous().view({b * s});
+    Variable h = embed(flat_tokens);
+    h = af::view(h, {b, s, config().dim});
+    for (int64_t l = 0; l < config().layers; ++l) {
+        h = blockForward(l, h);
+    }
+    h = rmsNorm(h, "final_norm.weight");
+    h = af::view(h, {b * s, config().dim});
+    return linearForward("lm_head", h).data();
+}
+
+InferenceEngine::Response
+InferenceEngine::generate(const Request &request)
+{
+    EDKM_CHECK(!request.prompt.empty(),
+               "InferenceEngine: empty prompt in request");
+    Response res;
+    res.tokens = request.prompt;
+    for (int64_t step = 0; step < request.maxNewTokens; ++step) {
+        Tensor tokens = Tensor::fromIndices(
+            res.tokens, {1, static_cast<int64_t>(res.tokens.size())});
+        Tensor logits = forward(tokens);
+        Tensor last = logits.slice(0, logits.size(0) - 1,
+                                   logits.size(0));
+        res.tokens.push_back(argmaxLastDim(last).flatAtInt(0));
+    }
+    return res;
+}
+
+std::vector<InferenceEngine::Response>
+InferenceEngine::generate(const std::vector<Request> &batch)
+{
+    std::vector<Response> out;
+    out.reserve(batch.size());
+    for (const Request &r : batch) {
+        out.push_back(generate(r));
+    }
+    return out;
+}
+
+} // namespace serve
+} // namespace edkm

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Zero-copy serving engine over a saved model artifact.
+ *
+ * InferenceEngine runs the MiniLlama transformer forward directly from
+ * an ArtifactReader, without ever calling ModelArtifact::reconstruct:
+ *
+ *   - raw_f32 sections are consumed through borrowed tensor views of
+ *     the file mapping (zero heap bytes);
+ *   - palettized sections run through the streamed LUT+index matmul
+ *     (paletteMatmulT) and palette row gather — the dense weight is
+ *     never materialised;
+ *   - dense_f16 / affine sections decode to dense f32 lazily on first
+ *     touch, into an LRU cache bounded by a byte budget.
+ *
+ * The forward mirrors nn::MiniLlama's op sequence exactly (the same
+ * tensor kernels in the same order under NoGrad), so logits are
+ * bit-identical to forward on the eagerly reconstructed model — the
+ * contract test_serve.cc enforces per codec.
+ *
+ * The engine is not thread-safe; give each serving thread its own
+ * engine (they can share one ArtifactReader).
+ */
+
+#ifndef EDKM_SERVE_ENGINE_H_
+#define EDKM_SERVE_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "core/palettize.h"
+#include "nn/transformer.h"
+#include "serve/reader.h"
+#include "tensor/tensor.h"
+
+namespace edkm {
+namespace serve {
+
+/** Engine knobs. */
+struct EngineConfig
+{
+    /**
+     * Byte budget of the lazy decode cache (dense_f16 / affine
+     * sections decoded to f32). The least-recently-used entry is
+     * evicted first; a single weight larger than the budget still
+     * loads (the cache never refuses the tensor being requested).
+     */
+    int64_t decodeCacheBytes = 64ll << 20;
+};
+
+/** Counters exposed for benches and tests. */
+struct EngineStats
+{
+    int64_t decodes = 0;         ///< lazy dense decodes performed
+    int64_t cacheHits = 0;
+    int64_t cacheMisses = 0;
+    int64_t evictions = 0;
+    int64_t cacheBytes = 0;      ///< dense f32 bytes currently cached
+    int64_t streamedMatmuls = 0; ///< palettized LUT+index matmuls run
+    int64_t borrowedViews = 0;   ///< zero-copy sections in use
+};
+
+/** Batched request API over the artifact-backed forward. */
+class InferenceEngine
+{
+  public:
+    /**
+     * Wire the engine to @p reader. Validates that every parameter the
+     * manifest geometry requires has a payload section of the right
+     * shape; throws FatalError naming the first missing/mismatched one.
+     */
+    explicit InferenceEngine(std::shared_ptr<const ArtifactReader> reader,
+                             EngineConfig config = EngineConfig{});
+
+    const nn::LlamaConfig &config() const { return reader_->config(); }
+    const EngineConfig &engineConfig() const { return config_; }
+
+    /**
+     * @p tokens [B, S] integer tensor.
+     * @return logits [B*S, vocab] — bit-identical to
+     *         reconstruct().forward(tokens).
+     */
+    Tensor forward(const Tensor &tokens);
+
+    /** One generation request (greedy decode). */
+    struct Request
+    {
+        std::vector<int64_t> prompt;
+        int64_t maxNewTokens = 0;
+    };
+
+    /** Completed request: prompt followed by the generated tokens. */
+    struct Response
+    {
+        std::vector<int64_t> tokens;
+    };
+
+    /** Greedy-decode one request. */
+    Response generate(const Request &request);
+
+    /** Serve a batch of requests. */
+    std::vector<Response> generate(const std::vector<Request> &batch);
+
+    const EngineStats &stats() const { return stats_; }
+
+    /** Heap bytes currently pinned by decoded weights (cache only —
+     *  borrowed views cost no heap). */
+    int64_t residentWeightBytes() const { return stats_.cacheBytes; }
+
+  private:
+    struct CacheSlot
+    {
+        Tensor tensor;
+        int64_t bytes = 0;
+        uint64_t lastUse = 0;
+    };
+
+    /** Dense f32 weight: borrowed view (raw_f32) or lazy LRU decode. */
+    Tensor denseWeight(const std::string &name);
+
+    /** Cached zero-copy palette view of a palettized section. */
+    const PaletteView &palette(const std::string &name);
+
+    Variable linearForward(const std::string &path, const Variable &x);
+    Variable rmsNorm(const Variable &x, const std::string &name);
+    Variable embed(const Tensor &flat_tokens);
+    Variable attentionForward(int64_t layer, const Variable &x);
+    Variable blockForward(int64_t layer, const Variable &x);
+    void ensureSeqCaches(int64_t s);
+    void evictToBudget();
+
+    std::shared_ptr<const ArtifactReader> reader_;
+    EngineConfig config_;
+    EngineStats stats_;
+
+    std::unordered_map<std::string, Tensor> borrowed_;
+    std::unordered_map<std::string, PaletteView> palettes_;
+    std::unordered_map<std::string, CacheSlot> cache_;
+    uint64_t use_clock_ = 0;
+
+    // Per-sequence-length RoPE and causal-mask caches (same values
+    // nn::MultiHeadAttention computes per layer).
+    Tensor rope_cos_, rope_sin_, causal_mask_;
+    int64_t cached_seq_ = -1;
+};
+
+} // namespace serve
+
+namespace api {
+/** The serving surface is re-exported under api:: alongside Session. */
+using InferenceEngine = serve::InferenceEngine;
+} // namespace api
+
+} // namespace edkm
+
+#endif // EDKM_SERVE_ENGINE_H_

@@ -1,0 +1,237 @@
+#include "serve/reader.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "util/logging.h"
+#include "util/serial.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define EDKM_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace edkm {
+namespace serve {
+
+std::shared_ptr<FileMapping>
+FileMapping::open(const std::string &path, bool force_read)
+{
+    auto m = std::shared_ptr<FileMapping>(new FileMapping());
+#ifdef EDKM_HAVE_MMAP
+    if (!force_read) {
+        int fd = ::open(path.c_str(), O_RDONLY);
+        EDKM_CHECK(fd >= 0, "artifact reader: cannot open ", path);
+        struct stat st;
+        if (::fstat(fd, &st) == 0 && st.st_size > 0) {
+            void *p = ::mmap(nullptr, static_cast<size_t>(st.st_size),
+                             PROT_READ, MAP_PRIVATE, fd, 0);
+            if (p != MAP_FAILED) {
+                // The mapping survives the fd; close it now.
+                ::close(fd);
+                m->data_ = static_cast<const uint8_t *>(p);
+                m->size_ = static_cast<size_t>(st.st_size);
+                m->mapped_ = true;
+                return m;
+            }
+        }
+        ::close(fd);
+    }
+#else
+    (void)force_read;
+#endif
+    m->heap_ = serial::readFile(path);
+    m->data_ = m->heap_.data();
+    m->size_ = m->heap_.size();
+    m->mapped_ = false;
+    return m;
+}
+
+FileMapping::~FileMapping()
+{
+#ifdef EDKM_HAVE_MMAP
+    if (mapped_ && data_ != nullptr) {
+        ::munmap(const_cast<uint8_t *>(data_), size_);
+    }
+#endif
+}
+
+std::shared_ptr<ArtifactReader>
+ArtifactReader::open(const std::string &path)
+{
+    bool force_read = std::getenv("EDKM_NO_MMAP") != nullptr;
+    auto mapping = FileMapping::open(path, force_read);
+    auto r = std::shared_ptr<ArtifactReader>(new ArtifactReader());
+    r->file_bytes_ = static_cast<int64_t>(mapping->size());
+    if (api::isArtifactV2(mapping->data(), mapping->size())) {
+        r->version_ = api::kArtifactVersionV2;
+        r->layout_ =
+            api::parseArtifactLayout(mapping->data(), mapping->size());
+        r->mapping_ = std::move(mapping);
+        r->buildIndex();
+        return r;
+    }
+    EDKM_CHECK(api::isArtifactV1(mapping->data(), mapping->size()),
+               "artifact reader: ", path,
+               " is not an eDKM model artifact (bad magic)");
+    // v1 compat: deserialize straight from the mapping (payloads are
+    // interleaved with the manifest, so they cannot be borrowed in
+    // place — they are copied into compat_ and the mapping dropped);
+    // views then borrow from the in-memory artifact, which the reader
+    // and every view keep alive.
+    r->version_ = api::kArtifactVersionV1;
+    r->compat_ = std::make_shared<api::ModelArtifact>(
+        api::ModelArtifact::deserialize(
+            serial::ByteSpan(mapping->data(), mapping->size())));
+    mapping.reset();
+    r->layout_.scheme = r->compat_->scheme;
+    r->layout_.config = r->compat_->config;
+    r->layout_.size = r->compat_->size;
+    for (const api::ArtifactEntry &e : r->compat_->entries) {
+        api::TensorSection s;
+        s.name = e.name;
+        s.codec = e.codec;
+        s.bits = e.bits;
+        s.shape = e.shape;
+        s.offset = 0; // payloads live in compat_, not at file offsets
+        s.bytes = e.payloadBytes();
+        r->layout_.sections.push_back(std::move(s));
+    }
+    r->buildIndex();
+    return r;
+}
+
+void
+ArtifactReader::buildIndex()
+{
+    index_.clear();
+    index_.reserve(layout_.sections.size());
+    for (size_t i = 0; i < layout_.sections.size(); ++i) {
+        index_.emplace(layout_.sections[i].name, i);
+    }
+}
+
+int64_t
+ArtifactReader::fileBytes() const
+{
+    return file_bytes_;
+}
+
+bool
+ArtifactReader::contains(const std::string &name) const
+{
+    return index_.find(name) != index_.end();
+}
+
+const api::TensorSection &
+ArtifactReader::section(const std::string &name) const
+{
+    auto it = index_.find(name);
+    if (it == index_.end()) {
+        fatal("artifact reader: no payload section for parameter '",
+              name, "' (", layout_.sections.size(),
+              " sections present)");
+    }
+    return layout_.sections[it->second];
+}
+
+const uint8_t *
+ArtifactReader::payload(const api::TensorSection &s) const
+{
+    if (compat_ != nullptr) {
+        return compat_->entry(s.name).payload.data();
+    }
+    return mapping_->data() + s.offset;
+}
+
+std::shared_ptr<const void>
+ArtifactReader::keepAlive() const
+{
+    if (compat_ != nullptr) {
+        return compat_;
+    }
+    return mapping_;
+}
+
+Tensor
+ArtifactReader::denseView(const std::string &name) const
+{
+    const api::TensorSection &s = section(name);
+    EDKM_CHECK(s.codec == api::Codec::kRawF32 ||
+                   s.codec == api::Codec::kDenseF16,
+               "artifact reader: section '", name, "' is ",
+               api::codecName(s.codec),
+               ", only raw_f32/dense_f16 payloads have dense views");
+    DType dt =
+        s.codec == api::Codec::kRawF32 ? DType::kF32 : DType::kF16;
+    auto storage = Storage::borrow(
+        reinterpret_cast<const std::byte *>(payload(s)), s.bytes,
+        Device::cpu(), keepAlive());
+    Shape strides(s.shape.size());
+    int64_t acc = 1;
+    for (int64_t d = static_cast<int64_t>(s.shape.size()) - 1; d >= 0;
+         --d) {
+        strides[static_cast<size_t>(d)] = acc;
+        acc *= s.shape[static_cast<size_t>(d)];
+    }
+    return Tensor::wrapStorage(std::move(storage), s.shape, strides,
+                               /*offset=*/0, dt);
+}
+
+PaletteView
+ArtifactReader::paletteView(const std::string &name) const
+{
+    const api::TensorSection &s = section(name);
+    EDKM_CHECK(s.codec == api::Codec::kPalettized,
+               "artifact reader: section '", name, "' is ",
+               api::codecName(s.codec), ", not palettized");
+    PaletteView v = parsePaletteView(
+        payload(s), static_cast<size_t>(s.bytes), keepAlive());
+    EDKM_CHECK(v.shape == s.shape, "artifact reader: section '", name,
+               "': palettized payload shape disagrees with the manifest");
+    return v;
+}
+
+Tensor
+ArtifactReader::decode(const std::string &name) const
+{
+    const api::TensorSection &s = section(name);
+    api::ArtifactEntry e;
+    e.name = s.name;
+    e.codec = s.codec;
+    e.bits = s.bits;
+    e.shape = s.shape;
+    const uint8_t *p = payload(s);
+    e.payload.assign(p, p + s.bytes);
+    return e.decode();
+}
+
+api::ModelArtifact
+ArtifactReader::toArtifact() const
+{
+    if (compat_ != nullptr) {
+        return *compat_;
+    }
+    api::ModelArtifact a;
+    a.scheme = layout_.scheme;
+    a.config = layout_.config;
+    a.size = layout_.size;
+    a.entries.reserve(layout_.sections.size());
+    for (const api::TensorSection &s : layout_.sections) {
+        api::ArtifactEntry e;
+        e.name = s.name;
+        e.codec = s.codec;
+        e.bits = s.bits;
+        e.shape = s.shape;
+        const uint8_t *p = payload(s);
+        e.payload.assign(p, p + s.bytes);
+        a.entries.push_back(std::move(e));
+    }
+    return a;
+}
+
+} // namespace serve
+} // namespace edkm

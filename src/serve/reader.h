@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Zero-copy artifact access for serving.
+ *
+ * ArtifactReader opens a saved ModelArtifact file for *consumption*:
+ * the v2 container is mapped read-only (mmap where available, with a
+ * portable whole-file read fallback — EDKM_NO_MMAP=1 forces it) and
+ * payload sections are handed out in place:
+ *
+ *   - denseView():   borrowed Tensor over a raw_f32 / dense_f16 section
+ *                    (no copy; Storage in borrowed mode keeps the
+ *                    mapping alive).
+ *   - paletteView(): LUT + borrowed index bitstream of a palettized
+ *                    section, consumed directly by paletteMatmulT.
+ *   - decode():      eager dense f32 decode of any section, bit-
+ *                    identical to ArtifactEntry::decode.
+ *
+ * Legacy v1 files load through the compatibility path (whole-stream
+ * deserialize); views then borrow from the in-memory artifact instead
+ * of a mapping, with the same lifetime guarantees.
+ */
+
+#ifndef EDKM_SERVE_READER_H_
+#define EDKM_SERVE_READER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "api/artifact.h"
+#include "core/palettize.h"
+#include "tensor/tensor.h"
+
+namespace edkm {
+namespace serve {
+
+/**
+ * A read-only byte source for one artifact file: an mmap-ed range or a
+ * heap copy (fallback / v1 compat). Borrowed storages hold it via
+ * shared_ptr, so views outlive the reader safely.
+ */
+class FileMapping
+{
+  public:
+    /** Map (or read) @p path. @p force_read skips mmap. */
+    static std::shared_ptr<FileMapping> open(const std::string &path,
+                                             bool force_read);
+
+    ~FileMapping();
+
+    FileMapping(const FileMapping &) = delete;
+    FileMapping &operator=(const FileMapping &) = delete;
+
+    const uint8_t *data() const { return data_; }
+    size_t size() const { return size_; }
+
+    /** True when the bytes are an actual file mapping (not a copy). */
+    bool mapped() const { return mapped_; }
+
+  private:
+    FileMapping() = default;
+
+    const uint8_t *data_ = nullptr;
+    size_t size_ = 0;
+    bool mapped_ = false;
+    std::vector<uint8_t> heap_; ///< fallback bytes when !mapped_
+};
+
+/** Serving-side view into one saved model artifact. */
+class ArtifactReader
+{
+  public:
+    /**
+     * Open @p path. v2 containers are validated (header, manifest,
+     * section table) without touching payload bytes; v1 files are
+     * deserialized whole. Throws FatalError with the offending section
+     * named on any corruption.
+     */
+    static std::shared_ptr<ArtifactReader> open(const std::string &path);
+
+    /** Container version of the underlying file (1 or 2). */
+    uint32_t version() const { return version_; }
+
+    /** True when payloads are served from an actual file mapping. */
+    bool mapped() const { return mapping_ && mapping_->mapped(); }
+
+    int64_t fileBytes() const;
+
+    const std::string &scheme() const { return layout_.scheme; }
+    const nn::LlamaConfig &config() const { return layout_.config; }
+    const eval::SizeReport &sizeReport() const { return layout_.size; }
+
+    /** All payload sections, in container order. */
+    const std::vector<api::TensorSection> &sections() const
+    {
+        return layout_.sections;
+    }
+
+    bool contains(const std::string &name) const;
+
+    /** Section metadata for @p name (indexed lookup); throws when
+     *  absent. */
+    const api::TensorSection &section(const std::string &name) const;
+
+    /** Borrowed pointer to @p s's payload bytes (alive with reader or
+     *  any view derived from it). */
+    const uint8_t *payload(const api::TensorSection &s) const;
+
+    /**
+     * Zero-copy dense tensor over a raw_f32 or dense_f16 section: a
+     * borrowed-storage Tensor of the section's shape and storage dtype
+     * (kF32 / kF16). Throws for other codecs. The returned tensor must
+     * be treated read-only.
+     */
+    Tensor denseView(const std::string &name) const;
+
+    /** Zero-copy palette view over a palettized section. */
+    PaletteView paletteView(const std::string &name) const;
+
+    /**
+     * Eager dense f32 decode of any section — bit-identical to the
+     * ArtifactEntry::decode a ModelArtifact::load would perform.
+     */
+    Tensor decode(const std::string &name) const;
+
+    /** Materialise the whole artifact (tooling / compat). */
+    api::ModelArtifact toArtifact() const;
+
+  private:
+    ArtifactReader() = default;
+
+    /** The keep-alive token borrowed storages should hold. */
+    std::shared_ptr<const void> keepAlive() const;
+
+    /** Rebuild the name -> section index after layout_ is filled. */
+    void buildIndex();
+
+    uint32_t version_ = 0;
+    int64_t file_bytes_ = 0;
+    api::ArtifactLayout layout_;
+    std::unordered_map<std::string, size_t> index_;
+    /** The v2 mapping; null for v1 files (payloads live in compat_). */
+    std::shared_ptr<FileMapping> mapping_;
+    /** v1 compat: payloads live here instead of in the mapping. */
+    std::shared_ptr<api::ModelArtifact> compat_;
+};
+
+} // namespace serve
+} // namespace edkm
+
+#endif // EDKM_SERVE_READER_H_

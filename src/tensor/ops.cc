@@ -429,6 +429,84 @@ matmul(const Tensor &a, const Tensor &b)
 }
 
 Tensor
+matmulStreamed(const Tensor &a, int64_t k, int64_t n,
+               const MatmulRowFill &fill)
+{
+    EDKM_CHECK(a.dim() == 2, "matmulStreamed: left operand must be 2-d");
+    EDKM_CHECK(k >= 1 && n >= 1, "matmulStreamed: bad B geometry [", k,
+               ",", n, "]");
+    Tensor ac = toF32Contig(a);
+    EDKM_CHECK(ac.size(1) == k, "matmulStreamed: inner dims ", ac.size(1),
+               " vs ", k);
+    int64_t m = ac.size(0);
+    Tensor out = Tensor::empty({m, n}, DType::kF32, ac.device());
+    const float *pa = ac.rawData<float>();
+    float *pc = out.rawData<float>();
+    const kernels::KernelTable &kt = kernels::active();
+
+    if (n == 1) {
+        // Matvec: B is one column; mirror matmul2d's fixed-lane dots.
+        std::vector<float> b(static_cast<size_t>(k));
+        fill(0, k, b.data());
+        parallelFor(0, m, grainFor(m, 2 * k),
+                    [&](int64_t rb, int64_t re) {
+                        kt.matvec(pa + rb * k, re - rb, k, b.data(),
+                                  pc + rb);
+                    });
+    } else if (m == 1) {
+        // Vecmat: same chunk decomposition and chunk-order combine as
+        // matmul2d, each chunk running vecmat on its own B tile.
+        std::vector<float> acc = parallelReduce<std::vector<float>>(
+            0, k, grainFor(k, 2 * n),
+            std::vector<float>(static_cast<size_t>(n), 0.0f),
+            [&](int64_t cb, int64_t ce) {
+                std::vector<float> part(static_cast<size_t>(n), 0.0f);
+                std::vector<float> tile(
+                    static_cast<size_t>((ce - cb) * n));
+                fill(cb, ce, tile.data());
+                kt.vecmat(pa + cb, tile.data(), ce - cb, n, part.data());
+                return part;
+            },
+            [](std::vector<float> x, std::vector<float> y) {
+                for (size_t j = 0; j < x.size(); ++j) {
+                    x[j] += y[j];
+                }
+                return x;
+            });
+        std::copy(acc.begin(), acc.end(), pc);
+    } else {
+        // General case: p-tiles stream through a bounded scratch; per
+        // output row the accumulation stays ascending-p with the same
+        // zero skip, so the result matches matmul2d's axpy loop bit for
+        // bit while only ever holding one tile of B.
+        std::fill(pc, pc + m * n, 0.0f);
+        int64_t tile_rows =
+            std::max<int64_t>(1, std::min(k, (256 << 10) / (n * 4)));
+        std::vector<float> tile(static_cast<size_t>(tile_rows * n));
+        for (int64_t p0 = 0; p0 < k; p0 += tile_rows) {
+            int64_t p1 = std::min(k, p0 + tile_rows);
+            fill(p0, p1, tile.data());
+            const float *pt = tile.data();
+            parallelFor(0, m, grainFor(m, 2 * (p1 - p0) * n),
+                        [&](int64_t rb, int64_t re) {
+                            for (int64_t i = rb; i < re; ++i) {
+                                for (int64_t p = p0; p < p1; ++p) {
+                                    float av = pa[i * k + p];
+                                    if (av == 0.0f) {
+                                        continue;
+                                    }
+                                    kt.axpy(pt + (p - p0) * n, av,
+                                            pc + i * n, n);
+                                }
+                            }
+                        });
+        }
+    }
+    chargeFlops(2.0 * m * k * n, ac.device());
+    return out;
+}
+
+Tensor
 sumAll(const Tensor &a)
 {
     // Chunked reduction: per-chunk double partials combined in chunk

@@ -15,6 +15,7 @@
 #define EDKM_TENSOR_OPS_H_
 
 #include <cstdint>
+#include <functional>
 #include <utility>
 #include <vector>
 
@@ -62,6 +63,31 @@ Tensor sigmoid(const Tensor &a);
  * (or [b,m,k]x[k,n] with broadcast of the right operand).
  */
 Tensor matmul(const Tensor &a, const Tensor &b);
+
+/**
+ * Row-block provider for matmulStreamed: fill rows [p0, p1) of the
+ * right operand B — each @p n floats, row-major — into @p dst. Ranges
+ * are non-overlapping and cover [0, k), but are NOT always sequential:
+ * the m==1 (vecmat) path invokes the provider concurrently from pool
+ * threads, one range per chunk. Providers must be re-entrant and keep
+ * no cross-call state (per-call locals only).
+ */
+using MatmulRowFill =
+    std::function<void(int64_t p0, int64_t p1, float *dst)>;
+
+/**
+ * y = a · B for a [m, k] @p a and a [k, n] right operand whose rows are
+ * produced on demand by @p fill, so B is never resident as a whole —
+ * the serving path for palettized weights streams LUT+index tiles
+ * through here.
+ *
+ * Bit-identical to `matmul(a, B)` with B dense: every accumulation
+ * (per-output-row p-order, the m==1 chunked vecmat reduction, the n==1
+ * fixed-lane matvec) replays the dense kernel's exact FP op sequence on
+ * tile copies of the same values.
+ */
+Tensor matmulStreamed(const Tensor &a, int64_t k, int64_t n,
+                      const MatmulRowFill &fill);
 
 // ----------------------------------------------------------------------
 // Reductions

@@ -12,7 +12,8 @@ std::atomic<uint64_t> g_next_storage_id{1};
 } // namespace
 
 Storage::Storage(int64_t bytes, Device dev)
-    : data_(new std::byte[static_cast<size_t>(bytes)]()),
+    : owned_(new std::byte[static_cast<size_t>(bytes)]()),
+      data_(owned_.get()),
       bytes_(bytes),
       device_(dev),
       id_(g_next_storage_id.fetch_add(1, std::memory_order_relaxed))
@@ -20,9 +21,24 @@ Storage::Storage(int64_t bytes, Device dev)
     DeviceManager::instance().recordAlloc(device_, bytes_);
 }
 
+Storage::Storage(const std::byte *data, int64_t bytes, Device dev,
+                 std::shared_ptr<const void> owner)
+    : owned_(nullptr),
+      // Borrowed bytes are read-only by contract (see header); the
+      // const_cast only satisfies the shared data() signature.
+      data_(const_cast<std::byte *>(data)),
+      bytes_(bytes),
+      device_(dev),
+      id_(g_next_storage_id.fetch_add(1, std::memory_order_relaxed)),
+      owner_(std::move(owner))
+{
+}
+
 Storage::~Storage()
 {
-    DeviceManager::instance().recordFree(device_, bytes_);
+    if (owned_ != nullptr) {
+        DeviceManager::instance().recordFree(device_, bytes_);
+    }
 }
 
 std::shared_ptr<Storage>
@@ -30,6 +46,17 @@ Storage::allocate(int64_t bytes, Device dev)
 {
     EDKM_CHECK(bytes >= 0, "storage size must be non-negative");
     return std::shared_ptr<Storage>(new Storage(bytes, dev));
+}
+
+std::shared_ptr<Storage>
+Storage::borrow(const std::byte *data, int64_t bytes, Device dev,
+                std::shared_ptr<const void> owner)
+{
+    EDKM_CHECK(bytes >= 0, "storage size must be non-negative");
+    EDKM_CHECK(data != nullptr || bytes == 0,
+               "borrowed storage needs a valid pointer");
+    return std::shared_ptr<Storage>(
+        new Storage(data, bytes, dev, std::move(owner)));
 }
 
 } // namespace edkm

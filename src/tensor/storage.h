@@ -30,6 +30,14 @@ namespace edkm {
  * Storages are created through allocate() and owned via shared_ptr; the
  * id() is unique process-wide and never reused, which the marshaling
  * registry relies on.
+ *
+ * A storage can also be *borrowed* (borrow()): it then wraps memory it
+ * does not own — typically a section of an mmap-ed model artifact — and
+ * records no allocation with the DeviceManager, so accounting reflects
+ * heap-resident bytes only. A borrowed storage keeps an optional owner
+ * token alive, pinning the mapping for as long as any view of it lives.
+ * Borrowed bytes must be treated read-only: the backing mapping may be
+ * a PROT_READ page range, and writing through a view of it is undefined.
  */
 class Storage
 {
@@ -37,14 +45,24 @@ class Storage
     /** Allocate @p bytes on @p dev (records the allocation). */
     static std::shared_ptr<Storage> allocate(int64_t bytes, Device dev);
 
+    /**
+     * Wrap @p bytes at @p data without taking ownership. @p owner is
+     * held for the storage's lifetime so the backing memory (e.g. an
+     * ArtifactReader's file mapping) cannot be unmapped while views
+     * exist. Records no allocation with the DeviceManager.
+     */
+    static std::shared_ptr<Storage> borrow(const std::byte *data,
+                                           int64_t bytes, Device dev,
+                                           std::shared_ptr<const void> owner);
+
     ~Storage();
 
     Storage(const Storage &) = delete;
     Storage &operator=(const Storage &) = delete;
 
     /** Raw pointer to the first byte. */
-    std::byte *data() { return data_.get(); }
-    const std::byte *data() const { return data_.get(); }
+    std::byte *data() { return data_; }
+    const std::byte *data() const { return data_; }
 
     /** Size in bytes. */
     int64_t bytes() const { return bytes_; }
@@ -55,13 +73,23 @@ class Storage
     /** Process-unique, never-reused identifier. */
     uint64_t id() const { return id_; }
 
+    /** True when the bytes are non-owning (read-only borrowed memory). */
+    bool borrowed() const { return owned_ == nullptr; }
+
+    /** The keep-alive token of a borrowed storage (null when owned). */
+    const std::shared_ptr<const void> &owner() const { return owner_; }
+
   private:
     Storage(int64_t bytes, Device dev);
+    Storage(const std::byte *data, int64_t bytes, Device dev,
+            std::shared_ptr<const void> owner);
 
-    std::unique_ptr<std::byte[]> data_;
+    std::unique_ptr<std::byte[]> owned_; ///< null for borrowed storages
+    std::byte *data_;
     int64_t bytes_;
     Device device_;
     uint64_t id_;
+    std::shared_ptr<const void> owner_; ///< keep-alive (borrowed only)
 };
 
 } // namespace edkm

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <type_traits>
 #include <vector>
@@ -20,6 +21,16 @@
 
 namespace edkm {
 namespace serial {
+
+/** Slurp a binary file; throws FatalError when it cannot be opened. */
+inline std::vector<uint8_t>
+readFile(const std::string &path)
+{
+    std::ifstream f(path, std::ios::binary);
+    EDKM_CHECK(f.good(), "cannot open ", path);
+    return std::vector<uint8_t>((std::istreambuf_iterator<char>(f)),
+                                std::istreambuf_iterator<char>());
+}
 
 /** Append one POD value to @p buf. */
 template <typename T>
@@ -33,20 +44,46 @@ appendPod(std::vector<uint8_t> &buf, T v)
     std::memcpy(buf.data() + at, &v, sizeof(T));
 }
 
+/**
+ * Non-owning view over serialized bytes, for readers that parse
+ * in-place (e.g. over an mmap-ed artifact) instead of from a vector.
+ */
+struct ByteSpan
+{
+    const uint8_t *data = nullptr;
+    size_t size = 0;
+
+    ByteSpan() = default;
+    ByteSpan(const uint8_t *d, size_t n) : data(d), size(n) {}
+    /*implicit*/ ByteSpan(const std::vector<uint8_t> &v)
+        : data(v.data()), size(v.size())
+    {
+    }
+};
+
+/** Read one POD value at @p at of @p span, advancing it. Throws when
+ *  truncated. */
+template <typename T>
+T
+readPod(ByteSpan span, size_t &at)
+{
+    static_assert(std::is_trivially_copyable<T>::value,
+                  "readPod: POD types only");
+    EDKM_CHECK(sizeof(T) <= span.size && at <= span.size - sizeof(T),
+               "deserialize: truncated buffer (need ", sizeof(T),
+               " bytes at offset ", at, " of ", span.size, ")");
+    T v;
+    std::memcpy(&v, span.data + at, sizeof(T));
+    at += sizeof(T);
+    return v;
+}
+
 /** Read one POD value at @p at, advancing it. Throws when truncated. */
 template <typename T>
 T
 readPod(const std::vector<uint8_t> &buf, size_t &at)
 {
-    static_assert(std::is_trivially_copyable<T>::value,
-                  "readPod: POD types only");
-    EDKM_CHECK(sizeof(T) <= buf.size() && at <= buf.size() - sizeof(T),
-               "deserialize: truncated buffer (need ", sizeof(T),
-               " bytes at offset ", at, " of ", buf.size(), ")");
-    T v;
-    std::memcpy(&v, buf.data() + at, sizeof(T));
-    at += sizeof(T);
-    return v;
+    return readPod<T>(ByteSpan(buf), at);
 }
 
 /** Append a length-prefixed (u32) byte string. */
@@ -59,15 +96,21 @@ appendString(std::vector<uint8_t> &buf, const std::string &s)
 
 /** Read a length-prefixed (u32) byte string. */
 inline std::string
-readString(const std::vector<uint8_t> &buf, size_t &at)
+readString(ByteSpan span, size_t &at)
 {
-    uint32_t n = readPod<uint32_t>(buf, at);
-    EDKM_CHECK(n <= buf.size() - at,
+    uint32_t n = readPod<uint32_t>(span, at);
+    EDKM_CHECK(n <= span.size - at,
                "deserialize: truncated string (need ", n,
-               " bytes at offset ", at, " of ", buf.size(), ")");
-    std::string s(reinterpret_cast<const char *>(buf.data()) + at, n);
+               " bytes at offset ", at, " of ", span.size, ")");
+    std::string s(reinterpret_cast<const char *>(span.data) + at, n);
     at += n;
     return s;
+}
+
+inline std::string
+readString(const std::vector<uint8_t> &buf, size_t &at)
+{
+    return readString(ByteSpan(buf), at);
 }
 
 /** Append a length-prefixed (u64) raw byte blob. */
@@ -80,14 +123,35 @@ appendBytes(std::vector<uint8_t> &buf, const std::vector<uint8_t> &bytes)
 
 /** Read a length-prefixed (u64) raw byte blob. */
 inline std::vector<uint8_t>
+readBytes(ByteSpan span, size_t &at)
+{
+    uint64_t n = readPod<uint64_t>(span, at);
+    EDKM_CHECK(n <= span.size - at,
+               "deserialize: truncated blob (need ", n,
+               " bytes at offset ", at, " of ", span.size, ")");
+    std::vector<uint8_t> out(span.data + at, span.data + at + n);
+    at += static_cast<size_t>(n);
+    return out;
+}
+
+inline std::vector<uint8_t>
 readBytes(const std::vector<uint8_t> &buf, size_t &at)
 {
-    uint64_t n = readPod<uint64_t>(buf, at);
-    EDKM_CHECK(n <= buf.size() - at,
+    return readBytes(ByteSpan(buf), at);
+}
+
+/**
+ * Borrow a length-prefixed (u64) blob in place: returns a sub-span of
+ * @p span instead of copying, advancing @p at past it.
+ */
+inline ByteSpan
+viewBytes(ByteSpan span, size_t &at)
+{
+    uint64_t n = readPod<uint64_t>(span, at);
+    EDKM_CHECK(n <= span.size - at,
                "deserialize: truncated blob (need ", n,
-               " bytes at offset ", at, " of ", buf.size(), ")");
-    std::vector<uint8_t> out(buf.begin() + static_cast<int64_t>(at),
-                             buf.begin() + static_cast<int64_t>(at + n));
+               " bytes at offset ", at, " of ", span.size, ")");
+    ByteSpan out(span.data + at, static_cast<size_t>(n));
     at += static_cast<size_t>(n);
     return out;
 }

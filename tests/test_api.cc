@@ -312,8 +312,11 @@ TEST(Artifact, SerializedFileRoundTrip)
 
 TEST(Artifact, DeserializeRejectsGarbage)
 {
-    EXPECT_THROW(api::ModelArtifact::deserialize({}), FatalError);
-    EXPECT_THROW(api::ModelArtifact::deserialize({1, 2, 3, 4}),
+    EXPECT_THROW(api::ModelArtifact::deserialize(
+                     std::vector<uint8_t>{}),
+                 FatalError);
+    EXPECT_THROW(api::ModelArtifact::deserialize(
+                     std::vector<uint8_t>{1, 2, 3, 4}),
                  FatalError);
     std::vector<uint8_t> bad(64, 0xab);
     EXPECT_THROW(api::ModelArtifact::deserialize(bad), FatalError);

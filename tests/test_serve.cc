@@ -1,0 +1,605 @@
+/**
+ * @file
+ * Tests for the serving surface: borrowed-mode Storage lifetime and
+ * accounting, the streamed matmul's bit-identity with the dense kernel,
+ * palette views, the v2 artifact container (round trip, alignment, v1
+ * compatibility gate, fuzz-ish corruption rejection), ArtifactReader
+ * zero-copy views, and InferenceEngine bit-exactness against the
+ * eagerly reconstructed model for every codec.
+ */
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <gtest/gtest.h>
+
+#include "api/plan.h"
+#include "api/session.h"
+#include "core/palettize.h"
+#include "device/device_manager.h"
+#include "nn/clustered_linear.h"
+#include "serve/engine.h"
+#include "serve/reader.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace edkm {
+namespace {
+
+nn::MiniLlama
+tinyModel(uint64_t seed = 7)
+{
+    nn::LlamaConfig cfg;
+    cfg.vocab = 64;
+    cfg.dim = 32;
+    cfg.heads = 2;
+    cfg.layers = 2;
+    cfg.seed = seed;
+    return nn::MiniLlama(cfg);
+}
+
+/** Compress a tiny model with @p scheme (freeze-only) and return the
+ *  artifact plus the in-memory model it matches. */
+api::SessionResult
+compressTiny(nn::MiniLlama &model, const std::string &scheme)
+{
+    api::CompressionPlan plan;
+    plan.scheme = scheme;
+    plan.bits = 4;
+    plan.groupSize = 16;
+    plan.dkmMaxIters = 2;
+    api::CalibData calib;
+    std::vector<int64_t> toks;
+    Rng rng(3);
+    for (int i = 0; i < 2 * 16; ++i) {
+        toks.push_back(rng.randint(0, 63));
+    }
+    calib.tokens = Tensor::fromIndices(toks, {2, 16});
+    calib.trainConfig.steps = 0;
+    api::Session session;
+    return session.run(model, plan, std::move(calib));
+}
+
+std::string
+writeTemp(const std::vector<uint8_t> &bytes, const std::string &name)
+{
+    std::string path = "/tmp/" + name;
+    std::ofstream f(path, std::ios::binary);
+    f.write(reinterpret_cast<const char *>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+    return path;
+}
+
+Tensor
+tokenBatch(int64_t b, int64_t s, int64_t vocab, uint64_t seed)
+{
+    std::vector<int64_t> toks;
+    Rng rng(seed);
+    for (int64_t i = 0; i < b * s; ++i) {
+        toks.push_back(rng.randint(0, vocab - 1));
+    }
+    return Tensor::fromIndices(toks, {b, s});
+}
+
+// ---------------------------------------------------------------------
+// Borrowed-mode storage
+// ---------------------------------------------------------------------
+
+TEST(BorrowedStorage, RecordsNoAllocationAndFlagsItself)
+{
+    DeviceManager &mgr = DeviceManager::instance();
+    int64_t before = mgr.stats(Device::cpu()).currentBytes;
+    auto bytes = std::make_shared<std::vector<float>>(16, 1.5f);
+    auto st = Storage::borrow(
+        reinterpret_cast<const std::byte *>(bytes->data()),
+        static_cast<int64_t>(bytes->size() * 4), Device::cpu(), bytes);
+    EXPECT_TRUE(st->borrowed());
+    EXPECT_EQ(mgr.stats(Device::cpu()).currentBytes, before);
+
+    auto owned = Storage::allocate(64, Device::cpu());
+    EXPECT_FALSE(owned->borrowed());
+    EXPECT_EQ(mgr.stats(Device::cpu()).currentBytes, before + 64);
+}
+
+TEST(BorrowedStorage, OwnerOutlivesEveryView)
+{
+    auto bytes = std::make_shared<std::vector<float>>(8);
+    for (size_t i = 0; i < bytes->size(); ++i) {
+        (*bytes)[i] = static_cast<float>(i) * 0.5f;
+    }
+    std::weak_ptr<std::vector<float>> watch = bytes;
+
+    Tensor view;
+    {
+        auto st = Storage::borrow(
+            reinterpret_cast<const std::byte *>(bytes->data()),
+            static_cast<int64_t>(bytes->size() * 4), Device::cpu(),
+            bytes);
+        view = Tensor::wrapStorage(st, {2, 4}, {4, 1}, 0, DType::kF32);
+        bytes.reset(); // the view must keep the buffer alive
+    }
+    ASSERT_FALSE(watch.expired());
+    EXPECT_FLOAT_EQ(view.at({1, 3}), 3.5f);
+
+    view = Tensor(); // last reference gone -> buffer released
+    EXPECT_TRUE(watch.expired());
+}
+
+// ---------------------------------------------------------------------
+// Streamed matmul bit-identity
+// ---------------------------------------------------------------------
+
+/** fill that serves rows of a dense B, for equivalence testing. */
+MatmulRowFill
+denseFill(const Tensor &bT)
+{
+    const float *p = bT.rawData<float>();
+    int64_t n = bT.size(1);
+    return [p, n](int64_t p0, int64_t p1, float *dst) {
+        std::memcpy(dst, p + p0 * n,
+                    static_cast<size_t>((p1 - p0) * n) * 4);
+    };
+}
+
+TEST(MatmulStreamed, BitIdenticalToDenseMatmul)
+{
+    Rng rng(11);
+    // (m, k, n) covering the general, m==1 (vecmat) and n==1 (matvec)
+    // kernel paths, plus a k large enough to span several tiles.
+    for (auto [m, k, n] : std::vector<std::array<int64_t, 3>>{
+             {5, 33, 17}, {1, 64, 48}, {7, 40, 1}, {3, 500, 300}}) {
+        Tensor a = Tensor::randn({m, k}, rng);
+        Tensor b = Tensor::randn({k, n}, rng);
+        Tensor want = matmul(a, b);
+        Tensor got = matmulStreamed(a, k, n, denseFill(b));
+        EXPECT_EQ(want.toVector(), got.toVector())
+            << "m=" << m << " k=" << k << " n=" << n;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Palette views
+// ---------------------------------------------------------------------
+
+TEST(PaletteView, RandomAccessUnpackMatchesSequential)
+{
+    Rng rng(5);
+    for (int bits : {1, 2, 3, 4, 5, 7, 8, 11, 16}) {
+        std::vector<int32_t> values;
+        for (int i = 0; i < 61; ++i) {
+            values.push_back(static_cast<int32_t>(
+                rng.randint(0, (1 << bits) - 1)));
+        }
+        std::vector<uint8_t> packed = packBits(values, bits);
+        std::vector<int32_t> seq =
+            unpackBits(packed, bits, static_cast<int64_t>(values.size()));
+        for (size_t i = 0; i < values.size(); ++i) {
+            EXPECT_EQ(unpackBitsAt(packed.data(), bits,
+                                   static_cast<int64_t>(i)),
+                      seq[i])
+                << "bits=" << bits << " i=" << i;
+        }
+    }
+}
+
+TEST(PaletteView, StreamedMatmulMatchesDecompressedDense)
+{
+    Rng rng(17);
+    Tensor w = Tensor::randn({24, 40}, rng);
+    PalettizedTensor p = PalettizedTensor::fromDense(w, 3, rng);
+    Tensor dense = p.decompress();
+
+    Tensor x = Tensor::randn({6, 40}, rng);
+    Tensor want = matmul(x, dense.transpose(0, 1));
+    Tensor got = paletteMatmulT(x, viewOf(p));
+    EXPECT_EQ(want.toVector(), got.toVector());
+
+    // Single-row input exercises the vecmat path.
+    Tensor x1 = Tensor::randn({1, 40}, rng);
+    EXPECT_EQ(matmul(x1, dense.transpose(0, 1)).toVector(),
+              paletteMatmulT(x1, viewOf(p)).toVector());
+}
+
+TEST(PaletteView, ParseFromPayloadAndGatherRows)
+{
+    Rng rng(23);
+    Tensor table = Tensor::randn({32, 12}, rng);
+    PalettizedTensor p = PalettizedTensor::fromDense(table, 4, rng);
+    std::vector<uint8_t> payload = p.serialize();
+
+    auto owner = std::make_shared<std::vector<uint8_t>>(payload);
+    PaletteView v =
+        parsePaletteView(owner->data(), owner->size(), owner);
+    EXPECT_EQ(v.bits, 4);
+    EXPECT_EQ(v.shape, (Shape{32, 12}));
+    EXPECT_EQ(v.lut, p.lut());
+
+    Tensor toks = Tensor::fromIndices({0, 31, 7, 7, 16}, {5});
+    Tensor want = gatherRows(p.decompress(), toks);
+    Tensor got = paletteGatherRows(v, toks);
+    EXPECT_EQ(want.toVector(), got.toVector());
+
+    // Corrupt payloads are rejected, not mis-read.
+    std::vector<uint8_t> bad = payload;
+    bad[0] ^= 0xff; // magic
+    EXPECT_THROW(parsePaletteView(bad.data(), bad.size(), nullptr),
+                 FatalError);
+    EXPECT_THROW(
+        parsePaletteView(payload.data(), payload.size() - 3, nullptr),
+        FatalError);
+}
+
+// ---------------------------------------------------------------------
+// Artifact v2 container
+// ---------------------------------------------------------------------
+
+TEST(ArtifactV2, EmitsAlignedSectionsAndRoundTripsBitExact)
+{
+    nn::MiniLlama model = tinyModel();
+    api::SessionResult res = compressTiny(model, "rtn");
+    std::vector<uint8_t> bytes = res.artifact.serialize();
+
+    ASSERT_TRUE(api::isArtifactV2(bytes.data(), bytes.size()));
+    api::ArtifactLayout layout =
+        api::parseArtifactLayout(bytes.data(), bytes.size());
+    EXPECT_EQ(layout.scheme, "rtn");
+    ASSERT_EQ(layout.sections.size(), res.artifact.entries.size());
+    for (size_t i = 0; i < layout.sections.size(); ++i) {
+        const api::TensorSection &s = layout.sections[i];
+        EXPECT_EQ(s.offset % api::kArtifactAlign, 0) << s.name;
+        EXPECT_EQ(s.name, res.artifact.entries[i].name);
+        EXPECT_EQ(s.bytes, res.artifact.entries[i].payloadBytes());
+    }
+
+    api::ModelArtifact back = api::ModelArtifact::deserialize(bytes);
+    ASSERT_EQ(back.entries.size(), res.artifact.entries.size());
+    for (size_t i = 0; i < back.entries.size(); ++i) {
+        EXPECT_EQ(back.entries[i].payload,
+                  res.artifact.entries[i].payload)
+            << back.entries[i].name;
+    }
+    // Serialisation is deterministic: same artifact, same bytes.
+    EXPECT_EQ(bytes, back.serialize());
+}
+
+TEST(ArtifactV2, V1FilesStillLoadThroughTheVersionGate)
+{
+    nn::MiniLlama model = tinyModel();
+    api::SessionResult res = compressTiny(model, "edkm");
+
+    std::vector<uint8_t> v1 = res.artifact.serializeV1();
+    ASSERT_TRUE(api::isArtifactV1(v1.data(), v1.size()));
+    std::string path = writeTemp(v1, "edkm_test_v1_artifact.edkm");
+
+    api::ModelArtifact loaded = api::ModelArtifact::load(path);
+    nn::MiniLlama eager = res.artifact.reconstruct();
+    nn::MiniLlama fromV1 = loaded.reconstruct();
+    auto a = eager.namedParameters();
+    auto b = fromV1.namedParameters();
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].second.data().toVector(),
+                  b[i].second.data().toVector())
+            << a[i].first;
+    }
+
+    // The serving reader consumes v1 through its compat path too.
+    auto reader = serve::ArtifactReader::open(path);
+    EXPECT_EQ(reader->version(), api::kArtifactVersionV1);
+    EXPECT_EQ(reader->scheme(), res.artifact.scheme);
+    EXPECT_EQ(reader->fileBytes(), static_cast<int64_t>(v1.size()));
+    serve::InferenceEngine engine(reader);
+    Tensor toks = tokenBatch(1, 6, 64, 31);
+    NoGradGuard ng;
+    EXPECT_EQ(engine.forward(toks).toVector(),
+              eager.forward(toks).data().toVector());
+    std::remove(path.c_str());
+}
+
+TEST(ArtifactV2, CorruptionIsRejectedWithTheSectionNamed)
+{
+    nn::MiniLlama model = tinyModel();
+    api::SessionResult res = compressTiny(model, "rtn");
+    std::vector<uint8_t> bytes = res.artifact.serialize();
+
+    // Version bump -> actionable error.
+    {
+        std::vector<uint8_t> bad = bytes;
+        uint32_t v = 9;
+        std::memcpy(bad.data() + 8, &v, 4);
+        try {
+            api::parseArtifactLayout(bad.data(), bad.size());
+            FAIL() << "version 9 accepted";
+        } catch (const FatalError &e) {
+            EXPECT_NE(std::string(e.what()).find("version"),
+                      std::string::npos);
+        }
+    }
+    // Misaligned first section -> error names it.
+    {
+        std::vector<uint8_t> bad = bytes;
+        uint64_t table_off;
+        std::memcpy(&table_off, bad.data() + 32, 8);
+        uint64_t off;
+        std::memcpy(&off, bad.data() + table_off, 8);
+        off += 4;
+        std::memcpy(bad.data() + table_off, &off, 8);
+        try {
+            api::parseArtifactLayout(bad.data(), bad.size());
+            FAIL() << "misaligned section accepted";
+        } catch (const FatalError &e) {
+            std::string msg = e.what();
+            EXPECT_NE(msg.find("aligned"), std::string::npos) << msg;
+            EXPECT_NE(msg.find(res.artifact.entries[0].name),
+                      std::string::npos)
+                << msg;
+        }
+    }
+    // Section running past the file end.
+    {
+        std::vector<uint8_t> bad = bytes;
+        uint64_t table_off;
+        std::memcpy(&table_off, bad.data() + 32, 8);
+        uint64_t huge = bad.size();
+        std::memcpy(bad.data() + table_off + 8, &huge, 8);
+        EXPECT_THROW(api::parseArtifactLayout(bad.data(), bad.size()),
+                     FatalError);
+    }
+    // Every strict prefix is rejected (fuzz-ish truncation sweep) and
+    // never reads out of bounds.
+    for (size_t cut = 0; cut < bytes.size();
+         cut += 97) { // prime stride keeps the sweep cheap
+        std::vector<uint8_t> trunc(
+            bytes.begin(), bytes.begin() + static_cast<int64_t>(cut));
+        EXPECT_THROW(api::ModelArtifact::deserialize(trunc), FatalError)
+            << "prefix of " << cut << " bytes accepted";
+    }
+    // Appended garbage is caught by the declared file size.
+    std::vector<uint8_t> padded = bytes;
+    padded.resize(padded.size() + 13, 0xcd);
+    EXPECT_THROW(api::ModelArtifact::deserialize(padded), FatalError);
+}
+
+// ---------------------------------------------------------------------
+// ArtifactReader
+// ---------------------------------------------------------------------
+
+TEST(Reader, ZeroCopyViewsMatchEagerDecode)
+{
+    nn::MiniLlama model = tinyModel();
+    api::SessionResult res = compressTiny(model, "edkm");
+    std::string path =
+        writeTemp(res.artifact.serialize(), "edkm_test_reader.edkm");
+
+    auto reader = serve::ArtifactReader::open(path);
+    EXPECT_EQ(reader->version(), api::kArtifactVersionV2);
+    for (const api::TensorSection &s : reader->sections()) {
+        Tensor decoded = reader->decode(s.name);
+        EXPECT_EQ(decoded.toVector(),
+                  res.artifact.entry(s.name).decode().toVector())
+            << s.name;
+        if (s.codec == api::Codec::kRawF32) {
+            Tensor view = reader->denseView(s.name);
+            EXPECT_TRUE(view.storagePtr()->borrowed());
+            EXPECT_EQ(view.toVector(), decoded.toVector()) << s.name;
+        } else if (s.codec == api::Codec::kPalettized) {
+            PaletteView v = reader->paletteView(s.name);
+            EXPECT_EQ(paletteGatherRows(
+                          v, Tensor::arange(0, v.shape[0]))
+                          .toVector(),
+                      decoded.toVector())
+                << s.name;
+        }
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Reader, ViewsKeepTheMappingAliveAfterTheReaderDies)
+{
+    nn::MiniLlama model = tinyModel();
+    api::SessionResult res = compressTiny(model, "rtn");
+    std::string path =
+        writeTemp(res.artifact.serialize(), "edkm_test_lifetime.edkm");
+
+    Tensor view;
+    std::vector<float> want;
+    {
+        auto reader = serve::ArtifactReader::open(path);
+        view = reader->denseView("final_norm.weight");
+        want = reader->decode("final_norm.weight").toVector();
+    } // reader gone; the borrowed storage pins the mapping
+    EXPECT_EQ(view.toVector(), want);
+    std::remove(path.c_str());
+}
+
+TEST(Reader, ReadFallbackServesIdenticalBytes)
+{
+    nn::MiniLlama model = tinyModel();
+    api::SessionResult res = compressTiny(model, "rtn");
+    std::string path =
+        writeTemp(res.artifact.serialize(), "edkm_test_fallback.edkm");
+
+    auto mapped = serve::ArtifactReader::open(path);
+    ::setenv("EDKM_NO_MMAP", "1", 1);
+    auto fallback = serve::ArtifactReader::open(path);
+    ::unsetenv("EDKM_NO_MMAP");
+    EXPECT_FALSE(fallback->mapped());
+    for (const api::TensorSection &s : mapped->sections()) {
+        EXPECT_EQ(mapped->decode(s.name).toVector(),
+                  fallback->decode(s.name).toVector())
+            << s.name;
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Reader, MissingFileAndBadMagicFailActionably)
+{
+    EXPECT_THROW(
+        serve::ArtifactReader::open("/tmp/edkm_no_such_file.edkm"),
+        FatalError);
+    std::string path = writeTemp(
+        std::vector<uint8_t>(128, 0x5a), "edkm_test_badmagic.edkm");
+    EXPECT_THROW(serve::ArtifactReader::open(path), FatalError);
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// InferenceEngine
+// ---------------------------------------------------------------------
+
+/** Engine logits must be bit-identical to the eager model's for every
+ *  codec an artifact can carry. */
+class EngineBitExact : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(EngineBitExact, ForwardMatchesEagerReconstruct)
+{
+    nn::MiniLlama model = tinyModel();
+    api::SessionResult res = compressTiny(model, GetParam());
+    std::string path = writeTemp(res.artifact.serialize(),
+                                 std::string("edkm_test_engine_") +
+                                     GetParam() + ".edkm");
+
+    nn::MiniLlama eager = res.artifact.reconstruct();
+    auto reader = serve::ArtifactReader::open(path);
+    serve::InferenceEngine engine(reader);
+
+    NoGradGuard ng;
+    for (auto [b, s] : std::vector<std::pair<int64_t, int64_t>>{
+             {2, 8}, {1, 1}}) {
+        Tensor toks = tokenBatch(b, s, 64, 7 + static_cast<uint64_t>(s));
+        EXPECT_EQ(engine.forward(toks).toVector(),
+                  eager.forward(toks).data().toVector())
+            << GetParam() << " b=" << b << " s=" << s;
+    }
+    std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Codecs, EngineBitExact,
+                         ::testing::Values("fp16", "rtn", "edkm"));
+
+TEST(Engine, TinyCacheBudgetEvictsButStaysExact)
+{
+    nn::MiniLlama model = tinyModel();
+    api::SessionResult res = compressTiny(model, "fp16"); // all f16
+    std::string path = writeTemp(res.artifact.serialize(),
+                                 "edkm_test_engine_lru.edkm");
+
+    nn::MiniLlama eager = res.artifact.reconstruct();
+    auto reader = serve::ArtifactReader::open(path);
+    serve::EngineConfig cfg;
+    cfg.decodeCacheBytes = 16 << 10; // far below the working set
+    serve::InferenceEngine engine(reader, cfg);
+
+    NoGradGuard ng;
+    Tensor toks = tokenBatch(2, 6, 64, 13);
+    EXPECT_EQ(engine.forward(toks).toVector(),
+              eager.forward(toks).data().toVector());
+    EXPECT_GT(engine.stats().evictions, 0);
+    EXPECT_LE(engine.residentWeightBytes(), 16 << 10);
+
+    // A second forward still answers exactly after evictions.
+    EXPECT_EQ(engine.forward(toks).toVector(),
+              eager.forward(toks).data().toVector());
+    std::remove(path.c_str());
+}
+
+TEST(Engine, PalettizedLayersStreamWithoutDenseDecode)
+{
+    nn::MiniLlama model = tinyModel();
+    api::SessionResult res = compressTiny(model, "edkm");
+    std::string path = writeTemp(res.artifact.serialize(),
+                                 "edkm_test_engine_stream.edkm");
+
+    auto reader = serve::ArtifactReader::open(path);
+    serve::InferenceEngine engine(reader);
+    NoGradGuard ng;
+    engine.forward(tokenBatch(1, 4, 64, 3));
+    // eDKM palettizes every Linear and the embedding: no dense decode
+    // happens at all, every matmul streams LUT+index tiles.
+    EXPECT_EQ(engine.stats().decodes, 0);
+    EXPECT_EQ(engine.residentWeightBytes(), 0);
+    EXPECT_GT(engine.stats().streamedMatmuls, 0);
+    EXPECT_GT(engine.stats().borrowedViews, 0);
+    std::remove(path.c_str());
+}
+
+TEST(Engine, BatchedGenerateMatchesEagerGreedyDecode)
+{
+    nn::MiniLlama model = tinyModel();
+    api::SessionResult res = compressTiny(model, "edkm");
+    std::string path = writeTemp(res.artifact.serialize(),
+                                 "edkm_test_engine_gen.edkm");
+
+    nn::MiniLlama eager = res.artifact.reconstruct();
+    auto reader = serve::ArtifactReader::open(path);
+    serve::InferenceEngine engine(reader);
+
+    std::vector<serve::InferenceEngine::Request> batch = {
+        {{1, 2, 3}, 4}, {{60, 5}, 3}};
+    auto responses = engine.generate(batch);
+    ASSERT_EQ(responses.size(), batch.size());
+
+    NoGradGuard ng;
+    for (size_t r = 0; r < batch.size(); ++r) {
+        std::vector<int64_t> ctx = batch[r].prompt;
+        for (int64_t step = 0; step < batch[r].maxNewTokens; ++step) {
+            Tensor toks = Tensor::fromIndices(
+                ctx, {1, static_cast<int64_t>(ctx.size())});
+            Tensor logits = eager.forward(toks).data();
+            Tensor last = logits.slice(0, logits.size(0) - 1,
+                                       logits.size(0));
+            ctx.push_back(argmaxLastDim(last).flatAtInt(0));
+        }
+        EXPECT_EQ(responses[r].tokens, ctx) << "request " << r;
+    }
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// ClusteredLinear LUT+index serving path
+// ---------------------------------------------------------------------
+
+TEST(ClusteredLinearServing, FrozenForwardMatchesDecompressedDense)
+{
+    Rng rng(41);
+    auto inner = std::make_shared<nn::Linear>(24, 16, rng);
+    EdkmConfig cfg;
+    cfg.dkm.bits = 3;
+    cfg.dkm.maxIters = 2;
+    nn::ClusteredLinear layer(inner, cfg);
+
+    layer.freezeForServing();
+    ASSERT_TRUE(layer.frozenForServing());
+    Tensor dense = layer.servingPalette().decompress();
+
+    NoGradGuard ng;
+    Tensor x = Tensor::randn({5, 24}, rng);
+    Variable got = layer.forward(Variable(x));
+    Tensor want = matmul(x, dense.transpose(0, 1));
+    EXPECT_EQ(got.data().toVector(), want.toVector());
+
+    layer.unfreeze();
+    EXPECT_FALSE(layer.frozenForServing());
+}
+
+TEST(ClusteredLinearServing, FrozenForwardRejectsGradInputs)
+{
+    Rng rng(43);
+    auto inner = std::make_shared<nn::Linear>(8, 4, rng);
+    EdkmConfig cfg;
+    cfg.dkm.bits = 2;
+    cfg.dkm.maxIters = 1;
+    nn::ClusteredLinear layer(inner, cfg);
+    layer.freezeForServing();
+
+    Variable x(Tensor::randn({2, 8}, rng), /*requires_grad=*/true);
+    EXPECT_THROW(layer.forward(x), FatalError);
+}
+
+} // namespace
+} // namespace edkm
