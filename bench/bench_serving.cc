@@ -1,13 +1,18 @@
 /**
  * @file
- * Serving cold-start bench: eager artifact consumption
- * (ModelArtifact::load + reconstruct, every payload decoded to dense
- * f32 up front) vs the streaming path (ArtifactReader mmap +
- * InferenceEngine lazy decode), measuring time-to-first-logits and
- * resident weight bytes for both. The palettized (eDKM) artifact is
- * the paper's deployment target: its linear and embedding payloads
- * are consumed directly in LUT+index form, so the streaming side
- * should hold well under half of the eager dense footprint.
+ * Serving bench, three measurements over one palettized (eDKM) artifact:
+ *
+ *  1. Cold start: eager consumption (ModelArtifact::load + reconstruct,
+ *     every payload decoded to dense f32 up front) vs the streaming
+ *     path (ArtifactReader mmap + InferenceEngine lazy decode) —
+ *     time-to-first-logits and resident weight bytes. Streaming must
+ *     stay under half the eager footprint.
+ *  2. Decode throughput: tokens/sec generating with the KV cache
+ *     (prefill + single-position steps) vs full-prefix recompute at the
+ *     same sequence length. Tokens must be bit-identical and the KV
+ *     path must win.
+ *  3. Throughput scaling: requests/sec through serve::Server at
+ *     1/2/4/8 worker threads over the one shared reader.
  *
  * Emits machine-readable JSON to BENCH_serving.json (cwd).
  */
@@ -25,6 +30,7 @@
 #include "device/device_manager.h"
 #include "serve/engine.h"
 #include "serve/reader.h"
+#include "serve/server.h"
 #include "tensor/ops.h"
 #include "util/rng.h"
 
@@ -127,6 +133,82 @@ main()
         stats = engine.stats();
         mapped = reader->mapped();
     }
+    // --- Decode throughput: KV-cache incremental decode vs full-prefix
+    //     recompute, same request, same reader.
+    const int64_t kPromptLen = 16, kNewTokens = 48;
+    serve::InferenceEngine::Request req;
+    {
+        Rng rng(29);
+        for (int64_t i = 0; i < kPromptLen; ++i) {
+            req.prompt.push_back(rng.randint(0, cfg.vocab - 1));
+        }
+        req.maxNewTokens = kNewTokens;
+    }
+    auto reader = serve::ArtifactReader::open(path);
+    double kv_s = 0.0, full_s = 0.0;
+    bool kv_identical = false;
+    {
+        serve::InferenceEngine kv_engine(reader);
+        serve::EngineConfig full_cfg;
+        full_cfg.kvCacheDecode = false;
+        serve::InferenceEngine full_engine(reader, full_cfg);
+        kv_engine.generate(req);   // warm weight caches / views
+        full_engine.generate(req);
+        auto t0 = std::chrono::steady_clock::now();
+        auto kv_res = kv_engine.generate(req);
+        kv_s = msSince(t0) / 1e3;
+        t0 = std::chrono::steady_clock::now();
+        auto full_res = full_engine.generate(req);
+        full_s = msSince(t0) / 1e3;
+        kv_identical = kv_res.tokens == full_res.tokens;
+    }
+    double kv_tps = kNewTokens / kv_s;
+    double full_tps = kNewTokens / full_s;
+
+    // --- Throughput scaling: requests/sec through serve::Server at
+    //     1/2/4/8 workers, all over the same shared reader.
+    struct ScaleRow
+    {
+        int threads = 0;
+        double seconds = 0.0;
+        double requestsPerSec = 0.0;
+    };
+    std::vector<serve::Server::Request> batch;
+    {
+        Rng rng(31);
+        for (int i = 0; i < 16; ++i) {
+            serve::Server::Request r;
+            for (int64_t t = 0; t < kPromptLen; ++t) {
+                r.prompt.push_back(rng.randint(0, cfg.vocab - 1));
+            }
+            r.maxNewTokens = 16;
+            batch.push_back(std::move(r));
+        }
+    }
+    std::vector<ScaleRow> scaling;
+    bool scaling_identical = true;
+    std::vector<std::vector<int64_t>> scale_ref;
+    for (int threads : {1, 2, 4, 8}) {
+        serve::ServerConfig scfg;
+        scfg.threads = threads;
+        serve::Server server(reader, scfg);
+        auto t0 = std::chrono::steady_clock::now();
+        auto responses = server.wait(server.submit(batch));
+        double s = msSince(t0) / 1e3;
+        if (threads == 1) {
+            for (const auto &r : responses) {
+                scale_ref.push_back(r.tokens);
+            }
+        } else {
+            for (size_t i = 0; i < responses.size(); ++i) {
+                scaling_identical =
+                    scaling_identical &&
+                    responses[i].tokens == scale_ref[i];
+            }
+        }
+        scaling.push_back(
+            {threads, s, static_cast<double>(batch.size()) / s});
+    }
     std::remove(path.c_str());
 
     bool exact = eager_logits == stream_logits;
@@ -154,6 +236,27 @@ main()
               << "\nfirst logits bit-identical: "
               << (exact ? "yes" : "NO") << "\n";
 
+    std::cout << "\ndecode (" << kPromptLen << " prompt + " << kNewTokens
+              << " new tokens):\n"
+              << std::left << std::setw(16) << "  kv-cache"
+              << std::right << std::fixed << std::setprecision(1)
+              << std::setw(12) << kv_tps << " tok/s\n"
+              << std::left << std::setw(16) << "  full-prefix"
+              << std::right << std::setw(12) << full_tps << " tok/s\n"
+              << "  speedup " << std::setprecision(2)
+              << kv_tps / full_tps << "x, tokens bit-identical: "
+              << (kv_identical ? "yes" : "NO") << "\n";
+
+    std::cout << "\nserver scaling (" << batch.size()
+              << " requests, shared reader):\n";
+    for (const ScaleRow &r : scaling) {
+        std::cout << "  " << r.threads << " thread(s): " << std::fixed
+                  << std::setprecision(2) << r.requestsPerSec
+                  << " req/s\n";
+    }
+    std::cout << "  outputs bit-identical across thread counts: "
+              << (scaling_identical ? "yes" : "NO") << "\n";
+
     std::ofstream json("BENCH_serving.json");
     json << std::setprecision(6) << "{\n  \"bench\": \"serving\",\n"
          << "  \"scheme\": \"edkm\",\n"
@@ -167,10 +270,32 @@ main()
          << ", \"resident_bytes\": " << streaming.residentBytes
          << ", \"streamed_matmuls\": " << stats.streamedMatmuls
          << ", \"lazy_decodes\": " << stats.decodes << "},\n"
-         << "  \"resident_ratio\": " << ratio << "\n}\n";
+         << "  \"resident_ratio\": " << ratio << ",\n"
+         << "  \"decode\": {\"prompt_tokens\": " << kPromptLen
+         << ", \"new_tokens\": " << kNewTokens
+         << ", \"kv_tokens_per_sec\": " << kv_tps
+         << ", \"full_prefix_tokens_per_sec\": " << full_tps
+         << ", \"speedup\": " << kv_tps / full_tps
+         << ", \"bit_identical\": "
+         << (kv_identical ? "true" : "false") << "},\n"
+         << "  \"scaling\": [";
+    for (size_t i = 0; i < scaling.size(); ++i) {
+        json << (i == 0 ? "" : ", ") << "{\"threads\": "
+             << scaling[i].threads
+             << ", \"seconds\": " << scaling[i].seconds
+             << ", \"requests_per_sec\": " << scaling[i].requestsPerSec
+             << "}";
+    }
+    json << "],\n"
+         << "  \"scaling_bit_identical\": "
+         << (scaling_identical ? "true" : "false") << "\n}\n";
     std::cout << "\nwrote BENCH_serving.json\n";
 
-    // Acceptance gate: identical logits, and the streaming footprint
-    // under half of the eager dense decode.
-    return (exact && ratio < 0.5) ? 0 : 1;
+    // Acceptance gates: identical logits, streaming footprint under
+    // half of the eager dense decode, bit-identical KV decode that
+    // beats the full-prefix recompute on tokens/sec, and thread-count-
+    // independent server output.
+    bool pass = exact && ratio < 0.5 && kv_identical &&
+                kv_tps > full_tps && scaling_identical;
+    return pass ? 0 : 1;
 }

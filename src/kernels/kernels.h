@@ -86,15 +86,12 @@ struct KernelTable
     float (*reduceMax)(const float *a, int64_t n);
     float (*dot)(const float *a, const float *b, int64_t n);
 
-    // ---- blocked matvec / vecmat micro-kernels ----
-    /** y[i] = dot(a[i*k .. i*k+k), x) for i in [0, rows). */
+    // ---- blocked matvec micro-kernel ----
+    /** y[i] = dot(a[i*k .. i*k+k), x) for i in [0, rows). (The former
+     *  vecmat sibling was retired when matmul's m==1 path switched to
+     *  the row-shape-invariant axpy column loop.) */
     void (*matvec)(const float *a, int64_t rows, int64_t k,
                    const float *x, float *y);
-    /** y[j] += sum_r x[r] * a[r*k + j]; y must be zero-initialised by
-     *  the caller (accumulates in row order; rows with x[r] == 0 are
-     *  skipped, matching the sparse-grad fast path of matmul). */
-    void (*vecmat)(const float *x, const float *a, int64_t rows,
-                   int64_t k, float *y);
 
     // ---- fused rows ----
     /** Row-softmax in place-able form: o[r,:] = softmax(a[r,:]) for

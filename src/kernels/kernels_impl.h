@@ -182,7 +182,7 @@ dotT(const float *a, const float *b, int64_t n)
 }
 
 // ----------------------------------------------------------------------
-// Blocked matvec / vecmat.
+// Blocked matvec.
 // ----------------------------------------------------------------------
 
 template <typename Tag>
@@ -191,30 +191,6 @@ matvecT(const float *a, int64_t rows, int64_t k, const float *x, float *y)
 {
     for (int64_t i = 0; i < rows; ++i) {
         y[i] = dotT<Tag>(a + i * k, x, k);
-    }
-}
-
-template <typename Tag>
-inline void
-vecmatT(const float *x, const float *a, int64_t rows, int64_t k, float *y)
-{
-    using V = Vec<Tag>;
-    using S = Vec<ScalarTag>;
-    for (int64_t r = 0; r < rows; ++r) {
-        float xr = x[r];
-        if (xr == 0.0f) {
-            continue;
-        }
-        const float *arow = a + r * k;
-        const V xv = V::broadcast(xr);
-        int64_t j = 0;
-        for (; j + V::kWidth <= k; j += V::kWidth) {
-            (V::load(y + j) + xv * V::load(arow + j)).store(y + j);
-        }
-        for (; j < k; ++j) {
-            (S::load(y + j) + S::broadcast(xr) * S::load(arow + j))
-                .store(y + j);
-        }
     }
 }
 
@@ -516,11 +492,6 @@ makeKernelTable(Backend id)
                   const float *x, float *y) {
         matvecT<Tag>(a, rows, k, x, y);
     };
-    t.vecmat = [](const float *x, const float *a, int64_t rows,
-                  int64_t k, float *y) {
-        vecmatT<Tag>(x, a, rows, k, y);
-    };
-
     t.softmaxRows = [](const float *a, int64_t rows, int64_t k,
                        float *o) {
         softmaxRowsT<Tag>(a, rows, k, o);

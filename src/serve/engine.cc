@@ -1,5 +1,6 @@
 #include "serve/engine.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "autograd/functional.h"
@@ -171,7 +172,21 @@ InferenceEngine::ensureSeqCaches(int64_t s)
 }
 
 Variable
-InferenceEngine::attentionForward(int64_t layer, const Variable &x)
+InferenceEngine::splitHeads(const std::string &proj, const Variable &x,
+                            int64_t b, int64_t s)
+{
+    int64_t dim = config().dim, heads = config().heads;
+    Variable flat = af::view(x, {b * s, dim});
+    Variable y = linearForward(proj, flat);
+    y = af::view(y, {b, s, heads, dim / heads});
+    y = af::transpose(y, 1, 2);
+    y = af::contiguous(y);
+    return af::view(y, {b * heads, s, dim / heads});
+}
+
+Variable
+InferenceEngine::attentionForward(int64_t layer, const Variable &x,
+                                  KvCache *kv)
 {
     int64_t dim = config().dim, heads = config().heads;
     int64_t head_dim = dim / heads;
@@ -180,20 +195,18 @@ InferenceEngine::attentionForward(int64_t layer, const Variable &x)
     ensureSeqCaches(s);
     std::string p = "blocks." + std::to_string(layer) + ".attn.";
 
-    auto split_heads = [&](const std::string &proj) {
-        Variable flat = af::view(x, {b * s, dim});
-        Variable y = linearForward(p + proj, flat);
-        y = af::view(y, {b, s, heads, head_dim});
-        y = af::transpose(y, 1, 2);
-        y = af::contiguous(y);
-        return af::view(y, {b * heads, s, head_dim});
-    };
-    Variable q = split_heads("wq");
-    Variable k = split_heads("wk");
-    Variable v = split_heads("wv");
+    Variable q = splitHeads(p + "wq", x, b, s);
+    Variable k = splitHeads(p + "wk", x, b, s);
+    Variable v = splitHeads(p + "wv", x, b, s);
 
     q = af::rope(q, rope_cos_, rope_sin_);
     k = af::rope(k, rope_cos_, rope_sin_);
+
+    if (kv != nullptr) {
+        // Prefill: bank this layer's rope'd keys and raw values at the
+        // cache position (the caller advances it after all layers).
+        kv->write(layer, k.data(), v.data());
+    }
 
     float scale = 1.0f / std::sqrt(static_cast<float>(head_dim));
     Variable att = af::matmul(q, af::transpose(k, -2, -1));
@@ -211,13 +224,14 @@ InferenceEngine::attentionForward(int64_t layer, const Variable &x)
 }
 
 Variable
-InferenceEngine::blockForward(int64_t layer, const Variable &x)
+InferenceEngine::blockForward(int64_t layer, const Variable &x,
+                              KvCache *kv)
 {
     const Shape &sh = x.data().shape();
     int64_t b = sh[0], seq = sh[1], d = sh[2];
     std::string p = "blocks." + std::to_string(layer) + ".";
     Variable h = af::add(
-        x, attentionForward(layer, rmsNorm(x, p + "norm1.weight")));
+        x, attentionForward(layer, rmsNorm(x, p + "norm1.weight"), kv));
     Variable flat =
         af::view(rmsNorm(h, p + "norm2.weight"), {b * seq, d});
     Variable gate = af::silu(linearForward(p + "mlp.w1", flat));
@@ -227,7 +241,7 @@ InferenceEngine::blockForward(int64_t layer, const Variable &x)
 }
 
 Tensor
-InferenceEngine::forward(const Tensor &tokens)
+InferenceEngine::forwardImpl(const Tensor &tokens, KvCache *kv)
 {
     NoGradGuard ng;
     EDKM_CHECK(tokens.dim() == 2,
@@ -239,18 +253,167 @@ InferenceEngine::forward(const Tensor &tokens)
     Variable h = embed(flat_tokens);
     h = af::view(h, {b, s, config().dim});
     for (int64_t l = 0; l < config().layers; ++l) {
-        h = blockForward(l, h);
+        h = blockForward(l, h, kv);
     }
     h = rmsNorm(h, "final_norm.weight");
     h = af::view(h, {b * s, config().dim});
     return linearForward("lm_head", h).data();
 }
 
-InferenceEngine::Response
-InferenceEngine::generate(const Request &request)
+Tensor
+InferenceEngine::forward(const Tensor &tokens)
 {
-    EDKM_CHECK(!request.prompt.empty(),
-               "InferenceEngine: empty prompt in request");
+    return forwardImpl(tokens, nullptr);
+}
+
+Tensor
+InferenceEngine::prefill(const Tensor &tokens, KvCache &kv)
+{
+    EDKM_CHECK(tokens.dim() == 2 && tokens.size(0) == 1,
+               "InferenceEngine: prefill takes a single [1,S] request");
+    int64_t s = tokens.size(1);
+    EDKM_CHECK(kv.position() == 0,
+               "InferenceEngine: prefill needs an empty cache "
+               "(reset() it first)");
+    EDKM_CHECK(kv.layers() == config().layers &&
+                   kv.groups() == config().heads &&
+                   kv.headDim() == config().dim / config().heads,
+               "InferenceEngine: KV cache geometry disagrees with the "
+               "model");
+    Tensor logits = forwardImpl(tokens, &kv);
+    kv.advance(s);
+    ++stats_.prefills;
+    stats_.prefillTokens += s;
+    return logits;
+}
+
+Variable
+InferenceEngine::attentionStepForward(int64_t layer, const Variable &x,
+                                      KvCache &kv)
+{
+    int64_t dim = config().dim;
+    int64_t pos = kv.position();
+    std::string p = "blocks." + std::to_string(layer) + ".attn.";
+
+    // Project and split heads exactly as the full forward does for a
+    // [1, 1, D] input.
+    Variable q = splitHeads(p + "wq", x, 1, 1);
+    Variable k = splitHeads(p + "wk", x, 1, 1);
+    Variable v = splitHeads(p + "wv", x, 1, 1);
+
+    // RoPE rows are a pure function of the position: row pos of any
+    // table of length > pos matches the full forward's bit for bit.
+    Tensor cos_row = dec_cos_.slice(0, pos, pos + 1);
+    Tensor sin_row = dec_sin_.slice(0, pos, pos + 1);
+    q = af::rope(q, cos_row, sin_row);
+    k = af::rope(k, cos_row, sin_row);
+
+    kv.write(layer, k.data(), v.data());
+    Tensor ctx =
+        nn::attentionStep(q.data(), kv.k(layer), kv.v(layer), pos);
+    // [H, 1, hd] is (h, hd)-major — the same order the full forward's
+    // transpose+merge produces for one position row.
+    Variable out =
+        linearForward(p + "wo", af::view(af::constant(ctx), {1, dim}));
+    return af::view(out, {1, 1, dim});
+}
+
+Variable
+InferenceEngine::blockStep(int64_t layer, const Variable &x, KvCache &kv)
+{
+    int64_t d = config().dim;
+    std::string p = "blocks." + std::to_string(layer) + ".";
+    Variable h = af::add(
+        x, attentionStepForward(layer, rmsNorm(x, p + "norm1.weight"),
+                                kv));
+    Variable flat = af::view(rmsNorm(h, p + "norm2.weight"), {1, d});
+    Variable gate = af::silu(linearForward(p + "mlp.w1", flat));
+    Variable up = linearForward(p + "mlp.w3", flat);
+    Variable m = linearForward(p + "mlp.w2", af::mul(gate, up));
+    return af::add(h, af::view(m, {1, 1, d}));
+}
+
+Tensor
+InferenceEngine::decodeStep(int64_t token, KvCache &kv)
+{
+    NoGradGuard ng;
+    EDKM_CHECK(kv.position() >= 1,
+               "InferenceEngine: decodeStep needs a prefilled cache");
+    EDKM_CHECK(token >= 0 && token < config().vocab,
+               "InferenceEngine: token ", token, " outside the vocab");
+    ensureDecodeRope(kv.position() + 1);
+    Tensor tok = Tensor::fromIndices({token}, {1});
+    Variable h = af::view(embed(tok), {1, 1, config().dim});
+    for (int64_t l = 0; l < config().layers; ++l) {
+        h = blockStep(l, h, kv);
+    }
+    h = rmsNorm(h, "final_norm.weight");
+    h = af::view(h, {1, config().dim});
+    Tensor logits = linearForward("lm_head", h).data();
+    kv.advance(1);
+    ++stats_.decodeSteps;
+    return logits;
+}
+
+void
+InferenceEngine::ensureDecodeRope(int64_t len)
+{
+    if (dec_rope_len_ >= len) {
+        return;
+    }
+    // Rows are position-pure, so growing the table never changes an
+    // existing row; grow geometrically to amortise rebuilds.
+    dec_rope_len_ = std::max(len, 2 * dec_rope_len_);
+    nn::buildRopeTables(dec_rope_len_, config().dim / config().heads,
+                        dec_cos_, dec_sin_);
+}
+
+void
+InferenceEngine::ensureKv(int64_t needed)
+{
+    EDKM_CHECK(config_.kvCapacity == 0 || needed <= config_.kvCapacity,
+               "InferenceEngine: request needs ", needed,
+               " KV positions, over the configured capacity ",
+               config_.kvCapacity);
+    int64_t cap =
+        config_.kvCapacity > 0 ? config_.kvCapacity : needed;
+    if (kv_ == nullptr || kv_->capacity() < cap) {
+        kv_ = std::make_unique<KvCache>(config().layers, config().heads,
+                                        config().dim / config().heads,
+                                        cap);
+    } else {
+        kv_->reset();
+    }
+    stats_.kvCacheBytes = kv_->bytes();
+}
+
+InferenceEngine::Response
+InferenceEngine::generateCached(const Request &request)
+{
+    Response res;
+    res.tokens = request.prompt;
+    if (request.maxNewTokens == 0) {
+        return res;
+    }
+    int64_t s = static_cast<int64_t>(request.prompt.size());
+    // Positions cached: the prompt plus every generated token except
+    // the last (which is never fed back).
+    ensureKv(s + request.maxNewTokens - 1);
+    Tensor prompt = Tensor::fromIndices(request.prompt, {1, s});
+    Tensor logits = prefill(prompt, *kv_);
+    Tensor last = logits.slice(0, logits.size(0) - 1, logits.size(0));
+    int64_t next = argmaxLastDim(last).flatAtInt(0);
+    res.tokens.push_back(next);
+    for (int64_t step = 1; step < request.maxNewTokens; ++step) {
+        next = argmaxLastDim(decodeStep(next, *kv_)).flatAtInt(0);
+        res.tokens.push_back(next);
+    }
+    return res;
+}
+
+InferenceEngine::Response
+InferenceEngine::generateRecompute(const Request &request)
+{
     Response res;
     res.tokens = request.prompt;
     for (int64_t step = 0; step < request.maxNewTokens; ++step) {
@@ -262,6 +425,17 @@ InferenceEngine::generate(const Request &request)
         res.tokens.push_back(argmaxLastDim(last).flatAtInt(0));
     }
     return res;
+}
+
+InferenceEngine::Response
+InferenceEngine::generate(const Request &request)
+{
+    EDKM_CHECK(!request.prompt.empty(),
+               "InferenceEngine: empty prompt in request");
+    EDKM_CHECK(request.maxNewTokens >= 0,
+               "InferenceEngine: negative maxNewTokens");
+    return config_.kvCacheDecode ? generateCached(request)
+                                 : generateRecompute(request);
 }
 
 std::vector<InferenceEngine::Response>

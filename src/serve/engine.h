@@ -18,8 +18,17 @@
  * bit-identical to forward on the eagerly reconstructed model — the
  * contract test_serve.cc enforces per codec.
  *
+ * generate() decodes incrementally through a KvCache: the prompt runs
+ * one prefill forward that banks every layer's rope'd keys and values,
+ * then each new token costs a single-position decode step attending
+ * over the cache — O(1) forwards per token instead of O(t). The cached
+ * path produces logits bit-identical to the full-prefix forward (the
+ * matmul layer's row-shape invariance plus exact exp-flush of masked
+ * softmax columns; see nn::attentionStep), which test_serve.cc pins for
+ * every codec.
+ *
  * The engine is not thread-safe; give each serving thread its own
- * engine (they can share one ArtifactReader).
+ * engine (they can share one ArtifactReader — see serve::Server).
  */
 
 #ifndef EDKM_SERVE_ENGINE_H_
@@ -34,6 +43,7 @@
 #include "autograd/variable.h"
 #include "core/palettize.h"
 #include "nn/transformer.h"
+#include "serve/kv_cache.h"
 #include "serve/reader.h"
 #include "tensor/tensor.h"
 
@@ -50,6 +60,22 @@ struct EngineConfig
      * loads (the cache never refuses the tensor being requested).
      */
     int64_t decodeCacheBytes = 64ll << 20;
+
+    /**
+     * Serve generate() through the KV cache: the prompt runs one
+     * prefill forward, then every new token costs a single-position
+     * decode step instead of a full-prefix recompute. Logits — and so
+     * the sampled tokens — are bit-identical either way; turn this off
+     * only to measure the O(t)-per-token baseline.
+     */
+    bool kvCacheDecode = true;
+
+    /**
+     * Fixed KV-cache capacity in token positions; requests needing
+     * more (prompt + new tokens) throw a FatalError naming it.
+     * 0 sizes the cache per request (and reuses a grown cache).
+     */
+    int64_t kvCapacity = 0;
 };
 
 /** Counters exposed for benches and tests. */
@@ -62,6 +88,10 @@ struct EngineStats
     int64_t cacheBytes = 0;      ///< dense f32 bytes currently cached
     int64_t streamedMatmuls = 0; ///< palettized LUT+index matmuls run
     int64_t borrowedViews = 0;   ///< zero-copy sections in use
+    int64_t prefills = 0;        ///< KV-cache prompt prefills run
+    int64_t prefillTokens = 0;   ///< tokens cached by prefills
+    int64_t decodeSteps = 0;     ///< single-position decode steps run
+    int64_t kvCacheBytes = 0;    ///< K/V bytes of the live cache
 };
 
 /** Batched request API over the artifact-backed forward. */
@@ -99,11 +129,36 @@ class InferenceEngine
         std::vector<int64_t> tokens;
     };
 
-    /** Greedy-decode one request. */
+    /**
+     * Greedy-decode one request. With EngineConfig::kvCacheDecode the
+     * prompt is prefilled once and each new token costs one decode
+     * step; otherwise every step recomputes the full prefix. Both
+     * produce bit-identical tokens.
+     */
     Response generate(const Request &request);
 
     /** Serve a batch of requests. */
     std::vector<Response> generate(const std::vector<Request> &batch);
+
+    /**
+     * Run @p tokens [1, S] through the forward once, writing each
+     * layer's rope'd keys and raw values into @p kv (which must be
+     * empty — position 0 — and shaped for this engine's geometry).
+     * Returns the [S, vocab] logits, bit-identical to forward().
+     */
+    Tensor prefill(const Tensor &tokens, KvCache &kv);
+
+    /**
+     * Incremental decode of one token at position kv.position():
+     * appends its K/V rows to @p kv and returns the [1, vocab] logits —
+     * bit-identical to the last row of forward() over the whole prefix.
+     * @p kv must hold at least one position (prefill first).
+     */
+    Tensor decodeStep(int64_t token, KvCache &kv);
+
+    /** The engine-owned KV cache of the last generate() (may be null;
+     *  exposed for tests and benches). */
+    const KvCache *kvCache() const { return kv_.get(); }
 
     const EngineStats &stats() const { return stats_; }
 
@@ -128,9 +183,22 @@ class InferenceEngine
     Variable linearForward(const std::string &path, const Variable &x);
     Variable rmsNorm(const Variable &x, const std::string &name);
     Variable embed(const Tensor &flat_tokens);
-    Variable attentionForward(int64_t layer, const Variable &x);
-    Variable blockForward(int64_t layer, const Variable &x);
+    /** Project [B,S,D] @p x through @p proj and split into
+     *  [B*heads, S, head_dim] — one definition for prefill and decode. */
+    Variable splitHeads(const std::string &proj, const Variable &x,
+                        int64_t b, int64_t s);
+    Variable attentionForward(int64_t layer, const Variable &x,
+                              KvCache *kv);
+    Variable blockForward(int64_t layer, const Variable &x, KvCache *kv);
+    Variable attentionStepForward(int64_t layer, const Variable &x,
+                                  KvCache &kv);
+    Variable blockStep(int64_t layer, const Variable &x, KvCache &kv);
+    Tensor forwardImpl(const Tensor &tokens, KvCache *kv);
+    Response generateCached(const Request &request);
+    Response generateRecompute(const Request &request);
+    void ensureKv(int64_t needed);
     void ensureSeqCaches(int64_t s);
+    void ensureDecodeRope(int64_t len);
     void evictToBudget();
 
     std::shared_ptr<const ArtifactReader> reader_;
@@ -146,6 +214,12 @@ class InferenceEngine
     // nn::MultiHeadAttention computes per layer).
     Tensor rope_cos_, rope_sin_, causal_mask_;
     int64_t cached_seq_ = -1;
+
+    // Decode-path RoPE rows (no mask; grown geometrically) and the
+    // engine-owned per-request KV cache generate() reuses.
+    Tensor dec_cos_, dec_sin_;
+    int64_t dec_rope_len_ = 0;
+    std::unique_ptr<KvCache> kv_;
 };
 
 } // namespace serve

@@ -1,0 +1,100 @@
+#include "serve/kv_cache.h"
+
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace edkm {
+namespace serve {
+
+KvCache::KvCache(int64_t layers, int64_t groups, int64_t head_dim,
+                 int64_t capacity)
+    : groups_(groups), head_dim_(head_dim), capacity_(capacity)
+{
+    EDKM_CHECK(layers >= 1, "KvCache: need at least one layer, got ",
+               layers);
+    EDKM_CHECK(groups >= 1 && head_dim >= 1,
+               "KvCache: bad geometry [groups=", groups,
+               ", head_dim=", head_dim, "]");
+    EDKM_CHECK(capacity >= 1, "KvCache: capacity must be positive, got ",
+               capacity);
+    k_.reserve(static_cast<size_t>(layers));
+    v_.reserve(static_cast<size_t>(layers));
+    for (int64_t l = 0; l < layers; ++l) {
+        k_.push_back(Tensor::zeros({groups, capacity, head_dim}));
+        v_.push_back(Tensor::zeros({groups, capacity, head_dim}));
+    }
+}
+
+int64_t
+KvCache::bytes() const
+{
+    int64_t total = 0;
+    for (const Tensor &t : k_) {
+        total += t.storageBytes();
+    }
+    for (const Tensor &t : v_) {
+        total += t.storageBytes();
+    }
+    return total;
+}
+
+const Tensor &
+KvCache::k(int64_t layer) const
+{
+    EDKM_CHECK(layer >= 0 && layer < layers(), "KvCache: layer ", layer,
+               " out of range [0,", layers(), ")");
+    return k_[static_cast<size_t>(layer)];
+}
+
+const Tensor &
+KvCache::v(int64_t layer) const
+{
+    EDKM_CHECK(layer >= 0 && layer < layers(), "KvCache: layer ", layer,
+               " out of range [0,", layers(), ")");
+    return v_[static_cast<size_t>(layer)];
+}
+
+void
+KvCache::write(int64_t layer, const Tensor &k, const Tensor &v)
+{
+    EDKM_CHECK(layer >= 0 && layer < layers(), "KvCache: layer ", layer,
+               " out of range [0,", layers(), ")");
+    for (const Tensor *t : {&k, &v}) {
+        EDKM_CHECK(t->dim() == 3 && t->size(0) == groups_ &&
+                       t->size(2) == head_dim_ &&
+                       t->size(1) == k.size(1),
+                   "KvCache: rows must be [", groups_, ", n, ", head_dim_,
+                   "]");
+        EDKM_CHECK(t->isContiguous() && t->dtype() == DType::kF32,
+                   "KvCache: rows must be contiguous f32");
+    }
+    int64_t n = k.size(1);
+    EDKM_CHECK(pos_ + n <= capacity_, "KvCache: writing ", n,
+               " token(s) at position ", pos_,
+               " overflows the cache capacity ", capacity_);
+    const float *pk = k.rawData<float>();
+    const float *pv = v.rawData<float>();
+    float *dk = k_[static_cast<size_t>(layer)].rawData<float>();
+    float *dv = v_[static_cast<size_t>(layer)].rawData<float>();
+    size_t row_bytes = static_cast<size_t>(n * head_dim_) * sizeof(float);
+    for (int64_t g = 0; g < groups_; ++g) {
+        int64_t dst_at = (g * capacity_ + pos_) * head_dim_;
+        int64_t src_at = g * n * head_dim_;
+        std::memcpy(dk + dst_at, pk + src_at, row_bytes);
+        std::memcpy(dv + dst_at, pv + src_at, row_bytes);
+    }
+}
+
+void
+KvCache::advance(int64_t n)
+{
+    EDKM_CHECK(n >= 0, "KvCache: cannot advance by ", n);
+    EDKM_CHECK(pos_ + n <= capacity_, "KvCache: advancing ", n,
+               " token(s) from position ", pos_,
+               " overflows the cache capacity ", capacity_);
+    pos_ += n;
+}
+
+} // namespace serve
+} // namespace edkm

@@ -1,0 +1,213 @@
+#include "serve/server.h"
+
+#include <chrono>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace edkm {
+namespace serve {
+
+Server::Server(std::shared_ptr<const ArtifactReader> reader,
+               ServerConfig config)
+    : reader_(std::move(reader)), config_(config)
+{
+    EDKM_CHECK(reader_ != nullptr, "Server: null reader");
+    EDKM_CHECK(config_.threads >= 1, "Server: need at least one thread, "
+                                     "got ",
+               config_.threads);
+    engines_.reserve(static_cast<size_t>(config_.threads));
+    free_.reserve(static_cast<size_t>(config_.threads));
+    for (int i = 0; i < config_.threads; ++i) {
+        engines_.push_back(std::make_unique<InferenceEngine>(
+            reader_, config_.engine));
+        free_.push_back(i);
+    }
+    // threads workers + the constructing thread as the extra forChunks
+    // lane; submitted jobs only ever run on the workers, so at most
+    // `threads` requests execute concurrently — one engine each.
+    pool_ = std::make_unique<runtime::ThreadPool>(config_.threads + 1);
+}
+
+Server::~Server()
+{
+    // pool_ is the last-declared member: its destructor runs first and
+    // drains every queued job while records_/engines_ are still alive.
+}
+
+int
+Server::checkoutEngine()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    // At most `threads` jobs run concurrently (one per pool worker), so
+    // an engine is always free when a job starts.
+    EDKM_CHECK(!free_.empty(),
+               "Server: no free engine (more concurrent jobs than "
+               "workers?)");
+    int idx = free_.back();
+    free_.pop_back();
+    return idx;
+}
+
+void
+Server::checkinEngine(int idx)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    free_.push_back(idx);
+}
+
+void
+Server::run(Record &rec)
+{
+    int idx = checkoutEngine();
+    // One completion path for success and failure: the guard stamps
+    // the timing, returns the engine and counts the request whichever
+    // way generate() exits (exceptions land in the record's future).
+    struct Finish
+    {
+        Server *server;
+        Record *rec;
+        int idx;
+        std::chrono::steady_clock::time_point t0 =
+            std::chrono::steady_clock::now();
+        ~Finish()
+        {
+            rec->stats.millis =
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+            server->checkinEngine(idx);
+            std::lock_guard<std::mutex> lock(server->mutex_);
+            ++server->completed_;
+        }
+    } finish{this, &rec, idx};
+
+    rec.stats.engine = idx;
+    rec.stats.promptTokens =
+        static_cast<int64_t>(rec.request.prompt.size());
+    rec.response =
+        engines_[static_cast<size_t>(idx)]->generate(rec.request);
+    rec.stats.newTokens =
+        static_cast<int64_t>(rec.response.tokens.size()) -
+        rec.stats.promptTokens;
+}
+
+Server::RequestId
+Server::submit(Request request)
+{
+    auto rec = std::make_unique<Record>();
+    rec->request = std::move(request);
+    Record *raw = rec.get();
+    RequestId id;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        id = next_id_++;
+        rec->stats.id = id;
+        records_.emplace(id, std::move(rec));
+    }
+    raw->done = pool_->submit([this, raw] { run(*raw); }).share();
+    return id;
+}
+
+std::vector<Server::RequestId>
+Server::submit(std::vector<Request> batch)
+{
+    std::vector<RequestId> ids;
+    ids.reserve(batch.size());
+    for (Request &r : batch) {
+        ids.push_back(submit(std::move(r)));
+    }
+    return ids;
+}
+
+std::shared_future<void>
+Server::ticket(RequestId id) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = records_.find(id);
+    EDKM_CHECK(it != records_.end(), "Server: unknown request id ", id);
+    return it->second->done;
+}
+
+Server::Response
+Server::wait(RequestId id)
+{
+    // Copy the future out under the lock, block outside it, then
+    // re-look the record up: a concurrent release() of the same ticket
+    // erases the Record, and reading it unlocked after done.get()
+    // would be a use-after-free.
+    ticket(id).get(); // blocks; rethrows the request's exception
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = records_.find(id);
+    EDKM_CHECK(it != records_.end(), "Server: request ", id,
+               " was released while being waited on");
+    return it->second->response;
+}
+
+std::vector<Server::Response>
+Server::wait(const std::vector<RequestId> &ids)
+{
+    std::vector<Response> out;
+    out.reserve(ids.size());
+    for (RequestId id : ids) {
+        out.push_back(wait(id));
+    }
+    return out;
+}
+
+Server::RequestStats
+Server::requestStats(RequestId id) const
+{
+    ticket(id).wait();
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = records_.find(id);
+    EDKM_CHECK(it != records_.end(), "Server: request ", id,
+               " was released while its stats were being read");
+    return it->second->stats;
+}
+
+void
+Server::release(RequestId id)
+{
+    // Wait for the job (which holds a raw pointer to the record)
+    // outside the lock, erase under it. Releasing an already-released
+    // ticket is a no-op, so concurrent reapers need no coordination.
+    std::shared_future<void> done;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = records_.find(id);
+        if (it == records_.end()) {
+            return;
+        }
+        done = it->second->done;
+    }
+    done.wait();
+    std::lock_guard<std::mutex> lock(mutex_);
+    records_.erase(id);
+}
+
+void
+Server::release(const std::vector<RequestId> &ids)
+{
+    for (RequestId id : ids) {
+        release(id);
+    }
+}
+
+const EngineStats &
+Server::engineStats(int i) const
+{
+    EDKM_CHECK(i >= 0 && i < config_.threads, "Server: engine index ", i,
+               " out of range [0,", config_.threads, ")");
+    return engines_[static_cast<size_t>(i)]->stats();
+}
+
+int64_t
+Server::completed() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return completed_;
+}
+
+} // namespace serve
+} // namespace edkm

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Multi-threaded request serving over one shared ArtifactReader.
+ *
+ * A Server owns a pool of InferenceEngine instances — one per worker
+ * thread — all wired to the *same* ArtifactReader. The reader is
+ * immutable after open() (an mmap'd file plus parsed metadata), so
+ * sharing it across threads is free: every engine streams palettized
+ * tiles and borrows raw_f32 views from the one mapping, while keeping
+ * its own mutable state (LRU decode cache, KV cache, stats) private.
+ *
+ * Requests flow through a work queue on the existing runtime::ThreadPool:
+ * submit() enqueues a generation request and returns a ticket, wait()
+ * blocks for (and returns) its response. Each request is executed start
+ * to finish by exactly one engine, so the response depends only on the
+ * request and the artifact — never on scheduling. N-thread serving is
+ * therefore bit-identical to serial execution, which tests/test_server.cc
+ * enforces under an 8-thread interleaving stress.
+ *
+ * Engine-internal parallel loops degrade to serial inside pool workers
+ * (runtime::ThreadPool nested-call rule), so throughput scales by
+ * request-level parallelism without oversubscribing the host.
+ */
+
+#ifndef EDKM_SERVE_SERVER_H_
+#define EDKM_SERVE_SERVER_H_
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/thread_pool.h"
+#include "serve/engine.h"
+#include "serve/reader.h"
+
+namespace edkm {
+namespace serve {
+
+/** Server knobs. */
+struct ServerConfig
+{
+    /** Worker threads == engine instances (>= 1). */
+    int threads = 2;
+    /** Per-engine configuration (decode cache budget, KV decode). */
+    EngineConfig engine;
+};
+
+/** Concurrent request server over one shared artifact reader. */
+class Server
+{
+  public:
+    using Request = InferenceEngine::Request;
+    using Response = InferenceEngine::Response;
+    using RequestId = int64_t;
+
+    /** Per-request accounting, available once the request completed. */
+    struct RequestStats
+    {
+        RequestId id = 0;
+        int engine = -1; ///< which engine instance served it
+        int64_t promptTokens = 0;
+        int64_t newTokens = 0;
+        double millis = 0.0; ///< execution time (excluding queue wait)
+    };
+
+    Server(std::shared_ptr<const ArtifactReader> reader,
+           ServerConfig config = ServerConfig{});
+
+    /** Blocks until every in-flight request has drained. */
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    int threads() const { return config_.threads; }
+    const ServerConfig &config() const { return config_; }
+
+    /** Enqueue one request; returns the ticket for wait(). */
+    RequestId submit(Request request);
+
+    /** Enqueue a batch; tickets are returned in request order. */
+    std::vector<RequestId> submit(std::vector<Request> batch);
+
+    /**
+     * Block until request @p id completes and return its response.
+     * Rethrows the request's exception if it failed. Callable more
+     * than once per ticket.
+     */
+    Response wait(RequestId id);
+
+    /** wait() for each ticket, in order. */
+    std::vector<Response> wait(const std::vector<RequestId> &ids);
+
+    /** Stats of a completed request (wait() it first). */
+    RequestStats requestStats(RequestId id) const;
+
+    /**
+     * Forget request @p id: blocks until it completes, then frees its
+     * record (response, stats, prompt). Completed requests are
+     * otherwise retained so wait()/requestStats() stay answerable —
+     * long-lived servers should release tickets they are done with, or
+     * memory grows by one record per request served. Idempotent;
+     * racing a release against a wait() of the same ticket makes the
+     * wait throw (never read freed memory).
+     */
+    void release(RequestId id);
+
+    /** release() each ticket. */
+    void release(const std::vector<RequestId> &ids);
+
+    /**
+     * Stats of engine instance @p i in [0, threads). Only meaningful
+     * while no request is in flight (engines are otherwise mutating
+     * their own counters).
+     */
+    const EngineStats &engineStats(int i) const;
+
+    /** Requests completed (successfully or not) so far. */
+    int64_t completed() const;
+
+  private:
+    struct Record
+    {
+        Request request;
+        Response response;
+        RequestStats stats;
+        std::shared_future<void> done;
+    };
+
+    void run(Record &rec);
+    int checkoutEngine();
+    void checkinEngine(int idx);
+    /** Completion future of @p id (copied out under the lock; safe to
+     *  block on while release() erases the record). */
+    std::shared_future<void> ticket(RequestId id) const;
+
+    std::shared_ptr<const ArtifactReader> reader_;
+    ServerConfig config_;
+    std::vector<std::unique_ptr<InferenceEngine>> engines_;
+
+    mutable std::mutex mutex_; ///< guards free_, records_, counters
+    std::vector<int> free_;    ///< engine indices not currently serving
+    std::unordered_map<RequestId, std::unique_ptr<Record>> records_;
+    RequestId next_id_ = 1;
+    int64_t completed_ = 0;
+
+    /**
+     * Declared last: destroyed first, so the pool drains every queued
+     * job (which touch the members above) before they are torn down.
+     */
+    std::unique_ptr<runtime::ThreadPool> pool_;
+};
+
+} // namespace serve
+
+namespace api {
+/** Re-exported beside InferenceEngine as the api:: serving surface. */
+using Server = serve::Server;
+} // namespace api
+
+} // namespace edkm
+
+#endif // EDKM_SERVE_SERVER_H_

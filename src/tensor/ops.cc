@@ -335,8 +335,15 @@ namespace {
 /**
  * Core 2-D matmul on contiguous f32 buffers. Shape-specialised onto the
  * kernel layer: a blocked matvec for [m,k]x[k,1] (attention pooling,
- * W~ = A*C), a chunk-reduced vecmat for [1,k]x[k,n], and an axpy-based
- * row loop for the general case — all chunk-deterministic.
+ * W~ = A*C), a column-parallel single row for [1,k]x[k,n], and an
+ * axpy-based row loop for the general case — all chunk-deterministic.
+ *
+ * Row-shape invariance: every output element of the m==1 and general
+ * paths accumulates in the same ascending-p order with the same zero
+ * skip, so row i of an [m,k]x[k,n] product is bit-identical to the
+ * [1,k]x[k,n] product of row i alone. KV-cache incremental decode
+ * (serve/engine) relies on this to reproduce full-prefix logits
+ * bit-exactly from single-position forwards.
  */
 void
 matmul2d(const float *a, const float *b, float *c, int64_t m, int64_t k,
@@ -352,23 +359,19 @@ matmul2d(const float *a, const float *b, float *c, int64_t m, int64_t k,
         return;
     }
     if (m == 1) {
-        // Vecmat: chunks of the reduce dim accumulate private [n]
-        // partials, combined in chunk order (deterministic).
-        std::vector<float> acc = parallelReduce<std::vector<float>>(
-            0, k, grainFor(k, 2 * n),
-            std::vector<float>(static_cast<size_t>(n), 0.0f),
-            [&](int64_t cb, int64_t ce) {
-                std::vector<float> part(static_cast<size_t>(n), 0.0f);
-                kt.vecmat(a + cb, b + cb * n, ce - cb, n, part.data());
-                return part;
-            },
-            [](std::vector<float> x, std::vector<float> y) {
-                for (size_t j = 0; j < x.size(); ++j) {
-                    x[j] += y[j];
+        // One row: parallelise over output columns; axpy is elementwise,
+        // so each element still accumulates ascending-p with zero skip —
+        // identical to the row loop below at any thread count.
+        parallelFor(0, n, grainFor(n, 2 * k), [&](int64_t cb, int64_t ce) {
+            std::fill(c + cb, c + ce, 0.0f);
+            for (int64_t p = 0; p < k; ++p) {
+                float av = a[p];
+                if (av == 0.0f) {
+                    continue;
                 }
-                return x;
-            });
-        std::copy(acc.begin(), acc.end(), c);
+                kt.axpy(b + p * n + cb, av, c + cb, ce - cb);
+            }
+        });
         return;
     }
     parallelFor(0, m, grainFor(m, 2 * k * n), [&](int64_t rb, int64_t re) {
@@ -454,26 +457,37 @@ matmulStreamed(const Tensor &a, int64_t k, int64_t n,
                                   pc + rb);
                     });
     } else if (m == 1) {
-        // Vecmat: same chunk decomposition and chunk-order combine as
-        // matmul2d, each chunk running vecmat on its own B tile.
-        std::vector<float> acc = parallelReduce<std::vector<float>>(
-            0, k, grainFor(k, 2 * n),
-            std::vector<float>(static_cast<size_t>(n), 0.0f),
-            [&](int64_t cb, int64_t ce) {
-                std::vector<float> part(static_cast<size_t>(n), 0.0f);
-                std::vector<float> tile(
-                    static_cast<size_t>((ce - cb) * n));
-                fill(cb, ce, tile.data());
-                kt.vecmat(pa + cb, tile.data(), ce - cb, n, part.data());
-                return part;
-            },
-            [](std::vector<float> x, std::vector<float> y) {
-                for (size_t j = 0; j < x.size(); ++j) {
-                    x[j] += y[j];
-                }
-                return x;
-            });
-        std::copy(acc.begin(), acc.end(), pc);
+        // One row: stream B tiles in ascending-p order and parallelise
+        // over output columns. Each element accumulates ascending-p with
+        // the same zero skip as matmul2d's m==1 path, preserving the
+        // row-shape invariance the KV-cache decode path relies on.
+        // Tile decompression parallelises over disjoint row ranges —
+        // fill values are threading-independent, and the accumulation
+        // below only starts after the whole tile is in place, so the
+        // FP op sequence is untouched.
+        std::fill(pc, pc + n, 0.0f);
+        int64_t tile_rows =
+            std::max<int64_t>(1, std::min(k, (256 << 10) / (n * 4)));
+        std::vector<float> tile(static_cast<size_t>(tile_rows * n));
+        for (int64_t p0 = 0; p0 < k; p0 += tile_rows) {
+            int64_t p1 = std::min(k, p0 + tile_rows);
+            float *pt = tile.data();
+            parallelFor(p0, p1, grainFor(p1 - p0, n),
+                        [&](int64_t fb, int64_t fe) {
+                            fill(fb, fe, pt + (fb - p0) * n);
+                        });
+            parallelFor(0, n, grainFor(n, 2 * (p1 - p0)),
+                        [&](int64_t cb, int64_t ce) {
+                            for (int64_t p = p0; p < p1; ++p) {
+                                float av = pa[p];
+                                if (av == 0.0f) {
+                                    continue;
+                                }
+                                kt.axpy(pt + (p - p0) * n + cb, av,
+                                        pc + cb, ce - cb);
+                            }
+                        });
+        }
     } else {
         // General case: p-tiles stream through a bounded scratch; per
         // output row the accumulation stays ascending-p with the same

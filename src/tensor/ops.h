@@ -61,6 +61,12 @@ Tensor sigmoid(const Tensor &a);
 /**
  * Matrix product. Supports [m,k]x[k,n] and batched [b,m,k]x[b,k,n]
  * (or [b,m,k]x[k,n] with broadcast of the right operand).
+ *
+ * Row-shape invariance (n > 1): row i of the result is bit-identical to
+ * `matmul(a.slice(0, i, i+1), b)` — the m==1 path accumulates each
+ * element in the same ascending-k order with the same zero skip as the
+ * general row loop. Single-position KV-cache decode depends on this to
+ * reproduce full-prefix forwards bit-exactly.
  */
 Tensor matmul(const Tensor &a, const Tensor &b);
 
@@ -68,9 +74,9 @@ Tensor matmul(const Tensor &a, const Tensor &b);
  * Row-block provider for matmulStreamed: fill rows [p0, p1) of the
  * right operand B — each @p n floats, row-major — into @p dst. Ranges
  * are non-overlapping and cover [0, k), but are NOT always sequential:
- * the m==1 (vecmat) path invokes the provider concurrently from pool
- * threads, one range per chunk. Providers must be re-entrant and keep
- * no cross-call state (per-call locals only).
+ * the m==1 path decompresses each tile's sub-ranges concurrently from
+ * pool threads. Providers must be re-entrant and keep no cross-call
+ * state (per-call locals only).
  */
 using MatmulRowFill =
     std::function<void(int64_t p0, int64_t p1, float *dst)>;
@@ -82,9 +88,9 @@ using MatmulRowFill =
  * through here.
  *
  * Bit-identical to `matmul(a, B)` with B dense: every accumulation
- * (per-output-row p-order, the m==1 chunked vecmat reduction, the n==1
- * fixed-lane matvec) replays the dense kernel's exact FP op sequence on
- * tile copies of the same values.
+ * (per-output-row ascending-p order for m >= 1, the n==1 fixed-lane
+ * matvec) replays the dense kernel's exact FP op sequence on tile
+ * copies of the same values — including matmul's row-shape invariance.
  */
 Tensor matmulStreamed(const Tensor &a, int64_t k, int64_t n,
                       const MatmulRowFill &fill);

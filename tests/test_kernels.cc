@@ -179,7 +179,7 @@ TEST(KernelBackends, ReductionsBitIdenticalAcrossBackends)
     }
 }
 
-TEST(KernelBackends, MatvecVecmatBitIdenticalAcrossBackends)
+TEST(KernelBackends, MatvecBitIdenticalAcrossBackends)
 {
     const kernels::KernelTable &sc =
         kernels::table(kernels::Backend::kScalar);
@@ -194,14 +194,6 @@ TEST(KernelBackends, MatvecVecmatBitIdenticalAcrossBackends)
             sc.matvec(a.data(), rows, k, x.data(), y0.data());
             kt.matvec(a.data(), rows, k, x.data(), y1.data());
             expectBitEqual(y0, y1, "matvec");
-
-            std::vector<float> xr = randomVec(rows, 59u + k);
-            xr[3] = 0.0f; // exercise the zero-skip path
-            std::vector<float> z0(static_cast<size_t>(k), 0.0f);
-            std::vector<float> z1(static_cast<size_t>(k), 0.0f);
-            sc.vecmat(xr.data(), a.data(), rows, k, z0.data());
-            kt.vecmat(xr.data(), a.data(), rows, k, z1.data());
-            expectBitEqual(z0, z1, "vecmat");
         }
     }
 }

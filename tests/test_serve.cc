@@ -13,6 +13,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <gtest/gtest.h>
 
 #include "api/plan.h"
@@ -147,7 +148,7 @@ denseFill(const Tensor &bT)
 TEST(MatmulStreamed, BitIdenticalToDenseMatmul)
 {
     Rng rng(11);
-    // (m, k, n) covering the general, m==1 (vecmat) and n==1 (matvec)
+    // (m, k, n) covering the general, m==1 (single-row) and n==1 (matvec)
     // kernel paths, plus a k large enough to span several tiles.
     for (auto [m, k, n] : std::vector<std::array<int64_t, 3>>{
              {5, 33, 17}, {1, 64, 48}, {7, 40, 1}, {3, 500, 300}}) {
@@ -197,7 +198,7 @@ TEST(PaletteView, StreamedMatmulMatchesDecompressedDense)
     Tensor got = paletteMatmulT(x, viewOf(p));
     EXPECT_EQ(want.toVector(), got.toVector());
 
-    // Single-row input exercises the vecmat path.
+    // Single-row input exercises the m==1 column-loop path.
     Tensor x1 = Tensor::randn({1, 40}, rng);
     EXPECT_EQ(matmul(x1, dense.transpose(0, 1)).toVector(),
               paletteMatmulT(x1, viewOf(p)).toVector());
@@ -348,19 +349,112 @@ TEST(ArtifactV2, CorruptionIsRejectedWithTheSectionNamed)
         EXPECT_THROW(api::parseArtifactLayout(bad.data(), bad.size()),
                      FatalError);
     }
-    // Every strict prefix is rejected (fuzz-ish truncation sweep) and
-    // never reads out of bounds.
-    for (size_t cut = 0; cut < bytes.size();
-         cut += 97) { // prime stride keeps the sweep cheap
-        std::vector<uint8_t> trunc(
-            bytes.begin(), bytes.begin() + static_cast<int64_t>(cut));
-        EXPECT_THROW(api::ModelArtifact::deserialize(trunc), FatalError)
-            << "prefix of " << cut << " bytes accepted";
-    }
     // Appended garbage is caught by the declared file size.
     std::vector<uint8_t> padded = bytes;
     padded.resize(padded.size() + 13, 0xcd);
     EXPECT_THROW(api::ModelArtifact::deserialize(padded), FatalError);
+}
+
+// Structured fuzz sweep over the v2 section table: every section's
+// offset/size field is mutated in each way the layout contract can be
+// violated (alignment, overlap, bounds, fixed-stride size), and the
+// parser must reject the file with an error naming the section where
+// the inconsistency is detected — before any payload is touched. The
+// truncation sweep rides along as one more mutation family.
+TEST(ArtifactV2, SectionTableFuzzSweepNamesTheBadSection)
+{
+    nn::MiniLlama model = tinyModel();
+    api::SessionResult res = compressTiny(model, "rtn");
+    std::vector<uint8_t> bytes = res.artifact.serialize();
+    api::ArtifactLayout good =
+        api::parseArtifactLayout(bytes.data(), bytes.size());
+    uint64_t table_off;
+    std::memcpy(&table_off, bytes.data() + 32, 8);
+    size_t n = good.sections.size();
+    ASSERT_GE(n, 2u);
+
+    struct Mutation
+    {
+        std::string label;
+        std::function<void(std::vector<uint8_t> &)> apply;
+        std::string expect_substr; ///< must appear in the error
+        std::string expect_name;   ///< section named (empty = any)
+    };
+    auto poke = [table_off](size_t section, size_t field,
+                            uint64_t value) {
+        return [table_off, section, field,
+                value](std::vector<uint8_t> &b) {
+            std::memcpy(b.data() + table_off + 16 * section + field * 8,
+                        &value, 8);
+        };
+    };
+
+    std::vector<Mutation> table;
+    for (size_t i = 0; i < n; ++i) {
+        const api::TensorSection &s = good.sections[i];
+        uint64_t off = static_cast<uint64_t>(s.offset);
+        uint64_t sz = static_cast<uint64_t>(s.bytes);
+        std::string at = " (section " + std::to_string(i) + ")";
+        table.push_back({"misaligned offset" + at, poke(i, 0, off + 4),
+                         "aligned", s.name});
+        table.push_back({"offset into the table" + at, poke(i, 0, 0),
+                         "overlaps", s.name});
+        if (i > 0) {
+            uint64_t prev =
+                static_cast<uint64_t>(good.sections[i - 1].offset);
+            table.push_back({"offset onto the previous section" + at,
+                             poke(i, 0, prev), "overlaps", s.name});
+        }
+        table.push_back({"size past the file end" + at,
+                         poke(i, 1, bytes.size() + 1), "past the end",
+                         s.name});
+        bool fixed_stride = s.codec == api::Codec::kRawF32 ||
+                            s.codec == api::Codec::kDenseF16;
+        if (fixed_stride) {
+            table.push_back({"fixed-stride size mismatch" + at,
+                             poke(i, 1, sz - 4), "for its shape needs",
+                             s.name});
+        }
+        // Growing a section: the bounds check fires when the grown
+        // section no longer fits the file; otherwise fixed-stride
+        // codecs fail their exact-size check right at the section and
+        // variable-size codecs collide with the neighbour — always
+        // caught, always named.
+        bool over_end = off + sz + 64 > bytes.size();
+        table.push_back(
+            {"grown size" + at, poke(i, 1, sz + 64),
+             over_end ? "past the end"
+                      : (fixed_stride ? "for its shape needs"
+                                      : "overlaps"),
+             over_end || fixed_stride ? s.name
+                                      : good.sections[i + 1].name});
+    }
+    for (size_t cut = 0; cut < bytes.size(); cut += 97) {
+        table.push_back(
+            {"truncated to " + std::to_string(cut) + " bytes",
+             [cut](std::vector<uint8_t> &b) {
+                 b.resize(cut);
+             },
+             cut < 64 ? "header" : "truncated", ""});
+    }
+
+    for (const Mutation &m : table) {
+        std::vector<uint8_t> bad = bytes;
+        m.apply(bad);
+        try {
+            api::parseArtifactLayout(bad.data(), bad.size());
+            FAIL() << m.label << " accepted";
+        } catch (const FatalError &e) {
+            std::string msg = e.what();
+            EXPECT_NE(msg.find(m.expect_substr), std::string::npos)
+                << m.label << ": " << msg;
+            if (!m.expect_name.empty()) {
+                EXPECT_NE(msg.find("'" + m.expect_name + "'"),
+                          std::string::npos)
+                    << m.label << ": " << msg;
+            }
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -557,6 +651,214 @@ TEST(Engine, BatchedGenerateMatchesEagerGreedyDecode)
         }
         EXPECT_EQ(responses[r].tokens, ctx) << "request " << r;
     }
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// KV-cache incremental decode
+// ---------------------------------------------------------------------
+
+/** Artifact exercising one codec: "raw" hand-encodes every parameter
+ *  as raw_f32; the other schemes go through the registry (fp16 ->
+ *  dense_f16, rtn -> affine, edkm -> palettized). */
+api::ModelArtifact
+codecArtifact(nn::MiniLlama &model, const std::string &scheme)
+{
+    if (scheme == "raw") {
+        api::ModelArtifact a;
+        a.scheme = "raw";
+        a.config = model.config();
+        for (auto &[name, p] : model.namedParameters()) {
+            a.entries.push_back(api::encodeRawF32(name, p.data()));
+        }
+        return a;
+    }
+    return compressTiny(model, scheme).artifact;
+}
+
+api::Codec
+codecOf(const std::string &scheme)
+{
+    if (scheme == "fp16") {
+        return api::Codec::kDenseF16;
+    }
+    if (scheme == "rtn") {
+        return api::Codec::kAffine;
+    }
+    if (scheme == "edkm") {
+        return api::Codec::kPalettized;
+    }
+    return api::Codec::kRawF32;
+}
+
+TEST(AttentionStep, ForwardStepMatchesFullForwardBitExact)
+{
+    Rng rng(9);
+    nn::MultiHeadAttention attn(32, 4, rng);
+    NoGradGuard ng;
+    const int64_t s = 7, hd = 8;
+    Tensor x = Tensor::randn({1, s, 32}, rng);
+    Variable full = attn.forward(Variable(x)); // [1, s, 32]
+    Tensor kc = Tensor::zeros({4, s, hd});
+    Tensor vc = Tensor::zeros({4, s, hd});
+    for (int64_t t = 0; t < s; ++t) {
+        Tensor xt = x.slice(1, t, t + 1).contiguous();
+        Variable yt = attn.forwardStep(Variable(xt), kc, vc, t);
+        EXPECT_EQ(yt.data().toVector(),
+                  full.data().slice(1, t, t + 1).contiguous().toVector())
+            << "position " << t;
+    }
+}
+
+/** Cached decode must produce logits bit-identical to the full-prefix
+ *  forward for every codec an artifact can carry. */
+class KvDecodeBitExact : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(KvDecodeBitExact, DecodeStepLogitsMatchFullPrefixForward)
+{
+    nn::MiniLlama model = tinyModel();
+    api::ModelArtifact art = codecArtifact(model, GetParam());
+    bool has_codec = false;
+    for (const api::ArtifactEntry &e : art.entries) {
+        has_codec = has_codec || e.codec == codecOf(GetParam());
+    }
+    EXPECT_TRUE(has_codec) << "artifact exercises no " << GetParam()
+                           << " section";
+    std::string path = writeTemp(art.serialize(),
+                                 std::string("edkm_test_kv_") +
+                                     GetParam() + ".edkm");
+
+    auto reader = serve::ArtifactReader::open(path);
+    serve::InferenceEngine engine(reader);
+    const nn::LlamaConfig &cfg = reader->config();
+
+    NoGradGuard ng;
+    std::vector<int64_t> ctx = {3, 17, 42, 5, 60};
+    const int64_t steps = 4;
+    serve::KvCache kv(cfg.layers, cfg.heads, cfg.dim / cfg.heads,
+                      static_cast<int64_t>(ctx.size()) + steps);
+
+    Tensor prompt = Tensor::fromIndices(
+        ctx, {1, static_cast<int64_t>(ctx.size())});
+    Tensor plogits = engine.prefill(prompt, kv);
+    EXPECT_EQ(plogits.toVector(), engine.forward(prompt).toVector())
+        << "prefill logits diverge from forward";
+    EXPECT_EQ(kv.position(), static_cast<int64_t>(ctx.size()));
+
+    Tensor last = plogits.slice(0, plogits.size(0) - 1,
+                                plogits.size(0));
+    int64_t next = argmaxLastDim(last).flatAtInt(0);
+    for (int64_t step = 0; step < steps; ++step) {
+        ctx.push_back(next);
+        Tensor cached = engine.decodeStep(next, kv); // [1, vocab]
+        Tensor full = engine.forward(Tensor::fromIndices(
+            ctx, {1, static_cast<int64_t>(ctx.size())}));
+        Tensor full_last =
+            full.slice(0, full.size(0) - 1, full.size(0));
+        EXPECT_EQ(cached.toVector(), full_last.contiguous().toVector())
+            << GetParam() << " step " << step;
+        next = argmaxLastDim(cached).flatAtInt(0);
+    }
+
+    // End to end: cached generate() == full-recompute generate().
+    serve::EngineConfig full_cfg;
+    full_cfg.kvCacheDecode = false;
+    serve::InferenceEngine recompute(reader, full_cfg);
+    serve::InferenceEngine::Request req{{9, 2, 33}, 5};
+    EXPECT_EQ(engine.generate(req).tokens,
+              recompute.generate(req).tokens);
+    EXPECT_GT(engine.stats().decodeSteps, 0);
+    std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Codecs, KvDecodeBitExact,
+                         ::testing::Values("raw", "fp16", "rtn",
+                                           "edkm"));
+
+TEST(KvCacheTest, OverflowThrowsNamingTheCapacity)
+{
+    serve::KvCache kv(2, 4, 8, 3);
+    EXPECT_EQ(kv.capacity(), 3);
+    kv.advance(3);
+    try {
+        kv.advance(1);
+        FAIL() << "overflowing advance accepted";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("capacity 3"),
+                  std::string::npos)
+            << e.what();
+    }
+    kv.reset();
+    EXPECT_EQ(kv.position(), 0);
+    kv.advance(2);
+    Tensor rows = Tensor::zeros({4, 2, 8});
+    try {
+        kv.write(0, rows, rows); // 2 rows at position 2 > capacity 3
+        FAIL() << "overflowing write accepted";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("capacity 3"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(KvCacheTest, EngineRejectsRequestsOverTheConfiguredCapacity)
+{
+    nn::MiniLlama model = tinyModel();
+    api::ModelArtifact art = codecArtifact(model, "raw");
+    std::string path =
+        writeTemp(art.serialize(), "edkm_test_kv_capacity.edkm");
+    serve::EngineConfig cfg;
+    cfg.kvCapacity = 4;
+    serve::InferenceEngine engine(serve::ArtifactReader::open(path),
+                                  cfg);
+    // prompt 3 + 4 new tokens needs 6 cached positions > 4.
+    try {
+        engine.generate({{1, 2, 3}, 4});
+        FAIL() << "over-capacity request accepted";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("capacity"),
+                  std::string::npos)
+            << e.what();
+    }
+    // Within capacity it still serves: 3 + 2 - 1 = 4 positions.
+    EXPECT_EQ(engine.generate({{1, 2, 3}, 2}).tokens.size(), 5u);
+    std::remove(path.c_str());
+}
+
+TEST(KvCacheTest, ResetReuseRoundTripStaysExact)
+{
+    nn::MiniLlama model = tinyModel();
+    api::ModelArtifact art = codecArtifact(model, "edkm");
+    std::string path =
+        writeTemp(art.serialize(), "edkm_test_kv_reuse.edkm");
+    auto reader = serve::ArtifactReader::open(path);
+    serve::InferenceEngine engine(reader);
+
+    serve::InferenceEngine::Request a{{1, 2, 3, 4}, 4};
+    serve::InferenceEngine::Request b{{60, 5}, 6};
+    auto a1 = engine.generate(a);
+    auto b1 = engine.generate(b); // reuses (or regrows) the cache
+    auto a2 = engine.generate(a); // round trip back to the first
+    EXPECT_EQ(a1.tokens, a2.tokens);
+
+    // A fresh engine agrees: reuse leaked no state across requests.
+    serve::InferenceEngine fresh(reader);
+    EXPECT_EQ(fresh.generate(b).tokens, b1.tokens);
+    EXPECT_EQ(engine.stats().prefills, 3);
+    ASSERT_NE(engine.kvCache(), nullptr);
+    EXPECT_EQ(engine.stats().kvCacheBytes, engine.kvCache()->bytes());
+
+    // Direct prefill -> reset -> prefill round trip is bit-stable too.
+    NoGradGuard ng;
+    const nn::LlamaConfig &cfg = reader->config();
+    serve::KvCache kv(cfg.layers, cfg.heads, cfg.dim / cfg.heads, 8);
+    Tensor toks = tokenBatch(1, 6, 64, 21);
+    std::vector<float> first = engine.prefill(toks, kv).toVector();
+    kv.reset();
+    EXPECT_EQ(engine.prefill(toks, kv).toVector(), first);
     std::remove(path.c_str());
 }
 
