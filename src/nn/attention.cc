@@ -92,6 +92,45 @@ attentionStep(const Tensor &q, const Tensor &k_cache,
     return matmul(att, vals);                     // [G, 1, hd]
 }
 
+Tensor
+attentionChunk(const Tensor &q, const Tensor &k_cache,
+               const Tensor &v_cache, int64_t pos0)
+{
+    EDKM_CHECK(q.dim() == 3, "attentionChunk: q must be [G,c,hd]");
+    int64_t g = q.size(0), c = q.size(1), hd = q.size(2);
+    EDKM_CHECK(c >= 1, "attentionChunk: empty chunk");
+    for (const Tensor *cache : {&k_cache, &v_cache}) {
+        EDKM_CHECK(cache->dim() == 3 && cache->size(0) == g &&
+                       cache->size(2) == hd,
+                   "attentionChunk: cache must be [", g, ",cap,", hd,
+                   "]");
+    }
+    int64_t cols = pos0 + c;
+    EDKM_CHECK(pos0 >= 0 && cols <= k_cache.size(1),
+               "attentionChunk: chunk [", pos0, ",", cols,
+               ") outside the cache capacity ", k_cache.size(1));
+
+    // The full forward adds a [1, S, S] additive mask (0 visible, -1e9
+    // masked) before the softmax; replay exactly that for the chunk's
+    // rows, over the [0, cols) columns that survive the tail drop.
+    Tensor mask = Tensor::zeros({1, c, cols});
+    float *pm = mask.rawData<float>();
+    for (int64_t i = 0; i < c; ++i) {
+        for (int64_t j = pos0 + i + 1; j < cols; ++j) {
+            pm[i * cols + j] = -1e9f;
+        }
+    }
+
+    Tensor keys = k_cache.slice(1, 0, cols);      // [G, cols, hd]
+    Tensor vals = v_cache.slice(1, 0, cols);
+    float scale = 1.0f / std::sqrt(static_cast<float>(hd));
+    Tensor att = matmul(q, keys.transpose(1, 2)); // [G, c, cols]
+    att = mulScalar(att, scale);
+    att = add(att, mask);
+    att = softmaxLastDim(att);
+    return matmul(att, vals);                     // [G, c, hd]
+}
+
 namespace {
 
 /** Copy [G, 1, hd] contiguous rows into row @p pos of a [G, cap, hd]

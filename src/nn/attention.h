@@ -46,6 +46,27 @@ Tensor buildCausalMask(int64_t s);
 Tensor attentionStep(const Tensor &q, const Tensor &k_cache,
                      const Tensor &v_cache, int64_t pos);
 
+/**
+ * Causal attention of a whole chunk of queries over cached keys/values:
+ * @p q holds the roped queries of positions [pos0, pos0 + c) as
+ * [G, c, hd] (G = batch * heads), @p k_cache / @p v_cache are
+ * [G, capacity, hd] with rows [0, pos0 + c) already written — the
+ * prefix banked by earlier chunks plus this chunk's own rows. Row i of
+ * the result attends over positions [0, pos0 + i].
+ *
+ * Bit-identity contract: row i equals row pos0 + i of the full-prefix
+ * masked attention bit for bit, by the same argument attentionStep
+ * makes — columns beyond pos0 + i are masked with the identical -1e9
+ * additive mask the full forward uses (so they exp-flush to exactly
+ * +0), columns beyond pos0 + c are dropped entirely (exp-flushed zeros
+ * add nothing to the softmax denominator and the value matmul
+ * zero-skips them). Chunked prefill — including prefix-cache reuse,
+ * where rows [0, pos0) were banked by an earlier request — therefore
+ * reproduces the one-shot prefill bit-exactly.
+ */
+Tensor attentionChunk(const Tensor &q, const Tensor &k_cache,
+                      const Tensor &v_cache, int64_t pos0);
+
 /** Causal RoPE multi-head attention over [B, S, D] inputs. */
 class MultiHeadAttention : public Module
 {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "autograd/functional.h"
 #include "tensor/ops.h"
@@ -352,6 +353,203 @@ InferenceEngine::decodeStep(int64_t token, KvCache &kv)
     Tensor logits = linearForward("lm_head", h).data();
     kv.advance(1);
     ++stats_.decodeSteps;
+    return logits;
+}
+
+Variable
+InferenceEngine::attentionChunkForward(int64_t layer, const Variable &x,
+                                       KvCache &kv)
+{
+    int64_t dim = config().dim, heads = config().heads;
+    int64_t c = x.data().shape()[1];
+    int64_t p0 = kv.position();
+    std::string p = "blocks." + std::to_string(layer) + ".attn.";
+
+    Variable q = splitHeads(p + "wq", x, 1, c);
+    Variable k = splitHeads(p + "wk", x, 1, c);
+    Variable v = splitHeads(p + "wv", x, 1, c);
+
+    // RoPE rows are position-pure: rows [p0, p0+c) of the decode table
+    // match rows [p0, p0+c) of any full-forward table bit for bit.
+    Tensor cos = dec_cos_.slice(0, p0, p0 + c);
+    Tensor sin = dec_sin_.slice(0, p0, p0 + c);
+    q = af::rope(q, cos, sin);
+    k = af::rope(k, cos, sin);
+
+    // Bank this chunk's rows at [p0, p0+c) (the caller advances the
+    // position after all layers), then attend over prefix + chunk.
+    kv.write(layer, k.data(), v.data());
+    Tensor ctx =
+        nn::attentionChunk(q.data(), kv.k(layer), kv.v(layer), p0);
+
+    // [H, c, hd] -> [c, dim]: the same transpose+merge the full
+    // forward applies to its context.
+    Variable cv =
+        af::view(af::constant(ctx), {1, heads, c, dim / heads});
+    cv = af::transpose(cv, 1, 2);
+    cv = af::contiguous(cv);
+    cv = af::view(cv, {c, dim});
+    Variable out = linearForward(p + "wo", cv);
+    return af::view(out, {1, c, dim});
+}
+
+Variable
+InferenceEngine::blockChunk(int64_t layer, const Variable &x, KvCache &kv)
+{
+    const Shape &sh = x.data().shape();
+    int64_t seq = sh[1], d = sh[2];
+    std::string p = "blocks." + std::to_string(layer) + ".";
+    Variable h = af::add(
+        x, attentionChunkForward(layer, rmsNorm(x, p + "norm1.weight"),
+                                 kv));
+    Variable flat = af::view(rmsNorm(h, p + "norm2.weight"), {seq, d});
+    Variable gate = af::silu(linearForward(p + "mlp.w1", flat));
+    Variable up = linearForward(p + "mlp.w3", flat);
+    Variable m = linearForward(p + "mlp.w2", af::mul(gate, up));
+    return af::add(h, af::view(m, {1, seq, d}));
+}
+
+Tensor
+InferenceEngine::prefillChunk(const Tensor &tokens, KvCache &kv)
+{
+    NoGradGuard ng;
+    EDKM_CHECK(tokens.dim() == 2 && tokens.size(0) == 1,
+               "InferenceEngine: prefillChunk takes a [1,c] chunk");
+    int64_t c = tokens.size(1);
+    EDKM_CHECK(c >= 1, "InferenceEngine: empty prefill chunk");
+    EDKM_CHECK(kv.layers() == config().layers &&
+                   kv.groups() == config().heads &&
+                   kv.headDim() == config().dim / config().heads,
+               "InferenceEngine: KV cache geometry disagrees with the "
+               "model");
+    int64_t p0 = kv.position();
+    EDKM_CHECK(p0 + c <= kv.capacity(), "InferenceEngine: chunk of ", c,
+               " token(s) at position ", p0,
+               " overflows the cache capacity ", kv.capacity());
+    ensureDecodeRope(p0 + c);
+    Tensor flat_tokens = tokens.isContiguous()
+                             ? tokens.view({c})
+                             : tokens.contiguous().view({c});
+    Variable h = embed(flat_tokens);
+    h = af::view(h, {1, c, config().dim});
+    for (int64_t l = 0; l < config().layers; ++l) {
+        h = blockChunk(l, h, kv);
+    }
+    h = rmsNorm(h, "final_norm.weight");
+    h = af::view(h, {c, config().dim});
+    Tensor logits = linearForward("lm_head", h).data();
+    kv.advance(c);
+    ++stats_.chunkPrefills;
+    stats_.prefillTokens += c;
+    return logits;
+}
+
+Variable
+InferenceEngine::attentionStepBatch(int64_t layer, const Variable &x,
+                                    const std::vector<KvCache *> &kvs)
+{
+    int64_t dim = config().dim, heads = config().heads;
+    int64_t hd = dim / heads;
+    int64_t bsz = static_cast<int64_t>(kvs.size());
+    std::string p = "blocks." + std::to_string(layer) + ".attn.";
+
+    // One [B, D] x [D, D] pass per projection serves every request:
+    // row i is bit-identical to the [1, D] projection of request i
+    // alone (ops::matmul / matmulStreamed row-shape invariance).
+    Variable flat = af::view(x, {bsz, dim});
+    Variable qf = linearForward(p + "wq", flat);
+    Variable kf = linearForward(p + "wk", flat);
+    Variable vf = linearForward(p + "wv", flat);
+
+    // Attention core per request: each slot ropes at its own position
+    // and attends over its own cache — literally the single-request
+    // decode step's computation on its row of the batched projections.
+    Tensor ctx = Tensor::empty({bsz, dim});
+    float *pc = ctx.rawData<float>();
+    for (int64_t i = 0; i < bsz; ++i) {
+        int64_t pos = kvs[i]->position();
+        Tensor cos_row = dec_cos_.slice(0, pos, pos + 1);
+        Tensor sin_row = dec_sin_.slice(0, pos, pos + 1);
+        // A contiguous [1, dim] row reinterprets as [heads, 1, hd] in
+        // exactly the (h, hd)-major order splitHeads produces for one
+        // position.
+        Variable q = af::rope(
+            af::constant(
+                qf.data().slice(0, i, i + 1).view({heads, 1, hd})),
+            cos_row, sin_row);
+        Variable k = af::rope(
+            af::constant(
+                kf.data().slice(0, i, i + 1).view({heads, 1, hd})),
+            cos_row, sin_row);
+        kvs[i]->write(layer, k.data(),
+                      vf.data().slice(0, i, i + 1).view({heads, 1, hd}));
+        Tensor c_i = nn::attentionStep(q.data(), kvs[i]->k(layer),
+                                       kvs[i]->v(layer), pos);
+        std::memcpy(pc + i * dim, c_i.rawData<float>(),
+                    static_cast<size_t>(dim) * sizeof(float));
+    }
+    Variable out = linearForward(p + "wo", af::constant(ctx));
+    return af::view(out, {bsz, 1, dim});
+}
+
+Variable
+InferenceEngine::blockStepBatch(int64_t layer, const Variable &x,
+                                const std::vector<KvCache *> &kvs)
+{
+    int64_t bsz = static_cast<int64_t>(kvs.size());
+    int64_t d = config().dim;
+    std::string p = "blocks." + std::to_string(layer) + ".";
+    Variable h = af::add(
+        x, attentionStepBatch(layer, rmsNorm(x, p + "norm1.weight"),
+                              kvs));
+    Variable flat = af::view(rmsNorm(h, p + "norm2.weight"), {bsz, d});
+    Variable gate = af::silu(linearForward(p + "mlp.w1", flat));
+    Variable up = linearForward(p + "mlp.w3", flat);
+    Variable m = linearForward(p + "mlp.w2", af::mul(gate, up));
+    return af::add(h, af::view(m, {bsz, 1, d}));
+}
+
+Tensor
+InferenceEngine::decodeStepBatch(const std::vector<int64_t> &tokens,
+                                 const std::vector<KvCache *> &kvs)
+{
+    NoGradGuard ng;
+    int64_t bsz = static_cast<int64_t>(tokens.size());
+    EDKM_CHECK(bsz >= 1, "InferenceEngine: empty decode batch");
+    EDKM_CHECK(kvs.size() == tokens.size(),
+               "InferenceEngine: decode batch has ", tokens.size(),
+               " token(s) but ", kvs.size(), " cache(s)");
+    int64_t max_needed = 0;
+    for (size_t i = 0; i < kvs.size(); ++i) {
+        EDKM_CHECK(kvs[i] != nullptr,
+                   "InferenceEngine: null KV cache in decode batch");
+        EDKM_CHECK(kvs[i]->position() >= 1,
+                   "InferenceEngine: decodeStepBatch needs prefilled "
+                   "caches");
+        EDKM_CHECK(tokens[i] >= 0 && tokens[i] < config().vocab,
+                   "InferenceEngine: token ", tokens[i],
+                   " outside the vocab");
+        for (size_t j = 0; j < i; ++j) {
+            EDKM_CHECK(kvs[j] != kvs[i],
+                       "InferenceEngine: the same KV cache appears "
+                       "twice in one decode batch");
+        }
+        max_needed = std::max(max_needed, kvs[i]->position() + 1);
+    }
+    ensureDecodeRope(max_needed);
+    Tensor tok = Tensor::fromIndices(tokens, {bsz});
+    Variable h = af::view(embed(tok), {bsz, 1, config().dim});
+    for (int64_t l = 0; l < config().layers; ++l) {
+        h = blockStepBatch(l, h, kvs);
+    }
+    h = rmsNorm(h, "final_norm.weight");
+    h = af::view(h, {bsz, config().dim});
+    Tensor logits = linearForward("lm_head", h).data();
+    for (KvCache *kv : kvs) {
+        kv->advance(1);
+    }
+    ++stats_.batchedSteps;
+    stats_.batchedTokens += bsz;
     return logits;
 }
 

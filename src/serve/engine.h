@@ -92,6 +92,9 @@ struct EngineStats
     int64_t prefillTokens = 0;   ///< tokens cached by prefills
     int64_t decodeSteps = 0;     ///< single-position decode steps run
     int64_t kvCacheBytes = 0;    ///< K/V bytes of the live cache
+    int64_t chunkPrefills = 0;   ///< prefillChunk calls run
+    int64_t batchedSteps = 0;    ///< decodeStepBatch forwards run
+    int64_t batchedTokens = 0;   ///< tokens decoded by batched steps
 };
 
 /** Batched request API over the artifact-backed forward. */
@@ -156,6 +159,38 @@ class InferenceEngine
      */
     Tensor decodeStep(int64_t token, KvCache &kv);
 
+    /**
+     * Prefill continuation: run the @p tokens [1, c] chunk through the
+     * forward at positions [kv.position(), kv.position() + c), banking
+     * each layer's rope'd keys / raw values into @p kv (whose rows
+     * [0, position()) must hold the prefix — banked by earlier chunks
+     * of this request, or copied in from a shared PrefixCache).
+     * Returns the chunk's [c, vocab] logits.
+     *
+     * Bit-identity: row i equals row position() + i of forward() over
+     * the whole prefix (see nn::attentionChunk). A single whole-prompt
+     * chunk from an empty cache is therefore bit-identical to
+     * prefill(); splitting the prompt into chunks of any sizes never
+     * changes a banked row or a logit.
+     */
+    Tensor prefillChunk(const Tensor &tokens, KvCache &kv);
+
+    /**
+     * One batched decode step: token @p i of @p tokens advances the
+     * request backed by @p kvs[i], all merged into a single [B, ...]
+     * forward per layer. Appends each request's K/V rows to its own
+     * cache and returns the [B, vocab] logits.
+     *
+     * Bit-identity: row i is bit-identical to
+     * `decodeStep(tokens[i], *kvs[i])` — the linear/MLP/norm layers are
+     * row-shape-invariant (ops::matmul contract) and the attention core
+     * runs per request over its own cache, so batch composition,
+     * ordering, and size never change a logit. Requests may sit at
+     * different positions. The scheduler's step loop is built on this.
+     */
+    Tensor decodeStepBatch(const std::vector<int64_t> &tokens,
+                           const std::vector<KvCache *> &kvs);
+
     /** The engine-owned KV cache of the last generate() (may be null;
      *  exposed for tests and benches). */
     const KvCache *kvCache() const { return kv_.get(); }
@@ -193,6 +228,13 @@ class InferenceEngine
     Variable attentionStepForward(int64_t layer, const Variable &x,
                                   KvCache &kv);
     Variable blockStep(int64_t layer, const Variable &x, KvCache &kv);
+    Variable attentionChunkForward(int64_t layer, const Variable &x,
+                                   KvCache &kv);
+    Variable blockChunk(int64_t layer, const Variable &x, KvCache &kv);
+    Variable attentionStepBatch(int64_t layer, const Variable &x,
+                                const std::vector<KvCache *> &kvs);
+    Variable blockStepBatch(int64_t layer, const Variable &x,
+                            const std::vector<KvCache *> &kvs);
     Tensor forwardImpl(const Tensor &tokens, KvCache *kv);
     Response generateCached(const Request &request);
     Response generateRecompute(const Request &request);

@@ -1,0 +1,154 @@
+#include "serve/prefix_cache.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace edkm {
+namespace serve {
+
+PrefixCache::PrefixCache(int64_t layers, int64_t groups, int64_t head_dim,
+                         int64_t byte_budget)
+    : layers_(layers), groups_(groups), head_dim_(head_dim),
+      byte_budget_(byte_budget)
+{
+    EDKM_CHECK(layers >= 1 && groups >= 1 && head_dim >= 1,
+               "PrefixCache: bad geometry [layers=", layers,
+               ", groups=", groups, ", head_dim=", head_dim, "]");
+    EDKM_CHECK(byte_budget >= 0,
+               "PrefixCache: negative byte budget ", byte_budget);
+}
+
+std::string
+PrefixCache::keyOf(const std::vector<int64_t> &tokens, int64_t len)
+{
+    std::string key(static_cast<size_t>(len) * sizeof(int64_t), '\0');
+    std::memcpy(key.data(), tokens.data(), key.size());
+    return key;
+}
+
+int64_t
+PrefixCache::lookup(const std::vector<int64_t> &prompt, int64_t max_len,
+                    KvCache &kv)
+{
+    EDKM_CHECK(kv.position() == 0,
+               "PrefixCache: restore target must be empty");
+    EDKM_CHECK(kv.layers() == layers_ && kv.groups() == groups_ &&
+                   kv.headDim() == head_dim_,
+               "PrefixCache: cache geometry disagrees with the banked "
+               "entries");
+    max_len = std::min<int64_t>(max_len,
+                                static_cast<int64_t>(prompt.size()));
+    // Longest-common-prefix scan: a banked head serves any request
+    // sharing ANY leading run of its tokens, not just its full length,
+    // so a divergent tail still reuses the shared head. Ties go to the
+    // most recently used entry. The cache is byte-budgeted, so the
+    // entry count stays small enough for a linear scan.
+    Entry *best = nullptr;
+    int64_t best_len = 0;
+    for (auto &[key, e] : entries_) {
+        int64_t limit = std::min<int64_t>(e.len, max_len);
+        int64_t l = 0;
+        while (l < limit && e.tokens[static_cast<size_t>(l)] ==
+                                prompt[static_cast<size_t>(l)]) {
+            ++l;
+        }
+        if (l > best_len ||
+            (l == best_len && l > 0 && e.lastUse > best->lastUse)) {
+            best = &e;
+            best_len = l;
+        }
+    }
+    if (best_len == 0) {
+        ++stats_.misses;
+        return 0;
+    }
+    best->lastUse = ++use_clock_;
+    for (int64_t l = 0; l < layers_; ++l) {
+        // Rows [0, best_len) of the banked [groups, len, head_dim]
+        // tensors; contiguous() materialises the strided slice so
+        // KvCache::write can memcpy it.
+        kv.write(l,
+                 best->k[static_cast<size_t>(l)]
+                     .slice(1, 0, best_len)
+                     .contiguous(),
+                 best->v[static_cast<size_t>(l)]
+                     .slice(1, 0, best_len)
+                     .contiguous());
+    }
+    kv.advance(best_len);
+    ++stats_.hits;
+    stats_.reusedTokens += best_len;
+    return best_len;
+}
+
+void
+PrefixCache::evictToFit(int64_t incoming_bytes)
+{
+    while (!entries_.empty() &&
+           stats_.bytes + incoming_bytes > byte_budget_) {
+        auto victim = entries_.end();
+        for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+            if (victim == entries_.end() ||
+                it->second.lastUse < victim->second.lastUse) {
+                victim = it;
+            }
+        }
+        stats_.bytes -= victim->second.bytes;
+        stats_.evictedBytes += victim->second.bytes;
+        ++stats_.evictions;
+        entries_.erase(victim);
+    }
+    stats_.entries = static_cast<int64_t>(entries_.size());
+}
+
+void
+PrefixCache::insert(const std::vector<int64_t> &tokens, int64_t len,
+                    const KvCache &kv)
+{
+    EDKM_CHECK(len >= 1 &&
+                   len <= static_cast<int64_t>(tokens.size()) &&
+                   len <= kv.position(),
+               "PrefixCache: cannot bank ", len, " position(s) from a "
+               "cache holding ", kv.position());
+    EDKM_CHECK(kv.layers() == layers_ && kv.groups() == groups_ &&
+                   kv.headDim() == head_dim_,
+               "PrefixCache: cache geometry disagrees with the banked "
+               "entries");
+    std::string key = keyOf(tokens, len);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+        it->second.lastUse = ++use_clock_;
+        return;
+    }
+    // 2 (K and V) * layers * groups * len * head_dim f32 values.
+    int64_t bytes = 2 * layers_ * groups_ * len * head_dim_ *
+                    static_cast<int64_t>(sizeof(float));
+    if (bytes > byte_budget_) {
+        ++stats_.rejected;
+        return;
+    }
+    evictToFit(bytes);
+    Entry e;
+    e.tokens.assign(tokens.begin(), tokens.begin() + len);
+    e.len = len;
+    e.bytes = bytes;
+    e.lastUse = ++use_clock_;
+    e.k.reserve(static_cast<size_t>(layers_));
+    e.v.reserve(static_cast<size_t>(layers_));
+    for (int64_t l = 0; l < layers_; ++l) {
+        // clone(), not contiguous(): the banked rows must be deep
+        // copies — a view of the live request cache would alias rows
+        // that the request's decode steps keep mutating.
+        e.k.push_back(kv.k(l).slice(1, 0, len).clone());
+        e.v.push_back(kv.v(l).slice(1, 0, len).clone());
+    }
+    stats_.bytes += bytes;
+    ++stats_.insertions;
+    entries_.emplace(std::move(key), std::move(e));
+    stats_.entries = static_cast<int64_t>(entries_.size());
+}
+
+} // namespace serve
+} // namespace edkm

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Byte-budgeted shared prefix cache for prompt-head KV reuse.
+ *
+ * Requests that share a prompt head recompute identical K/V rows: in a
+ * causal transformer the keys and values of position p are a pure
+ * function of tokens [0, p], so rows banked while prefilling one
+ * request can seed any later request whose prompt starts with the same
+ * tokens. The PrefixCache stores per-layer copies of those rows keyed
+ * on the prompt-head token sequence, and lookup() restores the longest
+ * common prefix between an incoming prompt and ANY banked head — a
+ * prompt sharing only part of a banked head still reuses that shared
+ * part, and just the divergent tail needs prefilling
+ * (InferenceEngine::prefillChunk).
+ *
+ * Reuse is bit-exact: the banked rows are copies of rows the engine
+ * itself produced, and the chunked-prefill continuation over them is
+ * bit-identical to the one-shot prefill (nn::attentionChunk contract).
+ *
+ * Admission and eviction are accounted in bytes like the engine's LRU
+ * decode cache: inserting past the budget evicts least-recently-used
+ * entries first, and an entry larger than the whole budget is never
+ * admitted (the cache must not thrash on one oversized head).
+ *
+ * Not thread-safe: the cache belongs to one scheduler step loop (the
+ * batched server runs exactly one).
+ */
+
+#ifndef EDKM_SERVE_PREFIX_CACHE_H_
+#define EDKM_SERVE_PREFIX_CACHE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/kv_cache.h"
+#include "tensor/tensor.h"
+
+namespace edkm {
+namespace serve {
+
+/** Counters exposed through the scheduler's metrics surface. */
+struct PrefixCacheStats
+{
+    int64_t hits = 0;         ///< lookups that restored a prefix
+    int64_t misses = 0;       ///< lookups that found nothing
+    int64_t reusedTokens = 0; ///< positions restored instead of prefilled
+    int64_t insertions = 0;   ///< heads banked
+    int64_t rejected = 0;     ///< heads larger than the whole budget
+    int64_t evictions = 0;    ///< entries evicted for space
+    int64_t evictedBytes = 0; ///< bytes reclaimed by evictions
+    int64_t bytes = 0;        ///< bytes currently banked
+    int64_t entries = 0;      ///< heads currently banked
+};
+
+class PrefixCache
+{
+  public:
+    /**
+     * @param layers / @p groups / @p head_dim  the KV geometry every
+     *        banked entry and every restore target must match.
+     * @param byte_budget  total bytes of banked K/V rows to retain.
+     */
+    PrefixCache(int64_t layers, int64_t groups, int64_t head_dim,
+                int64_t byte_budget);
+
+    int64_t byteBudget() const { return byte_budget_; }
+    const PrefixCacheStats &stats() const { return stats_; }
+
+    /**
+     * Restore the longest banked prefix of @p prompt, capped at
+     * @p max_len positions, into the empty cache @p kv (rows [0, L)
+     * written, position advanced to L). Returns L — 0 on a miss, with
+     * @p kv untouched. Callers cap at prompt length - 1 so at least
+     * one tail token remains to prefill (generation needs the last
+     * prompt position's logits).
+     */
+    int64_t lookup(const std::vector<int64_t> &prompt, int64_t max_len,
+                   KvCache &kv);
+
+    /**
+     * Bank rows [0, len) of @p kv as the KV image of the prompt head
+     * @p tokens[0..len). A head already banked is refreshed (LRU
+     * touch), never duplicated. Entries larger than the byte budget
+     * are rejected; otherwise LRU entries are evicted until the new
+     * entry fits.
+     */
+    void insert(const std::vector<int64_t> &tokens, int64_t len,
+                const KvCache &kv);
+
+  private:
+    struct Entry
+    {
+        std::vector<int64_t> tokens;  ///< the banked head, for LCP match
+        std::vector<Tensor> k, v; ///< per-layer [groups, len, head_dim]
+        int64_t len = 0;
+        int64_t bytes = 0;
+        uint64_t lastUse = 0;
+    };
+
+    /** Token-sequence key (insert dedup): raw token bytes. */
+    static std::string keyOf(const std::vector<int64_t> &tokens,
+                             int64_t len);
+    void evictToFit(int64_t incoming_bytes);
+
+    int64_t layers_ = 0;
+    int64_t groups_ = 0;
+    int64_t head_dim_ = 0;
+    int64_t byte_budget_ = 0;
+    uint64_t use_clock_ = 0;
+    PrefixCacheStats stats_;
+    std::unordered_map<std::string, Entry> entries_;
+};
+
+} // namespace serve
+} // namespace edkm
+
+#endif // EDKM_SERVE_PREFIX_CACHE_H_

@@ -1,6 +1,7 @@
 #include "serve/server.h"
 
 #include <chrono>
+#include <sstream>
 #include <utility>
 
 #include "util/logging.h"
@@ -13,6 +14,18 @@ Server::Server(std::shared_ptr<const ArtifactReader> reader,
     : reader_(std::move(reader)), config_(config)
 {
     EDKM_CHECK(reader_ != nullptr, "Server: null reader");
+    if (config_.batched) {
+        // One engine, one step-loop thread. The loop is a plain
+        // std::thread — never a pool worker — so engine-internal
+        // parallelFor still fans out across the runtime pool.
+        engines_.push_back(std::make_unique<InferenceEngine>(
+            reader_, config_.engine));
+        scheduler_ = std::make_unique<BatchScheduler>(
+            *engines_.front(), config_.scheduler);
+        sched_json_ = scheduler_->statsJson();
+        loop_ = std::thread([this] { batchLoop(); });
+        return;
+    }
     EDKM_CHECK(config_.threads >= 1, "Server: need at least one thread, "
                                      "got ",
                config_.threads);
@@ -31,8 +44,91 @@ Server::Server(std::shared_ptr<const ArtifactReader> reader,
 
 Server::~Server()
 {
+    if (config_.batched) {
+        // Drain: the loop exits only once the queue is empty and no
+        // slot is in flight, so every submitted ticket completes (or
+        // was cancelled by release()) before the members die.
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        loop_.join();
+        return;
+    }
     // pool_ is the last-declared member: its destructor runs first and
     // drains every queued job while records_/engines_ are still alive.
+}
+
+void
+Server::batchLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        // Sleep only when idle: while a slot is in flight the predicate
+        // stays true and the loop keeps stepping without waiting.
+        cv_.wait(lock, [this] {
+            return stop_ || !queue_.empty() || scheduler_->busy();
+        });
+        if (stop_ && queue_.empty() && !scheduler_->busy()) {
+            return;
+        }
+        while (!queue_.empty() && scheduler_->hasCapacity()) {
+            RequestId id = queue_.front();
+            queue_.pop_front();
+            auto it = records_.find(id);
+            if (it == records_.end()) {
+                continue; // cancelled between queueing and admission
+            }
+            Record *raw = it->second.get();
+            raw->queued = false;
+            Request req = raw->request;
+            // Admit unlocked: the completion callback (which may fire
+            // synchronously on validation failure) takes mutex_. The
+            // record outlives the callback because release() waits on
+            // its future once `queued` is cleared.
+            lock.unlock();
+            auto t0 = std::chrono::steady_clock::now();
+            scheduler_->admit(
+                std::move(req),
+                [this, raw, t0](Response &&res, std::exception_ptr err,
+                                const SchedulerRequestStats &st) {
+                    raw->stats.promptTokens = st.promptTokens;
+                    raw->stats.newTokens = st.newTokens;
+                    raw->stats.prefillChunks = st.prefillChunks;
+                    raw->stats.decodeSteps = st.decodeSteps;
+                    raw->stats.reusedPrefixTokens = st.reusedPrefixTokens;
+                    raw->stats.engine = 0;
+                    raw->stats.millis =
+                        std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+                    if (err == nullptr) {
+                        raw->response = std::move(res);
+                    }
+                    {
+                        std::lock_guard<std::mutex> inner(mutex_);
+                        ++completed_;
+                    }
+                    // Fulfil last: waiters read the fields above after
+                    // get(), which synchronises with set_value.
+                    if (err != nullptr) {
+                        raw->promise.set_exception(err);
+                    } else {
+                        raw->promise.set_value();
+                    }
+                });
+            lock.lock();
+        }
+        if (scheduler_->busy()) {
+            lock.unlock();
+            scheduler_->step();
+            lock.lock();
+        }
+        // Publish the metrics snapshot under the lock — the only place
+        // scheduler state crosses to other threads (metricsJson()).
+        sched_json_ = scheduler_->statsJson();
+    }
 }
 
 int
@@ -98,6 +194,24 @@ Server::submit(Request request)
     auto rec = std::make_unique<Record>();
     rec->request = std::move(request);
     Record *raw = rec.get();
+    if (config_.batched) {
+        // Promise-backed ticket, wired up BEFORE the record is visible:
+        // wait()/release() must always find a valid future.
+        rec->done = rec->promise.get_future().share();
+        rec->queued = true;
+        RequestId id;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            id = next_id_++;
+            rec->stats.id = id;
+            records_.emplace(id, std::move(rec));
+            queue_.push_back(id);
+            peak_queue_ = std::max(
+                peak_queue_, static_cast<int64_t>(queue_.size()));
+        }
+        cv_.notify_all();
+        return id;
+    }
     RequestId id;
     {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -179,6 +293,26 @@ Server::release(RequestId id)
         if (it == records_.end()) {
             return;
         }
+        // Batched mode: a ticket still waiting in the queue is
+        // cancelled right here — no scheduler slot was ever taken, so
+        // the step loop needs no notice. Concurrent wait()ers of the
+        // same ticket get the cancellation exception.
+        if (it->second->queued) {
+            for (auto qit = queue_.begin(); qit != queue_.end(); ++qit) {
+                if (*qit == id) {
+                    queue_.erase(qit);
+                    break;
+                }
+            }
+            it->second->promise.set_exception(
+                std::make_exception_ptr(FatalError(
+                    "Server: request " + std::to_string(id) +
+                    " released before admission")));
+            ++completed_;
+            ++cancelled_;
+            records_.erase(it);
+            return;
+        }
         done = it->second->done;
     }
     done.wait();
@@ -197,8 +331,9 @@ Server::release(const std::vector<RequestId> &ids)
 const EngineStats &
 Server::engineStats(int i) const
 {
-    EDKM_CHECK(i >= 0 && i < config_.threads, "Server: engine index ", i,
-               " out of range [0,", config_.threads, ")");
+    int count = static_cast<int>(engines_.size());
+    EDKM_CHECK(i >= 0 && i < count, "Server: engine index ", i,
+               " out of range [0,", count, ")");
     return engines_[static_cast<size_t>(i)]->stats();
 }
 
@@ -207,6 +342,36 @@ Server::completed() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return completed_;
+}
+
+int64_t
+Server::cancelled() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cancelled_;
+}
+
+std::string
+Server::metricsJson() const
+{
+    int64_t depth, peak, cancelled, completed;
+    std::string sched;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        depth = static_cast<int64_t>(queue_.size());
+        peak = peak_queue_;
+        cancelled = cancelled_;
+        completed = completed_;
+        sched = scheduler_ != nullptr ? sched_json_ : "null";
+    }
+    std::ostringstream os;
+    os << "{\"mode\": \"" << (config_.batched ? "batched" : "threaded")
+       << "\", \"completed\": " << completed
+       << ", \"queue_depth\": " << depth
+       << ", \"peak_queue_depth\": " << peak
+       << ", \"cancelled\": " << cancelled
+       << ", \"scheduler\": " << sched << "}";
+    return os.str();
 }
 
 } // namespace serve

@@ -2,39 +2,54 @@
  * @file
  * Multi-threaded request serving over one shared ArtifactReader.
  *
- * A Server owns a pool of InferenceEngine instances — one per worker
- * thread — all wired to the *same* ArtifactReader. The reader is
- * immutable after open() (an mmap'd file plus parsed metadata), so
- * sharing it across threads is free: every engine streams palettized
- * tiles and borrows raw_f32 views from the one mapping, while keeping
- * its own mutable state (LRU decode cache, KV cache, stats) private.
+ * Two execution modes behind one submit()/wait()/release() surface:
  *
- * Requests flow through a work queue on the existing runtime::ThreadPool:
- * submit() enqueues a generation request and returns a ticket, wait()
- * blocks for (and returns) its response. Each request is executed start
- * to finish by exactly one engine, so the response depends only on the
- * request and the artifact — never on scheduling. N-thread serving is
- * therefore bit-identical to serial execution, which tests/test_server.cc
- * enforces under an 8-thread interleaving stress.
+ * *Threaded* (default): the Server owns a pool of InferenceEngine
+ * instances — one per worker thread — all wired to the *same*
+ * ArtifactReader. The reader is immutable after open() (an mmap'd file
+ * plus parsed metadata), so sharing it across threads is free: every
+ * engine streams palettized tiles and borrows raw_f32 views from the
+ * one mapping, while keeping its own mutable state (LRU decode cache,
+ * KV cache, stats) private. Requests flow through a work queue on the
+ * existing runtime::ThreadPool; each request is executed start to
+ * finish by exactly one engine. Engine-internal parallel loops degrade
+ * to serial inside pool workers (runtime::ThreadPool nested-call
+ * rule), so throughput scales by request-level parallelism.
  *
- * Engine-internal parallel loops degrade to serial inside pool workers
- * (runtime::ThreadPool nested-call rule), so throughput scales by
- * request-level parallelism without oversubscribing the host.
+ * *Batched* (ServerConfig::batched): ONE engine plus a BatchScheduler
+ * driven by a dedicated step-loop thread (a plain std::thread, not a
+ * pool worker, so engine-internal parallelFor still fans out).
+ * submit() enqueues the ticket on a server-owned queue; the loop admits
+ * queued requests into scheduler slots whenever one frees, and every
+ * in-flight request's next token rides one batched forward per step.
+ * release() of a ticket still waiting in the queue cancels it without
+ * touching the step loop (the wait() throws); the destructor drains
+ * queue and in-flight slots before joining the loop.
+ *
+ * Either way the response depends only on the request and the artifact
+ * — never on scheduling: N-thread and batched serving are bit-identical
+ * to serial execution, which tests/test_server.cc enforces under an
+ * 8-thread interleaving stress and batched-vs-threaded comparisons.
  */
 
 #ifndef EDKM_SERVE_SERVER_H_
 #define EDKM_SERVE_SERVER_H_
 
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "runtime/thread_pool.h"
 #include "serve/engine.h"
 #include "serve/reader.h"
+#include "serve/scheduler.h"
 
 namespace edkm {
 namespace serve {
@@ -42,10 +57,17 @@ namespace serve {
 /** Server knobs. */
 struct ServerConfig
 {
-    /** Worker threads == engine instances (>= 1). */
+    /** Worker threads == engine instances (>= 1). Ignored in batched
+     *  mode, which runs one engine under the step loop. */
     int threads = 2;
     /** Per-engine configuration (decode cache budget, KV decode). */
     EngineConfig engine;
+    /** Continuous batching: one engine, one step-loop thread, all
+     *  in-flight requests decoded by shared batched forwards. */
+    bool batched = false;
+    /** Step-loop knobs (batch width, prefill chunking, prefix cache);
+     *  only read when batched. */
+    SchedulerConfig scheduler;
 };
 
 /** Concurrent request server over one shared artifact reader. */
@@ -64,6 +86,10 @@ class Server
         int64_t promptTokens = 0;
         int64_t newTokens = 0;
         double millis = 0.0; ///< execution time (excluding queue wait)
+        // Batched mode only (zero in threaded mode):
+        int64_t prefillChunks = 0;      ///< prefill continuations run
+        int64_t decodeSteps = 0;        ///< batched steps joined
+        int64_t reusedPrefixTokens = 0; ///< restored from the prefix cache
     };
 
     Server(std::shared_ptr<const ArtifactReader> reader,
@@ -112,14 +138,29 @@ class Server
     void release(const std::vector<RequestId> &ids);
 
     /**
-     * Stats of engine instance @p i in [0, threads). Only meaningful
-     * while no request is in flight (engines are otherwise mutating
-     * their own counters).
+     * Stats of engine instance @p i (in [0, threads) threaded; only 0
+     * batched). Only meaningful while no request is in flight (engines
+     * are otherwise mutating their own counters).
      */
     const EngineStats &engineStats(int i) const;
 
-    /** Requests completed (successfully or not) so far. */
+    /** Requests completed (successfully or not) so far, including
+     *  queued tickets cancelled by release(). */
     int64_t completed() const;
+
+    /** Queued tickets cancelled by release() before admission
+     *  (batched mode). */
+    int64_t cancelled() const;
+
+    /**
+     * Serving metrics as a JSON object string: queue depth / peak /
+     * cancellations, plus (batched) the scheduler's counters — step
+     * batch-size histogram, per-phase token counts and the prefix
+     * cache's hit/miss/eviction accounting. The scheduler block is a
+     * snapshot the step loop publishes after each step, so it is exact
+     * as of the most recent step (and fully exact once idle).
+     */
+    std::string metricsJson() const;
 
   private:
     struct Record
@@ -128,11 +169,17 @@ class Server
         Response response;
         RequestStats stats;
         std::shared_future<void> done;
+        /** Batched mode: completion is promise-backed (the scheduler's
+         *  callback fulfils it) instead of pool-future-backed. */
+        std::promise<void> promise;
+        bool queued = false; ///< batched: still awaiting admission
     };
 
     void run(Record &rec);
     int checkoutEngine();
     void checkinEngine(int idx);
+    /** Batched-mode step loop (dedicated thread). */
+    void batchLoop();
     /** Completion future of @p id (copied out under the lock; safe to
      *  block on while release() erases the record). */
     std::shared_future<void> ticket(RequestId id) const;
@@ -141,15 +188,29 @@ class Server
     ServerConfig config_;
     std::vector<std::unique_ptr<InferenceEngine>> engines_;
 
-    mutable std::mutex mutex_; ///< guards free_, records_, counters
+    mutable std::mutex mutex_; ///< guards free_, records_, queue_, counters
     std::vector<int> free_;    ///< engine indices not currently serving
     std::unordered_map<RequestId, std::unique_ptr<Record>> records_;
     RequestId next_id_ = 1;
     int64_t completed_ = 0;
 
+    // Batched mode. The scheduler (and its engine) is touched only by
+    // loop_; the queue and flags below are shared under mutex_.
+    std::unique_ptr<BatchScheduler> scheduler_;
+    std::deque<RequestId> queue_; ///< submitted, not yet admitted
+    std::condition_variable cv_;  ///< wakes the loop: submit/stop
+    bool stop_ = false;
+    int64_t cancelled_ = 0;
+    int64_t peak_queue_ = 0;
+    /** Scheduler stats snapshot, published by the loop under mutex_
+     *  after each step so metricsJson() never races the step loop. */
+    std::string sched_json_;
+    std::thread loop_;
+
     /**
      * Declared last: destroyed first, so the pool drains every queued
      * job (which touch the members above) before they are torn down.
+     * (Batched mode joins loop_ in the destructor body instead.)
      */
     std::unique_ptr<runtime::ThreadPool> pool_;
 };

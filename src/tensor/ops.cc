@@ -499,7 +499,17 @@ matmulStreamed(const Tensor &a, int64_t k, int64_t n,
         std::vector<float> tile(static_cast<size_t>(tile_rows * n));
         for (int64_t p0 = 0; p0 < k; p0 += tile_rows) {
             int64_t p1 = std::min(k, p0 + tile_rows);
-            fill(p0, p1, tile.data());
+            // Decompress the tile in parallel like the m==1 path: fill
+            // ranges are disjoint and value-deterministic, and the row
+            // accumulation below only starts once the tile is complete,
+            // so the per-row FP op sequence is untouched. This is what
+            // keeps batched decode (m = batch) from serialising on
+            // codec decompression.
+            float *pw = tile.data();
+            parallelFor(p0, p1, grainFor(p1 - p0, n),
+                        [&](int64_t fb, int64_t fe) {
+                            fill(fb, fe, pw + (fb - p0) * n);
+                        });
             const float *pt = tile.data();
             parallelFor(0, m, grainFor(m, 2 * (p1 - p0) * n),
                         [&](int64_t rb, int64_t re) {

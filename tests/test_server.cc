@@ -218,5 +218,105 @@ TEST(Server, DestructorDrainsInFlightRequests)
     std::remove(path.c_str());
 }
 
+TEST(Server, BatchedModeBitIdenticalToSerialWithSharedPrompts)
+{
+    std::string path = savedArtifact("edkm", "batched");
+    auto reader = serve::ArtifactReader::open(path);
+
+    // Mix of independent requests and a shared-prompt-head cluster so
+    // the prefix cache engages mid-stream.
+    std::vector<serve::Server::Request> requests = requestMix(16, 43);
+    for (int i = 0; i < 8; ++i) {
+        serve::Server::Request r;
+        r.prompt = {9, 9, 9, 9, 9, 9, static_cast<int64_t>(i)};
+        r.maxNewTokens = 3;
+        requests.push_back(std::move(r));
+    }
+    serve::InferenceEngine serial(reader);
+    std::vector<std::vector<int64_t>> want;
+    for (const auto &r : requests) {
+        want.push_back(serial.generate(r).tokens);
+    }
+
+    serve::ServerConfig cfg;
+    cfg.batched = true;
+    cfg.scheduler.maxBatch = 4;
+    cfg.scheduler.prefillChunkTokens = 3;
+    cfg.scheduler.prefixCacheBytes = 1 << 20;
+    serve::Server server(reader, cfg);
+    for (int pass = 0; pass < 2; ++pass) {
+        std::vector<serve::Server::RequestId> ids =
+            server.submit(requests);
+        std::vector<serve::Server::Response> got = server.wait(ids);
+        ASSERT_EQ(got.size(), requests.size());
+        for (size_t i = 0; i < got.size(); ++i) {
+            EXPECT_EQ(got[i].tokens, want[i])
+                << "pass " << pass << " request " << i;
+        }
+        for (size_t i = 0; i < ids.size(); ++i) {
+            serve::Server::RequestStats st = server.requestStats(ids[i]);
+            EXPECT_EQ(st.promptTokens,
+                      static_cast<int64_t>(requests[i].prompt.size()));
+            EXPECT_EQ(st.newTokens, requests[i].maxNewTokens);
+            if (requests[i].maxNewTokens > 1) {
+                EXPECT_GT(st.decodeSteps, 0) << "request " << i;
+            }
+        }
+        server.release(ids);
+    }
+    EXPECT_EQ(server.completed(),
+              2 * static_cast<int64_t>(requests.size()));
+    // The metrics surface reports the mode, the step histogram and a
+    // warm prefix cache.
+    std::string json = server.metricsJson();
+    EXPECT_NE(json.find("\"mode\": \"batched\""), std::string::npos);
+    EXPECT_NE(json.find("\"batch_histogram\""), std::string::npos);
+    EXPECT_NE(json.find("\"queue_depth\": 0"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(Server, BatchedReleaseCancelsQueuedTicketWithoutWedgingTheLoop)
+{
+    std::string path = savedArtifact("rtn", "cancel");
+    auto reader = serve::ArtifactReader::open(path);
+    serve::ServerConfig cfg;
+    cfg.batched = true;
+    cfg.scheduler.maxBatch = 1; // everything behind `first` queues
+    serve::Server server(reader, cfg);
+
+    // A long-running head keeps the single slot busy while the queued
+    // tickets behind it are cancelled / served.
+    serve::Server::RequestId first = server.submit({{1, 2, 3}, 400});
+    serve::Server::RequestId doomed = server.submit({{4, 5}, 2});
+    serve::Server::RequestId kept = server.submit({{6, 7}, 2});
+    server.release(doomed); // still queued: cancelled, loop untouched
+
+    EXPECT_THROW(server.wait(doomed), FatalError);
+    EXPECT_EQ(server.wait(first).tokens.size(), 403u);
+    EXPECT_EQ(server.wait(kept).tokens.size(), 4u);
+    EXPECT_EQ(server.cancelled(), 1);
+    EXPECT_EQ(server.completed(), 3);
+    std::remove(path.c_str());
+}
+
+TEST(Server, BatchedDestructorDrainsQueuedAndInFlightTickets)
+{
+    std::string path = savedArtifact("edkm", "batcheddrain");
+    auto reader = serve::ArtifactReader::open(path);
+    {
+        serve::ServerConfig cfg;
+        cfg.batched = true;
+        cfg.scheduler.maxBatch = 2; // most of the 16 sit queued
+        serve::Server server(reader, cfg);
+        std::vector<serve::Server::RequestId> ids =
+            server.submit(requestMix(16, 53));
+        server.release(ids.back()); // cancel one queued ticket too
+        // No wait: the destructor must admit and finish every queued
+        // ticket (or honour its cancellation) without deadlocking.
+    }
+    SUCCEED();
+    std::remove(path.c_str());
+}
+
 } // namespace
 } // namespace edkm
