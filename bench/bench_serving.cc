@@ -21,6 +21,14 @@
  *  5. Prefix cache: shared-prompt-head workload served cold (empty
  *     cache) and warm (head banked by the cold pass) — hit rates and
  *     tokens/sec per pass; the warm pass must actually hit.
+ *  6. Checksum verification overhead: cold start (open + first logits)
+ *     over the same v2.1 checksummed file under EDKM_VERIFY eager /
+ *     lazy / off — the price of paying for integrity up front, on
+ *     first touch, or not at all. Logits must be identical.
+ *  7. Hot-swap cutover under load: a batched server serving a ticket
+ *     stream swaps artifacts mid-stream; measures the swap() blocking
+ *     time and gates on zero dropped tickets with per-generation
+ *     bit-identity.
  *
  * Emits machine-readable JSON to BENCH_serving.json (cwd).
  */
@@ -344,6 +352,104 @@ main()
         pass(cold);
         pass(warm);
     }
+
+    // --- Checksum verification overhead: the same checksummed file,
+    //     cold-started (open + engine + first logits) under each
+    //     payload verify mode.
+    struct VerifyRow
+    {
+        const char *mode = nullptr;
+        double coldStartMs = 0.0;
+        int64_t sectionsVerified = 0;
+    };
+    std::vector<VerifyRow> verify_rows;
+    bool verify_identical = true;
+    {
+        struct
+        {
+            const char *name;
+            serve::VerifyMode mode;
+        } modes[] = {{"eager", serve::VerifyMode::kEager},
+                     {"lazy", serve::VerifyMode::kLazy},
+                     {"off", serve::VerifyMode::kOff}};
+        std::vector<float> ref;
+        for (const auto &m : modes) {
+            auto t0 = std::chrono::steady_clock::now();
+            auto vr = serve::ArtifactReader::open(path, m.mode);
+            serve::InferenceEngine engine(vr);
+            std::vector<float> logits = engine.forward(toks).toVector();
+            verify_rows.push_back(
+                {m.name, msSince(t0), vr->sectionsVerified()});
+            if (ref.empty()) {
+                ref = std::move(logits);
+            } else {
+                verify_identical = verify_identical && logits == ref;
+            }
+        }
+    }
+
+    // --- Hot-swap cutover under load: a batched server mid-stream
+    //     swaps to a second artifact (same geometry, different
+    //     weights). Tickets before the swap must serve artifact A,
+    //     tickets after it artifact B, with nothing dropped.
+    double swap_ms = 0.0;
+    bool swap_zero_dropped = true;
+    bool swap_identical = true;
+    {
+        nn::LlamaConfig cfg_b = cfg;
+        cfg_b.seed = 1234; // different weights, same geometry
+        nn::MiniLlama model_b(cfg_b);
+        api::CompressionPlan plan_b = plan;
+        api::CalibData calib_b;
+        calib_b.trainConfig.steps = 0;
+        api::Session session_b;
+        api::SessionResult res_b =
+            session_b.run(model_b, plan_b, std::move(calib_b));
+        std::string path_b = path + ".swap";
+        res_b.artifact.save(path_b);
+        auto reader_b = serve::ArtifactReader::open(path_b);
+
+        std::vector<std::vector<int64_t>> swap_ref[2];
+        {
+            serve::InferenceEngine ea(reader);
+            serve::InferenceEngine eb(reader_b);
+            for (const auto &r : cb_batch) {
+                swap_ref[0].push_back(ea.generate(r).tokens);
+                swap_ref[1].push_back(eb.generate(r).tokens);
+            }
+        }
+
+        serve::ServerConfig scfg;
+        scfg.batched = true;
+        scfg.scheduler.maxBatch = 8;
+        serve::Server server(reader, scfg);
+        std::vector<serve::Server::RequestId> ids;
+        for (int pass = 0; pass < 2; ++pass) {
+            for (const auto &id : server.submit(cb_batch)) {
+                ids.push_back(id);
+            }
+        }
+        auto t0 = std::chrono::steady_clock::now();
+        server.swap(reader_b); // blocks until the loop cut over
+        swap_ms = msSince(t0);
+        for (int pass = 0; pass < 2; ++pass) {
+            for (const auto &id : server.submit(cb_batch)) {
+                ids.push_back(id);
+            }
+        }
+        for (size_t i = 0; i < ids.size(); ++i) {
+            try {
+                serve::Server::Response got = server.wait(ids[i]);
+                int64_t gen = server.requestStats(ids[i]).generation;
+                swap_identical =
+                    swap_identical &&
+                    got.tokens == swap_ref[gen][i % cb_batch.size()];
+            } catch (const std::exception &) {
+                swap_zero_dropped = false;
+            }
+        }
+        std::remove(path_b.c_str());
+    }
     std::remove(path.c_str());
 
     bool exact = eager_logits == stream_logits;
@@ -422,6 +528,24 @@ main()
               << "  outputs bit-identical to serial: "
               << (prefix_identical ? "yes" : "NO") << "\n";
 
+    std::cout << "\nchecksum verification (cold start to first logits):\n";
+    for (const VerifyRow &r : verify_rows) {
+        std::cout << "  " << std::left << std::setw(8) << r.mode
+                  << std::right << std::fixed << std::setprecision(2)
+                  << std::setw(10) << r.coldStartMs << " ms, "
+                  << r.sectionsVerified << " section(s) verified\n";
+    }
+    std::cout << "  logits identical across modes: "
+              << (verify_identical ? "yes" : "NO") << "\n";
+
+    std::cout << "\nhot swap under load (batched, " << cb_batch.size()
+              << "-ticket stream x2 each side):\n"
+              << "  cutover " << std::fixed << std::setprecision(2)
+              << swap_ms << " ms, dropped tickets: "
+              << (swap_zero_dropped ? "none" : "SOME")
+              << ", per-generation bit-identical: "
+              << (swap_identical ? "yes" : "NO") << "\n";
+
     std::ofstream json("BENCH_serving.json");
     json << std::setprecision(6) << "{\n  \"bench\": \"serving\",\n"
          << "  \"scheme\": \"edkm\",\n"
@@ -479,7 +603,23 @@ main()
     json << ", ";
     prefix_json("warm", warm);
     json << ", \"bit_identical\": "
-         << (prefix_identical ? "true" : "false") << "}\n}\n";
+         << (prefix_identical ? "true" : "false") << "},\n"
+         << "  \"verify\": [";
+    for (size_t i = 0; i < verify_rows.size(); ++i) {
+        const VerifyRow &r = verify_rows[i];
+        json << (i == 0 ? "" : ", ") << "{\"mode\": \"" << r.mode
+             << "\", \"cold_start_ms\": " << r.coldStartMs
+             << ", \"sections_verified\": " << r.sectionsVerified
+             << "}";
+    }
+    json << "],\n"
+         << "  \"verify_bit_identical\": "
+         << (verify_identical ? "true" : "false") << ",\n"
+         << "  \"hot_swap\": {\"cutover_ms\": " << swap_ms
+         << ", \"zero_dropped\": "
+         << (swap_zero_dropped ? "true" : "false")
+         << ", \"bit_identical\": "
+         << (swap_identical ? "true" : "false") << "}\n}\n";
     std::cout << "\nwrote BENCH_serving.json\n";
 
     // Acceptance gates: identical logits, streaming footprint under
@@ -494,9 +634,16 @@ main()
             batched_wins = batched_wins && r.batchedTps > r.baselineTps;
         }
     }
+    // New gates: the clean checksummed artifact must cold-start under
+    // eager verification with every section checked (and identical
+    // logits under every mode), and the mid-stream hot swap must drop
+    // nothing while staying per-generation bit-identical.
+    bool verify_pass = verify_identical && !verify_rows.empty() &&
+                       verify_rows.front().sectionsVerified > 0;
     bool pass = exact && ratio < 0.5 && kv_identical &&
                 kv_tps > full_tps && scaling_identical && cb_identical &&
                 batched_wins && prefix_identical && warm.hitRate > 0.0 &&
-                warm.reusedTokens > 0;
+                warm.reusedTokens > 0 && verify_pass &&
+                swap_zero_dropped && swap_identical;
     return pass ? 0 : 1;
 }

@@ -5,6 +5,7 @@
 
 #include "core/palettize.h"
 #include "quant/affine.h"
+#include "util/checksum.h"
 #include "util/half.h"
 #include "util/logging.h"
 #include "util/serial.h"
@@ -297,8 +298,14 @@ parseArtifactLayout(const uint8_t *data, size_t size)
     uint64_t manifest_bytes = serial::readPod<uint64_t>(file, at);
     uint64_t table_off = serial::readPod<uint64_t>(file, at);
     uint32_t section_count = serial::readPod<uint32_t>(file, at);
-    serial::readPod<uint32_t>(file, at); // flags (reserved, ignored)
+    // flags: bit 0 = checksum table present (v2.1). Unknown bits stay
+    // ignored, matching the v2.0 "reserved, ignored on read" policy.
+    uint32_t flags = serial::readPod<uint32_t>(file, at);
     uint64_t file_bytes = serial::readPod<uint64_t>(file, at);
+    // v2.0 wrote this word as reserved-zero and never read it back;
+    // v2.1 stores the checksum-table offset here, which is what keeps
+    // checksummed files readable by v2.0 parsers.
+    uint64_t checksum_off = serial::readPod<uint64_t>(file, at);
     EDKM_CHECK(file_bytes == size, where, ": header declares ",
                file_bytes, " file bytes but ", size,
                " are present (truncated or padded file)");
@@ -386,11 +393,61 @@ parseArtifactLayout(const uint8_t *data, size_t size)
         layout.sections.push_back(std::move(s));
         prev_end = off + bytes;
     }
+
+    // v2.1 checksum table: [header digest][one checksum per section],
+    // after the last payload. The header digest (header + manifest +
+    // section table) is verified here — it is tiny next to the
+    // payloads, and everything it covers was just read anyway; payload
+    // verification policy belongs to the caller (ArtifactReader's
+    // EDKM_VERIFY modes, ModelArtifact::deserialize's eager check).
+    layout.hasChecksums = (flags & kArtifactFlagChecksums) != 0;
+    if (layout.hasChecksums) {
+        uint64_t table_bytes =
+            (1 + static_cast<uint64_t>(section_count)) * 8;
+        EDKM_CHECK(checksum_off % kArtifactAlign == 0, where,
+                   ": checksum table offset ", checksum_off, " is not ",
+                   kArtifactAlign, "-byte aligned");
+        EDKM_CHECK(checksum_off >= prev_end, where,
+                   ": checksum table at offset ", checksum_off,
+                   " overlaps the payload sections (end at ", prev_end,
+                   ")");
+        EDKM_CHECK(checksum_off <= size &&
+                       table_bytes <= size - checksum_off,
+                   where, ": checksum table (", table_bytes,
+                   " bytes at offset ", checksum_off,
+                   ") runs past the end of the file");
+        layout.checksumTableOffset = static_cast<int64_t>(checksum_off);
+        size_t cat = static_cast<size_t>(checksum_off);
+        layout.headerDigest = serial::readPod<uint64_t>(file, cat);
+        for (uint32_t i = 0; i < section_count; ++i) {
+            layout.sections[i].checksum =
+                serial::readPod<uint64_t>(file, cat);
+        }
+        uint64_t got = checksum64(data, payload_floor);
+        EDKM_CHECK(got == layout.headerDigest, where,
+                   ": header/manifest/section-table digest mismatch "
+                   "(stored ", layout.headerDigest, ", computed ", got,
+                   ") — container metadata is corrupted");
+    }
     return layout;
 }
 
+void
+verifyArtifactSection(const ArtifactLayout &layout,
+                      const TensorSection &s, const uint8_t *data)
+{
+    if (!layout.hasChecksums) {
+        return;
+    }
+    uint64_t got = checksum64(data + s.offset,
+                              static_cast<size_t>(s.bytes));
+    EDKM_CHECK(got == s.checksum, "artifact v2.1: section '", s.name,
+               "' payload checksum mismatch (stored ", s.checksum,
+               ", computed ", got, ") — payload bytes are corrupted");
+}
+
 std::vector<uint8_t>
-ModelArtifact::serialize() const
+ModelArtifact::serialize(bool with_checksums) const
 {
     // Manifest: head + per-entry metadata + section index.
     std::vector<uint8_t> manifest;
@@ -411,7 +468,17 @@ ModelArtifact::serialize() const
         offsets[i] = cur;
         cur = alignUp(cur + entries[i].payloadBytes());
     }
-    int64_t file_bytes = cur;
+    // v2.1: the checksum table ([header digest][per-section checksums])
+    // trails the last payload; its offset rides in the header word
+    // v2.0 wrote as reserved-zero, so v2.0 readers still parse these
+    // files (flags and the reserved word are ignored there, and the
+    // declared file size simply covers the extra tail).
+    int64_t checksum_off = with_checksums ? cur : 0;
+    int64_t file_bytes =
+        with_checksums
+            ? alignUp(checksum_off +
+                      (1 + static_cast<int64_t>(entries.size())) * 8)
+            : cur;
 
     std::vector<uint8_t> header;
     serial::appendPod(header, kArtifactMagicV2);
@@ -421,9 +488,11 @@ ModelArtifact::serialize() const
     serial::appendPod(header, static_cast<uint64_t>(manifest.size()));
     serial::appendPod(header, static_cast<uint64_t>(table_off));
     serial::appendPod(header, static_cast<uint32_t>(entries.size()));
-    serial::appendPod(header, uint32_t{0}); // flags
+    serial::appendPod(header,
+                      with_checksums ? kArtifactFlagChecksums
+                                     : uint32_t{0}); // flags
     serial::appendPod(header, static_cast<uint64_t>(file_bytes));
-    serial::appendPod(header, uint64_t{0}); // reserved
+    serial::appendPod(header, static_cast<uint64_t>(checksum_off));
     EDKM_ASSERT(static_cast<int64_t>(header.size()) <= kArtifactAlign,
                 "artifact v2 header grew past its fixed size");
 
@@ -439,6 +508,20 @@ ModelArtifact::serialize() const
         std::memcpy(table + i * 16 + 8, &bytes, 8);
         std::memcpy(buf.data() + offsets[i], entries[i].payload.data(),
                     entries[i].payload.size());
+    }
+    if (with_checksums) {
+        uint8_t *sums = buf.data() + checksum_off;
+        // Header digest covers everything ahead of the payloads:
+        // header, manifest (and its padding) and the section table.
+        uint64_t digest = checksum64(
+            buf.data(), static_cast<size_t>(table_off) +
+                            entries.size() * 16);
+        std::memcpy(sums, &digest, 8);
+        for (size_t i = 0; i < entries.size(); ++i) {
+            uint64_t sum = checksum64(buf.data() + offsets[i],
+                                      entries[i].payload.size());
+            std::memcpy(sums + 8 + i * 8, &sum, 8);
+        }
     }
     return buf;
 }
@@ -469,6 +552,9 @@ ModelArtifact::deserialize(serial::ByteSpan bytes)
         a.size = layout.size;
         a.entries.reserve(layout.sections.size());
         for (const TensorSection &s : layout.sections) {
+            // Eager tooling path: verify every checksummed payload
+            // before it is copied (v2.0 layouts have none to verify).
+            verifyArtifactSection(layout, s, bytes.data);
             ArtifactEntry e;
             e.name = s.name;
             e.codec = s.codec;

@@ -58,6 +58,16 @@ constexpr uint32_t kArtifactVersionV2 = 2;
 /** Alignment of the v2 section table and every payload section. */
 constexpr int64_t kArtifactAlign = 64;
 
+/**
+ * Header flags bit: the container carries a v2.1 checksum table (one
+ * 64-bit digest of header+manifest+section table, then one 64-bit
+ * checksum per payload section) at the file offset stored in the
+ * header word that v2.0 wrote as reserved-zero. Files without the bit
+ * are plain v2.0 and skip verification; files with it still parse in
+ * v2.0 readers, which ignore flags and never read the reserved word.
+ */
+constexpr uint32_t kArtifactFlagChecksums = 1u;
+
 /** One parameter's payload. */
 struct ArtifactEntry
 {
@@ -95,6 +105,9 @@ struct TensorSection
     Shape shape;
     int64_t offset = 0; ///< absolute, kArtifactAlign-aligned
     int64_t bytes = 0;
+    /** v2.1: checksum64 of the payload bytes [offset, offset+bytes).
+     *  Only meaningful when the layout's hasChecksums is set. */
+    uint64_t checksum = 0;
 };
 
 /**
@@ -110,6 +123,16 @@ struct ArtifactLayout
     nn::LlamaConfig config;
     eval::SizeReport size;
     std::vector<TensorSection> sections;
+    /** v2.1: the container carries a checksum table (see
+     *  kArtifactFlagChecksums); parse verified the header digest and
+     *  populated each section's checksum. */
+    bool hasChecksums = false;
+    /** Digest of bytes [0, section table end) — header, manifest and
+     *  section table together. */
+    uint64_t headerDigest = 0;
+    /** Absolute offset of the checksum table ([digest][per-section...]),
+     *  0 when hasChecksums is false. */
+    int64_t checksumTableOffset = 0;
 };
 
 /** True when @p data starts with the v2 container magic. */
@@ -125,6 +148,15 @@ bool isArtifactV1(const uint8_t *data, size_t size);
  * payload bytes themselves are not read.
  */
 ArtifactLayout parseArtifactLayout(const uint8_t *data, size_t size);
+
+/**
+ * Verify one payload section of @p layout against the file bytes at
+ * @p data (the whole container, the same base parseArtifactLayout
+ * saw). Throws FatalError naming the section on a checksum mismatch;
+ * no-op when the layout carries no checksums (v2.0 files).
+ */
+void verifyArtifactSection(const ArtifactLayout &layout,
+                           const TensorSection &s, const uint8_t *data);
 
 /** A compressed model: manifest + per-parameter payloads. */
 class ModelArtifact
@@ -155,12 +187,17 @@ class ModelArtifact
 
     /**
      * Binary serialisation. serialize() emits the sectioned, aligned
-     * v2 container; serializeV1() the legacy v1 stream (kept for
-     * compatibility tests and old tooling). deserialize() accepts
-     * both, gated on the magic; the span overload parses in place
-     * (e.g. straight from a file mapping), copying only payloads.
+     * v2 container — by default v2.1, with a per-section checksum
+     * table appended and flagged in the header; pass
+     * @p with_checksums=false for a plain v2.0 file (compat tooling
+     * and the format tests). serializeV1() emits the legacy v1 stream
+     * (kept for compatibility tests and old tooling). deserialize()
+     * accepts all three, gated on the magic; checksums, when present,
+     * are verified (every section) before any payload is decoded. The
+     * span overload parses in place (e.g. straight from a file
+     * mapping), copying only payloads.
      */
-    std::vector<uint8_t> serialize() const;
+    std::vector<uint8_t> serialize(bool with_checksums = true) const;
     std::vector<uint8_t> serializeV1() const;
     static ModelArtifact deserialize(serial::ByteSpan bytes);
     static ModelArtifact deserialize(const std::vector<uint8_t> &bytes)

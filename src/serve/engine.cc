@@ -585,6 +585,30 @@ InferenceEngine::ensureKv(int64_t needed)
     stats_.kvCacheBytes = kv_->bytes();
 }
 
+namespace {
+
+/**
+ * Cooperative between-steps interruption point: cancellation first
+ * (release() should win over a racing deadline), then the deadline.
+ * Tokens already decoded are untouched, so an undisturbed rerun of the
+ * same request reproduces them bit-identically up to the throw.
+ */
+void
+throwIfInterrupted(const InferenceEngine::Request &request)
+{
+    if (request.cancel != nullptr && request.cancel->cancelled()) {
+        throw Cancelled("InferenceEngine: request cancelled");
+    }
+    if (request.deadline !=
+            std::chrono::steady_clock::time_point::max() &&
+        request.expired(std::chrono::steady_clock::now())) {
+        throw DeadlineExceeded(
+            "InferenceEngine: request deadline exceeded");
+    }
+}
+
+} // namespace
+
 InferenceEngine::Response
 InferenceEngine::generateCached(const Request &request)
 {
@@ -603,6 +627,7 @@ InferenceEngine::generateCached(const Request &request)
     int64_t next = argmaxLastDim(last).flatAtInt(0);
     res.tokens.push_back(next);
     for (int64_t step = 1; step < request.maxNewTokens; ++step) {
+        throwIfInterrupted(request);
         next = argmaxLastDim(decodeStep(next, *kv_)).flatAtInt(0);
         res.tokens.push_back(next);
     }
@@ -615,6 +640,9 @@ InferenceEngine::generateRecompute(const Request &request)
     Response res;
     res.tokens = request.prompt;
     for (int64_t step = 0; step < request.maxNewTokens; ++step) {
+        if (step > 0) {
+            throwIfInterrupted(request);
+        }
         Tensor tokens = Tensor::fromIndices(
             res.tokens, {1, static_cast<int64_t>(res.tokens.size())});
         Tensor logits = forward(tokens);
@@ -632,6 +660,7 @@ InferenceEngine::generate(const Request &request)
                "InferenceEngine: empty prompt in request");
     EDKM_CHECK(request.maxNewTokens >= 0,
                "InferenceEngine: negative maxNewTokens");
+    throwIfInterrupted(request);
     return config_.kvCacheDecode ? generateCached(request)
                                  : generateRecompute(request);
 }

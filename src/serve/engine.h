@@ -34,11 +34,15 @@
 #ifndef EDKM_SERVE_ENGINE_H_
 #define EDKM_SERVE_ENGINE_H_
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "util/logging.h"
 
 #include "autograd/variable.h"
 #include "core/palettize.h"
@@ -49,6 +53,38 @@
 
 namespace edkm {
 namespace serve {
+
+/**
+ * Cooperative cancellation flag shared between a caller and the
+ * serving loops (the same shape as api::CancelToken, kept serve-local
+ * so the serving layer does not pull in the compression headers).
+ * Checked between decode steps, never mid-forward.
+ */
+class CancelToken
+{
+  public:
+    void requestCancel() { cancelled_.store(true); }
+    bool cancelled() const { return cancelled_.load(); }
+
+  private:
+    std::atomic<bool> cancelled_{false};
+};
+
+/** A request ran past its deadline (queued or mid-decode). */
+class DeadlineExceeded : public FatalError
+{
+  public:
+    explicit DeadlineExceeded(const std::string &msg) : FatalError(msg)
+    {
+    }
+};
+
+/** A request's cancel token fired (e.g. Server::release in flight). */
+class Cancelled : public FatalError
+{
+  public:
+    explicit Cancelled(const std::string &msg) : FatalError(msg) {}
+};
 
 /** Engine knobs. */
 struct EngineConfig
@@ -122,8 +158,37 @@ class InferenceEngine
     /** One generation request (greedy decode). */
     struct Request
     {
+        Request() = default;
+        /** Deadline and cancel stay at their defaults (none): the
+         *  {prompt, n} shape callers were built on keeps compiling
+         *  without -Wmissing-field-initializers noise. */
+        Request(std::vector<int64_t> prompt_tokens, int64_t max_new)
+            : prompt(std::move(prompt_tokens)), maxNewTokens(max_new)
+        {
+        }
+
         std::vector<int64_t> prompt;
         int64_t maxNewTokens = 0;
+        /**
+         * Absolute completion deadline; time_point::max() (the
+         * default) means none. Checked cooperatively between decode
+         * steps — never mid-forward, so tokens already produced are
+         * bit-identical to an undisturbed run — and surfaced as
+         * DeadlineExceeded.
+         */
+        std::chrono::steady_clock::time_point deadline =
+            std::chrono::steady_clock::time_point::max();
+        /** Optional cancel token; firing it surfaces Cancelled at the
+         *  next between-steps check. */
+        std::shared_ptr<CancelToken> cancel;
+
+        /** True once the deadline has passed (never for the default). */
+        bool
+        expired(std::chrono::steady_clock::time_point now) const
+        {
+            return deadline != std::chrono::steady_clock::time_point::max() &&
+                   now > deadline;
+        }
     };
 
     /** Completed request: prompt followed by the generated tokens. */

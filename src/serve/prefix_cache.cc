@@ -21,11 +21,26 @@ PrefixCache::PrefixCache(int64_t layers, int64_t groups, int64_t head_dim,
 }
 
 std::string
-PrefixCache::keyOf(const std::vector<int64_t> &tokens, int64_t len)
+PrefixCache::keyOf(const std::vector<int64_t> &tokens, int64_t len) const
 {
-    std::string key(static_cast<size_t>(len) * sizeof(int64_t), '\0');
-    std::memcpy(key.data(), tokens.data(), key.size());
+    std::string key(sizeof(int64_t) +
+                        static_cast<size_t>(len) * sizeof(int64_t),
+                    '\0');
+    std::memcpy(key.data(), &generation_, sizeof(int64_t));
+    std::memcpy(key.data() + sizeof(int64_t), tokens.data(),
+                static_cast<size_t>(len) * sizeof(int64_t));
     return key;
+}
+
+void
+PrefixCache::advanceGeneration()
+{
+    ++generation_;
+    stats_.generation = generation_;
+    stats_.generationFlushes += static_cast<int64_t>(entries_.size());
+    stats_.bytes = 0;
+    entries_.clear();
+    stats_.entries = 0;
 }
 
 int64_t
@@ -48,6 +63,12 @@ PrefixCache::lookup(const std::vector<int64_t> &prompt, int64_t max_len,
     Entry *best = nullptr;
     int64_t best_len = 0;
     for (auto &[key, e] : entries_) {
+        if (e.generation != generation_) {
+            // Banked under a different artifact: its rows are not the
+            // KV image of these tokens under the current weights.
+            // advanceGeneration() flushes, so this is pure defence.
+            continue;
+        }
         int64_t limit = std::min<int64_t>(e.len, max_len);
         int64_t l = 0;
         while (l < limit && e.tokens[static_cast<size_t>(l)] ==
@@ -135,6 +156,7 @@ PrefixCache::insert(const std::vector<int64_t> &tokens, int64_t len,
     e.len = len;
     e.bytes = bytes;
     e.lastUse = ++use_clock_;
+    e.generation = generation_;
     e.k.reserve(static_cast<size_t>(layers_));
     e.v.reserve(static_cast<size_t>(layers_));
     for (int64_t l = 0; l < layers_; ++l) {

@@ -52,6 +52,8 @@ struct PrefixCacheStats
     int64_t evictedBytes = 0; ///< bytes reclaimed by evictions
     int64_t bytes = 0;        ///< bytes currently banked
     int64_t entries = 0;      ///< heads currently banked
+    int64_t generation = 0;   ///< current artifact generation
+    int64_t generationFlushes = 0; ///< entries dropped by hot swaps
 };
 
 class PrefixCache
@@ -89,6 +91,19 @@ class PrefixCache
     void insert(const std::vector<int64_t> &tokens, int64_t len,
                 const KvCache &kv);
 
+    /** Artifact generation newly banked / restorable entries belong
+     *  to. */
+    int64_t generation() const { return generation_; }
+
+    /**
+     * Hot-swap barrier: bump the cache's generation and drop every
+     * banked entry. Entries are generation-keyed (stamped at insert,
+     * matched at lookup), so even a bug that left a stale entry behind
+     * could never restore artifact-N rows into artifact-N+1 decode —
+     * the flush just reclaims the bytes immediately.
+     */
+    void advanceGeneration();
+
   private:
     struct Entry
     {
@@ -97,17 +112,21 @@ class PrefixCache
         int64_t len = 0;
         int64_t bytes = 0;
         uint64_t lastUse = 0;
+        int64_t generation = 0; ///< artifact generation banked under
     };
 
-    /** Token-sequence key (insert dedup): raw token bytes. */
-    static std::string keyOf(const std::vector<int64_t> &tokens,
-                             int64_t len);
+    /** Token-sequence key (insert dedup): raw token bytes, prefixed
+     *  with the current generation so keys never collide across
+     *  swaps. */
+    std::string keyOf(const std::vector<int64_t> &tokens,
+                      int64_t len) const;
     void evictToFit(int64_t incoming_bytes);
 
     int64_t layers_ = 0;
     int64_t groups_ = 0;
     int64_t head_dim_ = 0;
     int64_t byte_budget_ = 0;
+    int64_t generation_ = 0;
     uint64_t use_clock_ = 0;
     PrefixCacheStats stats_;
     std::unordered_map<std::string, Entry> entries_;

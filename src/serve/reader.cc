@@ -59,19 +59,68 @@ FileMapping::~FileMapping()
 #endif
 }
 
+namespace {
+
+/** EDKM_VERIFY=eager|lazy|off; unset or empty means lazy. */
+VerifyMode
+verifyModeFromEnv()
+{
+    const char *env = std::getenv("EDKM_VERIFY");
+    if (env == nullptr || *env == '\0') {
+        return VerifyMode::kLazy;
+    }
+    std::string v(env);
+    if (v == "eager") {
+        return VerifyMode::kEager;
+    }
+    if (v == "lazy") {
+        return VerifyMode::kLazy;
+    }
+    if (v == "off") {
+        return VerifyMode::kOff;
+    }
+    fatal("artifact reader: EDKM_VERIFY must be eager, lazy or off, "
+          "got '",
+          v, "'");
+}
+
+} // namespace
+
 std::shared_ptr<ArtifactReader>
 ArtifactReader::open(const std::string &path)
+{
+    return open(path, verifyModeFromEnv());
+}
+
+std::shared_ptr<ArtifactReader>
+ArtifactReader::open(const std::string &path, VerifyMode verify)
 {
     bool force_read = std::getenv("EDKM_NO_MMAP") != nullptr;
     auto mapping = FileMapping::open(path, force_read);
     auto r = std::shared_ptr<ArtifactReader>(new ArtifactReader());
     r->file_bytes_ = static_cast<int64_t>(mapping->size());
+    r->verify_ = verify;
     if (api::isArtifactV2(mapping->data(), mapping->size())) {
         r->version_ = api::kArtifactVersionV2;
+        // The header/manifest/section-table digest is checked inside
+        // the parse whenever the file carries one, in every mode —
+        // it is a handful of KB against the payload gigabytes, and a
+        // corrupt section table must never direct payload reads.
         r->layout_ =
             api::parseArtifactLayout(mapping->data(), mapping->size());
         r->mapping_ = std::move(mapping);
         r->buildIndex();
+        if (r->layout_.hasChecksums && verify != VerifyMode::kOff) {
+            r->verified_ = std::make_unique<std::atomic<bool>[]>(
+                r->layout_.sections.size());
+            for (size_t i = 0; i < r->layout_.sections.size(); ++i) {
+                r->verified_[i].store(false,
+                                      std::memory_order_relaxed);
+            }
+            if (verify == VerifyMode::kEager) {
+                r->verifyAll();
+            }
+        }
         return r;
     }
     EDKM_CHECK(api::isArtifactV1(mapping->data(), mapping->size()),
@@ -144,7 +193,40 @@ ArtifactReader::payload(const api::TensorSection &s) const
     if (compat_ != nullptr) {
         return compat_->entry(s.name).payload.data();
     }
+    // Lazy mode: the first view of a section pays for its checksum
+    // right here, before anyone consumes the bytes. Eager mode already
+    // verified at open; off mode (or a checksum-less file) never does.
+    if (verified_ != nullptr && verify_ == VerifyMode::kLazy) {
+        verifySection(s);
+    }
     return mapping_->data() + s.offset;
+}
+
+void
+ArtifactReader::verifySection(const api::TensorSection &s) const
+{
+    size_t i = static_cast<size_t>(&s - layout_.sections.data());
+    EDKM_CHECK(i < layout_.sections.size(),
+               "artifact reader: verifySection called with a foreign "
+               "section reference");
+    if (verified_[i].load(std::memory_order_acquire)) {
+        return;
+    }
+    api::verifyArtifactSection(layout_, s, mapping_->data());
+    if (!verified_[i].exchange(true, std::memory_order_acq_rel)) {
+        verified_count_.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+void
+ArtifactReader::verifyAll() const
+{
+    if (verified_ == nullptr) {
+        return; // no checksums, or opened with kOff
+    }
+    for (const api::TensorSection &s : layout_.sections) {
+        verifySection(s);
+    }
 }
 
 std::shared_ptr<const void>

@@ -15,6 +15,17 @@
  *   - decode():      eager dense f32 decode of any section, bit-
  *                    identical to ArtifactEntry::decode.
  *
+ * v2.1 checksummed containers are verified on the way in: the header /
+ * manifest / section-table digest is always checked at open (inside
+ * parseArtifactLayout), and payload sections are checked against their
+ * per-section checksum under a VerifyMode — kEager checks every
+ * section at open, kLazy (the default) checks each section once on its
+ * first payload() view from whichever thread gets there first, kOff
+ * trusts the bytes. The EDKM_VERIFY=eager|lazy|off environment knob
+ * selects the mode for the env-driven open(); a corruption error
+ * always names the bad section. Files without checksums (v2.0, v1)
+ * skip payload verification entirely.
+ *
  * Legacy v1 files load through the compatibility path (whole-stream
  * deserialize); views then borrow from the in-memory artifact instead
  * of a mapping, with the same lifetime guarantees.
@@ -23,6 +34,7 @@
 #ifndef EDKM_SERVE_READER_H_
 #define EDKM_SERVE_READER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -68,6 +80,13 @@ class FileMapping
     std::vector<uint8_t> heap_; ///< fallback bytes when !mapped_
 };
 
+/** When payload sections are checked against their v2.1 checksums. */
+enum class VerifyMode {
+    kOff,   ///< trust the bytes (structural digest still checked)
+    kLazy,  ///< each section once, on first payload() view (default)
+    kEager, ///< every section at open()
+};
+
 /** Serving-side view into one saved model artifact. */
 class ArtifactReader
 {
@@ -76,9 +95,32 @@ class ArtifactReader
      * Open @p path. v2 containers are validated (header, manifest,
      * section table) without touching payload bytes; v1 files are
      * deserialized whole. Throws FatalError with the offending section
-     * named on any corruption.
+     * named on any corruption. The verify mode is read from
+     * EDKM_VERIFY (eager|lazy|off; unset/empty means lazy; anything
+     * else throws).
      */
     static std::shared_ptr<ArtifactReader> open(const std::string &path);
+
+    /** Open @p path with an explicit payload verify mode. */
+    static std::shared_ptr<ArtifactReader> open(const std::string &path,
+                                                VerifyMode verify);
+
+    /** Payload verification policy this reader was opened with. */
+    VerifyMode verifyMode() const { return verify_; }
+
+    /** True when the container carries a v2.1 checksum table. */
+    bool hasChecksums() const { return layout_.hasChecksums; }
+
+    /** Payload sections checksum-verified so far (eager: all at open;
+     *  lazy: grows with first views; off / no checksums: stays 0). */
+    int64_t sectionsVerified() const
+    {
+        return verified_count_.load(std::memory_order_relaxed);
+    }
+
+    /** Verify every not-yet-verified payload section now (what kEager
+     *  does at open). No-op without checksums or in kOff. */
+    void verifyAll() const;
 
     /** Container version of the underlying file (1 or 2). */
     uint32_t version() const { return version_; }
@@ -137,10 +179,21 @@ class ArtifactReader
     /** Rebuild the name -> section index after layout_ is filled. */
     void buildIndex();
 
+    /** Checksum @p s once (thread-safe, idempotent); throws naming the
+     *  section on mismatch. */
+    void verifySection(const api::TensorSection &s) const;
+
     uint32_t version_ = 0;
     int64_t file_bytes_ = 0;
+    VerifyMode verify_ = VerifyMode::kLazy;
     api::ArtifactLayout layout_;
     std::unordered_map<std::string, size_t> index_;
+    /** Lazy verification bookkeeping: one sticky flag per section.
+     *  Concurrent first views may both compute the checksum (benign —
+     *  verification is read-only and idempotent); the flag just stops
+     *  every later view from paying for it again. */
+    mutable std::unique_ptr<std::atomic<bool>[]> verified_;
+    mutable std::atomic<int64_t> verified_count_{0};
     /** The v2 mapping; null for v1 files (payloads live in compat_). */
     std::shared_ptr<FileMapping> mapping_;
     /** v1 compat: payloads live here instead of in the mapping. */

@@ -1,6 +1,7 @@
 #include "serve/scheduler.h"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 #include <sstream>
 #include <utility>
@@ -13,7 +14,7 @@ namespace serve {
 
 BatchScheduler::BatchScheduler(InferenceEngine &engine,
                                SchedulerConfig config)
-    : engine_(engine), config_(config)
+    : engine_(&engine), config_(config)
 {
     EDKM_CHECK(config_.maxBatch >= 1,
                "BatchScheduler: maxBatch must be positive, got ",
@@ -25,7 +26,7 @@ BatchScheduler::BatchScheduler(InferenceEngine &engine,
     stats_.batchHistogram.assign(
         static_cast<size_t>(config_.maxBatch) + 1, 0);
     if (config_.prefixCacheBytes > 0) {
-        const nn::LlamaConfig &m = engine_.config();
+        const nn::LlamaConfig &m = engine_->config();
         prefix_ = std::make_unique<PrefixCache>(
             m.layers, m.heads, m.dim / m.heads, config_.prefixCacheBytes);
     }
@@ -53,6 +54,28 @@ BatchScheduler::admit(Request request, DoneFn done)
                    "BatchScheduler: empty prompt in request");
         EDKM_CHECK(request.maxNewTokens >= 0,
                    "BatchScheduler: negative maxNewTokens");
+        // Interruptions beat admission: a request cancelled or expired
+        // while queueing completes right here, taking no slot.
+        if (request.cancel != nullptr && request.cancel->cancelled()) {
+            ++stats_.admitted;
+            ++stats_.released;
+            done(Response{},
+                 std::make_exception_ptr(Cancelled(
+                     "BatchScheduler: request cancelled before "
+                     "admission")),
+                 rstats);
+            return;
+        }
+        if (request.expired(std::chrono::steady_clock::now())) {
+            ++stats_.admitted;
+            ++stats_.deadlineEvicted;
+            done(Response{},
+                 std::make_exception_ptr(DeadlineExceeded(
+                     "BatchScheduler: request deadline passed before "
+                     "admission")),
+                 rstats);
+            return;
+        }
         if (request.maxNewTokens == 0) {
             Response res;
             res.tokens = std::move(request.prompt);
@@ -77,7 +100,7 @@ BatchScheduler::admit(Request request, DoneFn done)
         slot->stats = rstats;
         int64_t cap =
             config_.kvCapacity > 0 ? config_.kvCapacity : needed;
-        const nn::LlamaConfig &m = engine_.config();
+        const nn::LlamaConfig &m = engine_->config();
         slot->kv = std::make_unique<KvCache>(m.layers, m.heads,
                                              m.dim / m.heads, cap);
         if (prefix_ != nullptr) {
@@ -96,7 +119,6 @@ BatchScheduler::admit(Request request, DoneFn done)
         slots_.push_back(std::move(slot));
     } catch (...) {
         ++stats_.admitted;
-        ++stats_.completed;
         ++stats_.failed;
         done(Response{}, std::current_exception(), rstats);
     }
@@ -116,10 +138,57 @@ BatchScheduler::finish(Slot &slot)
 void
 BatchScheduler::fail(Slot &slot, std::exception_ptr err)
 {
-    ++stats_.completed;
     ++stats_.failed;
     slot.done(Response{}, err, slot.stats);
     slot.done = nullptr;
+}
+
+void
+BatchScheduler::evictInterrupted()
+{
+    if (slots_.empty()) {
+        return;
+    }
+    auto now = std::chrono::steady_clock::now();
+    bool any = false;
+    for (auto &sp : slots_) {
+        Slot &slot = *sp;
+        if (slot.done == nullptr) {
+            continue;
+        }
+        slot.stats.newTokens = slot.generated;
+        if (slot.request.cancel != nullptr &&
+            slot.request.cancel->cancelled()) {
+            ++stats_.released;
+            slot.done(Response{},
+                      std::make_exception_ptr(Cancelled(
+                          "BatchScheduler: request released after " +
+                          std::to_string(slot.generated) + " of " +
+                          std::to_string(slot.request.maxNewTokens) +
+                          " token(s)")),
+                      slot.stats);
+            slot.done = nullptr;
+            any = true;
+        } else if (slot.request.expired(now)) {
+            ++stats_.deadlineEvicted;
+            slot.done(Response{},
+                      std::make_exception_ptr(DeadlineExceeded(
+                          "BatchScheduler: request deadline exceeded "
+                          "after " +
+                          std::to_string(slot.generated) + " of " +
+                          std::to_string(slot.request.maxNewTokens) +
+                          " token(s)")),
+                      slot.stats);
+            slot.done = nullptr;
+            any = true;
+        }
+    }
+    if (any) {
+        // Frees the evicted slots' KvCache and batch row before the
+        // next forward — survivors step as if the evictee had simply
+        // finished, which the bit-identity contract already covers.
+        reapFinished();
+    }
 }
 
 void
@@ -150,7 +219,7 @@ BatchScheduler::prefillPhase()
             std::vector<int64_t> chunk(
                 slot.request.prompt.begin() + slot.prefilled,
                 slot.request.prompt.begin() + slot.prefilled + c);
-            Tensor logits = engine_.prefillChunk(
+            Tensor logits = engine_->prefillChunk(
                 Tensor::fromIndices(chunk, {1, c}), *slot.kv);
             slot.prefilled += c;
             budget -= c;
@@ -199,7 +268,7 @@ BatchScheduler::decodePhase()
         return;
     }
     try {
-        Tensor logits = engine_.decodeStepBatch(toks, kvs);
+        Tensor logits = engine_->decodeStepBatch(toks, kvs);
         Tensor next = argmaxLastDim(logits);
         ++stats_.steps;
         stats_.decodedTokens += static_cast<int64_t>(batch.size());
@@ -229,11 +298,36 @@ BatchScheduler::decodePhase()
 void
 BatchScheduler::step()
 {
+    // Interrupted slots leave between steps — never mid-forward.
+    evictInterrupted();
     if (slots_.empty()) {
         return;
     }
     prefillPhase();
     decodePhase();
+}
+
+void
+BatchScheduler::swapEngine(InferenceEngine &next)
+{
+    EDKM_CHECK(!busy(), "BatchScheduler: swapEngine with ", active(),
+               " request(s) in flight (drain first)");
+    const nn::LlamaConfig &a = engine_->config();
+    const nn::LlamaConfig &b = next.config();
+    engine_ = &next;
+    if (prefix_ != nullptr) {
+        if (a.layers == b.layers && a.heads == b.heads &&
+            a.dim / a.heads == b.dim / b.heads) {
+            prefix_->advanceGeneration();
+        } else {
+            // KV geometry changed: banked rows cannot even be shaped
+            // for the new artifact. Start a fresh cache (its stats
+            // restart; the scheduler's own counters carry on).
+            prefix_ = std::make_unique<PrefixCache>(
+                b.layers, b.heads, b.dim / b.heads,
+                config_.prefixCacheBytes);
+        }
+    }
 }
 
 std::vector<BatchScheduler::Response>
@@ -278,6 +372,8 @@ BatchScheduler::statsJson() const
     os << "{\"admitted\": " << stats_.admitted
        << ", \"completed\": " << stats_.completed
        << ", \"failed\": " << stats_.failed
+       << ", \"deadline_evicted\": " << stats_.deadlineEvicted
+       << ", \"released\": " << stats_.released
        << ", \"active\": " << active()
        << ", \"decode_steps\": " << stats_.steps
        << ", \"decoded_tokens\": " << stats_.decodedTokens
@@ -297,7 +393,9 @@ BatchScheduler::statsJson() const
        << ", \"evictions\": " << px.evictions
        << ", \"evicted_bytes\": " << px.evictedBytes
        << ", \"bytes\": " << px.bytes
-       << ", \"entries\": " << px.entries << "}}";
+       << ", \"entries\": " << px.entries
+       << ", \"generation\": " << px.generation
+       << ", \"generation_flushes\": " << px.generationFlushes << "}}";
     return os.str();
 }
 

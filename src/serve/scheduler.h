@@ -98,16 +98,22 @@ struct SchedulerRequestStats
     int64_t reusedPrefixTokens = 0;  ///< positions restored, not prefilled
 };
 
-/** Aggregate counters, exposed as JSON via statsJson(). */
+/**
+ * Aggregate counters, exposed as JSON via statsJson(). Every admitted
+ * request ends in exactly one bucket:
+ *   admitted == completed + failed + deadlineEvicted + released.
+ */
 struct SchedulerStats
 {
     int64_t admitted = 0;
-    int64_t completed = 0;           ///< incl. failed requests
-    int64_t failed = 0;
-    int64_t steps = 0;               ///< batched decode forwards run
+    int64_t completed = 0;        ///< finished successfully
+    int64_t failed = 0;           ///< validation / forward errors
+    int64_t deadlineEvicted = 0;  ///< deadline passed (queued or in flight)
+    int64_t released = 0;         ///< cancel token fired (release())
+    int64_t steps = 0;            ///< batched decode forwards run
     int64_t decodedTokens = 0;
     int64_t prefillChunks = 0;
-    int64_t prefillTokens = 0;       ///< tokens actually prefilled
+    int64_t prefillTokens = 0;    ///< tokens actually prefilled
     int64_t peakBatch = 0;
     /** batchHistogram[b] = decode steps run at batch size b
      *  (index 0 unused). */
@@ -149,9 +155,24 @@ class BatchScheduler
      */
     void admit(Request request, DoneFn done);
 
-    /** One scheduler step: bounded prefill, then one batched decode
-     *  forward. No-op when idle. */
+    /**
+     * One scheduler step: evict interrupted slots (cancel token fired
+     * or deadline passed — their KvCache and batch row free right
+     * here, before any forward, so surviving rows stay bit-identical
+     * to an undisturbed run), then bounded prefill, then one batched
+     * decode forward. No-op when idle.
+     */
     void step();
+
+    /**
+     * Hot-swap support: retarget the step loop at @p next (which must
+     * outlive the scheduler, like the constructor engine). Requires
+     * !busy() — the server drains in-flight slots first. The prefix
+     * cache advances its generation (same geometry) or is rebuilt
+     * (geometry changed), so no banked KV row ever crosses artifacts;
+     * aggregate counters carry across the swap.
+     */
+    void swapEngine(InferenceEngine &next);
 
     /**
      * Synchronous convenience for benches and tests: admit-as-capacity
@@ -185,13 +206,15 @@ class BatchScheduler
 
     void finish(Slot &slot);
     void fail(Slot &slot, std::exception_ptr err);
+    /** Complete cancelled / past-deadline slots between steps. */
+    void evictInterrupted();
     /** Run prefill continuations under the per-step token budget. */
     void prefillPhase();
     /** One batched decode forward over every decode-ready slot. */
     void decodePhase();
     void reapFinished();
 
-    InferenceEngine &engine_;
+    InferenceEngine *engine_;
     SchedulerConfig config_;
     SchedulerStats stats_;
     std::unique_ptr<PrefixCache> prefix_;

@@ -1,5 +1,6 @@
 #include "serve/server.h"
 
+#include <algorithm>
 #include <chrono>
 #include <sstream>
 #include <utility>
@@ -8,6 +9,18 @@
 
 namespace edkm {
 namespace serve {
+
+namespace {
+
+double
+millisSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+} // namespace
 
 Server::Server(std::shared_ptr<const ArtifactReader> reader,
                ServerConfig config)
@@ -36,6 +49,7 @@ Server::Server(std::shared_ptr<const ArtifactReader> reader,
             reader_, config_.engine));
         free_.push_back(i);
     }
+    engine_gen_.assign(static_cast<size_t>(config_.threads), 0);
     // threads workers + the constructing thread as the extra forChunks
     // lane; submitted jobs only ever run on the workers, so at most
     // `threads` requests execute concurrently — one engine each.
@@ -65,23 +79,66 @@ Server::batchLoop()
 {
     std::unique_lock<std::mutex> lock(mutex_);
     for (;;) {
-        // Sleep only when idle: while a slot is in flight the predicate
-        // stays true and the loop keeps stepping without waiting.
+        // Sleep only when idle: while a slot is in flight (or a swap
+        // awaits its cutover) the predicate stays true and the loop
+        // keeps stepping without waiting.
         cv_.wait(lock, [this] {
-            return stop_ || !queue_.empty() || scheduler_->busy();
+            return stop_ || !queue_.empty() || scheduler_->busy() ||
+                   loop_gen_ < gen_;
         });
         if (stop_ && queue_.empty() && !scheduler_->busy()) {
-            return;
+            break;
+        }
+        // Generation cutover: every in-flight slot has drained and the
+        // queue head (if any) no longer belongs to the loop's
+        // generation — retarget the scheduler between steps. One
+        // generation per pass; stacked swaps cut over one at a time.
+        if (loop_gen_ < gen_ && !scheduler_->busy()) {
+            bool head_blocks = false;
+            if (!queue_.empty()) {
+                auto it = records_.find(queue_.front());
+                head_blocks = it != records_.end() &&
+                              it->second->generation == loop_gen_;
+            }
+            if (!head_blocks) {
+                auto pit = pending_engines_.begin();
+                EDKM_CHECK(pit != pending_engines_.end(),
+                           "Server: generation ", loop_gen_,
+                           " cutover with no pending engine");
+                int64_t g = pit->first;
+                std::unique_ptr<InferenceEngine> next =
+                    std::move(pit->second);
+                pending_engines_.erase(pit);
+                scheduler_->swapEngine(*next);
+                // The old engine dies here, dropping its pin on the
+                // old mapping; not-yet-released old records hold the
+                // only remaining pins.
+                engines_[0] = std::move(next);
+                loop_gen_ = g;
+                sched_json_ = scheduler_->statsJson();
+                cv_.notify_all(); // swap() waits on loop_gen_
+                continue;
+            }
         }
         while (!queue_.empty() && scheduler_->hasCapacity()) {
             RequestId id = queue_.front();
-            queue_.pop_front();
             auto it = records_.find(id);
             if (it == records_.end()) {
-                continue; // cancelled between queueing and admission
+                // Cancelled between queueing and admission.
+                queue_.pop_front();
+                continue;
             }
+            if (it->second->generation != loop_gen_) {
+                // Newer artifact: drain the current slots, cut over,
+                // then admit. FIFO order means nothing behind the head
+                // can belong to the loop's generation either.
+                break;
+            }
+            queue_.pop_front();
             Record *raw = it->second.get();
             raw->queued = false;
+            raw->stats.queueMillis = millisSince(raw->submitted);
+            queue_wait_hist_.record(raw->stats.queueMillis);
             Request req = raw->request;
             // Admit unlocked: the completion callback (which may fire
             // synchronously on validation failure) takes mutex_. The
@@ -99,16 +156,15 @@ Server::batchLoop()
                     raw->stats.decodeSteps = st.decodeSteps;
                     raw->stats.reusedPrefixTokens = st.reusedPrefixTokens;
                     raw->stats.engine = 0;
-                    raw->stats.millis =
-                        std::chrono::duration<double, std::milli>(
-                            std::chrono::steady_clock::now() - t0)
-                            .count();
+                    raw->stats.millis = millisSince(t0);
                     if (err == nullptr) {
                         raw->response = std::move(res);
                     }
+                    raw->reader.reset(); // drop the mapping pin
                     {
                         std::lock_guard<std::mutex> inner(mutex_);
                         ++completed_;
+                        e2e_hist_.record(millisSince(raw->submitted));
                     }
                     // Fulfil last: waiters read the fields above after
                     // get(), which synchronises with set_value.
@@ -129,6 +185,10 @@ Server::batchLoop()
         // scheduler state crosses to other threads (metricsJson()).
         sched_json_ = scheduler_->statsJson();
     }
+    // Unblock swap() calls racing the destructor: they check loop_gen_
+    // and fail loudly instead of waiting forever.
+    loop_done_ = true;
+    cv_.notify_all();
 }
 
 int
@@ -155,6 +215,11 @@ Server::checkinEngine(int idx)
 void
 Server::run(Record &rec)
 {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        rec.stats.queueMillis = millisSince(rec.submitted);
+        queue_wait_hist_.record(rec.stats.queueMillis);
+    }
     int idx = checkoutEngine();
     // One completion path for success and failure: the guard stamps
     // the timing, returns the engine and counts the request whichever
@@ -168,15 +233,28 @@ Server::run(Record &rec)
             std::chrono::steady_clock::now();
         ~Finish()
         {
-            rec->stats.millis =
-                std::chrono::duration<double, std::milli>(
-                    std::chrono::steady_clock::now() - t0)
-                    .count();
+            rec->stats.millis = millisSince(t0);
+            rec->reader.reset(); // drop the ticket's mapping pin
             server->checkinEngine(idx);
             std::lock_guard<std::mutex> lock(server->mutex_);
             ++server->completed_;
+            server->e2e_hist_.record(millisSince(rec->submitted));
         }
     } finish{this, &rec, idx};
+
+    // Lazy generation cutover: a ticket stamped with a different
+    // generation than this engine rebuilds it from the ticket's pinned
+    // reader — forward to the artifact new tickets were admitted
+    // against, or back for a straggler submitted before a swap. The
+    // index is checked out exclusively, so the slot is ours to rebuild;
+    // building into a temporary keeps the old engine intact if the
+    // constructor throws.
+    if (engine_gen_[static_cast<size_t>(idx)] != rec.generation) {
+        auto fresh = std::make_unique<InferenceEngine>(rec.reader,
+                                                       config_.engine);
+        engines_[static_cast<size_t>(idx)] = std::move(fresh);
+        engine_gen_[static_cast<size_t>(idx)] = rec.generation;
+    }
 
     rec.stats.engine = idx;
     rec.stats.promptTokens =
@@ -192,7 +270,14 @@ Server::RequestId
 Server::submit(Request request)
 {
     auto rec = std::make_unique<Record>();
+    // Every ticket carries a live cancel token (creating one here if
+    // the caller passed none), so release() can interrupt it in flight.
+    if (request.cancel == nullptr) {
+        request.cancel = std::make_shared<CancelToken>();
+    }
+    rec->cancel = request.cancel;
     rec->request = std::move(request);
+    rec->submitted = std::chrono::steady_clock::now();
     Record *raw = rec.get();
     if (config_.batched) {
         // Promise-backed ticket, wired up BEFORE the record is visible:
@@ -204,6 +289,9 @@ Server::submit(Request request)
             std::lock_guard<std::mutex> lock(mutex_);
             id = next_id_++;
             rec->stats.id = id;
+            rec->generation = gen_;
+            rec->stats.generation = gen_;
+            rec->reader = reader_;
             records_.emplace(id, std::move(rec));
             queue_.push_back(id);
             peak_queue_ = std::max(
@@ -217,9 +305,16 @@ Server::submit(Request request)
         std::lock_guard<std::mutex> lock(mutex_);
         id = next_id_++;
         rec->stats.id = id;
+        rec->generation = gen_;
+        rec->stats.generation = gen_;
+        rec->reader = reader_;
         records_.emplace(id, std::move(rec));
+        // Enqueue under the same hold that published the record: a
+        // concurrent swap()/wait()/release() must never find a record
+        // whose `done` future is still invalid. (ThreadPool::submit
+        // only enqueues, so holding mutex_ here cannot deadlock.)
+        raw->done = pool_->submit([this, raw] { run(*raw); }).share();
     }
-    raw->done = pool_->submit([this, raw] { run(*raw); }).share();
     return id;
 }
 
@@ -305,7 +400,7 @@ Server::release(RequestId id)
                 }
             }
             it->second->promise.set_exception(
-                std::make_exception_ptr(FatalError(
+                std::make_exception_ptr(Cancelled(
                     "Server: request " + std::to_string(id) +
                     " released before admission")));
             ++completed_;
@@ -313,8 +408,14 @@ Server::release(RequestId id)
             records_.erase(it);
             return;
         }
+        // Admitted (or already completed — then the token fires into
+        // the void): request cancellation, so an in-flight ticket is
+        // evicted at its next between-steps check instead of running
+        // to completion nobody will read.
+        it->second->cancel->requestCancel();
         done = it->second->done;
     }
+    cv_.notify_all(); // wake the step loop to run the eviction
     done.wait();
     std::lock_guard<std::mutex> lock(mutex_);
     records_.erase(id);
@@ -326,6 +427,82 @@ Server::release(const std::vector<RequestId> &ids)
     for (RequestId id : ids) {
         release(id);
     }
+}
+
+void
+Server::swap(std::shared_ptr<const ArtifactReader> next)
+{
+    EDKM_CHECK(next != nullptr, "Server: swap to a null reader");
+    // Probe-build an engine first: an artifact that cannot back an
+    // engine (missing sections, bad geometry, failed checksum under
+    // eager verify) fails the swap() call right here, before any
+    // server state changes.
+    auto probe =
+        std::make_unique<InferenceEngine>(next, config_.engine);
+    if (config_.batched) {
+        std::unique_lock<std::mutex> lock(mutex_);
+        reader_ = next;
+        int64_t target = ++gen_;
+        // The probe becomes the loop's next engine: the cutover path
+        // never needs a throwing construction.
+        pending_engines_.emplace(target, std::move(probe));
+        cv_.notify_all();
+        cv_.wait(lock, [this, target] {
+            return loop_gen_ >= target || loop_done_;
+        });
+        EDKM_CHECK(loop_gen_ >= target,
+                   "Server: step loop stopped before the swap to "
+                   "generation ",
+                   target, " cut over");
+        return;
+    }
+    int64_t target;
+    std::vector<std::shared_future<void>> drain;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        reader_ = next;
+        target = ++gen_;
+        // New submissions are stamped `target` from here on; collect
+        // every older ticket (completed ones resolve instantly).
+        for (const auto &entry : records_) {
+            if (entry.second->generation < target) {
+                drain.push_back(entry.second->done);
+            }
+        }
+    }
+    // Drain old-generation work outside the lock. Failures already
+    // live in those tickets' futures; a swap does not re-raise them.
+    for (auto &f : drain) {
+        f.wait();
+    }
+    // Rebuild idle engines still wired to an old mapping, so the old
+    // reader's only remaining pins are not-yet-released records.
+    // Checked-out engines belong to newer-generation tickets (all
+    // older ones just drained) and already rebuilt at checkout.
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (int idx : free_) {
+        if (engine_gen_[static_cast<size_t>(idx)] == gen_) {
+            continue;
+        }
+        // Compare against gen_/reader_, not target/next: a stacked
+        // swap may have moved on, and rebuilding to an intermediate
+        // generation would waste a build.
+        if (probe != nullptr && reader_ == next) {
+            engines_[static_cast<size_t>(idx)] = std::move(probe);
+        } else {
+            engines_[static_cast<size_t>(idx)] =
+                std::make_unique<InferenceEngine>(reader_,
+                                                  config_.engine);
+        }
+        engine_gen_[static_cast<size_t>(idx)] = gen_;
+    }
+}
+
+int64_t
+Server::generation() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return gen_;
 }
 
 const EngineStats &
@@ -354,22 +531,30 @@ Server::cancelled() const
 std::string
 Server::metricsJson() const
 {
-    int64_t depth, peak, cancelled, completed;
-    std::string sched;
+    int64_t depth, peak, cancelled, completed, generation;
+    std::string sched, queue_wait, e2e;
     {
+        // Snapshot everything under one hold — counters, histograms
+        // and the scheduler block are mutually consistent.
         std::lock_guard<std::mutex> lock(mutex_);
         depth = static_cast<int64_t>(queue_.size());
         peak = peak_queue_;
         cancelled = cancelled_;
         completed = completed_;
+        generation = gen_;
+        queue_wait = queue_wait_hist_.json();
+        e2e = e2e_hist_.json();
         sched = scheduler_ != nullptr ? sched_json_ : "null";
     }
     std::ostringstream os;
     os << "{\"mode\": \"" << (config_.batched ? "batched" : "threaded")
-       << "\", \"completed\": " << completed
+       << "\", \"generation\": " << generation
+       << ", \"completed\": " << completed
        << ", \"queue_depth\": " << depth
        << ", \"peak_queue_depth\": " << peak
        << ", \"cancelled\": " << cancelled
+       << ", \"latency\": {\"queue_wait\": " << queue_wait
+       << ", \"e2e\": " << e2e << "}"
        << ", \"scheduler\": " << sched << "}";
     return os.str();
 }

@@ -30,15 +30,35 @@
  * — never on scheduling: N-thread and batched serving are bit-identical
  * to serial execution, which tests/test_server.cc enforces under an
  * 8-thread interleaving stress and batched-vs-threaded comparisons.
+ *
+ * *Hot model swap* (swap()): load artifact N+1 while N keeps serving.
+ * Every ticket is stamped with the server generation current at
+ * submit() and pins its own ArtifactReader, so a swap never drops or
+ * re-targets a ticket: requests submitted before the swap complete
+ * against artifact N, requests submitted after run against N+1, and
+ * no request ever mixes weights from both. Threaded mode rebuilds each
+ * worker engine lazily the first time it picks up a newer-generation
+ * ticket; batched mode drains the in-flight slots, then retargets the
+ * step loop (BatchScheduler::swapEngine) between steps. The old
+ * mapping is released once the last old-generation record completes
+ * (records drop their reader pin at completion).
+ *
+ * *Deadlines and cancellation*: Request::deadline and Request::cancel
+ * flow through both modes. Expiry / release() of an in-flight ticket
+ * interrupts it at the next between-steps check (never mid-forward —
+ * surviving requests stay bit-identical), and wait() rethrows the
+ * typed DeadlineExceeded / Cancelled error.
  */
 
 #ifndef EDKM_SERVE_SERVER_H_
 #define EDKM_SERVE_SERVER_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -50,6 +70,7 @@
 #include "serve/engine.h"
 #include "serve/reader.h"
 #include "serve/scheduler.h"
+#include "util/histogram.h"
 
 namespace edkm {
 namespace serve {
@@ -83,9 +104,11 @@ class Server
     {
         RequestId id = 0;
         int engine = -1; ///< which engine instance served it
+        int64_t generation = 0; ///< artifact generation served against
         int64_t promptTokens = 0;
         int64_t newTokens = 0;
         double millis = 0.0; ///< execution time (excluding queue wait)
+        double queueMillis = 0.0; ///< submit-to-execution-start wait
         // Batched mode only (zero in threaded mode):
         int64_t prefillChunks = 0;      ///< prefill continuations run
         int64_t decodeSteps = 0;        ///< batched steps joined
@@ -138,6 +161,24 @@ class Server
     void release(const std::vector<RequestId> &ids);
 
     /**
+     * Hot-swap the served artifact: tickets submitted after swap()
+     * returns run against @p next, tickets already submitted complete
+     * against the artifact they were stamped with at submit() — none
+     * are dropped, none mix generations (the prefix cache flushes at
+     * the generation boundary). Blocks until the serving side has cut
+     * over: threaded mode drains old-generation work and rebuilds idle
+     * engines; batched mode waits for the step loop to drain its slots
+     * and retarget the scheduler. Concurrent submit()/wait()/release()
+     * are safe throughout. Throws (and leaves the server untouched) if
+     * @p next cannot back an engine.
+     */
+    void swap(std::shared_ptr<const ArtifactReader> next);
+
+    /** Artifact generation new submissions are stamped with (starts at
+     *  0, +1 per swap()). */
+    int64_t generation() const;
+
+    /**
      * Stats of engine instance @p i (in [0, threads) threaded; only 0
      * batched). Only meaningful while no request is in flight (engines
      * are otherwise mutating their own counters).
@@ -173,6 +214,16 @@ class Server
          *  callback fulfils it) instead of pool-future-backed. */
         std::promise<void> promise;
         bool queued = false; ///< batched: still awaiting admission
+        /** Server generation at submit(): the artifact this ticket is
+         *  served against, swap or no swap. */
+        int64_t generation = 0;
+        /** Pins the ticket's artifact mapping until completion (reset
+         *  then, so a swapped-out mapping can unmap). */
+        std::shared_ptr<const ArtifactReader> reader;
+        /** Always non-null once submitted (created here if the caller
+         *  passed none): release() of an admitted ticket fires it. */
+        std::shared_ptr<CancelToken> cancel;
+        std::chrono::steady_clock::time_point submitted;
     };
 
     void run(Record &rec);
@@ -184,22 +235,36 @@ class Server
      *  block on while release() erases the record). */
     std::shared_future<void> ticket(RequestId id) const;
 
-    std::shared_ptr<const ArtifactReader> reader_;
+    std::shared_ptr<const ArtifactReader> reader_; ///< current artifact
     ServerConfig config_;
     std::vector<std::unique_ptr<InferenceEngine>> engines_;
 
     mutable std::mutex mutex_; ///< guards free_, records_, queue_, counters
     std::vector<int> free_;    ///< engine indices not currently serving
+    /** Threaded: generation engines_[i] was built against; a checkout
+     *  whose ticket is newer rebuilds the engine from the ticket's
+     *  reader first. */
+    std::vector<int64_t> engine_gen_;
     std::unordered_map<RequestId, std::unique_ptr<Record>> records_;
     RequestId next_id_ = 1;
+    int64_t gen_ = 0; ///< generation new submissions are stamped with
     int64_t completed_ = 0;
+    /** Submit-to-start and submit-to-completion latencies (ms),
+     *  recorded under mutex_. */
+    LatencyHistogram queue_wait_hist_;
+    LatencyHistogram e2e_hist_;
 
     // Batched mode. The scheduler (and its engine) is touched only by
     // loop_; the queue and flags below are shared under mutex_.
     std::unique_ptr<BatchScheduler> scheduler_;
     std::deque<RequestId> queue_; ///< submitted, not yet admitted
-    std::condition_variable cv_;  ///< wakes the loop: submit/stop
+    std::condition_variable cv_;  ///< wakes the loop: submit/swap/stop
     bool stop_ = false;
+    bool loop_done_ = false; ///< loop exited (unblocks waiting swaps)
+    int64_t loop_gen_ = 0;   ///< generation the step loop is serving
+    /** Engines probe-built by swap(), installed by the loop at the
+     *  generation cutover (keyed by target generation). */
+    std::map<int64_t, std::unique_ptr<InferenceEngine>> pending_engines_;
     int64_t cancelled_ = 0;
     int64_t peak_queue_ = 0;
     /** Scheduler stats snapshot, published by the loop under mutex_

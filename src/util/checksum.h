@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Fast 64-bit content checksum (xxhash64 algorithm).
+ *
+ * checksum64() is the integrity primitive behind the artifact v2.1
+ * per-section checksums: a non-cryptographic 64-bit hash that runs at
+ * memory bandwidth (8-byte stripes, four independent accumulators) and
+ * avalanches every input bit into the digest, so a single flipped
+ * payload bit flips ~half the digest bits. It implements the XXH64
+ * algorithm (public-domain specification) so digests are stable across
+ * builds and platforms of the same endianness; artifacts are
+ * native-endian throughout (util/serial.h memcpys PODs), and the
+ * checksum inherits that convention.
+ *
+ * Not cryptographic: detects corruption (bit rot, truncation, torn
+ * writes), not adversaries.
+ */
+
+#ifndef EDKM_UTIL_CHECKSUM_H_
+#define EDKM_UTIL_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace edkm {
+
+namespace checksum_detail {
+
+constexpr uint64_t kPrime1 = 11400714785074694791ull;
+constexpr uint64_t kPrime2 = 14029467366897019727ull;
+constexpr uint64_t kPrime3 = 1609587929392839161ull;
+constexpr uint64_t kPrime4 = 9650029242287828579ull;
+constexpr uint64_t kPrime5 = 2870177450012600261ull;
+
+inline uint64_t
+rotl64(uint64_t v, int r)
+{
+    return (v << r) | (v >> (64 - r));
+}
+
+inline uint64_t
+read64(const uint8_t *p)
+{
+    uint64_t v;
+    std::memcpy(&v, p, 8);
+    return v;
+}
+
+inline uint32_t
+read32(const uint8_t *p)
+{
+    uint32_t v;
+    std::memcpy(&v, p, 4);
+    return v;
+}
+
+inline uint64_t
+round64(uint64_t acc, uint64_t lane)
+{
+    acc += lane * kPrime2;
+    acc = rotl64(acc, 31);
+    return acc * kPrime1;
+}
+
+inline uint64_t
+merge64(uint64_t acc, uint64_t val)
+{
+    acc ^= round64(0, val);
+    return acc * kPrime1 + kPrime4;
+}
+
+} // namespace checksum_detail
+
+/** XXH64 of @p len bytes at @p data, seeded with @p seed. */
+inline uint64_t
+checksum64(const void *data, size_t len, uint64_t seed = 0)
+{
+    using namespace checksum_detail;
+    const uint8_t *p = static_cast<const uint8_t *>(data);
+    const uint8_t *const end = p + len;
+    uint64_t h;
+
+    if (len >= 32) {
+        uint64_t v1 = seed + kPrime1 + kPrime2;
+        uint64_t v2 = seed + kPrime2;
+        uint64_t v3 = seed;
+        uint64_t v4 = seed - kPrime1;
+        const uint8_t *const stripe_end = end - 32;
+        do {
+            v1 = round64(v1, read64(p));
+            v2 = round64(v2, read64(p + 8));
+            v3 = round64(v3, read64(p + 16));
+            v4 = round64(v4, read64(p + 24));
+            p += 32;
+        } while (p <= stripe_end);
+        h = rotl64(v1, 1) + rotl64(v2, 7) + rotl64(v3, 12) +
+            rotl64(v4, 18);
+        h = merge64(h, v1);
+        h = merge64(h, v2);
+        h = merge64(h, v3);
+        h = merge64(h, v4);
+    } else {
+        h = seed + kPrime5;
+    }
+
+    h += static_cast<uint64_t>(len);
+    while (p + 8 <= end) {
+        h ^= round64(0, read64(p));
+        h = rotl64(h, 27) * kPrime1 + kPrime4;
+        p += 8;
+    }
+    if (p + 4 <= end) {
+        h ^= static_cast<uint64_t>(read32(p)) * kPrime1;
+        h = rotl64(h, 23) * kPrime2 + kPrime3;
+        p += 4;
+    }
+    while (p < end) {
+        h ^= static_cast<uint64_t>(*p) * kPrime5;
+        h = rotl64(h, 11) * kPrime1;
+        ++p;
+    }
+
+    h ^= h >> 33;
+    h *= kPrime2;
+    h ^= h >> 29;
+    h *= kPrime3;
+    h ^= h >> 32;
+    return h;
+}
+
+} // namespace edkm
+
+#endif // EDKM_UTIL_CHECKSUM_H_

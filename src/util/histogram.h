@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Log-bucketed latency histogram for serving metrics.
+ *
+ * LatencyHistogram accumulates millisecond samples into power-of-two
+ * buckets (bucket i holds samples <= 2^(i-10) ms, i.e. edges from 1us
+ * up past 100 hours) and reports approximate quantiles as the upper
+ * edge of the bucket the quantile falls in, clamped to the true
+ * maximum. Recording is O(buckets) with no allocation, so callers can
+ * record under the same mutex that guards their counters; json()
+ * serialises count/mean/min/max, p50/p95/p99 and the non-empty buckets
+ * as [upper_edge_ms, count] pairs.
+ *
+ * Bucket-edge quantiles overestimate by at most 2x (one octave), which
+ * is the standard trade for a fixed-size, mergeable representation —
+ * the same shape Prometheus-style histograms use. Not thread-safe;
+ * guard with the owning object's lock.
+ */
+
+#ifndef EDKM_UTIL_HISTOGRAM_H_
+#define EDKM_UTIL_HISTOGRAM_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <string>
+
+namespace edkm {
+
+class LatencyHistogram
+{
+  public:
+    static constexpr int kBuckets = 40;
+
+    /** Upper edge of bucket @p i in milliseconds (2^(i-10)). */
+    static double
+    upperEdgeMs(int i)
+    {
+        return std::ldexp(1.0, i - 10);
+    }
+
+    /** Add one sample of @p ms milliseconds. */
+    void
+    record(double ms)
+    {
+        if (!(ms >= 0.0)) { // negative or NaN: clamp into bucket 0
+            ms = 0.0;
+        }
+        int b = 0;
+        while (b + 1 < kBuckets && ms > upperEdgeMs(b)) {
+            ++b;
+        }
+        ++counts_[b];
+        ++count_;
+        sum_ += ms;
+        min_ = std::min(min_, ms);
+        max_ = std::max(max_, ms);
+    }
+
+    int64_t count() const { return count_; }
+    double minMs() const { return count_ > 0 ? min_ : 0.0; }
+    double maxMs() const { return count_ > 0 ? max_ : 0.0; }
+    double meanMs() const
+    {
+        return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+    }
+
+    /**
+     * Approximate @p q-quantile (q in [0,1]): the upper edge of the
+     * bucket holding the ceil(q*count)-th sample, clamped to maxMs().
+     */
+    double
+    quantileMs(double q) const
+    {
+        if (count_ == 0) {
+            return 0.0;
+        }
+        int64_t target = static_cast<int64_t>(
+            std::ceil(q * static_cast<double>(count_)));
+        target = std::max<int64_t>(target, 1);
+        int64_t cum = 0;
+        for (int b = 0; b < kBuckets; ++b) {
+            cum += counts_[b];
+            if (cum >= target) {
+                return std::min(upperEdgeMs(b), max_);
+            }
+        }
+        return max_;
+    }
+
+    /** JSON object: count, mean/min/max, p50/p95/p99, sparse buckets. */
+    std::string
+    json() const
+    {
+        std::ostringstream os;
+        os << "{\"count\": " << count_;
+        if (count_ > 0) {
+            os << ", \"mean_ms\": " << meanMs()
+               << ", \"min_ms\": " << minMs()
+               << ", \"max_ms\": " << maxMs()
+               << ", \"p50_ms\": " << quantileMs(0.50)
+               << ", \"p95_ms\": " << quantileMs(0.95)
+               << ", \"p99_ms\": " << quantileMs(0.99)
+               << ", \"buckets\": [";
+            bool first = true;
+            for (int b = 0; b < kBuckets; ++b) {
+                if (counts_[b] == 0) {
+                    continue;
+                }
+                os << (first ? "" : ", ") << "[" << upperEdgeMs(b)
+                   << ", " << counts_[b] << "]";
+                first = false;
+            }
+            os << "]";
+        }
+        os << "}";
+        return os.str();
+    }
+
+  private:
+    int64_t counts_[kBuckets] = {};
+    int64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = 0.0;
+};
+
+} // namespace edkm
+
+#endif // EDKM_UTIL_HISTOGRAM_H_

@@ -10,10 +10,13 @@
  * eviction), failure isolation, and the metrics JSON surface.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <gtest/gtest.h>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "api/plan.h"
@@ -526,7 +529,12 @@ TEST(Scheduler, FailuresCompleteThroughCallbacksWithoutWedging)
     }
     EXPECT_EQ(successes, 1);
     EXPECT_EQ(sched.stats().failed, 2);
-    EXPECT_EQ(sched.stats().completed, 4);
+    // completed counts successes only; the reconciliation identity is
+    // admitted == completed + failed + deadlineEvicted + released.
+    EXPECT_EQ(sched.stats().completed, 2);
+    EXPECT_EQ(sched.stats().admitted,
+              sched.stats().completed + sched.stats().failed +
+                  sched.stats().deadlineEvicted + sched.stats().released);
     std::remove(path.c_str());
 }
 
@@ -554,10 +562,256 @@ TEST(Scheduler, StatsJsonCarriesHistogramAndPrefixCounters)
     for (const char *key :
          {"\"admitted\"", "\"decode_steps\"", "\"batch_histogram\"",
           "\"prefill_chunks\"", "\"peak_batch\"", "\"prefix_cache\"",
-          "\"hits\"", "\"evicted_bytes\""}) {
+          "\"hits\"", "\"evicted_bytes\"", "\"deadline_evicted\"",
+          "\"released\"", "\"generation\""}) {
         EXPECT_NE(json.find(key), std::string::npos) << key;
     }
     std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Deadlines, cancellation, hot engine swap
+// ---------------------------------------------------------------------
+
+TEST(Scheduler, DeadlineEvictionBetweenStepsKeepsSurvivorBitIdentical)
+{
+    std::string path = savedCodecArtifact("rtn", "deadline");
+    auto reader = serve::ArtifactReader::open(path);
+
+    serve::InferenceEngine::Request survivor{{1, 2, 3}, 40};
+    std::vector<std::vector<int64_t>> want =
+        serialReference(reader, {survivor});
+
+    serve::InferenceEngine engine(reader);
+    serve::SchedulerConfig cfg;
+    cfg.maxBatch = 4;
+    serve::BatchScheduler sched(engine, cfg);
+
+    std::vector<int64_t> got;
+    sched.admit(survivor,
+                [&](serve::BatchScheduler::Response &&res,
+                    std::exception_ptr err,
+                    const serve::SchedulerRequestStats &) {
+                    ASSERT_EQ(err, nullptr);
+                    got = std::move(res.tokens);
+                });
+
+    serve::InferenceEngine::Request doomed{{4, 5}, 300};
+    doomed.deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(50);
+    std::exception_ptr doomed_err;
+    int64_t doomed_tokens = -1;
+    sched.admit(doomed,
+                [&](serve::BatchScheduler::Response &&,
+                    std::exception_ptr err,
+                    const serve::SchedulerRequestStats &st) {
+                    doomed_err = err;
+                    doomed_tokens = st.newTokens;
+                });
+
+    // A few shared steps, then let the deadline lapse; the next step
+    // must evict the expired slot before any forward.
+    for (int i = 0; i < 3 && sched.busy(); ++i) {
+        sched.step();
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    while (sched.busy()) {
+        sched.step();
+    }
+
+    ASSERT_NE(doomed_err, nullptr);
+    try {
+        std::rethrow_exception(doomed_err);
+    } catch (const serve::DeadlineExceeded &e) {
+        EXPECT_NE(std::string(e.what()).find("deadline exceeded"),
+                  std::string::npos);
+    }
+    EXPECT_GT(doomed_tokens, 0);   // it made progress first
+    EXPECT_LT(doomed_tokens, 300); // and was cut off
+    // The survivor never noticed: bit-identical to serving it alone.
+    EXPECT_EQ(got, want[0]);
+    EXPECT_EQ(sched.stats().deadlineEvicted, 1);
+    EXPECT_EQ(sched.stats().completed, 1);
+    EXPECT_EQ(sched.stats().admitted,
+              sched.stats().completed + sched.stats().failed +
+                  sched.stats().deadlineEvicted + sched.stats().released);
+    std::remove(path.c_str());
+}
+
+TEST(Scheduler, ExpiredAndPreCancelledRequestsNeverTakeASlot)
+{
+    std::string path = savedCodecArtifact("fp16", "preexpired");
+    auto reader = serve::ArtifactReader::open(path);
+    serve::InferenceEngine engine(reader);
+    serve::BatchScheduler sched(engine, serve::SchedulerConfig{});
+
+    serve::InferenceEngine::Request late{{1, 2}, 5};
+    late.deadline = std::chrono::steady_clock::now() -
+                    std::chrono::milliseconds(1);
+    bool late_done = false;
+    sched.admit(late, [&](serve::BatchScheduler::Response &&,
+                          std::exception_ptr err,
+                          const serve::SchedulerRequestStats &) {
+        late_done = true;
+        EXPECT_THROW(std::rethrow_exception(err),
+                     serve::DeadlineExceeded);
+    });
+    EXPECT_TRUE(late_done);
+    EXPECT_EQ(sched.active(), 0);
+    EXPECT_EQ(sched.stats().deadlineEvicted, 1);
+
+    serve::InferenceEngine::Request dead{{3, 4}, 5};
+    dead.cancel = std::make_shared<serve::CancelToken>();
+    dead.cancel->requestCancel();
+    bool dead_done = false;
+    sched.admit(dead, [&](serve::BatchScheduler::Response &&,
+                          std::exception_ptr err,
+                          const serve::SchedulerRequestStats &) {
+        dead_done = true;
+        EXPECT_THROW(std::rethrow_exception(err), serve::Cancelled);
+    });
+    EXPECT_TRUE(dead_done);
+    EXPECT_EQ(sched.active(), 0);
+    EXPECT_EQ(sched.stats().released, 1);
+    EXPECT_EQ(sched.stats().admitted, 2);
+    std::remove(path.c_str());
+}
+
+TEST(Scheduler, CancelTokenFreesTheSlotWithinOneStep)
+{
+    std::string path = savedCodecArtifact("edkm", "cancel");
+    auto reader = serve::ArtifactReader::open(path);
+
+    serve::InferenceEngine::Request keeper{{7, 8, 9}, 30};
+    serve::InferenceEngine::Request after{{2, 2}, 10};
+    std::vector<std::vector<int64_t>> want =
+        serialReference(reader, {keeper, after});
+
+    serve::InferenceEngine engine(reader);
+    serve::SchedulerConfig cfg;
+    cfg.maxBatch = 2; // `after` needs the cancelled request's slot
+    serve::BatchScheduler sched(engine, cfg);
+
+    std::vector<int64_t> got_keeper, got_after;
+    auto keep = [&](serve::BatchScheduler::Response &&res,
+                    std::exception_ptr err,
+                    const serve::SchedulerRequestStats &) {
+        ASSERT_EQ(err, nullptr);
+        got_keeper = std::move(res.tokens);
+    };
+    sched.admit(keeper, keep);
+
+    serve::InferenceEngine::Request doomed{{5, 6}, 300};
+    doomed.cancel = std::make_shared<serve::CancelToken>();
+    std::exception_ptr doomed_err;
+    sched.admit(doomed, [&](serve::BatchScheduler::Response &&,
+                            std::exception_ptr err,
+                            const serve::SchedulerRequestStats &) {
+        doomed_err = err;
+    });
+    ASSERT_FALSE(sched.hasCapacity());
+
+    for (int i = 0; i < 4; ++i) {
+        sched.step();
+    }
+    doomed.cancel->requestCancel();
+    sched.step(); // eviction happens before this step's forward
+    EXPECT_TRUE(sched.hasCapacity());
+    ASSERT_NE(doomed_err, nullptr);
+    try {
+        std::rethrow_exception(doomed_err);
+    } catch (const serve::Cancelled &e) {
+        EXPECT_NE(std::string(e.what()).find("released after"),
+                  std::string::npos);
+    }
+
+    // The freed slot admits new work, and neither the survivor nor the
+    // newcomer deviates from solo serving by a bit.
+    sched.admit(after, [&](serve::BatchScheduler::Response &&res,
+                           std::exception_ptr err,
+                           const serve::SchedulerRequestStats &) {
+        ASSERT_EQ(err, nullptr);
+        got_after = std::move(res.tokens);
+    });
+    while (sched.busy()) {
+        sched.step();
+    }
+    EXPECT_EQ(got_keeper, want[0]);
+    EXPECT_EQ(got_after, want[1]);
+    EXPECT_EQ(sched.stats().released, 1);
+    EXPECT_EQ(sched.stats().admitted,
+              sched.stats().completed + sched.stats().failed +
+                  sched.stats().deadlineEvicted + sched.stats().released);
+    std::remove(path.c_str());
+}
+
+TEST(Scheduler, SwapEngineRetargetsThePrefixCacheAndCarriesCounters)
+{
+    std::string path_a = savedCodecArtifact("rtn", "swap_a");
+    std::string path_b = savedCodecArtifact("edkm", "swap_b");
+    auto reader_a = serve::ArtifactReader::open(path_a);
+    auto reader_b = serve::ArtifactReader::open(path_b);
+
+    std::vector<serve::InferenceEngine::Request> reqs;
+    for (int i = 0; i < 6; ++i) {
+        serve::InferenceEngine::Request r;
+        r.prompt = {9, 9, 9, 9, static_cast<int64_t>(i)};
+        r.maxNewTokens = 4;
+        reqs.push_back(std::move(r));
+    }
+    std::vector<std::vector<int64_t>> want_a =
+        serialReference(reader_a, reqs);
+    std::vector<std::vector<int64_t>> want_b =
+        serialReference(reader_b, reqs);
+
+    serve::InferenceEngine engine_a(reader_a);
+    serve::InferenceEngine engine_b(reader_b);
+    serve::SchedulerConfig cfg;
+    cfg.maxBatch = 3;
+    cfg.prefixCacheBytes = 1 << 20;
+    serve::BatchScheduler sched(engine_a, cfg);
+
+    std::vector<serve::BatchScheduler::Response> got =
+        sched.run(reqs);
+    for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].tokens, want_a[i]) << "gen 0 request " << i;
+    }
+    EXPECT_GT(sched.prefixStats().hits, 0);
+    EXPECT_EQ(sched.prefixStats().generation, 0);
+
+    // Swapping while a request is in flight is refused.
+    bool pending_done = false;
+    sched.admit({{1, 2, 3}, 4},
+                [&](serve::BatchScheduler::Response &&,
+                    std::exception_ptr,
+                    const serve::SchedulerRequestStats &) {
+                    pending_done = true;
+                });
+    EXPECT_THROW(sched.swapEngine(engine_b), FatalError);
+    while (sched.busy()) {
+        sched.step();
+    }
+    EXPECT_TRUE(pending_done);
+
+    // Drained: the swap flushes the prefix cache (artifact-A rows must
+    // never seed artifact-B decodes) and the same prompts now match
+    // artifact B's serial reference bit for bit.
+    sched.swapEngine(engine_b);
+    EXPECT_EQ(sched.prefixStats().generation, 1);
+    EXPECT_EQ(sched.prefixStats().entries, 0);
+    EXPECT_GT(sched.prefixStats().generationFlushes, 0);
+    int64_t admitted_before = sched.stats().admitted;
+    EXPECT_GT(admitted_before, 0); // counters carry across the swap
+
+    got = sched.run(reqs);
+    for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].tokens, want_b[i]) << "gen 1 request " << i;
+    }
+    EXPECT_EQ(sched.stats().admitted,
+              admitted_before + static_cast<int64_t>(reqs.size()));
+    EXPECT_GT(sched.prefixStats().hits, 0); // cache rebanks under gen 1
+    std::remove(path_a.c_str());
+    std::remove(path_b.c_str());
 }
 
 } // namespace

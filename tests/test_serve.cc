@@ -24,6 +24,7 @@
 #include "serve/engine.h"
 #include "serve/reader.h"
 #include "tensor/ops.h"
+#include "util/checksum.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -455,6 +456,241 @@ TEST(ArtifactV2, SectionTableFuzzSweepNamesTheBadSection)
             }
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Artifact v2.1 payload checksums
+// ---------------------------------------------------------------------
+
+TEST(Checksum64, DeterministicLengthSeedAndBitFlipSensitive)
+{
+    // Cover every finalisation path: empty, byte tail, 4-byte lane,
+    // 8-byte lane, exactly one stripe, stripes plus tail.
+    std::vector<size_t> lens = {0, 1, 3, 4, 7, 8, 15, 31, 32, 33, 100};
+    std::vector<uint8_t> buf(100);
+    for (size_t i = 0; i < buf.size(); ++i) {
+        buf[i] = static_cast<uint8_t>(i * 37 + 11);
+    }
+    std::vector<uint64_t> seen;
+    for (size_t len : lens) {
+        uint64_t h = checksum64(buf.data(), len);
+        EXPECT_EQ(h, checksum64(buf.data(), len)) << len;
+        EXPECT_NE(h, checksum64(buf.data(), len, /*seed=*/1)) << len;
+        for (uint64_t prev : seen) {
+            EXPECT_NE(h, prev) << len;
+        }
+        seen.push_back(h);
+    }
+    // Any single-bit flip anywhere in the message changes the digest.
+    std::vector<uint8_t> msg(64);
+    for (size_t i = 0; i < msg.size(); ++i) {
+        msg[i] = static_cast<uint8_t>(i);
+    }
+    uint64_t base = checksum64(msg.data(), msg.size());
+    for (size_t byte = 0; byte < msg.size(); ++byte) {
+        for (int bit = 0; bit < 8; ++bit) {
+            msg[byte] ^= static_cast<uint8_t>(1u << bit);
+            EXPECT_NE(checksum64(msg.data(), msg.size()), base)
+                << "byte " << byte << " bit " << bit;
+            msg[byte] ^= static_cast<uint8_t>(1u << bit);
+        }
+    }
+}
+
+TEST(ArtifactV21, WriterStampsChecksumsThatMatchThePayloads)
+{
+    nn::MiniLlama model = tinyModel();
+    api::SessionResult res = compressTiny(model, "rtn");
+    std::vector<uint8_t> bytes = res.artifact.serialize();
+    api::ArtifactLayout layout =
+        api::parseArtifactLayout(bytes.data(), bytes.size());
+    ASSERT_TRUE(layout.hasChecksums);
+    for (const api::TensorSection &s : layout.sections) {
+        EXPECT_EQ(s.checksum,
+                  checksum64(bytes.data() + s.offset,
+                             static_cast<size_t>(s.bytes)))
+            << s.name;
+    }
+
+    // A clean checksummed file passes eager verification at open, and
+    // the lazy default verifies each section on its first view.
+    std::string path = writeTemp(bytes, "edkm_test_v21_clean.edkm");
+    auto eager =
+        serve::ArtifactReader::open(path, serve::VerifyMode::kEager);
+    EXPECT_TRUE(eager->hasChecksums());
+    EXPECT_EQ(eager->sectionsVerified(),
+              static_cast<int64_t>(layout.sections.size()));
+
+    auto lazy =
+        serve::ArtifactReader::open(path, serve::VerifyMode::kLazy);
+    EXPECT_EQ(lazy->sectionsVerified(), 0);
+    lazy->decode(layout.sections.front().name);
+    EXPECT_GE(lazy->sectionsVerified(), 1);
+    lazy->decode(layout.sections.front().name); // sticky: verified once
+    lazy->verifyAll();
+    EXPECT_EQ(lazy->sectionsVerified(),
+              static_cast<int64_t>(layout.sections.size()));
+
+    auto off =
+        serve::ArtifactReader::open(path, serve::VerifyMode::kOff);
+    off->decode(layout.sections.front().name);
+    EXPECT_EQ(off->sectionsVerified(), 0);
+    std::remove(path.c_str());
+}
+
+// The payload counterpart of the section-table sweep: flip one byte at
+// the first / middle / last position of EVERY section's payload, and
+// the reader must reject the section with its name in the error —
+// eagerly at open, or lazily at the first view of that section while
+// the rest of the artifact stays fully servable.
+TEST(ArtifactV21, PayloadBitFlipFuzzNamesTheCorruptSection)
+{
+    nn::MiniLlama model = tinyModel();
+    api::SessionResult res = compressTiny(model, "rtn");
+    std::vector<uint8_t> bytes = res.artifact.serialize();
+    api::ArtifactLayout good =
+        api::parseArtifactLayout(bytes.data(), bytes.size());
+    ASSERT_TRUE(good.hasChecksums);
+
+    int case_id = 0;
+    for (size_t i = 0; i < good.sections.size(); ++i) {
+        const api::TensorSection &s = good.sections[i];
+        std::vector<int64_t> positions = {0, s.bytes / 2, s.bytes - 1};
+        for (int64_t pos : positions) {
+            std::vector<uint8_t> bad = bytes;
+            bad[static_cast<size_t>(s.offset + pos)] ^= 0x10;
+            std::string path = writeTemp(
+                bad, "edkm_test_v21_flip_" + std::to_string(case_id++) +
+                         ".edkm");
+
+            // Eager: rejected at open, section named.
+            try {
+                serve::ArtifactReader::open(path,
+                                            serve::VerifyMode::kEager);
+                FAIL() << s.name << " byte " << pos << " accepted";
+            } catch (const FatalError &e) {
+                std::string msg = e.what();
+                EXPECT_NE(msg.find("checksum mismatch"),
+                          std::string::npos)
+                    << msg;
+                EXPECT_NE(msg.find("'" + s.name + "'"),
+                          std::string::npos)
+                    << msg;
+            }
+
+            // Lazy: open succeeds (header / manifest / table are
+            // intact), the first view of the bad section throws with
+            // its name, and every other section still serves.
+            auto lazy = serve::ArtifactReader::open(
+                path, serve::VerifyMode::kLazy);
+            try {
+                lazy->decode(s.name);
+                FAIL() << s.name << " byte " << pos
+                       << " served lazily";
+            } catch (const FatalError &e) {
+                EXPECT_NE(std::string(e.what()).find("'" + s.name + "'"),
+                          std::string::npos)
+                    << e.what();
+            }
+            size_t other = (i + 1) % good.sections.size();
+            if (other != i) {
+                EXPECT_NO_THROW(
+                    lazy->decode(good.sections[other].name));
+            }
+
+            // Off: trusts payload bytes (structural digest still
+            // checked), so the open itself must succeed.
+            auto off = serve::ArtifactReader::open(
+                path, serve::VerifyMode::kOff);
+            EXPECT_EQ(off->sectionsVerified(), 0);
+            std::remove(path.c_str());
+        }
+    }
+
+    // Flipping a byte of the checksum TABLE itself corrupts the
+    // container metadata: the always-on header digest rejects it in
+    // every mode.
+    {
+        std::vector<uint8_t> bad = bytes;
+        EDKM_CHECK(good.checksumTableOffset > 0, "missing table");
+        bad[static_cast<size_t>(good.checksumTableOffset) + 3] ^= 0x01;
+        std::string path =
+            writeTemp(bad, "edkm_test_v21_table_flip.edkm");
+        EXPECT_THROW(serve::ArtifactReader::open(
+                         path, serve::VerifyMode::kOff),
+                     FatalError);
+        std::remove(path.c_str());
+    }
+}
+
+TEST(ArtifactV21, UnchecksummedV2StaysReadableEverywhere)
+{
+    nn::MiniLlama model = tinyModel();
+    api::SessionResult res = compressTiny(model, "edkm");
+    std::vector<uint8_t> with = res.artifact.serialize();
+    std::vector<uint8_t> without =
+        res.artifact.serialize(/*with_checksums=*/false);
+    EXPECT_LT(without.size(), with.size());
+
+    api::ArtifactLayout layout =
+        api::parseArtifactLayout(without.data(), without.size());
+    EXPECT_FALSE(layout.hasChecksums);
+
+    // Whole-artifact round trip is still bit-exact.
+    api::ModelArtifact back = api::ModelArtifact::deserialize(without);
+    ASSERT_EQ(back.entries.size(), res.artifact.entries.size());
+    for (size_t i = 0; i < back.entries.size(); ++i) {
+        EXPECT_EQ(back.entries[i].payload,
+                  res.artifact.entries[i].payload)
+            << back.entries[i].name;
+    }
+
+    // The reader serves it under every verify mode (there is nothing
+    // to verify), bit-identical to the checksummed container.
+    std::string p0 = writeTemp(without, "edkm_test_v21_none.edkm");
+    std::string p1 = writeTemp(with, "edkm_test_v21_with.edkm");
+    auto r0 = serve::ArtifactReader::open(p0, serve::VerifyMode::kEager);
+    auto r1 = serve::ArtifactReader::open(p1, serve::VerifyMode::kEager);
+    EXPECT_FALSE(r0->hasChecksums());
+    EXPECT_EQ(r0->sectionsVerified(), 0);
+    serve::InferenceEngine e0(r0), e1(r1);
+    Tensor toks = tokenBatch(1, 5, 64, 77);
+    NoGradGuard ng;
+    EXPECT_EQ(e0.forward(toks).toVector(), e1.forward(toks).toVector());
+    std::remove(p0.c_str());
+    std::remove(p1.c_str());
+}
+
+TEST(ArtifactV21, VerifyModeEnvKnobSelectsAndRejects)
+{
+    nn::MiniLlama model = tinyModel();
+    api::SessionResult res = compressTiny(model, "rtn");
+    std::string path = writeTemp(res.artifact.serialize(),
+                                 "edkm_test_v21_env.edkm");
+    int64_t n =
+        static_cast<int64_t>(res.artifact.entries.size());
+
+    setenv("EDKM_VERIFY", "eager", 1);
+    auto r = serve::ArtifactReader::open(path);
+    EXPECT_EQ(r->verifyMode(), serve::VerifyMode::kEager);
+    EXPECT_EQ(r->sectionsVerified(), n);
+
+    setenv("EDKM_VERIFY", "off", 1);
+    EXPECT_EQ(serve::ArtifactReader::open(path)->verifyMode(),
+              serve::VerifyMode::kOff);
+
+    setenv("EDKM_VERIFY", "lazy", 1);
+    EXPECT_EQ(serve::ArtifactReader::open(path)->verifyMode(),
+              serve::VerifyMode::kLazy);
+
+    unsetenv("EDKM_VERIFY");
+    EXPECT_EQ(serve::ArtifactReader::open(path)->verifyMode(),
+              serve::VerifyMode::kLazy);
+
+    setenv("EDKM_VERIFY", "paranoid", 1);
+    EXPECT_THROW(serve::ArtifactReader::open(path), FatalError);
+    unsetenv("EDKM_VERIFY");
+    std::remove(path.c_str());
 }
 
 // ---------------------------------------------------------------------

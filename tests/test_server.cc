@@ -10,11 +10,14 @@
  */
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <gtest/gtest.h>
+#include <memory>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "api/plan.h"
@@ -296,6 +299,282 @@ TEST(Server, BatchedReleaseCancelsQueuedTicketWithoutWedgingTheLoop)
     EXPECT_EQ(server.wait(kept).tokens.size(), 4u);
     EXPECT_EQ(server.cancelled(), 1);
     EXPECT_EQ(server.completed(), 3);
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Hot model swap
+// ---------------------------------------------------------------------
+
+/** Serial per-artifact reference outputs for @p requests. */
+std::vector<std::vector<int64_t>>
+serialWant(std::shared_ptr<const serve::ArtifactReader> reader,
+           const std::vector<serve::Server::Request> &requests)
+{
+    serve::InferenceEngine engine(std::move(reader));
+    std::vector<std::vector<int64_t>> out;
+    for (const auto &r : requests) {
+        out.push_back(engine.generate(r).tokens);
+    }
+    return out;
+}
+
+TEST(Server, ThreadedHotSwapIsPerGenerationBitExactAndReleasesOldMap)
+{
+    std::string path_a = savedArtifact("edkm", "swap_a");
+    std::string path_b = savedArtifact("rtn", "swap_b");
+    auto reader_a = serve::ArtifactReader::open(path_a);
+    auto reader_b = serve::ArtifactReader::open(path_b);
+    std::weak_ptr<const serve::ArtifactReader> old_map = reader_a;
+
+    std::vector<serve::Server::Request> requests = requestMix(12, 61);
+    std::vector<std::vector<int64_t>> want_a =
+        serialWant(reader_a, requests);
+    std::vector<std::vector<int64_t>> want_b =
+        serialWant(reader_b, requests);
+
+    serve::ServerConfig cfg;
+    cfg.threads = 4;
+    serve::Server server(std::move(reader_a), cfg);
+    EXPECT_EQ(server.generation(), 0);
+
+    std::vector<serve::Server::RequestId> ids_a =
+        server.submit(requests);
+    server.swap(reader_b); // drains generation 0 before returning
+    EXPECT_EQ(server.generation(), 1);
+    std::vector<serve::Server::RequestId> ids_b =
+        server.submit(requests);
+
+    // No ticket dropped, every ticket bit-identical to serial serving
+    // of the artifact generation it was stamped with.
+    std::vector<serve::Server::Response> got_a = server.wait(ids_a);
+    std::vector<serve::Server::Response> got_b = server.wait(ids_b);
+    for (size_t i = 0; i < requests.size(); ++i) {
+        EXPECT_EQ(got_a[i].tokens, want_a[i]) << "gen 0 request " << i;
+        EXPECT_EQ(got_b[i].tokens, want_b[i]) << "gen 1 request " << i;
+        EXPECT_EQ(server.requestStats(ids_a[i]).generation, 0);
+        EXPECT_EQ(server.requestStats(ids_b[i]).generation, 1);
+    }
+    server.release(ids_a);
+    server.release(ids_b);
+
+    // With the generation-0 tickets released and every engine rebuilt,
+    // nothing pins the old mapping any more.
+    EXPECT_TRUE(old_map.expired());
+    std::string json = server.metricsJson();
+    EXPECT_NE(json.find("\"generation\": 1"), std::string::npos);
+    std::remove(path_a.c_str());
+    std::remove(path_b.c_str());
+}
+
+// Swap-safety hammer: submissions race hot swaps in both modes; every
+// ticket must complete (zero drops) and match the serial reference of
+// the generation it reports — never a mix.
+TEST(Server, SwapHammerSubmissionsRaceSwapsWithoutDropsOrMixing)
+{
+    std::string path_a = savedArtifact("edkm", "hammer_a");
+    std::string path_b = savedArtifact("rtn", "hammer_b");
+    auto reader_a = serve::ArtifactReader::open(path_a);
+    auto reader_b = serve::ArtifactReader::open(path_b);
+
+    std::vector<serve::Server::Request> requests = requestMix(8, 67);
+    std::vector<std::vector<int64_t>> want[2] = {
+        serialWant(reader_a, requests), serialWant(reader_b, requests)};
+
+    serve::ServerConfig threaded;
+    threaded.threads = 4;
+    serve::ServerConfig batched;
+    batched.batched = true;
+    batched.scheduler.maxBatch = 3;
+    batched.scheduler.prefixCacheBytes = 1 << 20;
+
+    for (const serve::ServerConfig &cfg : {threaded, batched}) {
+        serve::Server server(reader_a, cfg);
+        std::vector<serve::Server::RequestId> ids;
+        std::thread swapper([&] {
+            // Generations 1..3 alternate B, A, B while submissions run.
+            for (int g = 1; g <= 3; ++g) {
+                server.swap(g % 2 == 1 ? reader_b : reader_a);
+            }
+        });
+        for (int pass = 0; pass < 6; ++pass) {
+            for (const auto &id : server.submit(requests)) {
+                ids.push_back(id);
+            }
+        }
+        swapper.join();
+        ASSERT_EQ(server.generation(), 3);
+
+        for (size_t i = 0; i < ids.size(); ++i) {
+            serve::Server::Response got = server.wait(ids[i]); // no drop
+            serve::Server::RequestStats st =
+                server.requestStats(ids[i]);
+            ASSERT_GE(st.generation, 0);
+            ASSERT_LE(st.generation, 3);
+            // Even generation -> artifact A, odd -> artifact B.
+            EXPECT_EQ(got.tokens,
+                      want[st.generation % 2][i % requests.size()])
+                << (cfg.batched ? "batched" : "threaded") << " ticket "
+                << i << " generation " << st.generation;
+        }
+        EXPECT_EQ(server.completed(),
+                  static_cast<int64_t>(ids.size()));
+    }
+    std::remove(path_a.c_str());
+    std::remove(path_b.c_str());
+}
+
+TEST(Server, BatchedHotSwapDrainsInFlightAndFlushesThePrefixCache)
+{
+    std::string path_a = savedArtifact("edkm", "bswap_a");
+    std::string path_b = savedArtifact("rtn", "bswap_b");
+    auto reader_a = serve::ArtifactReader::open(path_a);
+    auto reader_b = serve::ArtifactReader::open(path_b);
+
+    // Shared prompt heads so the prefix cache banks entries that the
+    // swap must flush (artifact-A KV rows never seed artifact-B).
+    std::vector<serve::Server::Request> requests;
+    for (int i = 0; i < 8; ++i) {
+        serve::Server::Request r;
+        r.prompt = {3, 3, 3, 3, 3, static_cast<int64_t>(i)};
+        r.maxNewTokens = 4;
+        requests.push_back(std::move(r));
+    }
+    std::vector<std::vector<int64_t>> want_a =
+        serialWant(reader_a, requests);
+    std::vector<std::vector<int64_t>> want_b =
+        serialWant(reader_b, requests);
+
+    serve::ServerConfig cfg;
+    cfg.batched = true;
+    cfg.scheduler.maxBatch = 4;
+    cfg.scheduler.prefixCacheBytes = 1 << 20;
+    serve::Server server(reader_a, cfg);
+
+    std::vector<serve::Server::RequestId> ids_a =
+        server.submit(requests);
+    server.swap(reader_b);
+    std::vector<serve::Server::RequestId> ids_b =
+        server.submit(requests);
+
+    std::vector<serve::Server::Response> got_a = server.wait(ids_a);
+    std::vector<serve::Server::Response> got_b = server.wait(ids_b);
+    for (size_t i = 0; i < requests.size(); ++i) {
+        EXPECT_EQ(got_a[i].tokens, want_a[i]) << "gen 0 request " << i;
+        EXPECT_EQ(got_b[i].tokens, want_b[i]) << "gen 1 request " << i;
+    }
+    // The scheduler snapshot records the generation flush.
+    std::string json = server.metricsJson();
+    EXPECT_NE(json.find("\"generation\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"generation_flushes\""), std::string::npos);
+    std::remove(path_a.c_str());
+    std::remove(path_b.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Deadlines, cancellation, latency metrics
+// ---------------------------------------------------------------------
+
+TEST(Server, TypedDeadlineAndCancelErrorsSurfaceFromWait)
+{
+    std::string path = savedArtifact("rtn", "typed");
+    auto reader = serve::ArtifactReader::open(path);
+
+    serve::ServerConfig threaded;
+    threaded.threads = 2;
+    serve::ServerConfig batched;
+    batched.batched = true;
+    for (const serve::ServerConfig &cfg : {threaded, batched}) {
+        serve::Server server(reader, cfg);
+
+        serve::Server::Request late({1, 2, 3}, 5);
+        late.deadline = std::chrono::steady_clock::now() -
+                        std::chrono::milliseconds(1);
+        EXPECT_THROW(server.wait(server.submit(std::move(late))),
+                     serve::DeadlineExceeded);
+
+        serve::Server::Request dead({4, 5}, 5);
+        dead.cancel = std::make_shared<serve::CancelToken>();
+        dead.cancel->requestCancel();
+        EXPECT_THROW(server.wait(server.submit(std::move(dead))),
+                     serve::Cancelled);
+
+        // The server keeps serving afterwards.
+        EXPECT_EQ(server.wait(server.submit({{6}, 2})).tokens.size(),
+                  3u);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Server, ReleaseCancelsInFlightTicketsAndFreesTheirSlots)
+{
+    std::string path = savedArtifact("rtn", "inflight");
+    auto reader = serve::ArtifactReader::open(path);
+
+    // Batched, maxBatch 2: FIFO admission means `longrun` is in a slot
+    // once `quick` has completed. release() of the in-flight ticket
+    // must evict it between steps and hand its slot to `next`.
+    serve::ServerConfig cfg;
+    cfg.batched = true;
+    cfg.scheduler.maxBatch = 2;
+    serve::Server server(reader, cfg);
+    serve::Server::Request want_next({11, 12}, 3);
+
+    serve::Server::RequestId longrun =
+        server.submit({{1, 2, 3}, 2000});
+    serve::Server::RequestId quick = server.submit({{4, 5}, 2});
+    EXPECT_EQ(server.wait(quick).tokens.size(), 4u);
+
+    server.release(longrun); // in flight: cancelled, slot freed
+    EXPECT_THROW(server.wait(longrun), FatalError); // record gone
+
+    serve::Server::RequestId next = server.submit(want_next);
+    EXPECT_EQ(server.wait(next).tokens.size(), 5u);
+    std::string json = server.metricsJson();
+    EXPECT_NE(json.find("\"released\": 1"), std::string::npos);
+
+    // Threaded: an in-flight release interrupts the engine mid-ticket.
+    serve::ServerConfig tcfg;
+    tcfg.threads = 1;
+    serve::Server tserver(reader, tcfg);
+    serve::Server::RequestId busy = tserver.submit({{1}, 2000});
+    tserver.release(busy);
+    EXPECT_THROW(tserver.wait(busy), FatalError);
+    EXPECT_EQ(tserver.wait(tserver.submit({{2, 3}, 1})).tokens.size(),
+              3u);
+    std::remove(path.c_str());
+}
+
+TEST(Server, MetricsJsonCarriesLatencyHistogramsAndQueueWaitStats)
+{
+    std::string path = savedArtifact("fp16", "latency");
+    auto reader = serve::ArtifactReader::open(path);
+
+    serve::ServerConfig threaded;
+    threaded.threads = 2;
+    serve::ServerConfig batched;
+    batched.batched = true;
+    batched.scheduler.maxBatch = 2;
+    for (const serve::ServerConfig &cfg : {threaded, batched}) {
+        serve::Server server(reader, cfg);
+        std::vector<serve::Server::RequestId> ids =
+            server.submit(requestMix(8, 71, /*min_new=*/1));
+        server.wait(ids);
+        for (serve::Server::RequestId id : ids) {
+            serve::Server::RequestStats st = server.requestStats(id);
+            EXPECT_GE(st.queueMillis, 0.0);
+            EXPECT_GE(st.millis, 0.0);
+        }
+        std::string json = server.metricsJson();
+        for (const char *key :
+             {"\"latency\"", "\"queue_wait\"", "\"e2e\"", "\"p50_ms\"",
+              "\"p95_ms\"", "\"p99_ms\"", "\"count\": 8",
+              "\"buckets\""}) {
+            EXPECT_NE(json.find(key), std::string::npos)
+                << (cfg.batched ? "batched" : "threaded") << " missing "
+                << key;
+        }
+    }
     std::remove(path.c_str());
 }
 
