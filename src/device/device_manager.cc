@@ -27,7 +27,7 @@ void
 DeviceManager::recordAlloc(Device dev, int64_t bytes)
 {
     EDKM_ASSERT(bytes >= 0, "negative allocation");
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     MemoryStats &s = statsFor(dev);
     s.currentBytes += bytes;
     s.peakBytes = std::max(s.peakBytes, s.currentBytes);
@@ -40,7 +40,7 @@ DeviceManager::recordAlloc(Device dev, int64_t bytes)
 void
 DeviceManager::recordFree(Device dev, int64_t bytes)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     MemoryStats &s = statsFor(dev);
     s.currentBytes -= bytes;
     s.totalFrees += 1;
@@ -51,7 +51,7 @@ DeviceManager::recordFree(Device dev, int64_t bytes)
 void
 DeviceManager::recordTransfer(Device src, Device dst, int64_t bytes)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (src.isGpu() && dst.isCpu()) {
         ledger_.d2hTransactions += 1;
         ledger_.d2hBytes += bytes;
@@ -71,21 +71,21 @@ DeviceManager::recordTransfer(Device src, Device dst, int64_t bytes)
 void
 DeviceManager::recordComputeSeconds(double secs)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     compute_seconds_ += secs;
 }
 
 void
 DeviceManager::recordExtraSeconds(double secs)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     extra_seconds_ += secs;
 }
 
 MemoryStats
 DeviceManager::stats(Device dev) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     size_t key = static_cast<size_t>(dev.key());
     if (per_device_.size() <= key) {
         return MemoryStats{};
@@ -96,21 +96,21 @@ DeviceManager::stats(Device dev) const
 TransferLedger
 DeviceManager::ledger() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     return ledger_;
 }
 
 double
 DeviceManager::simulatedSeconds() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     return compute_seconds_ + transfer_seconds_ + extra_seconds_;
 }
 
 void
 DeviceManager::setCapacity(Device dev, int64_t bytes)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     MemoryStats &s = statsFor(dev);
     s.capacityBytes = bytes;
     s.capacityExceeded =
@@ -120,7 +120,7 @@ DeviceManager::setCapacity(Device dev, int64_t bytes)
 void
 DeviceManager::resetStats()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     for (MemoryStats &s : per_device_) {
         s.peakBytes = s.currentBytes;
         s.totalAllocs = 0;
@@ -137,7 +137,7 @@ DeviceManager::resetStats()
 void
 DeviceManager::resetAll()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     for (MemoryStats &s : per_device_) {
         s.peakBytes = s.currentBytes;
         s.totalAllocs = 0;

@@ -8,10 +8,10 @@
 #define EDKM_DEVICE_DEVICE_MANAGER_H_
 
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 #include "device/device.h"
+#include "util/thread_annotations.h"
 
 namespace edkm {
 
@@ -130,15 +130,22 @@ class DeviceManager
   private:
     DeviceManager() = default;
 
-    MemoryStats &statsFor(Device dev);
+    /** Slot for @p dev, growing the table on first sight. Callers hold
+     *  mutex_ (enforced: the returned reference aliases guarded
+     *  state). */
+    MemoryStats &statsFor(Device dev) EDKM_REQUIRES(mutex_);
 
-    mutable std::mutex mutex_;
-    std::vector<MemoryStats> per_device_;
-    TransferLedger ledger_;
+    mutable util::Mutex mutex_;
+    std::vector<MemoryStats> per_device_ EDKM_GUARDED_BY(mutex_);
+    TransferLedger ledger_ EDKM_GUARDED_BY(mutex_);
+    /** Deliberately NOT guarded: costModel() hands out a bare mutable
+     *  reference under the documented set-up-before-the-experiment
+     *  contract (no recording runs concurrently with tuning). Reads on
+     *  the recording paths happen under mutex_ anyway. */
     CostModel cost_model_;
-    double compute_seconds_ = 0.0;
-    double extra_seconds_ = 0.0;
-    double transfer_seconds_ = 0.0;
+    double compute_seconds_ EDKM_GUARDED_BY(mutex_) = 0.0;
+    double extra_seconds_ EDKM_GUARDED_BY(mutex_) = 0.0;
+    double transfer_seconds_ EDKM_GUARDED_BY(mutex_) = 0.0;
 };
 
 /**

@@ -103,6 +103,14 @@ struct MarshalStats
  * Saved-tensor hook pair implementing eDKM's marshaling. Install around a
  * forward pass with SavedTensorHooksGuard; must outlive the backward pass
  * of every graph built while installed.
+ *
+ * Thread model: single-owner. One thread drives pack()/unpack()/sync();
+ * registry bookkeeping is never touched concurrently. The only
+ * cross-thread traffic is the async offload copies themselves, which
+ * run on the runtime pool and synchronise with the owner exclusively
+ * through the entry futures in `pending_` (future::get is the
+ * happens-before edge) — hence no mutex, and nothing here is annotated
+ * with GUARDED_BY.
  */
 class MarshalContext : public SavedTensorHooks
 {

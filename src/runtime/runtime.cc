@@ -49,7 +49,7 @@ Runtime::instance()
 std::shared_ptr<ThreadPool>
 Runtime::pool()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     return pool_;
 }
 
@@ -65,7 +65,7 @@ Runtime::setThreadCount(int threads)
     auto next = std::make_shared<ThreadPool>(std::max(1, threads));
     std::shared_ptr<ThreadPool> old;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        util::MutexLock lock(mutex_);
         old = std::move(pool_);
         pool_ = std::move(next);
     }

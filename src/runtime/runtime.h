@@ -28,11 +28,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <utility>
 #include <vector>
 
 #include "runtime/thread_pool.h"
+#include "util/thread_annotations.h"
 
 namespace edkm {
 namespace runtime {
@@ -71,8 +71,8 @@ class Runtime
   private:
     Runtime();
 
-    std::mutex mutex_;
-    std::shared_ptr<ThreadPool> pool_;
+    util::Mutex mutex_;
+    std::shared_ptr<ThreadPool> pool_ EDKM_GUARDED_BY(mutex_);
 };
 
 /**

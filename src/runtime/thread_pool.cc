@@ -28,9 +28,9 @@ struct ThreadPool::ForState
     std::atomic<int64_t> done{0}; ///< chunks executed or skipped
     std::atomic<bool> failed{false};
 
-    std::mutex mutex;
-    std::condition_variable cv;
-    std::exception_ptr error; ///< guarded by mutex
+    util::Mutex mutex;
+    util::CondVar cv;
+    std::exception_ptr error EDKM_GUARDED_BY(mutex);
 
     /** Claim-and-run loop shared by the caller and the runner jobs. */
     void
@@ -48,7 +48,7 @@ struct ThreadPool::ForState
                     body(ci, b, e);
                 } catch (...) {
                     {
-                        std::lock_guard<std::mutex> lock(mutex);
+                        util::MutexLock lock(mutex);
                         if (!error) {
                             error = std::current_exception();
                         }
@@ -58,7 +58,7 @@ struct ThreadPool::ForState
             }
             if (done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
                 total) {
-                std::lock_guard<std::mutex> lock(mutex);
+                util::MutexLock lock(mutex);
                 cv.notify_all();
             }
         }
@@ -85,7 +85,7 @@ ThreadPool::ThreadPool(int threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        util::MutexLock lock(mutex_);
         stop_ = true;
     }
     cv_.notify_all();
@@ -106,8 +106,13 @@ ThreadPool::workerLoop()
     for (;;) {
         std::function<void()> job;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            cv_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
+            util::MutexLock lock(mutex_);
+            // Explicit predicate loop (not a wait-with-lambda): the
+            // analysis checks the guarded reads right here, under the
+            // lock it can see held.
+            while (!stop_ && jobs_.empty()) {
+                cv_.wait(mutex_);
+            }
             if (jobs_.empty()) {
                 return; // stop_ and drained
             }
@@ -160,7 +165,7 @@ ThreadPool::forChunks(int64_t begin, int64_t end, int64_t grain,
     int64_t runners = std::min<int64_t>(
         static_cast<int64_t>(workers_.size()), nchunks - 1);
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        util::MutexLock lock(mutex_);
         for (int64_t i = 0; i < runners; ++i) {
             jobs_.emplace_back([st] { st->drain(); });
         }
@@ -173,10 +178,10 @@ ThreadPool::forChunks(int64_t begin, int64_t end, int64_t grain,
 
     st->drain();
 
-    std::unique_lock<std::mutex> lock(st->mutex);
-    st->cv.wait(lock, [&] {
-        return st->done.load(std::memory_order_acquire) == st->total;
-    });
+    util::MutexLock lock(st->mutex);
+    while (st->done.load(std::memory_order_acquire) != st->total) {
+        st->cv.wait(st->mutex);
+    }
     if (st->error) {
         std::rethrow_exception(st->error);
     }
@@ -205,7 +210,7 @@ ThreadPool::submit(std::function<void()> job)
         return fut;
     }
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        util::MutexLock lock(mutex_);
         jobs_.emplace_back(std::move(wrapped));
     }
     cv_.notify_one();

@@ -24,14 +24,14 @@
 #ifndef EDKM_RUNTIME_THREAD_POOL_H_
 #define EDKM_RUNTIME_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace edkm {
 namespace runtime {
@@ -90,11 +90,13 @@ class ThreadPool
 
     void workerLoop();
 
+    /** Written only by the constructor, joined by the destructor;
+     *  in between it is read-only (threadCount), so unguarded. */
     std::vector<std::thread> workers_;
-    std::mutex mutex_;
-    std::condition_variable cv_;
-    std::deque<std::function<void()>> jobs_;
-    bool stop_ = false;
+    util::Mutex mutex_;
+    util::CondVar cv_;
+    std::deque<std::function<void()>> jobs_ EDKM_GUARDED_BY(mutex_);
+    bool stop_ EDKM_GUARDED_BY(mutex_) = false;
 };
 
 } // namespace runtime

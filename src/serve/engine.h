@@ -42,8 +42,6 @@
 #include <unordered_map>
 #include <vector>
 
-#include "util/logging.h"
-
 #include "autograd/variable.h"
 #include "core/palettize.h"
 #include "nn/transformer.h"

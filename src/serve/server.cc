@@ -24,7 +24,7 @@ millisSince(std::chrono::steady_clock::time_point t0)
 
 Server::Server(std::shared_ptr<const ArtifactReader> reader,
                ServerConfig config)
-    : reader_(std::move(reader)), config_(config)
+    : config_(config), reader_(std::move(reader))
 {
     EDKM_CHECK(reader_ != nullptr, "Server: null reader");
     if (config_.batched) {
@@ -36,6 +36,8 @@ Server::Server(std::shared_ptr<const ArtifactReader> reader,
         scheduler_ = std::make_unique<BatchScheduler>(
             *engines_.front(), config_.scheduler);
         sched_json_ = scheduler_->statsJson();
+        // lint:allow(raw-thread) the dedicated step loop (see the
+        // matching note on the loop_ member).
         loop_ = std::thread([this] { batchLoop(); });
         return;
     }
@@ -63,7 +65,7 @@ Server::~Server()
         // slot is in flight, so every submitted ticket completes (or
         // was cancelled by release()) before the members die.
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            util::MutexLock lock(mutex_);
             stop_ = true;
         }
         cv_.notify_all();
@@ -77,15 +79,17 @@ Server::~Server()
 void
 Server::batchLoop()
 {
-    std::unique_lock<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     for (;;) {
         // Sleep only when idle: while a slot is in flight (or a swap
         // awaits its cutover) the predicate stays true and the loop
-        // keeps stepping without waiting.
-        cv_.wait(lock, [this] {
-            return stop_ || !queue_.empty() || scheduler_->busy() ||
-                   loop_gen_ < gen_;
-        });
+        // keeps stepping without waiting. Spelled as an explicit
+        // predicate loop so the guarded reads are checked under the
+        // lock the analysis sees held.
+        while (!(stop_ || !queue_.empty() || scheduler_->busy() ||
+                 loop_gen_ < gen_)) {
+            cv_.wait(mutex_);
+        }
         if (stop_ && queue_.empty() && !scheduler_->busy()) {
             break;
         }
@@ -162,7 +166,7 @@ Server::batchLoop()
                     }
                     raw->reader.reset(); // drop the mapping pin
                     {
-                        std::lock_guard<std::mutex> inner(mutex_);
+                        util::MutexLock inner(mutex_);
                         ++completed_;
                         e2e_hist_.record(millisSince(raw->submitted));
                     }
@@ -194,7 +198,7 @@ Server::batchLoop()
 int
 Server::checkoutEngine()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     // At most `threads` jobs run concurrently (one per pool worker), so
     // an engine is always free when a job starts.
     EDKM_CHECK(!free_.empty(),
@@ -208,7 +212,7 @@ Server::checkoutEngine()
 void
 Server::checkinEngine(int idx)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     free_.push_back(idx);
 }
 
@@ -216,7 +220,7 @@ void
 Server::run(Record &rec)
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        util::MutexLock lock(mutex_);
         rec.stats.queueMillis = millisSince(rec.submitted);
         queue_wait_hist_.record(rec.stats.queueMillis);
     }
@@ -236,7 +240,7 @@ Server::run(Record &rec)
             rec->stats.millis = millisSince(t0);
             rec->reader.reset(); // drop the ticket's mapping pin
             server->checkinEngine(idx);
-            std::lock_guard<std::mutex> lock(server->mutex_);
+            util::MutexLock lock(server->mutex_);
             ++server->completed_;
             server->e2e_hist_.record(millisSince(rec->submitted));
         }
@@ -248,11 +252,19 @@ Server::run(Record &rec)
     // against, or back for a straggler submitted before a swap. The
     // index is checked out exclusively, so the slot is ours to rebuild;
     // building into a temporary keeps the old engine intact if the
-    // constructor throws.
-    if (engine_gen_[static_cast<size_t>(idx)] != rec.generation) {
+    // constructor throws. The generation stamps live under mutex_
+    // (swap() scans them), so they are read and written under short
+    // holds, with the expensive engine build in between unlocked.
+    int64_t slot_gen;
+    {
+        util::MutexLock lock(mutex_);
+        slot_gen = engine_gen_[static_cast<size_t>(idx)];
+    }
+    if (slot_gen != rec.generation) {
         auto fresh = std::make_unique<InferenceEngine>(rec.reader,
                                                        config_.engine);
         engines_[static_cast<size_t>(idx)] = std::move(fresh);
+        util::MutexLock lock(mutex_);
         engine_gen_[static_cast<size_t>(idx)] = rec.generation;
     }
 
@@ -286,7 +298,7 @@ Server::submit(Request request)
         rec->queued = true;
         RequestId id;
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            util::MutexLock lock(mutex_);
             id = next_id_++;
             rec->stats.id = id;
             rec->generation = gen_;
@@ -302,7 +314,7 @@ Server::submit(Request request)
     }
     RequestId id;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        util::MutexLock lock(mutex_);
         id = next_id_++;
         rec->stats.id = id;
         rec->generation = gen_;
@@ -332,7 +344,7 @@ Server::submit(std::vector<Request> batch)
 std::shared_future<void>
 Server::ticket(RequestId id) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     auto it = records_.find(id);
     EDKM_CHECK(it != records_.end(), "Server: unknown request id ", id);
     return it->second->done;
@@ -346,7 +358,7 @@ Server::wait(RequestId id)
     // erases the Record, and reading it unlocked after done.get()
     // would be a use-after-free.
     ticket(id).get(); // blocks; rethrows the request's exception
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     auto it = records_.find(id);
     EDKM_CHECK(it != records_.end(), "Server: request ", id,
                " was released while being waited on");
@@ -368,7 +380,7 @@ Server::RequestStats
 Server::requestStats(RequestId id) const
 {
     ticket(id).wait();
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     auto it = records_.find(id);
     EDKM_CHECK(it != records_.end(), "Server: request ", id,
                " was released while its stats were being read");
@@ -383,7 +395,7 @@ Server::release(RequestId id)
     // ticket is a no-op, so concurrent reapers need no coordination.
     std::shared_future<void> done;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        util::MutexLock lock(mutex_);
         auto it = records_.find(id);
         if (it == records_.end()) {
             return;
@@ -417,7 +429,7 @@ Server::release(RequestId id)
     }
     cv_.notify_all(); // wake the step loop to run the eviction
     done.wait();
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     records_.erase(id);
 }
 
@@ -440,16 +452,16 @@ Server::swap(std::shared_ptr<const ArtifactReader> next)
     auto probe =
         std::make_unique<InferenceEngine>(next, config_.engine);
     if (config_.batched) {
-        std::unique_lock<std::mutex> lock(mutex_);
+        util::MutexLock lock(mutex_);
         reader_ = next;
         int64_t target = ++gen_;
         // The probe becomes the loop's next engine: the cutover path
         // never needs a throwing construction.
         pending_engines_.emplace(target, std::move(probe));
         cv_.notify_all();
-        cv_.wait(lock, [this, target] {
-            return loop_gen_ >= target || loop_done_;
-        });
+        while (!(loop_gen_ >= target || loop_done_)) {
+            cv_.wait(mutex_);
+        }
         EDKM_CHECK(loop_gen_ >= target,
                    "Server: step loop stopped before the swap to "
                    "generation ",
@@ -459,11 +471,13 @@ Server::swap(std::shared_ptr<const ArtifactReader> next)
     int64_t target;
     std::vector<std::shared_future<void>> drain;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        util::MutexLock lock(mutex_);
         reader_ = next;
         target = ++gen_;
         // New submissions are stamped `target` from here on; collect
         // every older ticket (completed ones resolve instantly).
+        // lint:allow(unordered-iteration) collection order is
+        // irrelevant — every collected future is waited on below.
         for (const auto &entry : records_) {
             if (entry.second->generation < target) {
                 drain.push_back(entry.second->done);
@@ -479,7 +493,7 @@ Server::swap(std::shared_ptr<const ArtifactReader> next)
     // reader's only remaining pins are not-yet-released records.
     // Checked-out engines belong to newer-generation tickets (all
     // older ones just drained) and already rebuilt at checkout.
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     for (int idx : free_) {
         if (engine_gen_[static_cast<size_t>(idx)] == gen_) {
             continue;
@@ -501,7 +515,7 @@ Server::swap(std::shared_ptr<const ArtifactReader> next)
 int64_t
 Server::generation() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     return gen_;
 }
 
@@ -517,14 +531,14 @@ Server::engineStats(int i) const
 int64_t
 Server::completed() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     return completed_;
 }
 
 int64_t
 Server::cancelled() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     return cancelled_;
 }
 
@@ -536,7 +550,7 @@ Server::metricsJson() const
     {
         // Snapshot everything under one hold — counters, histograms
         // and the scheduler block are mutually consistent.
-        std::lock_guard<std::mutex> lock(mutex_);
+        util::MutexLock lock(mutex_);
         depth = static_cast<int64_t>(queue_.size());
         peak = peak_queue_;
         cancelled = cancelled_;

@@ -54,13 +54,11 @@
 #define EDKM_SERVE_SERVER_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -71,6 +69,7 @@
 #include "serve/reader.h"
 #include "serve/scheduler.h"
 #include "util/histogram.h"
+#include "util/thread_annotations.h"
 
 namespace edkm {
 namespace serve {
@@ -227,49 +226,66 @@ class Server
     };
 
     void run(Record &rec);
-    int checkoutEngine();
-    void checkinEngine(int idx);
+    int checkoutEngine() EDKM_EXCLUDES(mutex_);
+    void checkinEngine(int idx) EDKM_EXCLUDES(mutex_);
     /** Batched-mode step loop (dedicated thread). */
-    void batchLoop();
+    void batchLoop() EDKM_EXCLUDES(mutex_);
     /** Completion future of @p id (copied out under the lock; safe to
      *  block on while release() erases the record). */
-    std::shared_future<void> ticket(RequestId id) const;
+    std::shared_future<void> ticket(RequestId id) const
+        EDKM_EXCLUDES(mutex_);
 
-    std::shared_ptr<const ArtifactReader> reader_; ///< current artifact
     ServerConfig config_;
+    /** Engine instances. NOT guarded by mutex_ on purpose: each index
+     *  is owned exclusively — threaded mode by whichever job checked
+     *  the index out of free_ (at most one at a time), batched mode by
+     *  the step loop (index 0 only, rebuilt at the generation cutover
+     *  while it alone runs). engineStats() reads are documented as
+     *  only meaningful while idle. */
     std::vector<std::unique_ptr<InferenceEngine>> engines_;
 
-    mutable std::mutex mutex_; ///< guards free_, records_, queue_, counters
-    std::vector<int> free_;    ///< engine indices not currently serving
+    mutable util::Mutex mutex_;
+    /** Artifact new submissions pin (swap() repoints it). */
+    std::shared_ptr<const ArtifactReader> reader_ EDKM_GUARDED_BY(mutex_);
+    std::vector<int> free_ EDKM_GUARDED_BY(mutex_); ///< idle engine slots
     /** Threaded: generation engines_[i] was built against; a checkout
      *  whose ticket is newer rebuilds the engine from the ticket's
      *  reader first. */
-    std::vector<int64_t> engine_gen_;
-    std::unordered_map<RequestId, std::unique_ptr<Record>> records_;
-    RequestId next_id_ = 1;
-    int64_t gen_ = 0; ///< generation new submissions are stamped with
-    int64_t completed_ = 0;
-    /** Submit-to-start and submit-to-completion latencies (ms),
-     *  recorded under mutex_. */
-    LatencyHistogram queue_wait_hist_;
-    LatencyHistogram e2e_hist_;
+    std::vector<int64_t> engine_gen_ EDKM_GUARDED_BY(mutex_);
+    std::unordered_map<RequestId, std::unique_ptr<Record>> records_
+        EDKM_GUARDED_BY(mutex_);
+    RequestId next_id_ EDKM_GUARDED_BY(mutex_) = 1;
+    /** Generation new submissions are stamped with. */
+    int64_t gen_ EDKM_GUARDED_BY(mutex_) = 0;
+    int64_t completed_ EDKM_GUARDED_BY(mutex_) = 0;
+    /** Submit-to-start and submit-to-completion latencies (ms). */
+    LatencyHistogram queue_wait_hist_ EDKM_GUARDED_BY(mutex_);
+    LatencyHistogram e2e_hist_ EDKM_GUARDED_BY(mutex_);
 
-    // Batched mode. The scheduler (and its engine) is touched only by
-    // loop_; the queue and flags below are shared under mutex_.
+    // Batched mode. The scheduler object (and its engine) is stepped
+    // only by loop_ with mutex_ released; the queue and flags below are
+    // shared under mutex_.
     std::unique_ptr<BatchScheduler> scheduler_;
-    std::deque<RequestId> queue_; ///< submitted, not yet admitted
-    std::condition_variable cv_;  ///< wakes the loop: submit/swap/stop
-    bool stop_ = false;
-    bool loop_done_ = false; ///< loop exited (unblocks waiting swaps)
-    int64_t loop_gen_ = 0;   ///< generation the step loop is serving
+    /** Submitted, not yet admitted. */
+    std::deque<RequestId> queue_ EDKM_GUARDED_BY(mutex_);
+    util::CondVar cv_; ///< wakes the loop: submit/swap/stop
+    bool stop_ EDKM_GUARDED_BY(mutex_) = false;
+    /** Loop exited (unblocks waiting swaps). */
+    bool loop_done_ EDKM_GUARDED_BY(mutex_) = false;
+    /** Generation the step loop is serving. */
+    int64_t loop_gen_ EDKM_GUARDED_BY(mutex_) = 0;
     /** Engines probe-built by swap(), installed by the loop at the
      *  generation cutover (keyed by target generation). */
-    std::map<int64_t, std::unique_ptr<InferenceEngine>> pending_engines_;
-    int64_t cancelled_ = 0;
-    int64_t peak_queue_ = 0;
+    std::map<int64_t, std::unique_ptr<InferenceEngine>> pending_engines_
+        EDKM_GUARDED_BY(mutex_);
+    int64_t cancelled_ EDKM_GUARDED_BY(mutex_) = 0;
+    int64_t peak_queue_ EDKM_GUARDED_BY(mutex_) = 0;
     /** Scheduler stats snapshot, published by the loop under mutex_
      *  after each step so metricsJson() never races the step loop. */
-    std::string sched_json_;
+    std::string sched_json_ EDKM_GUARDED_BY(mutex_);
+    // lint:allow(raw-thread) the batched mode's dedicated step loop:
+    // deliberately NOT a pool worker, so engine-internal parallelFor
+    // still fans out across the runtime pool (see batchLoop()).
     std::thread loop_;
 
     /**

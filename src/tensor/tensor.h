@@ -63,6 +63,8 @@ class Tensor
                        Device dev = Device::cpu());
 
     /** Uniform [0,1) random, seeded by @p rng. */
+    // lint:allow(raw-rng) declaration of the seeded factory itself —
+    // every call site must pass an explicit util Rng.
     static Tensor rand(Shape shape, Rng &rng, Device dev = Device::cpu());
 
     /** Standard-normal random, seeded by @p rng. */

@@ -2,14 +2,16 @@
 
 #include <atomic>
 #include <iostream>
-#include <mutex>
+
+#include "util/thread_annotations.h"
 
 namespace edkm {
 
 namespace {
 
 std::atomic<LogLevel> g_threshold{LogLevel::kInfo};
-std::mutex g_log_mutex;
+/** Serializes stderr emission only; no fields are guarded by it. */
+util::Mutex g_log_mutex;
 
 const char *
 levelName(LogLevel level)
@@ -44,7 +46,7 @@ logMessage(LogLevel level, const std::string &msg)
         static_cast<int>(g_threshold.load(std::memory_order_relaxed))) {
         return;
     }
-    std::lock_guard<std::mutex> lock(g_log_mutex);
+    util::MutexLock lock(g_log_mutex);
     std::cerr << "[edkm:" << levelName(level) << "] " << msg << "\n";
 }
 

@@ -1,0 +1,36 @@
+// Control fixture for guarded_by_violation.cc: the same class with the
+// read correctly under the lock. Must compile everywhere, including
+// under clang with -Werror=thread-safety — proving the negative test
+// fails because of the violation, not because the fixture's includes or
+// flags are broken.
+#include "util/thread_annotations.h"
+
+class Counter
+{
+  public:
+    void
+    bump()
+    {
+        edkm::util::MutexLock lock(mu_);
+        ++value_;
+    }
+
+    long
+    readLocked() const
+    {
+        edkm::util::MutexLock lock(mu_);
+        return value_;
+    }
+
+  private:
+    mutable edkm::util::Mutex mu_;
+    long value_ EDKM_GUARDED_BY(mu_) = 0;
+};
+
+int
+main()
+{
+    Counter c;
+    c.bump();
+    return static_cast<int>(c.readLocked());
+}

@@ -1,0 +1,39 @@
+// Negative-compile fixture: reading a GUARDED_BY field without holding
+// its mutex MUST fail under clang with -Werror=thread-safety. CMake
+// proves this at configure time (the armed analysis rejects it) and a
+// WILL_FAIL ctest entry re-proves it on every test run. If this file
+// ever compiles with the analysis armed, the annotations have gone
+// inert — that is the failure the fixture exists to catch.
+//
+// Under GCC (annotations expand to nothing) it compiles fine, which is
+// why the checks are clang-gated.
+#include "util/thread_annotations.h"
+
+class Counter
+{
+  public:
+    void
+    bump()
+    {
+        edkm::util::MutexLock lock(mu_);
+        ++value_;
+    }
+
+    long
+    readUnlocked() const
+    {
+        return value_; // BAD: no lock held — TSA must reject this read
+    }
+
+  private:
+    mutable edkm::util::Mutex mu_;
+    long value_ EDKM_GUARDED_BY(mu_) = 0;
+};
+
+int
+main()
+{
+    Counter c;
+    c.bump();
+    return static_cast<int>(c.readUnlocked());
+}

@@ -1,0 +1,11 @@
+// Fixture: same pragma, but the file declares itself an opted-in
+// fast-math kernel — no findings.
+// EDKM_FAST_MATH_OPT_IN: contraction is part of this kernel's contract;
+// its golden outputs are regenerated whenever the flag set changes.
+#pragma STDC FP_CONTRACT ON
+
+float
+fma3(float a, float b, float c)
+{
+    return a * b + c;
+}

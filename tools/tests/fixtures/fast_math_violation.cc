@@ -1,0 +1,9 @@
+// Fixture: FP-contraction pragma without the opt-in marker
+// (expected findings: 1).
+#pragma STDC FP_CONTRACT ON
+
+float
+fma3(float a, float b, float c)
+{
+    return a * b + c;
+}

@@ -1,0 +1,15 @@
+// Fixture source: iterates a member declared unordered in the paired
+// header. Expected findings when scanning this .cc: 1.
+#include "paired_header.h"
+
+#include <sstream>
+
+std::string
+Ledger::serialize() const
+{
+    std::ostringstream os;
+    for (const auto &kv : balances_) {
+        os << kv.first << ":" << kv.second << ";";
+    }
+    return os.str();
+}

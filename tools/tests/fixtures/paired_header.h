@@ -1,0 +1,19 @@
+// Fixture header: the unordered member lives here; the loop over it
+// lives in paired_header.cc. The linter must fold this declaration in
+// when scanning the .cc.
+#ifndef TOOLS_TESTS_FIXTURES_PAIRED_HEADER_H_
+#define TOOLS_TESTS_FIXTURES_PAIRED_HEADER_H_
+
+#include <string>
+#include <unordered_map>
+
+class Ledger
+{
+  public:
+    std::string serialize() const;
+
+  private:
+    std::unordered_map<std::string, long> balances_;
+};
+
+#endif // TOOLS_TESTS_FIXTURES_PAIRED_HEADER_H_

@@ -1,0 +1,12 @@
+// Fixture: ordered serial accumulation — no findings.
+#include <vector>
+
+float
+total(const std::vector<float> &v)
+{
+    float acc = 0.0f;
+    for (float x : v) {
+        acc += x;
+    }
+    return acc;
+}

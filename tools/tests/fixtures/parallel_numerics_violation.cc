@@ -1,0 +1,11 @@
+// Fixture: parallel STL numerics (expected findings: 2 — the include
+// and the reduce call).
+#include <execution>
+#include <numeric>
+#include <vector>
+
+float
+total(const std::vector<float> &v)
+{
+    return std::reduce(std::execution::par, v.begin(), v.end(), 0.0f);
+}

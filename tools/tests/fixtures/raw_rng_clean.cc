@@ -1,0 +1,11 @@
+// Fixture: seeded RNG through the library type — no findings. The
+// string below must not trip the rule either ("rand(" is prose here).
+#include "util/rng.h"
+
+float
+sample(edkm::util::Rng &rng)
+{
+    const char *label = "uniform rand() replacement";
+    (void)label;
+    return rng.uniform();
+}

@@ -1,0 +1,11 @@
+// Fixture: every line below trips raw-rng (expected findings: 3).
+#include <cstdlib>
+#include <random>
+
+int
+noisySeed()
+{
+    std::random_device rd;
+    srand(static_cast<unsigned>(rd()));
+    return rand() % 100;
+}

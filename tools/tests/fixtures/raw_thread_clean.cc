@@ -1,0 +1,9 @@
+// Fixture: work goes through the pool — no findings.
+#include "runtime/runtime.h"
+
+void
+spawn()
+{
+    edkm::runtime::parallelFor(0, 128, 32,
+                               [](int64_t, int64_t) { /* chunk */ });
+}

@@ -1,0 +1,13 @@
+// Fixture: ad-hoc thread outside runtime/ (expected findings: 1).
+// std::this_thread below must NOT count — it is not a thread spawn.
+#include <chrono>
+#include <thread>
+
+void
+spawn()
+{
+    std::thread t([] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    });
+    t.join();
+}

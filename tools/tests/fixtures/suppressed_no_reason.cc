@@ -1,0 +1,11 @@
+// Fixture: a lint:allow with no reason is ignored — the finding
+// stands. Expected: 1 finding, 0 suppressions.
+#include <thread>
+
+void
+spawn()
+{
+    // lint:allow(raw-thread)
+    std::thread t([] {});
+    t.join();
+}

@@ -1,0 +1,27 @@
+// Fixture: the collect-sort-walk remedy. The collect loop is formally
+// order-sensitive (push_back) but the sort right after it erases the
+// bucket order, so the suppression carries that justification.
+// Expected: 0 findings, 1 suppression.
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+std::string
+dump(const std::unordered_map<std::string, float> &scores)
+{
+    std::vector<std::string> keys;
+    keys.reserve(scores.size());
+    // lint:allow(unordered-iteration) collected keys are sorted on the
+    // next line, so bucket order never reaches the output.
+    for (const auto &kv : scores) {
+        keys.push_back(kv.first);
+    }
+    std::sort(keys.begin(), keys.end());
+    std::ostringstream os;
+    for (const std::string &k : keys) {
+        os << k << "=" << scores.at(k) << "\n";
+    }
+    return os.str();
+}

@@ -1,0 +1,17 @@
+// Fixture: serialization walks a std::map — iteration order is the key
+// order, so no findings. (For unordered containers the sanctioned
+// pattern is collect-sort-walk with a lint:allow on the collect loop;
+// see suppressed_ok.cc.)
+#include <map>
+#include <sstream>
+#include <string>
+
+std::string
+dump(const std::map<std::string, float> &scores)
+{
+    std::ostringstream os;
+    for (const auto &kv : scores) {
+        os << kv.first << "=" << kv.second << "\n";
+    }
+    return os.str();
+}

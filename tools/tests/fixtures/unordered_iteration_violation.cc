@@ -1,0 +1,38 @@
+// Fixture: unordered iteration feeding accumulation and serialization
+// (expected findings: 2). The erase-only loop at the end carries no
+// order-sensitive signal and must stay clean.
+#include <sstream>
+#include <string>
+#include <unordered_map>
+
+float
+sum(const std::unordered_map<std::string, float> &scores)
+{
+    float acc = 0.0f;
+    for (const auto &kv : scores) {
+        acc += kv.second;
+    }
+    return acc;
+}
+
+std::string
+dump(const std::unordered_map<std::string, float> &scores)
+{
+    std::ostringstream os;
+    for (auto it = scores.begin(); it != scores.end(); ++it) {
+        os << it->first << "=" << it->second << "\n";
+    }
+    return os.str();
+}
+
+int
+countZeros(const std::unordered_map<std::string, float> &scores)
+{
+    int dead = 0;
+    for (const auto &kv : scores) {
+        if (kv.second == 0.0f) {
+            ++dead;
+        }
+    }
+    return dead;
+}
