@@ -125,7 +125,8 @@ cdist1d(const Variable &a, const Variable &b)
 
 } // namespace
 
-DkmLayer::DkmLayer(DkmConfig config) : config_(config)
+DkmLayer::DkmLayer(DkmConfig config, std::shared_ptr<LearnerGroup> group)
+    : config_(config), group_(std::move(group))
 {
     EDKM_CHECK(config_.bits >= 1 && config_.bits <= 8,
                "DKM: bits must be in [1,8]");
@@ -234,6 +235,13 @@ DkmLayer::forward(const Variable &w)
         Variable denom =
             af::unsqueeze(af::sumDim(attention, 0, false), 1); // [k,1]
         Variable c_new = af::div(numer, af::addScalar(denom, 1e-12f));
+
+        if (group_ && group_->worldSize() > 1) {
+            // Sharded save: each learner would keep only its row block
+            // of this iteration's [n,k] map and all-gather the rest
+            // for backward.
+            group_->recordAllGather(n * k * 4);
+        }
 
         float delta;
         {

@@ -27,9 +27,11 @@
 #define EDKM_CORE_DKM_H_
 
 #include <cstdint>
+#include <memory>
 
 #include "autograd/variable.h"
 #include "core/palettize.h"
+#include "dist/learner_group.h"
 #include "tensor/tensor.h"
 
 namespace edkm {
@@ -68,7 +70,14 @@ struct DkmConfig
 class DkmLayer
 {
   public:
-    explicit DkmLayer(DkmConfig config);
+    /**
+     * @param group optional learner group: when present (and world > 1)
+     *        the tracking forward accounts the per-iteration all-gather
+     *        a sharded save of the dense attention map would cost, so
+     *        dense DKM and eDKM report comparable communication.
+     */
+    explicit DkmLayer(DkmConfig config,
+                      std::shared_ptr<LearnerGroup> group = nullptr);
 
     /**
      * Differentiable soft clustering of @p w (any shape). Returns W~ with
@@ -108,6 +117,7 @@ class DkmLayer
 
   private:
     DkmConfig config_;
+    std::shared_ptr<LearnerGroup> group_;
     Tensor centroids_;
     int last_iters_ = 0;
     float temperature_used_ = 0.0f;

@@ -1,0 +1,47 @@
+#include "dist/checkpoint_avg.h"
+
+#include "util/logging.h"
+
+namespace edkm {
+namespace dist {
+
+CheckpointAverager::CheckpointAverager(int k) : k_(k)
+{
+    EDKM_CHECK(k_ >= 1, "CheckpointAverager: k must be >= 1, got ", k_);
+}
+
+void
+CheckpointAverager::push(const std::vector<float> &checkpoint)
+{
+    if (!window_.empty()) {
+        EDKM_CHECK(checkpoint.size() == window_.front().size(),
+                   "CheckpointAverager: checkpoint size changed (",
+                   checkpoint.size(), " vs ", window_.front().size(), ")");
+    }
+    window_.push_back(checkpoint);
+    while (static_cast<int>(window_.size()) > k_) {
+        window_.pop_front();
+    }
+}
+
+std::vector<float>
+CheckpointAverager::average() const
+{
+    EDKM_CHECK(!window_.empty(), "CheckpointAverager: no checkpoints");
+    size_t n = window_.front().size();
+    std::vector<double> acc(n, 0.0);
+    for (const std::vector<float> &ckpt : window_) {
+        for (size_t i = 0; i < n; ++i) {
+            acc[i] += ckpt[i];
+        }
+    }
+    double inv = 1.0 / static_cast<double>(window_.size());
+    std::vector<float> out(n);
+    for (size_t i = 0; i < n; ++i) {
+        out[i] = static_cast<float>(acc[i] * inv);
+    }
+    return out;
+}
+
+} // namespace dist
+} // namespace edkm

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Latest-k checkpoint averaging (LAWA, "Stop Wasting My Time!" — see
+ * PAPERS.md): keeping a short window of per-iteration checkpoints and
+ * averaging them is a near-free convergence accelerator once real
+ * per-learner checkpoints exist. CheckpointAverager maintains that
+ * window for one vector-valued state (here: the centroid vector).
+ *
+ * Determinism: the average is accumulated in doubles over the window
+ * in oldest-to-newest order, so it is bit-identical regardless of how
+ * the window was filled or on which learner it runs.
+ */
+
+#ifndef EDKM_DIST_CHECKPOINT_AVG_H_
+#define EDKM_DIST_CHECKPOINT_AVG_H_
+
+#include <deque>
+#include <vector>
+
+namespace edkm {
+namespace dist {
+
+class CheckpointAverager
+{
+  public:
+    /** Keep the latest @p k checkpoints; k >= 1 (fatal otherwise). */
+    explicit CheckpointAverager(int k);
+
+    /** Record one checkpoint (evicts the oldest beyond k). */
+    void push(const std::vector<float> &checkpoint);
+
+    /** Checkpoints currently held (min(k, pushes)). */
+    int size() const { return static_cast<int>(window_.size()); }
+
+    /**
+     * Elementwise mean of the held checkpoints, double-accumulated in
+     * oldest-to-newest order. Fatal when empty.
+     */
+    std::vector<float> average() const;
+
+  private:
+    int k_;
+    std::deque<std::vector<float>> window_;
+};
+
+} // namespace dist
+} // namespace edkm
+
+#endif // EDKM_DIST_CHECKPOINT_AVG_H_

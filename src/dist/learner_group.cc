@@ -1,13 +1,30 @@
 #include "dist/learner_group.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "device/device_manager.h"
+#include "dist/transport.h"
 #include "runtime/runtime.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
 
 namespace edkm {
+
+namespace {
+
+/** Contiguous f32 CPU bytes of one rank's contribution. */
+const Tensor
+asWire(const Tensor &t)
+{
+    EDKM_CHECK(t.defined(), "collective: rank contribution undefined");
+    Tensor c = t.isContiguous() && t.dtype() == DType::kF32
+                   ? t
+                   : t.contiguous().to(DType::kF32);
+    return c;
+}
+
+} // namespace
 
 LearnerGroup::LearnerGroup(int world_size, int rank)
     : world_(world_size), rank_(rank)
@@ -16,6 +33,12 @@ LearnerGroup::LearnerGroup(int world_size, int rank)
                world_);
     EDKM_CHECK(rank_ >= 0 && rank_ < world_,
                "LearnerGroup: rank ", rank_, " outside [0,", world_, ")");
+}
+
+LearnerGroup::LearnerGroup(dist::Transport &transport)
+    : world_(transport.worldSize()), rank_(transport.rank()),
+      transport_(&transport)
+{
 }
 
 std::pair<int64_t, int64_t>
@@ -147,6 +170,141 @@ LearnerGroup::allReduceMean(const std::vector<Tensor> &tensors)
             }
         });
     recordAllReduce(n * static_cast<int64_t>(dtypeSize(DType::kF32)));
+    return out;
+}
+
+Tensor
+LearnerGroup::allGatherShards(int64_t rows, int64_t cols,
+                              const RankFn &shard_fn)
+{
+    EDKM_CHECK(rows >= 1 && cols >= 1,
+               "allGatherShards: need rows, cols >= 1 (got ", rows, "x",
+               cols, ")");
+    Tensor out = Tensor::empty({rows, cols}, DType::kF32, Device::cpu());
+    float *po = out.rawData<float>();
+
+    auto place = [&](int r, const float *src) {
+        auto [b, e] = shardRange(rows, r);
+        if (e == b) {
+            return;
+        }
+        std::memcpy(po + b * cols, src,
+                    static_cast<size_t>((e - b) * cols) * sizeof(float));
+    };
+
+    if (transport_ == nullptr) {
+        // Functional: regenerate every rank's block locally (identical
+        // weights under synchronous training make this exact) and
+        // charge the ring model for the traffic that stands in for.
+        for (int r = 0; r < world_; ++r) {
+            if (shardSize(rows, r) == 0) {
+                continue;
+            }
+            Tensor s = asWire(shard_fn(r));
+            EDKM_CHECK(s.numel() == shardSize(rows, r) * cols,
+                       "allGatherShards: rank ", r, " produced ",
+                       s.numel(), " elements, layout says ",
+                       shardSize(rows, r) * cols);
+            place(r, s.rawData<const float>());
+        }
+        recordAllGather(rows * cols *
+                        static_cast<int64_t>(dtypeSize(DType::kF32)));
+        return out;
+    }
+
+    // Cross-process: contribute our block, ring-gather the rest, and
+    // record the bytes the transport actually moved to this learner.
+    std::vector<size_t> sizes(static_cast<size_t>(world_));
+    for (int r = 0; r < world_; ++r) {
+        sizes[static_cast<size_t>(r)] =
+            static_cast<size_t>(shardSize(rows, r) * cols) *
+            sizeof(float);
+    }
+    std::vector<uint8_t> mine(sizes[static_cast<size_t>(rank_)]);
+    if (!mine.empty()) {
+        Tensor s = asWire(shard_fn(rank_));
+        EDKM_CHECK(s.numel() * static_cast<int64_t>(sizeof(float)) ==
+                       static_cast<int64_t>(mine.size()),
+                   "allGatherShards: own shard size mismatch at rank ",
+                   rank_);
+        std::memcpy(mine.data(), s.rawData<const float>(), mine.size());
+    }
+    int64_t before = transport_->bytesReceived();
+    std::vector<std::vector<uint8_t>> chunks;
+    transport_->allGatherBytes(mine, sizes, chunks);
+    int64_t moved = transport_->bytesReceived() - before;
+    for (int r = 0; r < world_; ++r) {
+        if (sizes[static_cast<size_t>(r)] == 0) {
+            continue;
+        }
+        place(r, reinterpret_cast<const float *>(
+                     chunks[static_cast<size_t>(r)].data()));
+    }
+    ++stats_.allGathers;
+    stats_.allGatherBytes += moved;
+    chargeCollective(moved);
+    return out;
+}
+
+Tensor
+LearnerGroup::allReduceSumDet(int64_t n, const RankFn &partial_fn)
+{
+    EDKM_CHECK(n >= 1, "allReduceSumDet: need n >= 1, got ", n);
+
+    // Collect one [n] partial per rank, in rank order.
+    std::vector<Tensor> held;          // keeps functional tensors alive
+    std::vector<std::vector<uint8_t>> chunks; // wire buffers (transport)
+    std::vector<const float *> parts(static_cast<size_t>(world_));
+    int64_t moved = 0;
+    if (transport_ == nullptr) {
+        held.reserve(static_cast<size_t>(world_));
+        for (int r = 0; r < world_; ++r) {
+            Tensor p = asWire(partial_fn(r));
+            EDKM_CHECK(p.numel() == n, "allReduceSumDet: rank ", r,
+                       " partial has ", p.numel(), " elements, want ", n);
+            held.push_back(p);
+            parts[static_cast<size_t>(r)] =
+                held.back().rawData<const float>();
+        }
+        // The deterministic sum is an all-gather of equal partials:
+        // exactly (L-1)*n*4 bytes per learner, same as the wire moves.
+        moved = (world_ - 1) * n *
+                static_cast<int64_t>(dtypeSize(DType::kF32));
+    } else {
+        Tensor p = asWire(partial_fn(rank_));
+        EDKM_CHECK(p.numel() == n, "allReduceSumDet: rank ", rank_,
+                   " partial has ", p.numel(), " elements, want ", n);
+        std::vector<uint8_t> mine(static_cast<size_t>(n) * sizeof(float));
+        std::memcpy(mine.data(), p.rawData<const float>(), mine.size());
+        std::vector<size_t> sizes(static_cast<size_t>(world_),
+                                  mine.size());
+        int64_t before = transport_->bytesReceived();
+        transport_->allGatherBytes(mine, sizes, chunks);
+        moved = transport_->bytesReceived() - before;
+        for (int r = 0; r < world_; ++r) {
+            parts[static_cast<size_t>(r)] =
+                reinterpret_cast<const float *>(
+                    chunks[static_cast<size_t>(r)].data());
+        }
+    }
+
+    // Rank-order double accumulation: identical combine order in both
+    // modes, hence bit-identical results at any learner count.
+    Tensor out = Tensor::empty({n}, DType::kF32, Device::cpu());
+    float *po = out.rawData<float>();
+    runtime::parallelFor(
+        0, n, runtime::grainFor(n, world_), [&](int64_t b, int64_t e) {
+            for (int64_t i = b; i < e; ++i) {
+                double acc = 0.0;
+                for (int r = 0; r < world_; ++r) {
+                    acc += parts[static_cast<size_t>(r)][i];
+                }
+                po[i] = static_cast<float>(acc);
+            }
+        });
+    ++stats_.allReduces;
+    stats_.allReduceBytes += moved;
+    chargeCollective(moved);
     return out;
 }
 

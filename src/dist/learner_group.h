@@ -23,12 +23,17 @@
 #define EDKM_DIST_LEARNER_GROUP_H_
 
 #include <cstdint>
+#include <functional>
 #include <utility>
 #include <vector>
 
 #include "tensor/tensor.h"
 
 namespace edkm {
+
+namespace dist {
+class Transport;
+} // namespace dist
 
 /** Communication counters of one learner group. */
 struct DistStats
@@ -53,8 +58,23 @@ class LearnerGroup
      */
     explicit LearnerGroup(int world_size, int rank = 0);
 
+    /**
+     * Cross-process group: this process is one real learner of
+     * @p transport's ring (world size and rank come from it). The
+     * generator collectives below then move bytes over the wire
+     * instead of regenerating peers' contributions; calling code is
+     * unchanged. @p transport must outlive the group (non-owning).
+     */
+    explicit LearnerGroup(dist::Transport &transport);
+
     int worldSize() const { return world_; }
     int rank() const { return rank_; }
+
+    /** True when collectives run over a real inter-process transport. */
+    bool crossProcess() const { return transport_ != nullptr; }
+
+    /** The wire, or nullptr in functional mode. */
+    dist::Transport *transport() const { return transport_; }
 
     /**
      * Contiguous shard [begin, end) of @p n elements owned by learner
@@ -78,6 +98,38 @@ class LearnerGroup
      * same-shaped tensor per learner, with ring accounting.
      */
     Tensor allReduceMean(const std::vector<Tensor> &tensors);
+
+    /**
+     * Produces one rank's contribution to a collective. Must be
+     * deterministic — in functional mode it is invoked for *every*
+     * rank (regeneration stands in for the receive), in cross-process
+     * mode only for this group's own rank — and must return a
+     * contiguous f32 CPU tensor (undefined for an empty shard).
+     */
+    using RankFn = std::function<Tensor(int)>;
+
+    /**
+     * Mode-independent sharded all-gather: rank r owns rows
+     * shardRange(rows, r) of the [rows, cols] result and @p shard_fn(r)
+     * returns that [size_r, cols] block. Functional mode regenerates
+     * every block locally and charges the ring model; cross-process
+     * mode moves the missing blocks over the transport and records the
+     * bytes actually received. The assembled tensor is bit-identical
+     * in both modes (same blocks, same placement).
+     */
+    Tensor allGatherShards(int64_t rows, int64_t cols,
+                           const RankFn &shard_fn);
+
+    /**
+     * Mode-independent deterministic all-reduce (sum): @p partial_fn(r)
+     * returns rank r's [n] partial; the result is the elementwise sum
+     * accumulated in doubles in rank order — bit-stable at any learner
+     * count, unlike a true ring reduce-scatter whose per-chunk
+     * accumulation order rotates. Implemented as an all-gather of
+     * partials + local rank-order combine, so each learner moves
+     * exactly (L-1)*n*4 bytes; the ledger records that in both modes.
+     */
+    Tensor allReduceSumDet(int64_t n, const RankFn &partial_fn);
 
     /**
      * Account an all-gather of @p payload_bytes total payload without
@@ -104,6 +156,7 @@ class LearnerGroup
 
     int world_ = 1;
     int rank_ = 0;
+    dist::Transport *transport_ = nullptr; ///< non-owning; null = functional
     DistStats stats_;
 };
 

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * ProcessGroup — launcher + rendezvous for real learner processes.
+ *
+ * run() forks one learner per rank, wires them into a ring (shm or
+ * socket transport, chosen by options / EDKM_DIST_TRANSPORT), runs the
+ * caller's LearnerFn in every child, and returns each rank's result
+ * bytes in rank order. Rendezvous is fd/mapping inheritance: every
+ * transport resource is created *before* fork, so there is no name
+ * server, no race, and nothing left behind on failure.
+ *
+ * Per child there is also a control socketpair carrying a tiny framed
+ * protocol: 'R' + u64 length + result bytes on success, 'E' + u64
+ * length + error text on a caught exception. The parent polls all
+ * control fds under a deadline; a child that dies without a frame
+ * (kill -9, crash, _exit) is detected by EOF on its control fd, at
+ * which point the parent raises the shm abort flag (unblocking
+ * siblings spinning in a collective), SIGKILLs the survivors, reaps
+ * everything, and throws DistError naming the dead rank — a typed
+ * error within the timeout, never a hang.
+ *
+ * Child discipline: fork happens from the (single) calling thread;
+ * each child immediately repairs the global thread pool
+ * (runtime::Runtime::resetAfterFork — the parent's workers do not
+ * exist in the child) and leaves via _exit(), so atexit handlers,
+ * stdio flushing and sanitizer leak checks never run twice.
+ */
+
+#ifndef EDKM_DIST_PROCESS_GROUP_H_
+#define EDKM_DIST_PROCESS_GROUP_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "dist/transport.h"
+
+namespace edkm {
+namespace dist {
+
+struct ProcessGroupOptions
+{
+    /** Number of learner processes (>= 1). */
+    int world = 2;
+
+    /** Wire between learners; defaults to EDKM_DIST_TRANSPORT. */
+    TransportKind kind = transportKindFromEnv();
+
+    /** Parent-side deadline for the whole job and child-side deadline
+     *  for any single blocked collective step. */
+    double timeoutSec = 30.0;
+
+    /** Capacity of each shm ring edge (shm transport only). */
+    int64_t shmRingBytes = 1 << 16;
+
+    /** Thread-pool lanes per learner (the fork-repaired pool). */
+    int childThreads = 1;
+};
+
+/**
+ * The learner body. Runs inside a forked child with its rank's
+ * transport; whatever it returns is shipped back to the parent.
+ * Exceptions are caught and surfaced to the parent as DistError.
+ */
+using LearnerFn = std::function<std::vector<uint8_t>(Transport &)>;
+
+class ProcessGroup
+{
+  public:
+    /**
+     * Fork options.world learners, run @p fn in each, and return every
+     * rank's bytes in rank order. Throws DistError on child death,
+     * child exception, or timeout — after tearing every child down.
+     */
+    static std::vector<std::vector<uint8_t>>
+    run(const ProcessGroupOptions &options, const LearnerFn &fn);
+};
+
+} // namespace dist
+} // namespace edkm
+
+#endif // EDKM_DIST_PROCESS_GROUP_H_

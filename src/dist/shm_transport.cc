@@ -1,0 +1,182 @@
+#include "dist/shm_transport.h"
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace edkm {
+namespace dist {
+
+namespace {
+
+/** Per-process sequence number so concurrent segments get unique names. */
+std::atomic<uint64_t> g_shm_seq{0};
+
+size_t
+alignUp(size_t v, size_t a)
+{
+    return (v + a - 1) / a * a;
+}
+
+size_t
+headerBytes(int world)
+{
+    // Control word, then one ring header per edge, each on its own
+    // cache line so producer/consumer counters never false-share.
+    return alignUp(sizeof(ShmControl), 64) +
+           static_cast<size_t>(world) * sizeof(ShmRingHeader);
+}
+
+} // namespace
+
+ShmSegment::ShmSegment(int world, int64_t ring_bytes)
+    : world_(world), ring_bytes_(static_cast<size_t>(ring_bytes))
+{
+    EDKM_CHECK(world_ >= 1, "ShmSegment: world must be >= 1");
+    EDKM_CHECK(ring_bytes >= 64, "ShmSegment: ring capacity too small (",
+               ring_bytes, " bytes)");
+    mapping_bytes_ =
+        alignUp(headerBytes(world_) +
+                    static_cast<size_t>(world_) * ring_bytes_,
+                4096);
+
+    std::string name = "/edkm_" + std::to_string(::getpid()) + "_" +
+                       std::to_string(g_shm_seq.fetch_add(1));
+    int fd = ::shm_open(name.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+    if (fd < 0) {
+        throw DistError("dist: shm_open(" + name +
+                        ") failed: " + std::strerror(errno));
+    }
+    // Unlink immediately: the mapping below (inherited by children via
+    // fork) is the only handle anyone needs, and no /dev/shm entry can
+    // outlive the processes — teardown is leak-free even under SIGKILL.
+    ::shm_unlink(name.c_str());
+    if (::ftruncate(fd, static_cast<off_t>(mapping_bytes_)) != 0) {
+        int err = errno;
+        ::close(fd);
+        throw DistError("dist: ftruncate of shm segment failed: " +
+                        std::string(std::strerror(err)));
+    }
+    base_ = ::mmap(nullptr, mapping_bytes_, PROT_READ | PROT_WRITE,
+                   MAP_SHARED, fd, 0);
+    ::close(fd);
+    if (base_ == MAP_FAILED) {
+        base_ = nullptr;
+        throw DistError("dist: mmap of shm segment failed: " +
+                        std::string(std::strerror(errno)));
+    }
+    // ftruncate zero-fills; construct the atomics explicitly anyway.
+    new (control()) ShmControl{};
+    for (int e = 0; e < world_; ++e) {
+        new (ringHeader(e)) ShmRingHeader{};
+    }
+}
+
+ShmSegment::~ShmSegment()
+{
+    if (base_ != nullptr) {
+        ::munmap(base_, mapping_bytes_);
+    }
+}
+
+ShmControl *
+ShmSegment::control() const
+{
+    return reinterpret_cast<ShmControl *>(base_);
+}
+
+ShmRingHeader *
+ShmSegment::ringHeader(int edge) const
+{
+    uint8_t *p = static_cast<uint8_t *>(base_) +
+                 alignUp(sizeof(ShmControl), 64);
+    return reinterpret_cast<ShmRingHeader *>(p) + edge;
+}
+
+uint8_t *
+ShmSegment::ringBuffer(int edge) const
+{
+    return static_cast<uint8_t *>(base_) + headerBytes(world_) +
+           static_cast<size_t>(edge) * ring_bytes_;
+}
+
+void
+ShmSegment::signalAbort(int rank)
+{
+    uint32_t expected = 0;
+    control()->abortRankPlus1.compare_exchange_strong(
+        expected, static_cast<uint32_t>(rank) + 1,
+        std::memory_order_release, std::memory_order_relaxed);
+}
+
+ShmTransport::ShmTransport(ShmSegment &segment, int rank,
+                           double timeout_sec)
+    : Transport(segment.world(), rank, timeout_sec), segment_(segment)
+{
+    int send_edge = rank;
+    int recv_edge = (rank - 1 + world_) % world_;
+    send_hdr_ = segment_.ringHeader(send_edge);
+    send_buf_ = segment_.ringBuffer(send_edge);
+    recv_hdr_ = segment_.ringHeader(recv_edge);
+    recv_buf_ = segment_.ringBuffer(recv_edge);
+    cap_ = segment_.ringBytes();
+}
+
+void
+ShmTransport::checkAbort() const
+{
+    uint32_t a =
+        segment_.control()->abortRankPlus1.load(std::memory_order_acquire);
+    if (a != 0) {
+        throw DistError("dist: learner rank " + std::to_string(a - 1) +
+                        " died mid-collective (abort raised by the "
+                        "process group); rank " +
+                        std::to_string(rank_) + " aborting");
+    }
+}
+
+size_t
+ShmTransport::trySendNext(const uint8_t *data, size_t len)
+{
+    checkAbort();
+    uint64_t head = send_hdr_->head.load(std::memory_order_relaxed);
+    uint64_t tail = send_hdr_->tail.load(std::memory_order_acquire);
+    size_t free = cap_ - static_cast<size_t>(head - tail);
+    size_t n = len < free ? len : free;
+    if (n == 0) {
+        return 0;
+    }
+    size_t off = static_cast<size_t>(head % cap_);
+    size_t first = n < cap_ - off ? n : cap_ - off;
+    std::memcpy(send_buf_ + off, data, first);
+    std::memcpy(send_buf_, data + first, n - first);
+    send_hdr_->head.store(head + n, std::memory_order_release);
+    return n;
+}
+
+size_t
+ShmTransport::tryRecvPrev(uint8_t *data, size_t len)
+{
+    checkAbort();
+    uint64_t head = recv_hdr_->head.load(std::memory_order_acquire);
+    uint64_t tail = recv_hdr_->tail.load(std::memory_order_relaxed);
+    size_t avail = static_cast<size_t>(head - tail);
+    size_t n = len < avail ? len : avail;
+    if (n == 0) {
+        return 0;
+    }
+    size_t off = static_cast<size_t>(tail % cap_);
+    size_t first = n < cap_ - off ? n : cap_ - off;
+    std::memcpy(data, recv_buf_ + off, first);
+    std::memcpy(data + first, recv_buf_, n - first);
+    recv_hdr_->tail.store(tail + n, std::memory_order_release);
+    return n;
+}
+
+} // namespace dist
+} // namespace edkm

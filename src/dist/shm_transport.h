@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Fork + POSIX shared-memory ring transport.
+ *
+ * ShmSegment is created by the parent *before* fork: one anonymous-ish
+ * POSIX shm object (shm_open with a unique /edkm_<pid>_<seq> name,
+ * ftruncate, MAP_SHARED mmap) that is shm_unlink-ed immediately after
+ * mapping. Children inherit the mapping through fork, so the name never
+ * needs to exist again — the segment is leak-free by construction: no
+ * /dev/shm entry survives the call, even if every process is SIGKILLed.
+ *
+ * Layout: a control word (the abort flag the parent raises when a child
+ * dies, so blocked siblings throw DistError instead of spinning
+ * forever) followed by one cache-line-aligned SPSC byte ring per
+ * directed ring edge e (producer: rank e, consumer: rank e+1 mod L).
+ * head/tail are monotonically increasing uint64 byte counts; the
+ * producer owns head, the consumer owns tail, acquire/release pairs
+ * order the payload bytes.
+ */
+
+#ifndef EDKM_DIST_SHM_TRANSPORT_H_
+#define EDKM_DIST_SHM_TRANSPORT_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "dist/transport.h"
+
+namespace edkm {
+namespace dist {
+
+/** Shared control/ring headers living inside the segment. */
+struct ShmControl
+{
+    /** 0 = healthy; r+1 = the parent observed rank r die. */
+    std::atomic<uint32_t> abortRankPlus1;
+};
+
+struct alignas(64) ShmRingHeader
+{
+    std::atomic<uint64_t> head; ///< bytes ever written (producer-owned)
+    std::atomic<uint64_t> tail; ///< bytes ever read (consumer-owned)
+};
+
+/**
+ * The whole-segment mapping, created pre-fork and shared (via fork)
+ * with every learner. The parent keeps it alive for abort signalling;
+ * children build ShmTransport views over it.
+ */
+class ShmSegment
+{
+  public:
+    /** Map a fresh segment for @p world ranks with @p ring_bytes
+     *  capacity per directed edge. Unlinks the shm name before
+     *  returning. */
+    ShmSegment(int world, int64_t ring_bytes);
+    ~ShmSegment();
+
+    ShmSegment(const ShmSegment &) = delete;
+    ShmSegment &operator=(const ShmSegment &) = delete;
+
+    int world() const { return world_; }
+    size_t ringBytes() const { return ring_bytes_; }
+
+    /** Parent-side: mark @p rank dead so blocked peers throw. */
+    void signalAbort(int rank);
+
+    ShmControl *control() const;
+    ShmRingHeader *ringHeader(int edge) const;
+    uint8_t *ringBuffer(int edge) const;
+
+  private:
+    int world_;
+    size_t ring_bytes_;
+    size_t mapping_bytes_ = 0;
+    void *base_ = nullptr;
+};
+
+/** One rank's endpoint over an ShmSegment (non-owning view). */
+class ShmTransport : public Transport
+{
+  public:
+    ShmTransport(ShmSegment &segment, int rank, double timeout_sec);
+
+    size_t trySendNext(const uint8_t *data, size_t len) override;
+    size_t tryRecvPrev(uint8_t *data, size_t len) override;
+
+  private:
+    /** Throw DistError when the parent flagged a dead peer. */
+    void checkAbort() const;
+
+    ShmSegment &segment_;
+    ShmRingHeader *send_hdr_;
+    uint8_t *send_buf_;
+    ShmRingHeader *recv_hdr_;
+    uint8_t *recv_buf_;
+    size_t cap_;
+};
+
+} // namespace dist
+} // namespace edkm
+
+#endif // EDKM_DIST_SHM_TRANSPORT_H_

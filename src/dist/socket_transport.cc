@@ -1,0 +1,153 @@
+#include "dist/socket_transport.h"
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace edkm {
+namespace dist {
+
+namespace {
+
+void
+setNonBlocking(int fd)
+{
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    EDKM_CHECK(flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+               "dist: fcntl(O_NONBLOCK) failed: ", std::strerror(errno));
+}
+
+void
+closeIfOpen(int &fd)
+{
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+}
+
+} // namespace
+
+SocketRing::SocketRing(int world) : world_(world)
+{
+    EDKM_CHECK(world_ >= 1, "SocketRing: world must be >= 1");
+    write_fds_.assign(static_cast<size_t>(world_), -1);
+    read_fds_.assign(static_cast<size_t>(world_), -1);
+    for (int e = 0; e < world_; ++e) {
+        int sv[2];
+        if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+            int err = errno;
+            closeAll();
+            throw DistError("dist: socketpair failed: " +
+                            std::string(std::strerror(err)));
+        }
+        setNonBlocking(sv[0]);
+        setNonBlocking(sv[1]);
+        write_fds_[static_cast<size_t>(e)] = sv[0];
+        read_fds_[static_cast<size_t>(e)] = sv[1];
+    }
+}
+
+SocketRing::~SocketRing()
+{
+    closeAll();
+}
+
+int
+SocketRing::sendFd(int rank) const
+{
+    return write_fds_[static_cast<size_t>(rank)];
+}
+
+int
+SocketRing::recvFd(int rank) const
+{
+    return read_fds_[static_cast<size_t>((rank - 1 + world_) % world_)];
+}
+
+void
+SocketRing::closeAllExcept(int rank)
+{
+    int keep_send = rank;
+    int keep_recv = (rank - 1 + world_) % world_;
+    for (int e = 0; e < world_; ++e) {
+        if (e != keep_send) {
+            closeIfOpen(write_fds_[static_cast<size_t>(e)]);
+        }
+        if (e != keep_recv) {
+            closeIfOpen(read_fds_[static_cast<size_t>(e)]);
+        }
+    }
+}
+
+void
+SocketRing::closeAll()
+{
+    for (int e = 0; e < world_; ++e) {
+        closeIfOpen(write_fds_[static_cast<size_t>(e)]);
+        closeIfOpen(read_fds_[static_cast<size_t>(e)]);
+    }
+}
+
+SocketTransport::SocketTransport(SocketRing &ring, int rank,
+                                 double timeout_sec)
+    : Transport(ring.world(), rank, timeout_sec),
+      send_fd_(ring.sendFd(rank)), recv_fd_(ring.recvFd(rank))
+{
+    EDKM_CHECK(send_fd_ >= 0 && recv_fd_ >= 0,
+               "SocketTransport: rank ", rank, " fds already closed");
+}
+
+size_t
+SocketTransport::trySendNext(const uint8_t *data, size_t len)
+{
+    ssize_t n = ::send(send_fd_, data, len, MSG_NOSIGNAL);
+    if (n >= 0) {
+        return static_cast<size_t>(n);
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return 0;
+    }
+    if (errno == EPIPE || errno == ECONNRESET) {
+        throw DistError("dist: rank " + std::to_string(rank_) +
+                        " cannot send to rank " +
+                        std::to_string((rank_ + 1) % world_) +
+                        " — peer process died mid-collective");
+    }
+    throw DistError("dist: send from rank " + std::to_string(rank_) +
+                    " failed: " + std::strerror(errno));
+}
+
+size_t
+SocketTransport::tryRecvPrev(uint8_t *data, size_t len)
+{
+    ssize_t n = ::recv(recv_fd_, data, len, 0);
+    if (n > 0) {
+        return static_cast<size_t>(n);
+    }
+    if (n == 0) {
+        // Orderly EOF: the predecessor's process is gone.
+        throw DistError("dist: rank " + std::to_string(rank_) +
+                        " lost its ring predecessor rank " +
+                        std::to_string((rank_ - 1 + world_) % world_) +
+                        " — peer process died mid-collective");
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return 0;
+    }
+    if (errno == ECONNRESET) {
+        throw DistError("dist: rank " + std::to_string(rank_) +
+                        " lost its ring predecessor rank " +
+                        std::to_string((rank_ - 1 + world_) % world_) +
+                        " — connection reset mid-collective");
+    }
+    throw DistError("dist: recv at rank " + std::to_string(rank_) +
+                    " failed: " + std::strerror(errno));
+}
+
+} // namespace dist
+} // namespace edkm

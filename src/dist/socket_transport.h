@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Localhost socket ring transport (the EDKM_DIST_TRANSPORT=socket
+ * fallback for hosts without usable POSIX shm).
+ *
+ * SocketRing is created by the parent *before* fork: one nonblocking
+ * AF_UNIX SOCK_STREAM socketpair per directed ring edge e (writer:
+ * rank e, reader: rank e+1 mod L). fd inheritance across fork is the
+ * rendezvous — no filesystem paths, no ports, nothing to leak. After
+ * forking, each child keeps exactly its two fds (write-to-next,
+ * read-from-prev) and closes the rest; the parent closes all of them.
+ *
+ * Failure model: when a learner dies, the kernel closes its fds, so
+ * its successor reads EOF and its predecessor gets EPIPE/ECONNRESET —
+ * both surface as DistError naming the direction, without any shared
+ * state.
+ */
+
+#ifndef EDKM_DIST_SOCKET_TRANSPORT_H_
+#define EDKM_DIST_SOCKET_TRANSPORT_H_
+
+#include <vector>
+
+#include "dist/transport.h"
+
+namespace edkm {
+namespace dist {
+
+/** All ring-edge fds, parent-owned until distributed by fork. */
+class SocketRing
+{
+  public:
+    explicit SocketRing(int world);
+    ~SocketRing();
+
+    SocketRing(const SocketRing &) = delete;
+    SocketRing &operator=(const SocketRing &) = delete;
+
+    int world() const { return world_; }
+
+    /** fd rank r writes to (toward rank r+1). */
+    int sendFd(int rank) const;
+    /** fd rank r reads from (from rank r-1). */
+    int recvFd(int rank) const;
+
+    /** Child-side: close every fd that does not belong to @p rank. */
+    void closeAllExcept(int rank);
+    /** Parent-side: close everything (children hold their copies). */
+    void closeAll();
+
+  private:
+    int world_;
+    std::vector<int> write_fds_; ///< edge e: rank e's send endpoint
+    std::vector<int> read_fds_;  ///< edge e: rank e+1's recv endpoint
+};
+
+/** One rank's endpoint over an inherited SocketRing. */
+class SocketTransport : public Transport
+{
+  public:
+    SocketTransport(SocketRing &ring, int rank, double timeout_sec);
+
+    size_t trySendNext(const uint8_t *data, size_t len) override;
+    size_t tryRecvPrev(uint8_t *data, size_t len) override;
+
+  private:
+    int send_fd_;
+    int recv_fd_;
+};
+
+} // namespace dist
+} // namespace edkm
+
+#endif // EDKM_DIST_SOCKET_TRANSPORT_H_

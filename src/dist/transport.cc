@@ -1,0 +1,198 @@
+#include "dist/transport.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+namespace edkm {
+namespace dist {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::time_point
+deadlineFrom(double timeout_sec)
+{
+    return Clock::now() +
+           std::chrono::duration_cast<Clock::duration>(
+               std::chrono::duration<double>(timeout_sec));
+}
+
+} // namespace
+
+TransportKind
+transportKindFromEnv()
+{
+    const char *env = std::getenv("EDKM_DIST_TRANSPORT");
+    if (env == nullptr || env[0] == '\0') {
+        return TransportKind::kShm;
+    }
+    if (std::strcmp(env, "shm") == 0) {
+        return TransportKind::kShm;
+    }
+    if (std::strcmp(env, "socket") == 0) {
+        return TransportKind::kSocket;
+    }
+    warn("EDKM_DIST_TRANSPORT='", env,
+         "' is not shm|socket; using shm");
+    return TransportKind::kShm;
+}
+
+const char *
+transportKindName(TransportKind kind)
+{
+    return kind == TransportKind::kShm ? "shm" : "socket";
+}
+
+Transport::Transport(int world_size, int rank, double timeout_sec)
+    : world_(world_size), rank_(rank), timeout_sec_(timeout_sec)
+{
+    EDKM_CHECK(world_ >= 1, "Transport: world size must be >= 1, got ",
+               world_);
+    EDKM_CHECK(rank_ >= 0 && rank_ < world_, "Transport: rank ", rank_,
+               " outside [0,", world_, ")");
+    EDKM_CHECK(timeout_sec_ > 0.0, "Transport: timeout must be > 0");
+}
+
+void
+Transport::resetCounters()
+{
+    bytes_sent_ = 0;
+    bytes_received_ = 0;
+}
+
+void
+Transport::throwTimeout(const char *op) const
+{
+    throw DistError(std::string("dist: ") + op + " stalled for more than " +
+                    std::to_string(timeout_sec_) + "s at rank " +
+                    std::to_string(rank_) + " of " + std::to_string(world_) +
+                    " (peer wedged or dead without notice)");
+}
+
+void
+Transport::sendNext(const void *data, size_t len)
+{
+    const uint8_t *p = static_cast<const uint8_t *>(data);
+    size_t sent = 0;
+    auto deadline = deadlineFrom(timeout_sec_);
+    while (sent < len) {
+        size_t n = trySendNext(p + sent, len - sent);
+        if (n == 0) {
+            if (Clock::now() > deadline) {
+                throwTimeout("sendNext");
+            }
+            std::this_thread::yield();
+            continue;
+        }
+        sent += n;
+    }
+    bytes_sent_ += static_cast<int64_t>(len);
+}
+
+void
+Transport::recvPrev(void *data, size_t len)
+{
+    uint8_t *p = static_cast<uint8_t *>(data);
+    size_t got = 0;
+    auto deadline = deadlineFrom(timeout_sec_);
+    while (got < len) {
+        size_t n = tryRecvPrev(p + got, len - got);
+        if (n == 0) {
+            if (Clock::now() > deadline) {
+                throwTimeout("recvPrev");
+            }
+            std::this_thread::yield();
+            continue;
+        }
+        got += n;
+    }
+    bytes_received_ += static_cast<int64_t>(len);
+}
+
+void
+Transport::exchange(const uint8_t *send, size_t send_len, uint8_t *recv,
+                    size_t recv_len)
+{
+    // Interleave both directions: always drain the incoming ring before
+    // pushing, so the cyclic send across all ranks can never fill every
+    // channel and deadlock, regardless of payload vs capacity.
+    size_t sent = 0;
+    size_t got = 0;
+    auto deadline = deadlineFrom(timeout_sec_);
+    while (sent < send_len || got < recv_len) {
+        bool progress = false;
+        if (got < recv_len) {
+            size_t n = tryRecvPrev(recv + got, recv_len - got);
+            got += n;
+            progress = progress || n > 0;
+        }
+        if (sent < send_len) {
+            size_t n = trySendNext(send + sent, send_len - sent);
+            sent += n;
+            progress = progress || n > 0;
+        }
+        if (!progress) {
+            if (Clock::now() > deadline) {
+                throwTimeout("exchange");
+            }
+            std::this_thread::yield();
+        }
+    }
+    bytes_sent_ += static_cast<int64_t>(send_len);
+    bytes_received_ += static_cast<int64_t>(recv_len);
+}
+
+void
+Transport::allGatherBytes(const std::vector<uint8_t> &mine,
+                          const std::vector<size_t> &chunk_sizes,
+                          std::vector<std::vector<uint8_t>> &out)
+{
+    EDKM_CHECK(static_cast<int>(chunk_sizes.size()) == world_,
+               "allGatherBytes: expected ", world_, " chunk sizes, got ",
+               chunk_sizes.size());
+    EDKM_CHECK(mine.size() == chunk_sizes[static_cast<size_t>(rank_)],
+               "allGatherBytes: rank ", rank_, " contributed ",
+               mine.size(), " bytes, layout says ",
+               chunk_sizes[static_cast<size_t>(rank_)]);
+    out.assign(static_cast<size_t>(world_), {});
+    out[static_cast<size_t>(rank_)] = mine;
+    // Standard ring all-gather: at step s every rank forwards the chunk
+    // it obtained at step s-1 (its own at s=0) to its successor and
+    // receives one more chunk from its predecessor. L-1 steps.
+    for (int s = 0; s < world_ - 1; ++s) {
+        int send_chunk = (rank_ - s + world_) % world_;
+        int recv_chunk = (rank_ - s - 1 + world_) % world_;
+        std::vector<uint8_t> &rbuf = out[static_cast<size_t>(recv_chunk)];
+        rbuf.resize(chunk_sizes[static_cast<size_t>(recv_chunk)]);
+        const std::vector<uint8_t> &sbuf =
+            out[static_cast<size_t>(send_chunk)];
+        exchange(sbuf.data(), sbuf.size(), rbuf.data(), rbuf.size());
+    }
+}
+
+void
+Transport::barrier()
+{
+    if (world_ == 1) {
+        return;
+    }
+    // Two token passes around the ring: the first proves every rank has
+    // entered (the token cannot return to rank 0 otherwise), the second
+    // releases them. No rank exits before every rank entered.
+    uint8_t token = 0;
+    for (int pass = 0; pass < 2; ++pass) {
+        if (rank_ == 0) {
+            sendNext(&token, 1);
+            recvPrev(&token, 1);
+        } else {
+            recvPrev(&token, 1);
+            sendNext(&token, 1);
+        }
+    }
+}
+
+} // namespace dist
+} // namespace edkm

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Cross-process ring transport for real learner groups.
+ *
+ * A Transport is one rank's view of a unidirectional ring over |L|
+ * learner processes: every rank can send bytes to its successor
+ * (rank+1 mod L) and receive bytes from its predecessor. Two concrete
+ * implementations exist (selected with EDKM_DIST_TRANSPORT=shm|socket,
+ * default shm):
+ *
+ *  - ShmTransport  — fork + one POSIX shared-memory segment holding a
+ *    lock-free SPSC byte ring per directed edge (src/dist/shm_transport).
+ *  - SocketTransport — an AF_UNIX socketpair per directed edge, created
+ *    before fork so fd inheritance is the rendezvous
+ *    (src/dist/socket_transport).
+ *
+ * The base class builds every collective the learner group needs from
+ * two nonblocking primitives (trySendNext / tryRecvPrev):
+ *
+ *  - exchange()       — simultaneous send-to-next / receive-from-prev
+ *    with an interleaved progress loop, so one ring step never
+ *    deadlocks even when the payload exceeds the channel capacity,
+ *  - allGatherBytes() — the textbook L-1-step ring all-gather of one
+ *    variable-size chunk per rank,
+ *  - barrier()        — a two-pass token ring (all ranks enter before
+ *    any leaves).
+ *
+ * Failure model: a blocked primitive throws DistError (a FatalError
+ * subclass naming the peer) when the peer is detected dead — socket EOF
+ * / EPIPE, or the shared abort word the parent raises from waitpid —
+ * and every blocking wrapper enforces a deadline so a wedged ring
+ * surfaces a typed timeout instead of a hang.
+ *
+ * Byte counters: bytesSent()/bytesReceived() measure the traffic this
+ * rank actually moved (collective payloads + barrier tokens), which the
+ * tests reconcile against the LearnerGroup's ring-cost ledger.
+ */
+
+#ifndef EDKM_DIST_TRANSPORT_H_
+#define EDKM_DIST_TRANSPORT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace edkm {
+namespace dist {
+
+/** Typed failure of the distributed layer: peer death, ring timeout,
+ *  rendezvous failure. Always names the rank(s) involved. */
+class DistError : public FatalError
+{
+  public:
+    explicit DistError(const std::string &what) : FatalError(what) {}
+};
+
+/** Wire selection for ProcessGroup. */
+enum class TransportKind {
+    kShm,    ///< fork + POSIX shared-memory rings
+    kSocket, ///< AF_UNIX socketpair per ring edge
+};
+
+/** Parse EDKM_DIST_TRANSPORT (shm|socket); default kShm. Unknown
+ *  values warn once and fall back to the default. */
+TransportKind transportKindFromEnv();
+
+/** Human-readable transport name ("shm" / "socket"). */
+const char *transportKindName(TransportKind kind);
+
+/**
+ * One rank's endpoint of the learner ring. Concrete subclasses provide
+ * the nonblocking byte primitives; the collectives here are built on
+ * top and shared by both wires.
+ *
+ * Thread model: single-owner — one learner thread per process drives
+ * its transport. Nothing here is shared between threads of one process.
+ */
+class Transport
+{
+  public:
+    Transport(int world_size, int rank, double timeout_sec);
+    virtual ~Transport() = default;
+
+    Transport(const Transport &) = delete;
+    Transport &operator=(const Transport &) = delete;
+
+    int worldSize() const { return world_; }
+    int rank() const { return rank_; }
+
+    /**
+     * Nonblocking push of up to @p len bytes toward rank+1. Returns the
+     * number of bytes accepted (0 when the channel is full). Throws
+     * DistError when the peer is known dead.
+     */
+    virtual size_t trySendNext(const uint8_t *data, size_t len) = 0;
+
+    /**
+     * Nonblocking pull of up to @p len bytes from rank-1. Returns the
+     * number of bytes received (0 when none are pending). Throws
+     * DistError when the peer is known dead.
+     */
+    virtual size_t tryRecvPrev(uint8_t *data, size_t len) = 0;
+
+    /** Blocking send of exactly @p len bytes to rank+1 (deadline-bound). */
+    void sendNext(const void *data, size_t len);
+
+    /** Blocking receive of exactly @p len bytes from rank-1. */
+    void recvPrev(void *data, size_t len);
+
+    /**
+     * One ring step: send @p send_len bytes to rank+1 while receiving
+     * @p recv_len bytes from rank-1, interleaving progress on both
+     * directions so the step completes for payloads of any size
+     * relative to the channel capacity.
+     */
+    void exchange(const uint8_t *send, size_t send_len, uint8_t *recv,
+                  size_t recv_len);
+
+    /**
+     * Ring all-gather: rank r contributes @p mine (whose size must be
+     * chunk_sizes[r]); on return @p out holds every rank's chunk, in
+     * rank order. L-1 steps; each rank receives exactly
+     * sum(chunk_sizes) - chunk_sizes[rank] bytes.
+     */
+    void allGatherBytes(const std::vector<uint8_t> &mine,
+                        const std::vector<size_t> &chunk_sizes,
+                        std::vector<std::vector<uint8_t>> &out);
+
+    /** Two-pass token ring: no rank leaves before every rank entered. */
+    void barrier();
+
+    int64_t bytesSent() const { return bytes_sent_; }
+    int64_t bytesReceived() const { return bytes_received_; }
+    void resetCounters();
+
+    double timeoutSec() const { return timeout_sec_; }
+
+  protected:
+    /** Uniform timeout error ("ring stalled ...") for blocked loops. */
+    [[noreturn]] void throwTimeout(const char *op) const;
+
+    int world_;
+    int rank_;
+    double timeout_sec_;
+    int64_t bytes_sent_ = 0;
+    int64_t bytes_received_ = 0;
+};
+
+} // namespace dist
+} // namespace edkm
+
+#endif // EDKM_DIST_TRANSPORT_H_

@@ -187,13 +187,16 @@ MarshalContext::copyLogical(const std::shared_ptr<CpuEntry> &entry,
 
 void
 MarshalContext::copyStorage(const std::shared_ptr<CpuEntry> &entry,
-                            const Tensor &t)
+                            const Tensor &t, std::shared_ptr<Storage> reuse)
 {
     Device src = t.device();
     Device dst = config_.offloadDevice;
     auto counter = resident_bytes_;
-    dispatchCopy(entry, [entry, t, src, dst, counter] {
-        auto cpu_storage = Storage::allocate(t.storageBytes(), dst);
+    dispatchCopy(entry, [entry, t, src, dst, counter,
+                         reuse = std::move(reuse)]() mutable {
+        std::shared_ptr<Storage> cpu_storage =
+            reuse ? std::move(reuse)
+                  : Storage::allocate(t.storageBytes(), dst);
         std::memcpy(cpu_storage->data(), t.storagePtr()->data(),
                     static_cast<size_t>(t.storageBytes()));
         DeviceManager::instance().recordTransfer(src, dst,
@@ -250,7 +253,42 @@ MarshalContext::offloadAsync(const Tensor &t)
     entry->srcDevice = t.device();
     entry->srcStorageId = t.storageId();
     entry->residentBytes = resident_bytes_;
-    copyStorage(entry, t);
+
+    // Double buffering: rotate the eager window and try to recycle the
+    // snapshot falling out of it. Stealing is only legal when nothing
+    // else can observe the old bytes: its copy has settled, no pack
+    // handle (saved tensor) references the entry, and the entry holds
+    // the storage's sole reference.
+    std::shared_ptr<Storage> reuse;
+    if (config_.doubleBuffer) {
+        std::shared_ptr<CpuEntry> cand = std::move(db_back_);
+        db_back_ = std::move(db_front_);
+        db_front_ = entry;
+        if (cand) {
+            auto it = eager_registry_.find(cand->srcStorageId);
+            if (it != eager_registry_.end() && it->second == cand) {
+                eager_registry_.erase(it);
+            }
+            bool settled =
+                !cand->ready.valid() ||
+                cand->ready.wait_for(std::chrono::seconds(0)) ==
+                    std::future_status::ready;
+            if (settled && cand.use_count() == 1 &&
+                cand->cpuTensor.defined() &&
+                cand->cpuTensor.storageBytes() == t.storageBytes() &&
+                cand->cpuTensor.storagePtr().use_count() == 1) {
+                reuse = cand->cpuTensor.storagePtr();
+                resident_bytes_->fetch_sub(
+                    cand->cpuTensor.storageBytes(),
+                    std::memory_order_relaxed);
+                cand->cpuTensor = Tensor();
+                cand->residentBytes = nullptr;
+                ++stats_.bufferReuses;
+            }
+        }
+    }
+
+    copyStorage(entry, t, std::move(reuse));
     ++stats_.copies;
     stats_.bytesCopied += t.storageBytes();
     eager_registry_[t.storageId()] = std::move(entry);

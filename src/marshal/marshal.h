@@ -82,6 +82,18 @@ struct MarshalConfig
      * MarshalContext::sync() first.
      */
     bool asyncOffload = false;
+
+    /**
+     * Double-buffered prefetch: offloadAsync() keeps the two most
+     * recent eager snapshots and recycles the older one's CPU storage
+     * for the next copy when nothing references it any more (its saves
+     * were unpacked or never taken) and the sizes match. Steady-state
+     * loops that prefetch one same-sized tensor per iteration then run
+     * with two CPU buffers total instead of one allocation per
+     * iteration. Reuse is skipped — never forced — when the old
+     * snapshot is still referenced or still copying.
+     */
+    bool doubleBuffer = false;
 };
 
 /** Counters exposed for tests and the Table 2 / Fig 2 benches. */
@@ -97,6 +109,8 @@ struct MarshalStats
     int64_t walkSteps = 0;         ///< graph-walk nodes visited in total
     int64_t passthroughs = 0;      ///< small/CPU tensors kept in place
     int64_t asyncCopies = 0;       ///< copies queued off the critical path
+    int64_t bufferReuses = 0;      ///< offload buffers recycled
+                                   ///< (doubleBuffer)
 };
 
 /**
@@ -172,9 +186,12 @@ class MarshalContext : public SavedTensorHooks
     std::shared_ptr<CpuEntry> lookupEager(uint64_t storage_id);
 
     /** Materialise @p entry's CPU copy of @p t's *whole storage*,
-     *  inline or on the runtime pool per config_.asyncOffload. */
+     *  inline or on the runtime pool per config_.asyncOffload. A
+     *  non-null @p reuse storage (same size) is written in place
+     *  instead of allocating. */
     void copyStorage(const std::shared_ptr<CpuEntry> &entry,
-                     const Tensor &t);
+                     const Tensor &t,
+                     std::shared_ptr<Storage> reuse = nullptr);
 
     /** Materialise @p entry's CPU copy of @p t's logical contents. */
     void copyLogical(const std::shared_ptr<CpuEntry> &entry,
@@ -191,9 +208,15 @@ class MarshalContext : public SavedTensorHooks
     std::unordered_map<uint64_t, std::weak_ptr<CpuEntry>> registry_;
 
     /** storage-id -> eagerly offloaded entry (offloadAsync). Owned:
-     *  prefetched copies stay resident for the context's lifetime. */
+     *  prefetched copies stay resident for the context's lifetime
+     *  (bounded to the latest two when doubleBuffer is on). */
     std::unordered_map<uint64_t, std::shared_ptr<CpuEntry>>
         eager_registry_;
+
+    /** Rotating eager snapshots (doubleBuffer): newest and previous.
+     *  The one rotated out donates its CPU storage when unreferenced. */
+    std::shared_ptr<CpuEntry> db_front_;
+    std::shared_ptr<CpuEntry> db_back_;
 
     /** Futures of copies queued and not yet joined. */
     std::vector<std::shared_future<void>> pending_;

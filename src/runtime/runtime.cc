@@ -74,6 +74,18 @@ Runtime::setThreadCount(int threads)
     // workers join before the object dies.
 }
 
+void
+Runtime::resetAfterFork(int threads)
+{
+    util::MutexLock lock(mutex_);
+    // The old pool's workers died with the parent's address space; its
+    // destructor would join threads that no longer exist. Park the
+    // shared_ptr on the heap forever — an intentional one-time leak in
+    // a process that exits via _exit() anyway.
+    new std::shared_ptr<ThreadPool>(std::move(pool_));
+    pool_ = std::make_shared<ThreadPool>(std::max(1, threads));
+}
+
 SerialGuard::SerialGuard()
 {
     ++tl_serial_depth;

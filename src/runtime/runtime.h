@@ -68,6 +68,16 @@ class Runtime
     /** The thread count EDKM_NUM_THREADS / hardware_concurrency gives. */
     static int defaultThreadCount();
 
+    /**
+     * Child-side fork repair: the pool's worker threads do not survive
+     * fork, so the inherited ThreadPool object is a husk whose
+     * destructor (join) would hang forever. This deliberately *leaks*
+     * the inherited pool object and installs a fresh @p threads-lane
+     * pool. Must be the first runtime call in a forked child (before
+     * any parallelFor); dist::ProcessGroup calls it for its learners.
+     */
+    void resetAfterFork(int threads = 1);
+
   private:
     Runtime();
 

@@ -389,6 +389,96 @@ TEST_F(MarshalTest, OffloadAsyncPrefetchDedupsLaterSaves)
                          1e-5f));
 }
 
+TEST_F(MarshalTest, DoubleBufferRecyclesOffloadStorage)
+{
+    MarshalConfig c = cfg(MarshalConfig::Detection::kStorageId);
+    c.doubleBuffer = true;
+    MarshalContext ctx(c);
+    // Steady-state loop: one same-sized prefetch per iteration, none of
+    // them saved — from the third offload on, the storage rotated out
+    // of the two-deep window is recycled instead of reallocated.
+    for (int i = 0; i < 5; ++i) {
+        Tensor t = Tensor::rand({64, 64}, rng, Device::gpu(0));
+        ctx.offloadAsync(t);
+    }
+    ctx.sync();
+    EXPECT_EQ(ctx.stats().copies, 5);
+    EXPECT_EQ(ctx.stats().bufferReuses, 3);
+    // Window is bounded: exactly two snapshots stay resident.
+    EXPECT_EQ(ctx.residentBytes(), 2 * 64 * 64 * 4);
+}
+
+TEST_F(MarshalTest, DoubleBufferOffByDefaultNeverRecycles)
+{
+    MarshalContext ctx(cfg(MarshalConfig::Detection::kStorageId));
+    for (int i = 0; i < 4; ++i) {
+        Tensor t = Tensor::rand({32, 32}, rng, Device::gpu(0));
+        ctx.offloadAsync(t);
+    }
+    ctx.sync();
+    EXPECT_EQ(ctx.stats().bufferReuses, 0);
+    EXPECT_EQ(ctx.residentBytes(), 4 * 32 * 32 * 4);
+}
+
+TEST_F(MarshalTest, DoubleBufferSkipsReuseWhileSnapshotReferenced)
+{
+    MarshalConfig c = cfg(MarshalConfig::Detection::kStorageId);
+    c.doubleBuffer = true;
+    MarshalContext ctx(c);
+
+    // Save a view of the first prefetched tensor: its snapshot is
+    // referenced by a live pack handle, so the rotation must NOT steal
+    // that storage — unpack must still see the original bytes.
+    Variable x(Tensor::rand({16, 16}, rng, Device::gpu(0)), true);
+    Variable loss;
+    {
+        SavedTensorHooksGuard guard(&ctx);
+        ctx.offloadAsync(x.data());
+        loss = af::sumAll(af::square(x)); // saves x -> prefetch hit
+    }
+    EXPECT_EQ(ctx.stats().duplicatesAvoided, 1);
+    for (int i = 0; i < 3; ++i) {
+        Tensor t = Tensor::rand({16, 16}, rng, Device::gpu(0));
+        ctx.offloadAsync(t);
+    }
+    ctx.sync();
+    // The rotation that would have stolen x's snapshot skipped it; the
+    // later unreferenced snapshots still recycle among themselves.
+    backward(loss);
+    EXPECT_TRUE(allclose(x.grad(), mulScalar(x.data(), 2.0f), 1e-4f,
+                         1e-5f));
+}
+
+TEST_F(MarshalTest, DoubleBufferAsyncMatchesSync)
+{
+    for (bool async : {false, true}) {
+        MarshalConfig c = cfg(MarshalConfig::Detection::kStorageId);
+        c.doubleBuffer = true;
+        c.asyncOffload = async;
+        MarshalContext ctx(c);
+        Tensor last;
+        for (int i = 0; i < 4; ++i) {
+            last = Tensor::rand({48, 48}, rng, Device::gpu(0));
+            ctx.offloadAsync(last);
+        }
+        ctx.sync();
+        EXPECT_EQ(ctx.stats().copies, 4) << "async=" << async;
+        EXPECT_GE(ctx.stats().bufferReuses, async ? 1 : 2)
+            << "async=" << async;
+        // The newest snapshot still dedups a save of its tensor.
+        Variable v(last, true);
+        Variable loss;
+        {
+            SavedTensorHooksGuard guard(&ctx);
+            loss = af::sumAll(af::square(v));
+        }
+        EXPECT_EQ(ctx.stats().duplicatesAvoided, 1) << "async=" << async;
+        backward(loss);
+        EXPECT_TRUE(allclose(v.grad(), mulScalar(last, 2.0f), 1e-4f,
+                             1e-5f));
+    }
+}
+
 TEST_F(MarshalTest, CrossIterationDedupOfReusedInput)
 {
     // The same weight variable saved in every "iteration" (as in the

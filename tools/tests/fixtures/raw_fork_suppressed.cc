@@ -1,0 +1,14 @@
+// Fixture: a sanctioned process-spawn site carrying a reasoned
+// suppression, the way dist::ProcessGroup does it.
+// Expected: 0 findings, 1 suppression.
+#include <unistd.h>
+
+int
+launch_learner()
+{
+    // lint:allow(raw-thread) sanctioned spawn: the learner is a real OS
+    // process by design, and determinism is preserved by fixed shard
+    // layout plus rank-ordered collectives.
+    pid_t pid = fork();
+    return pid == 0 ? 0 : 1;
+}

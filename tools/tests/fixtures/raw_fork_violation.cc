@@ -1,0 +1,17 @@
+// Fixture: ad-hoc process spawn outside runtime/ (expected findings: 1).
+// refork(...) below must NOT count — identifiers merely ending in
+// "fork" are not process spawns.
+#include <unistd.h>
+
+void
+refork(int)
+{
+}
+
+int
+spawn_worker()
+{
+    refork(3);
+    pid_t pid = ::fork();
+    return pid == 0 ? 0 : 1;
+}

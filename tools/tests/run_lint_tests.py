@@ -31,6 +31,8 @@ CASES = {
     "parallel_numerics_clean.cc": (0, 0, []),
     "raw_thread_violation.cc": (1, 0, ["raw-thread"]),
     "raw_thread_clean.cc": (0, 0, []),
+    "raw_fork_violation.cc": (1, 0, ["raw-thread"]),
+    "raw_fork_suppressed.cc": (0, 1, []),
     "unordered_iteration_violation.cc": (2, 0, ["unordered-iteration"]),
     "unordered_iteration_clean.cc": (0, 0, []),
     "suppressed_ok.cc": (0, 1, []),
