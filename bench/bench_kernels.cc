@@ -14,6 +14,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -22,6 +23,7 @@
 #include "autograd/engine.h"
 #include "autograd/functional.h"
 #include "core/edkm.h"
+#include "core/palettize.h"
 #include "device/device_manager.h"
 #include "kernels/attention.h"
 #include "kernels/kernels.h"
@@ -161,6 +163,96 @@ main(int argc, char **argv)
               << "  exp: " << exp_scalar_ms << " -> " << exp_simd_ms
               << " ms (" << exp_scalar_ms / exp_simd_ms << "x)\n";
 
+    // ---- fused palettized decode: per-backend rows keyed by dispatch
+    // name, staged-vs-fused tensor path, and the opt-in fast-math
+    // variant. The staged/fused comparison doubles as the bit-identity
+    // gate for the exit code. ----
+    const int64_t din = 1024, dout = 1024;
+    const int dbits = 4;
+    Rng prng(17);
+    std::vector<float> plut(1 << dbits);
+    for (float &cv : plut) {
+        cv = prng.uniform(-0.05f, 0.05f);
+    }
+    std::vector<int32_t> passign(static_cast<size_t>(din * dout));
+    for (int32_t &a : passign) {
+        a = static_cast<int32_t>(prng.randint(0, (1 << dbits) - 1));
+    }
+    PalettizedTensor pal = PalettizedTensor::fromAssignments(
+        {dout, din}, plut, passign, dbits);
+    PaletteView pview = viewOf(pal);
+    std::vector<float> px(static_cast<size_t>(din));
+    for (float &v : px) {
+        v = prng.bernoulli(0.1) ? 0.0f : prng.uniform(-1.0f, 1.0f);
+    }
+    Tensor pxT = Tensor::fromVector(px, {1, din});
+
+    // Per-backend raw kernel rows (single thread, no tensor glue).
+    struct PaletteRow
+    {
+        std::string variant;
+        double ms;
+    };
+    std::vector<PaletteRow> palette_rows;
+    {
+        runtime::SerialGuard serial;
+        std::vector<float> pout(static_cast<size_t>(dout));
+        for (auto be : kernels::availableBackends()) {
+            const kernels::KernelTable &kt = kernels::table(be);
+            double ms = timeMs(reps, [&] {
+                kt.paletteDotFused(px.data(), din, pview.packed,
+                                   pview.bits, pview.lut.data(), 0, dout,
+                                   pout.data());
+                volatile float sink = pout[0];
+                (void)sink;
+            });
+            palette_rows.push_back({kernels::backendName(be), ms});
+        }
+        // Opt-in fast-math variant: benched via its explicit handle;
+        // never part of any dispatch table.
+        if (kernels::PaletteDotFn fast = kernels::fastMathPaletteDot()) {
+            double ms = timeMs(reps, [&] {
+                fast(px.data(), din, pview.packed, pview.bits,
+                     pview.lut.data(), 0, dout, pout.data());
+                volatile float sink = pout[0];
+                (void)sink;
+            });
+            palette_rows.push_back(
+                {kernels::fastMathVariantName(), ms});
+        }
+    }
+
+    // Tensor-level staged vs fused decode (active backend, threaded as
+    // the serving path runs it) + the bit-identity gate.
+    double staged_ms = timeMs(reps, [&] {
+        Tensor t = paletteMatmulTStaged(pxT, pview);
+        volatile float sink = t.rawData<float>()[0];
+        (void)sink;
+    });
+    double fuseddec_ms = timeMs(reps, [&] {
+        Tensor t = paletteMatmulT(pxT, pview);
+        volatile float sink = t.rawData<float>()[0];
+        (void)sink;
+    });
+    std::vector<float> staged_out =
+        paletteMatmulTStaged(pxT, pview).toVector();
+    std::vector<float> fused_out = paletteMatmulT(pxT, pview).toVector();
+    bool palette_identical =
+        staged_out.size() == fused_out.size() &&
+        std::memcmp(staged_out.data(), fused_out.data(),
+                    staged_out.size() * sizeof(float)) == 0;
+    std::cout << "palettized decode " << dout << "x" << din << " @"
+              << dbits << "b\n";
+    for (const PaletteRow &row : palette_rows) {
+        std::cout << "  fused[" << row.variant << "]: " << row.ms
+                  << " ms\n";
+    }
+    std::cout << "  staged path: " << staged_ms << " ms\n"
+              << "  fused path:  " << fuseddec_ms << " ms ("
+              << staged_ms / fuseddec_ms << "x)\n"
+              << "  staged/fused bit-identical: "
+              << (palette_identical ? "yes" : "NO") << "\n";
+
     // ---- thread-count determinism of the full clustering stack ----
     Rng wr(31);
     Tensor w = Tensor::randn({16384}, wr, Device::cpu(), 0.02f)
@@ -196,7 +288,31 @@ main(int argc, char **argv)
          << "  \"exp_simd_speedup\": " << exp_scalar_ms / exp_simd_ms
          << ",\n"
          << "  \"edkm_1v8_threads_bit_identical\": "
-         << (identical ? "true" : "false") << "\n}\n";
+         << (identical ? "true" : "false") << ",\n"
+         << "  \"palette_decode\": {\n"
+         << "    \"out\": " << dout << ",\n"
+         << "    \"in\": " << din << ",\n"
+         << "    \"bits\": " << dbits << ",\n"
+         << "    \"rows\": [\n";
+    for (size_t i = 0; i < palette_rows.size(); ++i) {
+        json << "      {\"variant\": \"" << palette_rows[i].variant
+             << "\", \"fused_ms\": " << palette_rows[i].ms << "}"
+             << (i + 1 < palette_rows.size() ? "," : "") << "\n";
+    }
+    json << "    ],\n"
+         << "    \"staged_ms\": " << staged_ms << ",\n"
+         << "    \"fused_ms\": " << fuseddec_ms << ",\n"
+         << "    \"fused_speedup\": " << staged_ms / fuseddec_ms
+         << ",\n"
+         << "    \"fastmath_variant\": "
+         << (kernels::fastMathVariantName() != nullptr
+                 ? std::string("\"") + kernels::fastMathVariantName() +
+                       "\""
+                 : std::string("null"))
+         << ",\n"
+         << "    \"staged_fused_bit_identical\": "
+         << (palette_identical ? "true" : "false") << "\n"
+         << "  }\n}\n";
     std::cout << "wrote BENCH_kernels.json\n";
-    return identical ? 0 : 1;
+    return identical && palette_identical ? 0 : 1;
 }

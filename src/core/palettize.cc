@@ -1,10 +1,15 @@
 #include "core/palettize.h"
 
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 
 #include "core/kmeans.h"
+#include "device/device_manager.h"
 #include "kernels/kernels.h"
+#include "runtime/runtime.h"
 #include "tensor/ops.h"
 #include "util/half.h"
 #include "util/logging.h"
@@ -277,8 +282,56 @@ viewOf(const PalettizedTensor &p)
     return v;
 }
 
+namespace {
+
+std::atomic<int64_t> g_fused_calls{0};
+
+/** Startup default for the fused m==1 decode: on unless the escape
+ *  hatch EDKM_FUSED_DECODE=off|0|false|staged is set. */
+bool
+envFusedDecodeDefault()
+{
+    const char *env = std::getenv("EDKM_FUSED_DECODE");
+    if (env == nullptr) {
+        return true;
+    }
+    std::string v;
+    for (const char *c = env; *c; ++c) {
+        v.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(*c))));
+    }
+    return !(v == "off" || v == "0" || v == "false" || v == "staged");
+}
+
+std::atomic<bool> &
+fusedDecodeFlag()
+{
+    static std::atomic<bool> f{envFusedDecodeDefault()};
+    return f;
+}
+
+} // namespace
+
+void
+setPaletteFusedDecode(bool on)
+{
+    fusedDecodeFlag().store(on, std::memory_order_relaxed);
+}
+
+bool
+paletteFusedDecodeEnabled()
+{
+    return fusedDecodeFlag().load(std::memory_order_relaxed);
+}
+
+int64_t
+paletteFusedCalls()
+{
+    return g_fused_calls.load(std::memory_order_relaxed);
+}
+
 Tensor
-paletteMatmulT(const Tensor &x, const PaletteView &w)
+paletteMatmulTStaged(const Tensor &x, const PaletteView &w)
 {
     EDKM_CHECK(w.shape.size() == 2,
                "paletteMatmulT: weight must be 2-d, got rank ",
@@ -303,6 +356,53 @@ paletteMatmulT(const Tensor &x, const PaletteView &w)
                                    dst + (p - p0) * out);
             }
         });
+}
+
+Tensor
+paletteMatmulT(const Tensor &x, const PaletteView &w)
+{
+    EDKM_CHECK(w.shape.size() == 2,
+               "paletteMatmulT: weight must be 2-d, got rank ",
+               w.shape.size());
+    EDKM_CHECK(w.packed != nullptr, "paletteMatmulT: empty view");
+    int64_t out = w.shape[0], in = w.shape[1];
+    Tensor xc = toF32Contig(x);
+    EDKM_CHECK(xc.dim() == 2, "paletteMatmulT: x must be 2-d");
+    EDKM_CHECK(xc.size(1) == in, "paletteMatmulT: inner dims ",
+               xc.size(1), " vs ", in);
+    // The fused kernel covers the m==1 decode with >1 output column
+    // (out == 1 takes matmulStreamed's fixed-lane matvec path, whose
+    // accumulation order the fused column chain does not replay).
+    if (xc.size(0) != 1 || out == 1 || !paletteFusedDecodeEnabled()) {
+        return paletteMatmulTStaged(xc, w);
+    }
+    g_fused_calls.fetch_add(1, std::memory_order_relaxed);
+    kernels::PaletteDotFn fn = kernels::active().paletteDotFused;
+    if (kernels::fastMathEnabled()) {
+        // Explicit opt-in only: trades bit-identity for FMA throughput
+        // (see kernels_fastmath.cc). Never reached by default.
+        if (kernels::PaletteDotFn fast = kernels::fastMathPaletteDot()) {
+            fn = fast;
+        }
+    }
+    Tensor outT = Tensor::empty({1, out}, DType::kF32, xc.device());
+    const float *px = xc.rawData<float>();
+    const float *lut = w.lut.data();
+    const uint8_t *packed = w.packed;
+    const int bits = w.bits;
+    float *po = outT.rawData<float>();
+    // Chunks own disjoint output-column ranges and each column's value
+    // is a self-contained sequential chain, so the split is
+    // thread-count-invariant.
+    runtime::parallelFor(0, out, runtime::grainFor(out, 2 * in),
+                         [&](int64_t cb, int64_t ce) {
+                             fn(px, in, packed, bits, lut, cb, ce - cb,
+                                po + cb);
+                         });
+    chargeFlops(2.0 * static_cast<double>(in) *
+                    static_cast<double>(out),
+                xc.device());
+    return outT;
 }
 
 Tensor

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "kernels/kernels.h"
 #include "tensor/tensor.h"
 #include "util/rng.h"
 
@@ -32,23 +33,12 @@ std::vector<int32_t> unpackBits(const std::vector<uint8_t> &stream,
 /**
  * Random-access read of the @p i-th @p bits-wide value of a packBits
  * stream. Touches only the bytes holding the value, so it is safe up to
- * the last element of a minimally-sized stream.
+ * the last element of a minimally-sized stream. (The implementation
+ * lives in kernels/kernels.h so the fused palette-decode kernels can
+ * use it without a core/ dependency; this re-export keeps the historic
+ * edkm:: spelling.)
  */
-inline int32_t
-unpackBitsAt(const uint8_t *stream, int bits, int64_t i)
-{
-    int64_t bitpos = i * bits;
-    int64_t byte = bitpos >> 3;
-    int off = static_cast<int>(bitpos & 7);
-    uint32_t acc = static_cast<uint32_t>(stream[byte]) >> off;
-    int got = 8 - off;
-    while (got < bits) {
-        ++byte;
-        acc |= static_cast<uint32_t>(stream[byte]) << got;
-        got += 8;
-    }
-    return static_cast<int32_t>(acc & ((1u << bits) - 1u));
-}
+using kernels::unpackBitsAt;
 
 /**
  * A weight tensor compressed to `bits` per weight via clustering:
@@ -135,12 +125,38 @@ PaletteView parsePaletteView(const uint8_t *bytes, size_t size,
 PaletteView viewOf(const PalettizedTensor &p);
 
 /**
- * y = x · W^T with W in LUT+index form, streamed tile-by-tile through
- * matmulStreamed: bit-identical to matmul(x, transpose(decompress()))
- * while the dense weight is never materialised. Index tiles gather
- * through the kernels layer's gatherU16.
+ * y = x · W^T with W in LUT+index form: bit-identical to
+ * matmul(x, transpose(decompress())) while the dense weight is never
+ * materialised.
+ *
+ * Two internal paths, bit-identical to each other by construction:
+ *   - m == 1 (the serving decode hot path, more than one output
+ *     column): the *fused* kernel — packed indices -> LUT gathers ->
+ *     multiply-accumulate straight into the output, no staging buffer
+ *     (kernels::KernelTable::paletteDotFused, parallel over disjoint
+ *     output-column ranges).
+ *   - everything else (prefill, batched decode, single-output), or
+ *     when the fused path is disabled: the staged path — index tiles
+ *     decoded through gatherU16 and streamed through matmulStreamed.
  */
 Tensor paletteMatmulT(const Tensor &x, const PaletteView &w);
+
+/** The always-staged reference path (decode tiles, then accumulate);
+ *  what paletteMatmulT uses outside the fused m==1 case. Exposed so
+ *  tests and benches can A/B the two in one process. */
+Tensor paletteMatmulTStaged(const Tensor &x, const PaletteView &w);
+
+/** Programmatic switch for the fused m==1 decode path. Defaults to on
+ *  unless EDKM_FUSED_DECODE=off|0|false|staged is set at startup. Both
+ *  paths are bit-identical (ctest-gated), so this is an A/B and escape
+ *  hatch, never a numerics knob. */
+void setPaletteFusedDecode(bool on);
+bool paletteFusedDecodeEnabled();
+
+/** Process-wide count of decodes served by the fused kernel (bench and
+ *  stats observability; serve::EngineStats::fusedDecodes is derived
+ *  from deltas of this). */
+int64_t paletteFusedCalls();
 
 /**
  * Embedding lookup from a palettized [vocab, dim] table: out[i, :] is

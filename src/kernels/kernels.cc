@@ -1,5 +1,6 @@
 #include "kernels/kernels.h"
 
+#include <atomic>
 #include <cctype>
 #include <cstdlib>
 #include <cstring>
@@ -14,9 +15,17 @@ namespace kernels {
 #if defined(EDKM_HAVE_AVX2)
 const KernelTable &avx2KernelTable(); // defined in kernels_avx2.cc
 #endif
+#if defined(EDKM_HAVE_AVX512)
+const KernelTable &avx512KernelTable(); // defined in kernels_avx512.cc
+#endif
 #if defined(EDKM_HAVE_NEON)
 const KernelTable &neonKernelTable(); // defined in kernels_neon.cc
 #endif
+
+// Always linked (kernels_fastmath.cc compiles to nullptr stubs when the
+// variant is configured out).
+PaletteDotFn fastMathPaletteDotImpl();
+const char *fastMathVariantNameImpl();
 
 namespace {
 
@@ -38,6 +47,14 @@ cpuSupports(Backend b)
     case Backend::kAvx2:
 #if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
         return __builtin_cpu_supports("avx2") != 0;
+#else
+        return false;
+#endif
+    case Backend::kAvx512:
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+        // avx512f is the only feature the backend's intrinsics need
+        // (and it implies avx2 for the ReduceTag reduction path).
+        return __builtin_cpu_supports("avx512f") != 0;
 #else
         return false;
 #endif
@@ -64,6 +81,12 @@ backendUsable(Backend b)
 #else
         return false;
 #endif
+    case Backend::kAvx512:
+#if defined(EDKM_HAVE_AVX512)
+        return cpuSupports(Backend::kAvx512);
+#else
+        return false;
+#endif
     case Backend::kNeon:
 #if defined(EDKM_HAVE_NEON)
         return cpuSupports(Backend::kNeon);
@@ -85,8 +108,27 @@ lowered(const char *s)
     return out;
 }
 
+/** Best usable backend in priority order (all bit-identical, so this
+ *  is purely a speed preference). */
+Backend
+bestBackend()
+{
+    if (backendUsable(Backend::kAvx512)) {
+        return Backend::kAvx512;
+    }
+    if (backendUsable(Backend::kAvx2)) {
+        return Backend::kAvx2;
+    }
+    if (backendUsable(Backend::kNeon)) {
+        return Backend::kNeon;
+    }
+    return Backend::kScalar;
+}
+
 /** Resolve the process-wide backend once: EDKM_SIMD env override, then
- *  the best usable backend. */
+ *  the best usable backend. A pinned backend that is unusable (build or
+ *  CPU) falls back gracefully — to the best available one, with a
+ *  warning — because every backend is bit-identical anyway. */
 Backend
 resolveBackend()
 {
@@ -103,6 +145,16 @@ resolveBackend()
                  "(build or CPU); falling back to scalar kernels");
             return Backend::kScalar;
         }
+        if (v == "avx512") {
+            if (backendUsable(Backend::kAvx512)) {
+                return Backend::kAvx512;
+            }
+            Backend best = bestBackend();
+            warn("EDKM_SIMD=avx512 requested but AVX-512 is unavailable "
+                 "(build or CPU); falling back to ", backendName(best),
+                 " kernels (bit-identical)");
+            return best;
+        }
         if (v == "neon") {
             if (backendUsable(Backend::kNeon)) {
                 return Backend::kNeon;
@@ -115,13 +167,7 @@ resolveBackend()
             warn("EDKM_SIMD='", env, "' not recognised; using auto");
         }
     }
-    if (backendUsable(Backend::kAvx2)) {
-        return Backend::kAvx2;
-    }
-    if (backendUsable(Backend::kNeon)) {
-        return Backend::kNeon;
-    }
-    return Backend::kScalar;
+    return bestBackend();
 }
 
 } // namespace
@@ -134,6 +180,8 @@ backendName(Backend b)
         return "scalar";
     case Backend::kAvx2:
         return "avx2";
+    case Backend::kAvx512:
+        return "avx512";
     case Backend::kNeon:
         return "neon";
     }
@@ -150,6 +198,10 @@ table(Backend b)
 #if defined(EDKM_HAVE_AVX2)
     case Backend::kAvx2:
         return avx2KernelTable();
+#endif
+#if defined(EDKM_HAVE_AVX512)
+    case Backend::kAvx512:
+        return avx512KernelTable();
 #endif
 #if defined(EDKM_HAVE_NEON)
     case Backend::kNeon:
@@ -174,10 +226,63 @@ availableBackends()
     if (backendUsable(Backend::kAvx2)) {
         out.push_back(Backend::kAvx2);
     }
+    if (backendUsable(Backend::kAvx512)) {
+        out.push_back(Backend::kAvx512);
+    }
     if (backendUsable(Backend::kNeon)) {
         out.push_back(Backend::kNeon);
     }
     return out;
+}
+
+// ----------------------------------------------------------------------
+// Fast-math opt-in state.
+// ----------------------------------------------------------------------
+
+namespace {
+
+bool
+envFastMathOptIn()
+{
+    const char *env = std::getenv("EDKM_FAST_MATH");
+    if (env == nullptr) {
+        return false;
+    }
+    std::string v = lowered(env);
+    return v == "1" || v == "on" || v == "true" || v == "yes";
+}
+
+std::atomic<bool> &
+fastMathFlag()
+{
+    static std::atomic<bool> f{envFastMathOptIn()};
+    return f;
+}
+
+} // namespace
+
+PaletteDotFn
+fastMathPaletteDot()
+{
+    return fastMathPaletteDotImpl();
+}
+
+const char *
+fastMathVariantName()
+{
+    return fastMathVariantNameImpl();
+}
+
+bool
+fastMathEnabled()
+{
+    return fastMathFlag().load(std::memory_order_relaxed);
+}
+
+void
+setFastMath(bool on)
+{
+    fastMathFlag().store(on, std::memory_order_relaxed);
 }
 
 void

@@ -5,12 +5,16 @@
  * Every function here operates on raw contiguous f32 buffers (callers —
  * mostly tensor/ops.cc and the clustering core — handle layout/dtype).
  * A `KernelTable` is one backend's full set of kernels; the scalar
- * reference table is always available, and AVX2 / NEON tables are linked
- * in when the build enables them (CMake option `EDKM_SIMD`, default ON).
+ * reference table is always available, and AVX2 / AVX-512 / NEON tables
+ * are linked in when the build enables them (CMake option `EDKM_SIMD`,
+ * default ON).
  *
  * Backend selection happens once per process in `active()`:
- *   1. `EDKM_SIMD=off|scalar|0` (env) forces the scalar reference.
- *   2. Otherwise the best compiled-in backend the CPU supports wins.
+ *   1. `EDKM_SIMD=off|scalar|0` (env) forces the scalar reference;
+ *      `avx2|avx512|neon` pins a specific backend (falling back to the
+ *      best available one, with a warning, when it is unusable).
+ *   2. Otherwise the best compiled-in backend the CPU supports wins
+ *      (avx512 > avx2 > neon > scalar).
  *
  * Numerics contract: all backends are **bit-identical** — elementwise
  * kernels map 1:1 onto IEEE single ops, and reductions use the fixed
@@ -45,11 +49,62 @@ enum class Backend
 {
     kScalar,
     kAvx2,
+    kAvx512,
     kNeon,
 };
 
-/** Human-readable backend name ("scalar", "avx2", "neon"). */
+/** Human-readable backend name ("scalar", "avx2", "avx512", "neon"). */
 const char *backendName(Backend b);
+
+/**
+ * Random-access read of one @p bits-wide value of a packBits
+ * little-endian bitstream (bits in [1, 16]) starting at raw bit offset
+ * @p bitpos. Touches only the bytes holding the value, so it is safe up
+ * to the last element of a minimally-sized stream. The hot fused-decode
+ * loops use this form directly with incrementally maintained bit
+ * offsets, avoiding a 64-bit multiply per extracted index.
+ */
+inline int32_t
+unpackBitsAtBit(const uint8_t *stream, int bits, int64_t bitpos)
+{
+    int64_t byte = bitpos >> 3;
+    int off = static_cast<int>(bitpos & 7);
+    uint32_t acc = static_cast<uint32_t>(stream[byte]) >> off;
+    int got = 8 - off;
+    while (got < bits) {
+        ++byte;
+        acc |= static_cast<uint32_t>(stream[byte]) << got;
+        got += 8;
+    }
+    return static_cast<int32_t>(acc & ((1u << bits) - 1u));
+}
+
+/**
+ * Random-access read of the @p i-th @p bits-wide value of a packBits
+ * stream (element-index form of unpackBitsAtBit). Lives in the kernels
+ * layer so the fused palette-decode kernels can walk index streams
+ * without a dependency on core/; core/palettize.h re-exports it as
+ * `edkm::unpackBitsAt`.
+ */
+inline int32_t
+unpackBitsAt(const uint8_t *stream, int bits, int64_t i)
+{
+    return unpackBitsAtBit(stream, bits, i * bits);
+}
+
+/**
+ * Signature of the fused palettized dot-product kernels: one [1,k] x
+ * [k,cols] product read straight off a packed LUT+index weight. @p x is
+ * the k-long input row; the weight is a [rows, k] palettized matrix
+ * whose n-bit indices are packBits-packed row-major (element (r, p) at
+ * stream position r*k + p), decoded through the 2^bits-entry @p lut.
+ * Writes out[j] = sum_p x[p] * lut[idx(col0 + j, p)] for j in
+ * [0, cols).
+ */
+using PaletteDotFn = void (*)(const float *x, int64_t k,
+                              const uint8_t *packed, int bits,
+                              const float *lut, int64_t col0,
+                              int64_t cols, float *out);
 
 /**
  * One backend's kernels. All pointers are non-null; buffers must be
@@ -105,6 +160,15 @@ struct KernelTable
     /** o[r,j] = |u[r] - c[j]| (the cdist1d forward). */
     void (*absDiffRows)(const float *u, int64_t rows, const float *c,
                         int64_t k, float *o);
+
+    // ---- fused palettized decode (the m==1 serving hot path) ----
+    /** Walk packed indices -> LUT gathers -> multiply-accumulate, no
+     *  dense staging buffer. Replays the staged decode-then-axpy path's
+     *  exact per-element FP sequence — ascending p, skip x[p] == 0.0f,
+     *  separate IEEE mul then add — and maps vector lanes to
+     *  *independent output columns*, so the result is bit-identical to
+     *  the staged path on every backend at any hardware width. */
+    PaletteDotFn paletteDotFused;
     /** Fused distance+argmin against ascending-sorted @p c: out[i] is
      *  the index minimising |v[i] - c[j]|, lowest index on ties —
      *  bit-compatible with the binary-search nearestCentroid. */
@@ -129,6 +193,31 @@ const KernelTable &table(Backend b);
 
 /** Backends usable in this process (always contains kScalar). */
 std::vector<Backend> availableBackends();
+
+// ----------------------------------------------------------------------
+// Opt-in fast-math palette decode (EDKM_FAST_MATH).
+// ----------------------------------------------------------------------
+
+/**
+ * The relaxed palette-decode variant: FMA plus reassociated partial
+ * accumulators, deliberately NOT bit-identical to the contract path.
+ * Returns nullptr when compiled out (-DEDKM_FAST_MATH=OFF) or when the
+ * CPU lacks the ISA it was built for. It is never part of any
+ * KernelTable — callers (core/palettize.cc) reach it only when
+ * fastMathEnabled() says the process explicitly opted in.
+ */
+PaletteDotFn fastMathPaletteDot();
+
+/** Variant name for bench rows ("avx2-fma", "portable-fma"); nullptr
+ *  when fastMathPaletteDot() is. */
+const char *fastMathVariantName();
+
+/** Whether the process opted into the fast-math variant: EDKM_FAST_MATH
+ *  =1|on|true|yes in the environment at startup, or setFastMath(true).
+ *  Default off — the bit-identity contract holds unless a human asked
+ *  to trade it away. */
+bool fastMathEnabled();
+void setFastMath(bool on);
 
 // ----------------------------------------------------------------------
 // Layout helpers with no per-backend variance.

@@ -1,0 +1,194 @@
+// EDKM_FAST_MATH_OPT_IN — the explicitly opt-in fast-math palette
+// decode variant.
+//
+// Everything else in src/kernels/ obeys the bit-identity house contract
+// (results invariant to backend, thread count and code path). This TU
+// is the one sanctioned exception, and the marker above is what lets it
+// through the determinism linter's fast-math rule: it is compiled with
+// relaxed floating-point options (and -mavx2 -mfma on x86, when the
+// compiler has them) and accumulates into reassociated k-strided
+// partials with fused multiply-adds. The result is close to — but NOT
+// bitwise equal to — the contract path.
+//
+// It is never part of any KernelTable and never selected by dispatch:
+// core/palettize.cc swaps it in for the fused m==1 decode only when
+// kernels::fastMathEnabled() reports an explicit opt-in (EDKM_FAST_MATH
+// env or setFastMath(true)). bench_kernels / bench_serving carry its
+// own rows so the cost of the bit-identity contract stays measured.
+//
+// With -DEDKM_FAST_MATH=OFF at configure time the TU compiles to the
+// nullptr stubs and the variant does not exist in the binary at all.
+
+#include "kernels/kernels.h"
+
+#include <cmath>
+
+#if defined(__AVX2__) && defined(__FMA__)
+#include <immintrin.h>
+#endif
+
+namespace edkm {
+namespace kernels {
+
+// Resolved by kernels.cc (fastMathPaletteDot / fastMathVariantName).
+PaletteDotFn fastMathPaletteDotImpl();
+const char *fastMathVariantNameImpl();
+
+#if !defined(EDKM_ENABLE_FASTMATH)
+
+PaletteDotFn
+fastMathPaletteDotImpl()
+{
+    return nullptr;
+}
+
+const char *
+fastMathVariantNameImpl()
+{
+    return nullptr;
+}
+
+#else // EDKM_ENABLE_FASTMATH
+
+namespace {
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+/** 8 columns per block, 4 k-strided FMA accumulators per block; no
+ *  zero-skip (branchless). Relaxed accumulation order by design. */
+void
+paletteDotFastAvx2(const float *x, int64_t k, const uint8_t *packed,
+                   int bits, const float *lut, int64_t col0, int64_t cols,
+                   float *out)
+{
+    int64_t j = 0;
+    for (; j + 8 <= cols; j += 8) {
+        __m256 acc[4];
+        for (int s = 0; s < 4; ++s) {
+            acc[s] = _mm256_setzero_ps();
+        }
+        alignas(32) int32_t idx[8];
+        const int64_t base = col0 + j;
+        int64_t p = 0;
+        for (; p + 4 <= k; p += 4) {
+            for (int s = 0; s < 4; ++s) {
+                for (int l = 0; l < 8; ++l) {
+                    idx[l] = unpackBitsAt(packed, bits,
+                                          (base + l) * k + p + s);
+                }
+                __m256 w = _mm256_i32gather_ps(
+                    lut,
+                    _mm256_load_si256(
+                        reinterpret_cast<const __m256i *>(idx)),
+                    4);
+                acc[s] = _mm256_fmadd_ps(_mm256_set1_ps(x[p + s]), w,
+                                         acc[s]);
+            }
+        }
+        for (; p < k; ++p) {
+            for (int l = 0; l < 8; ++l) {
+                idx[l] = unpackBitsAt(packed, bits, (base + l) * k + p);
+            }
+            __m256 w = _mm256_i32gather_ps(
+                lut,
+                _mm256_load_si256(reinterpret_cast<const __m256i *>(idx)),
+                4);
+            acc[0] = _mm256_fmadd_ps(_mm256_set1_ps(x[p]), w, acc[0]);
+        }
+        _mm256_storeu_ps(out + j,
+                         _mm256_add_ps(_mm256_add_ps(acc[0], acc[1]),
+                                       _mm256_add_ps(acc[2], acc[3])));
+    }
+    for (; j < cols; ++j) {
+        float a0 = 0.0f, a1 = 0.0f, a2 = 0.0f, a3 = 0.0f;
+        const int64_t rowbase = (col0 + j) * k;
+        int64_t p = 0;
+        for (; p + 4 <= k; p += 4) {
+            a0 = std::fmaf(x[p], lut[unpackBitsAt(packed, bits,
+                                                  rowbase + p)], a0);
+            a1 = std::fmaf(x[p + 1], lut[unpackBitsAt(packed, bits,
+                                                      rowbase + p + 1)],
+                           a1);
+            a2 = std::fmaf(x[p + 2], lut[unpackBitsAt(packed, bits,
+                                                      rowbase + p + 2)],
+                           a2);
+            a3 = std::fmaf(x[p + 3], lut[unpackBitsAt(packed, bits,
+                                                      rowbase + p + 3)],
+                           a3);
+        }
+        for (; p < k; ++p) {
+            a0 = std::fmaf(x[p], lut[unpackBitsAt(packed, bits,
+                                                  rowbase + p)], a0);
+        }
+        out[j] = (a0 + a1) + (a2 + a3);
+    }
+}
+
+constexpr const char *kVariantName = "avx2-fma";
+
+#else // portable fallback (non-x86 or no FMA flags): std::fma +
+      // k-strided partials — still a relaxed-accumulation variant, so
+      // the opt-in plumbing stays testable everywhere.
+
+void
+paletteDotFastPortable(const float *x, int64_t k, const uint8_t *packed,
+                       int bits, const float *lut, int64_t col0,
+                       int64_t cols, float *out)
+{
+    for (int64_t j = 0; j < cols; ++j) {
+        float a0 = 0.0f, a1 = 0.0f, a2 = 0.0f, a3 = 0.0f;
+        const int64_t rowbase = (col0 + j) * k;
+        int64_t p = 0;
+        for (; p + 4 <= k; p += 4) {
+            a0 = std::fmaf(x[p], lut[unpackBitsAt(packed, bits,
+                                                  rowbase + p)], a0);
+            a1 = std::fmaf(x[p + 1], lut[unpackBitsAt(packed, bits,
+                                                      rowbase + p + 1)],
+                           a1);
+            a2 = std::fmaf(x[p + 2], lut[unpackBitsAt(packed, bits,
+                                                      rowbase + p + 2)],
+                           a2);
+            a3 = std::fmaf(x[p + 3], lut[unpackBitsAt(packed, bits,
+                                                      rowbase + p + 3)],
+                           a3);
+        }
+        for (; p < k; ++p) {
+            a0 = std::fmaf(x[p], lut[unpackBitsAt(packed, bits,
+                                                  rowbase + p)], a0);
+        }
+        out[j] = (a0 + a1) + (a2 + a3);
+    }
+}
+
+constexpr const char *kVariantName = "portable-fma";
+
+#endif
+
+} // namespace
+
+PaletteDotFn
+fastMathPaletteDotImpl()
+{
+#if defined(__AVX2__) && defined(__FMA__)
+    // This TU was built with AVX2+FMA codegen; never hand out the
+    // pointer on a CPU that cannot execute it.
+    if (__builtin_cpu_supports("avx2") != 0 &&
+        __builtin_cpu_supports("fma") != 0) {
+        return &paletteDotFastAvx2;
+    }
+    return nullptr;
+#else
+    return &paletteDotFastPortable;
+#endif
+}
+
+const char *
+fastMathVariantNameImpl()
+{
+    return fastMathPaletteDotImpl() != nullptr ? kVariantName : nullptr;
+}
+
+#endif // EDKM_ENABLE_FASTMATH
+
+} // namespace kernels
+} // namespace edkm

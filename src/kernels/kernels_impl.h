@@ -117,12 +117,17 @@ smax(float a, float b)
 
 /** Slot l accumulates elements ≡ l (mod kAccLanes); slots fold in lane
  *  order, then the tail folds in element order. Identical on every
- *  backend by construction. */
-template <typename Tag>
+ *  backend by construction. Backends wider than kAccLanes reduce
+ *  through their 8-lane ReduceTag sibling (see simd.h) — the virtual
+ *  accumulator never changes shape. */
+template <typename RawTag>
 inline float
 reduceMaxT(const float *a, int64_t n)
 {
+    using Tag = typename ReduceTag<RawTag>::type;
     using V = Vec<Tag>;
+    static_assert(V::kWidth <= kAccLanes,
+                  "reduction vector wider than the virtual accumulator");
     if (n <= 0) {
         return -std::numeric_limits<float>::infinity();
     }
@@ -154,11 +159,14 @@ reduceMaxT(const float *a, int64_t n)
     return m;
 }
 
-template <typename Tag>
+template <typename RawTag>
 inline float
 dotT(const float *a, const float *b, int64_t n)
 {
+    using Tag = typename ReduceTag<RawTag>::type;
     using V = Vec<Tag>;
+    static_assert(V::kWidth <= kAccLanes,
+                  "reduction vector wider than the virtual accumulator");
     constexpr int kNumVecs = kAccLanes / V::kWidth;
     V acc[kNumVecs];
     for (int v = 0; v < kNumVecs; ++v) {
@@ -191,6 +199,98 @@ matvecT(const float *a, int64_t rows, int64_t k, const float *x, float *y)
 {
     for (int64_t i = 0; i < rows; ++i) {
         y[i] = dotT<Tag>(a + i * k, x, k);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Fused palettized decode: packed indices -> LUT gather -> mul-acc.
+// ----------------------------------------------------------------------
+
+/**
+ * out[j] = sum_p x[p] * lut[idx(col0 + j, p)] with idx packBits-packed
+ * row-major over a [rows, k] weight — no dense staging buffer.
+ *
+ * Bit-identity argument: the staged path (matmulStreamed m==1) computes
+ * every output element as the chain "0.0f; for p ascending, skip
+ * x[p] == 0.0f: out[j] = out[j] + x[p] * w[p][j]" with a separate IEEE
+ * mul then add (kernels.h axpy). This kernel replays exactly that chain
+ * per element; vector lanes hold *independent output columns*, so the
+ * hardware width only changes how many such chains advance per
+ * iteration, never the FP sequence inside one. Every backend therefore
+ * agrees bitwise with the scalar reference and with the staged path.
+ *
+ * For a fixed column j the index positions (col0+j)*k + p, p ascending,
+ * are consecutive values of the bitstream, so each lane walks a
+ * sequential bit region — the gather touches at most kWidth cache
+ * lines of the (tiny, hot) LUT.
+ */
+template <typename Tag>
+inline void
+paletteDotFusedT(const float *x, int64_t k, const uint8_t *packed,
+                 int bits, const float *lut, int64_t col0, int64_t cols,
+                 float *out)
+{
+    using V = Vec<Tag>;
+    int32_t idx[V::kWidth];
+    // Per-lane running bit offsets into the index stream: lane l's
+    // column starts at bit (col0+j+l)*k*bits and advances by `bits` per
+    // p step, so the inner loop does one add + one extraction per lane
+    // instead of a 64-bit multiply each. The scalar instantiation
+    // (kWidth == 1) skips straight to the rolling-buffer column loop
+    // below, which extracts indices faster than per-element random
+    // access.
+    int64_t lanebit[V::kWidth];
+    int64_t j = 0;
+    for (; V::kWidth > 1 && j + V::kWidth <= cols; j += V::kWidth) {
+        V acc = V::broadcast(0.0f);
+        const int64_t base = col0 + j;
+        for (int l = 0; l < V::kWidth; ++l) {
+            lanebit[l] = (base + l) * k * bits;
+        }
+        for (int64_t p = 0; p < k; ++p) {
+            float xv = x[p];
+            if (xv == 0.0f) {
+                continue;
+            }
+            const int64_t pb = p * static_cast<int64_t>(bits);
+            for (int l = 0; l < V::kWidth; ++l) {
+                idx[l] = unpackBitsAtBit(packed, bits, lanebit[l] + pb);
+            }
+            acc = acc + V::broadcast(xv) * V::gather(lut, idx);
+        }
+        acc.store(out + j);
+    }
+    for (; j < cols; ++j) {
+        using S = Vec<ScalarTag>;
+        S acc = S::broadcast(0.0f);
+        // A column's indices are consecutive in the bitstream, so shift
+        // them out of a rolling byte-fed buffer instead of re-reading
+        // (and re-shifting) the stream per element. Refills are
+        // byte-at-a-time and only touch bytes holding this column's
+        // bits, so no read past a minimally-sized stream. Indices are
+        // consumed even for skipped x[p] == 0 terms to keep the buffer
+        // in step; the FP chain is untouched (bit-identity preserved).
+        const int64_t bit0 = (col0 + j) * k * bits;
+        const uint8_t *ptr = packed + (bit0 >> 3);
+        uint64_t buf = static_cast<uint64_t>(*ptr++) >> (bit0 & 7);
+        int avail = 8 - static_cast<int>(bit0 & 7);
+        const uint32_t mask = (1u << bits) - 1u;
+        for (int64_t p = 0; p < k; ++p) {
+            while (avail < bits) {
+                buf |= static_cast<uint64_t>(*ptr++) << avail;
+                avail += 8;
+            }
+            int32_t id = static_cast<int32_t>(
+                static_cast<uint32_t>(buf) & mask);
+            buf >>= bits;
+            avail -= bits;
+            float xv = x[p];
+            if (xv == 0.0f) {
+                continue;
+            }
+            acc = acc + S::broadcast(xv) * S::gather(lut, &id);
+        }
+        acc.store(out + j);
     }
 }
 
@@ -491,6 +591,12 @@ makeKernelTable(Backend id)
     t.matvec = [](const float *a, int64_t rows, int64_t k,
                   const float *x, float *y) {
         matvecT<Tag>(a, rows, k, x, y);
+    };
+    t.paletteDotFused = [](const float *x, int64_t k,
+                           const uint8_t *packed, int bits,
+                           const float *lut, int64_t col0, int64_t cols,
+                           float *out) {
+        paletteDotFusedT<Tag>(x, k, packed, bits, lut, col0, cols, out);
     };
     t.softmaxRows = [](const float *a, int64_t rows, int64_t k,
                        float *o) {

@@ -8,14 +8,19 @@
  *
  *   - `ScalarTag` — 1-lane reference, always compiled, no intrinsics.
  *   - `Avx2Tag`   — 8 lanes, only where the TU is built with -mavx2.
+ *   - `Avx512Tag` — 16 lanes, only where the TU is built with -mavx512f.
  *   - `NeonTag`   — 4 lanes, only where the TU targets ARM NEON.
  *
  * Numerics contract: every Vec operation maps to the IEEE-754 single
  * operation of its scalar counterpart (add/sub/mul/div/sqrt/min/max are
- * exact; no FMA contraction — backend TUs compile in strict ISO mode).
- * Reduction kernels additionally fix a *virtual* accumulator width of
- * `kAccLanes` (8) independent of the hardware width, so every backend
- * — including the scalar reference — produces bit-identical results.
+ * exact; no FMA contraction — backend TUs compile with -ffp-contract=off
+ * wherever the target ISA would otherwise allow it). Reduction kernels
+ * additionally fix a *virtual* accumulator width of `kAccLanes` (8)
+ * independent of the hardware width, so every backend — including the
+ * scalar reference — produces bit-identical results. A backend wider
+ * than kAccLanes runs the reductions on its `ReduceTag` half-width
+ * sibling (AVX-512 reduces through the 8-lane AVX2 type) so the virtual
+ * accumulator never changes shape.
  */
 
 #ifndef EDKM_KERNELS_SIMD_H_
@@ -25,7 +30,7 @@
 #include <cstdint>
 #include <cstring>
 
-#if defined(__AVX2__)
+#if defined(__AVX2__) || defined(__AVX512F__)
 #include <immintrin.h>
 #endif
 #if defined(__ARM_NEON) || defined(__ARM_NEON__)
@@ -49,6 +54,9 @@ struct ScalarTag
 {
 };
 struct Avx2Tag
+{
+};
+struct Avx512Tag
 {
 };
 struct NeonTag
@@ -87,6 +95,12 @@ struct Vec<ScalarTag>
     lane(int) const
     {
         return v;
+    }
+    /** Lane-wise table load: lane l reads base[idx[l]] (kWidth indices). */
+    static Vec
+    gather(const float *base, const int32_t *idx)
+    {
+        return {base[idx[0]]};
     }
 
     friend Vec
@@ -233,6 +247,13 @@ struct Vec<Avx2Tag>
         _mm256_store_ps(tmp, v);
         return tmp[i];
     }
+    static Vec
+    gather(const float *base, const int32_t *idx)
+    {
+        __m256i vi = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(idx));
+        return {_mm256_i32gather_ps(base, vi, 4)};
+    }
 
     friend Vec
     operator+(Vec a, Vec b)
@@ -322,6 +343,147 @@ struct Vec<Avx2Tag>
 #endif // __AVX2__
 
 // ----------------------------------------------------------------------
+// AVX-512 backend: 16 f32 lanes. Compiled only in TUs built with
+// -mavx512f (which also implies -ffp-contract=off in CMake, as AVX-512
+// drags in FMA and the scalar tails must not contract). Only AVX512F
+// intrinsics are used — mask registers are expanded back to all-ones
+// float lane masks so the shared blend/maskAnd/maskOr shapes hold.
+// ----------------------------------------------------------------------
+
+#if defined(__AVX512F__)
+template <>
+struct Vec<Avx512Tag>
+{
+    static constexpr int kWidth = 16;
+    __m512 v;
+
+    static Vec
+    load(const float *p)
+    {
+        return {_mm512_loadu_ps(p)};
+    }
+    static Vec
+    broadcast(float x)
+    {
+        return {_mm512_set1_ps(x)};
+    }
+    void
+    store(float *p) const
+    {
+        _mm512_storeu_ps(p, v);
+    }
+    float
+    lane(int i) const
+    {
+        alignas(64) float tmp[16];
+        _mm512_store_ps(tmp, v);
+        return tmp[i];
+    }
+    static Vec
+    gather(const float *base, const int32_t *idx)
+    {
+        __m512i vi = _mm512_loadu_si512(idx);
+        return {_mm512_i32gather_ps(vi, base, 4)};
+    }
+
+    friend Vec
+    operator+(Vec a, Vec b)
+    {
+        return {_mm512_add_ps(a.v, b.v)};
+    }
+    friend Vec
+    operator-(Vec a, Vec b)
+    {
+        return {_mm512_sub_ps(a.v, b.v)};
+    }
+    friend Vec
+    operator*(Vec a, Vec b)
+    {
+        return {_mm512_mul_ps(a.v, b.v)};
+    }
+    friend Vec
+    operator/(Vec a, Vec b)
+    {
+        return {_mm512_div_ps(a.v, b.v)};
+    }
+
+    static Vec
+    max(Vec a, Vec b)
+    {
+        // EVEX vmaxps keeps the legacy semantics: (a > b ? a : b),
+        // unordered lanes yield b — same as the scalar reference.
+        return {_mm512_max_ps(a.v, b.v)};
+    }
+    static Vec
+    min(Vec a, Vec b)
+    {
+        return {_mm512_min_ps(a.v, b.v)};
+    }
+    static Vec
+    abs(Vec a)
+    {
+        __m512i sign = _mm512_set1_epi32(INT32_C(0x80000000));
+        return {_mm512_castsi512_ps(
+            _mm512_andnot_si512(sign, _mm512_castps_si512(a.v)))};
+    }
+    static Vec
+    sqrt(Vec a)
+    {
+        return {_mm512_sqrt_ps(a.v)};
+    }
+    static Vec
+    floor(Vec a)
+    {
+        return {_mm512_roundscale_ps(
+            a.v, _MM_FROUND_TO_NEG_INF | _MM_FROUND_NO_EXC)};
+    }
+
+    /** Compares produce a k-mask; expand it to the shared all-ones
+     *  float lane-mask representation (AVX512F-only ops). */
+    static Vec
+    cmpLt(Vec a, Vec b)
+    {
+        __mmask16 m = _mm512_cmp_ps_mask(a.v, b.v, _CMP_LT_OQ);
+        return {_mm512_castsi512_ps(_mm512_maskz_set1_epi32(m, -1))};
+    }
+    static Vec
+    cmpEq(Vec a, Vec b)
+    {
+        __mmask16 m = _mm512_cmp_ps_mask(a.v, b.v, _CMP_EQ_OQ);
+        return {_mm512_castsi512_ps(_mm512_maskz_set1_epi32(m, -1))};
+    }
+    static Vec
+    maskAnd(Vec a, Vec b)
+    {
+        return {_mm512_castsi512_ps(_mm512_and_si512(
+            _mm512_castps_si512(a.v), _mm512_castps_si512(b.v)))};
+    }
+    static Vec
+    maskOr(Vec a, Vec b)
+    {
+        return {_mm512_castsi512_ps(_mm512_or_si512(
+            _mm512_castps_si512(a.v), _mm512_castps_si512(b.v)))};
+    }
+    static Vec
+    blend(Vec mask, Vec a, Vec b)
+    {
+        __m512i mi = _mm512_castps_si512(mask.v);
+        __mmask16 m = _mm512_test_epi32_mask(mi, mi);
+        return {_mm512_mask_blend_ps(m, b.v, a.v)};
+    }
+
+    static Vec
+    pow2Int(Vec n)
+    {
+        __m512i e = _mm512_cvttps_epi32(n.v);
+        e = _mm512_add_epi32(e, _mm512_set1_epi32(127));
+        e = _mm512_slli_epi32(e, 23);
+        return {_mm512_castsi512_ps(e)};
+    }
+};
+#endif // __AVX512F__
+
+// ----------------------------------------------------------------------
 // NEON backend: 4 f32 lanes. Compiled only in TUs targeting ARM NEON.
 // ----------------------------------------------------------------------
 
@@ -353,6 +515,13 @@ struct Vec<NeonTag>
         float tmp[4];
         vst1q_f32(tmp, v);
         return tmp[i];
+    }
+    static Vec
+    gather(const float *base, const int32_t *idx)
+    {
+        float t[4] = {base[idx[0]], base[idx[1]], base[idx[2]],
+                      base[idx[3]]};
+        return {vld1q_f32(t)};
     }
 
     friend Vec
@@ -472,6 +641,28 @@ struct Vec<NeonTag>
     }
 };
 #endif // __ARM_NEON
+
+// ----------------------------------------------------------------------
+// Reduction tag mapping. Reductions fold a fixed virtual 8-slot
+// (kAccLanes) accumulator; a hardware vector wider than 8 f32 lanes
+// cannot hold that shape, so backends wider than the virtual width run
+// their reductions on an 8-lane sibling type. AVX-512 maps to the AVX2
+// Vec (always compiled alongside it: -mavx512f implies __AVX2__);
+// everything else reduces as itself.
+// ----------------------------------------------------------------------
+
+template <typename Tag>
+struct ReduceTag
+{
+    using type = Tag;
+};
+#if defined(__AVX512F__) && defined(__AVX2__)
+template <>
+struct ReduceTag<Avx512Tag>
+{
+    using type = Avx2Tag;
+};
+#endif
 
 } // namespace
 

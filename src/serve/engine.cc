@@ -131,7 +131,11 @@ InferenceEngine::linearForward(const std::string &path, const Variable &x)
     const api::TensorSection &s = reader_->section(name);
     if (s.codec == api::Codec::kPalettized) {
         ++stats_.streamedMatmuls;
-        return af::constant(paletteMatmulT(x.data(), palette(name)));
+        int64_t fused0 = paletteFusedCalls();
+        Variable r =
+            af::constant(paletteMatmulT(x.data(), palette(name)));
+        stats_.fusedDecodes += paletteFusedCalls() - fused0;
+        return r;
     }
     Tensor w = denseWeight(name);
     return af::matmul(x, af::transpose(af::constant(w), 0, 1));

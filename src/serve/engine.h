@@ -121,6 +121,7 @@ struct EngineStats
     int64_t evictions = 0;
     int64_t cacheBytes = 0;      ///< dense f32 bytes currently cached
     int64_t streamedMatmuls = 0; ///< palettized LUT+index matmuls run
+    int64_t fusedDecodes = 0;    ///< of those, m==1 fused-kernel decodes
     int64_t borrowedViews = 0;   ///< zero-copy sections in use
     int64_t prefills = 0;        ///< KV-cache prompt prefills run
     int64_t prefillTokens = 0;   ///< tokens cached by prefills

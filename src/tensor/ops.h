@@ -91,6 +91,12 @@ using MatmulRowFill =
  * (per-output-row ascending-p order for m >= 1, the n==1 fixed-lane
  * matvec) replays the dense kernel's exact FP op sequence on tile
  * copies of the same values — including matmul's row-shape invariance.
+ *
+ * The palettized m==1 decode (core/palettize.cc::paletteMatmulT) has a
+ * fused sibling that skips the tile staging entirely
+ * (kernels::KernelTable::paletteDotFused); it replays this function's
+ * m==1 accumulation contract — ascending-p, zero skip, separate IEEE
+ * mul/add per element — so the two stay bit-identical (ctest-gated).
  */
 Tensor matmulStreamed(const Tensor &a, int64_t k, int64_t n,
                       const MatmulRowFill &fill);

@@ -204,5 +204,133 @@ TEST(Palettize, FromAssignmentsValidates)
         FatalError); // numel mismatch
 }
 
+// ----------------------------------------------------------------------
+// Random-access bitstream property tests: unpackBitsAt must agree with
+// the bulk decoder at every position, for every width, including the
+// trailing partial byte.
+// ----------------------------------------------------------------------
+
+TEST_P(PackBitsSweep, RandomAccessMatchesBulkUnpack)
+{
+    int bits = GetParam();
+    Rng rng(static_cast<uint64_t>(100 + bits));
+    // 257 elements: for every width except 8/16 the stream ends in a
+    // partial byte, and 257 is coprime with the 8-bit byte period.
+    const int64_t n = 257;
+    std::vector<int32_t> vals;
+    for (int64_t i = 0; i < n; ++i) {
+        vals.push_back(
+            static_cast<int32_t>(rng.randint(0, (1 << bits) - 1)));
+    }
+    std::vector<uint8_t> packed = packBits(vals, bits);
+    std::vector<int32_t> bulk = unpackBits(packed, bits, n);
+    for (int64_t i = 0; i < n; ++i) {
+        ASSERT_EQ(unpackBitsAt(packed.data(), bits, i), bulk[i])
+            << "bits=" << bits << " i=" << i;
+    }
+}
+
+TEST(PackBits, RandomAccessMinimalStream)
+{
+    // A single element occupies only the low bits of byte 0.
+    for (int bits : {1, 3, 7, 16}) {
+        std::vector<int32_t> one = {(1 << bits) - 1};
+        std::vector<uint8_t> packed = packBits(one, bits);
+        EXPECT_EQ(unpackBitsAt(packed.data(), bits, 0), one[0])
+            << "bits=" << bits;
+    }
+}
+
+// ----------------------------------------------------------------------
+// PaletteView edge geometry: single-row / single-column weights,
+// degenerate in==1, an effectively single-cluster LUT, and the maximum
+// supported bit width must all decode through paletteMatmulT exactly as
+// the dense reference.
+// ----------------------------------------------------------------------
+
+namespace {
+
+/** paletteMatmulT vs matmul against the decompressed weight, bitwise. */
+void
+expectPaletteMatchesDense(const PalettizedTensor &p, uint64_t seed)
+{
+    int64_t out = p.shape()[0];
+    int64_t in = p.shape()[1];
+    Rng rng(seed);
+    std::vector<float> xv(static_cast<size_t>(in));
+    for (float &v : xv) {
+        v = rng.bernoulli(0.2) ? 0.0f : rng.uniform(-2.0f, 2.0f);
+    }
+    Tensor x = Tensor::fromVector(xv, {1, in});
+    Tensor got = paletteMatmulT(x, viewOf(p));
+    Tensor want = matmul(x, p.decompress().transpose(0, 1));
+    ASSERT_EQ(got.shape(), want.shape());
+    std::vector<float> g = got.toVector();
+    std::vector<float> w = want.toVector();
+    ASSERT_EQ(0, std::memcmp(g.data(), w.data(),
+                             g.size() * sizeof(float)))
+        << "out=" << out << " in=" << in << " bits=" << p.bits();
+}
+
+PalettizedTensor
+randomPalette(int64_t out, int64_t in, int bits, uint64_t seed)
+{
+    Rng rng(seed);
+    int lut_n = 1 << bits;
+    std::vector<float> lut(static_cast<size_t>(lut_n));
+    for (float &c : lut) {
+        c = rng.uniform(-1.0f, 1.0f);
+    }
+    std::vector<int32_t> assign(static_cast<size_t>(out * in));
+    for (int32_t &a : assign) {
+        a = static_cast<int32_t>(rng.randint(0, lut_n - 1));
+    }
+    return PalettizedTensor::fromAssignments({out, in}, lut, assign,
+                                             bits);
+}
+
+} // namespace
+
+TEST(Palettize, EdgeGeometrySingleRow)
+{
+    // out == 1: the matvec fixed-lane path.
+    expectPaletteMatchesDense(randomPalette(1, 37, 3, 11), 211);
+}
+
+TEST(Palettize, EdgeGeometrySingleColumn)
+{
+    // in == 1: every output is one mul (or a skipped zero).
+    expectPaletteMatchesDense(randomPalette(37, 1, 4, 12), 212);
+}
+
+TEST(Palettize, EdgeGeometryOneByOne)
+{
+    expectPaletteMatchesDense(randomPalette(1, 1, 2, 13), 213);
+}
+
+TEST(Palettize, EdgeGeometrySingleClusterLut)
+{
+    // All assignments hit index 0 — a degenerate one-centroid palette.
+    std::vector<float> lut = {0.75f, -123.0f};
+    std::vector<int32_t> assign(9 * 5, 0);
+    PalettizedTensor p =
+        PalettizedTensor::fromAssignments({9, 5}, lut, assign, 1);
+    expectPaletteMatchesDense(p, 214);
+}
+
+TEST(Palettize, EdgeGeometryMaxBits)
+{
+    // bits == 16: the widest supported stream; indices span two bytes
+    // and the LUT has 65536 entries.
+    expectPaletteMatchesDense(randomPalette(5, 33, 16, 15), 215);
+}
+
+TEST(Palettize, EdgeGeometryTrailingPartialByte)
+{
+    // 3-bit stream over 7 x 13 = 91 elements: 273 bits, last byte holds
+    // only one bit of payload.
+    expectPaletteMatchesDense(randomPalette(7, 13, 3, 16), 216);
+}
+
 } // namespace
 } // namespace edkm
